@@ -1,0 +1,333 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its table/figure (printing the rows
+// and series the paper reports) and measures the cost of doing so.
+//
+// Campaign sizing: GPUREL_RUNS sets the injections per campaign point
+// (default 60 here; the paper uses 3000 for ±2.35% at 99% confidence —
+// expect proportionally longer runs). GPUREL_SEED sets the base seed.
+// Campaigns are memoised across benchmarks in this process, exactly like
+// figures share campaigns in the paper's study, so the full suite costs one
+// study, not thirteen.
+//
+// Recommended: go test -bench=. -benchtime=1x -benchmem
+package gpurel
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"gpurel/internal/funcsim"
+	"gpurel/internal/gpu"
+	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
+	"gpurel/internal/softfi"
+)
+
+var (
+	benchStudyOnce sync.Once
+	benchStudy     *Study
+)
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func study() *Study {
+	benchStudyOnce.Do(func() {
+		runs := envInt("GPUREL_RUNS", 60)
+		seed := int64(envInt("GPUREL_SEED", 1))
+		benchStudy = NewStudy(runs, seed)
+	})
+	return benchStudy
+}
+
+var printed sync.Map
+
+// emit prints a figure's text exactly once per process.
+func emit(key, text string) {
+	if _, dup := printed.LoadOrStore(key, true); !dup {
+		fmt.Printf("\n%s\n", text)
+	}
+}
+
+func BenchmarkFig1_ApplicationAVFvsSVF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, txt, err := study().Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig1", txt)
+	}
+}
+
+func BenchmarkFig2_KernelAVFvsSVF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, txt, err := study().Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig2", txt)
+	}
+}
+
+func BenchmarkTableI_TrendPairs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, txt, err := study().TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("Table I must have 4 rows, got %d", len(rows))
+		}
+		emit("table1", txt)
+	}
+}
+
+func BenchmarkFig3_ResourceUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, txt, err := study().Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig3", txt)
+	}
+}
+
+func BenchmarkFig4_AVFRFvsSVF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, txt, err := study().Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig4", txt)
+	}
+}
+
+func BenchmarkFig5_AVFCachevsSVFLD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, txt, err := study().Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig5", txt)
+	}
+}
+
+var (
+	hardenedOnce sync.Once
+	hardenedPts  []HardenedPoint
+	hardenedErr  error
+)
+
+func hardened(b *testing.B) []HardenedPoint {
+	hardenedOnce.Do(func() {
+		hardenedPts, hardenedErr = study().Hardened()
+	})
+	if hardenedErr != nil {
+		b.Fatal(hardenedErr)
+	}
+	return hardenedPts
+}
+
+func BenchmarkFig7_HardenedAVFSVF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("fig7", Figure7(hardened(b)))
+	}
+}
+
+func BenchmarkFig8_SDCHardening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("fig8", Figure8(hardened(b)))
+	}
+}
+
+func BenchmarkFig9_TimeoutDUEHardening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("fig9", Figure9(hardened(b)))
+	}
+}
+
+func BenchmarkFig10_ComponentAVF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("fig10", Figure10(hardened(b)))
+	}
+}
+
+func BenchmarkFig11_ControlPathMasked(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("fig11", Figure11(hardened(b)))
+	}
+}
+
+func BenchmarkFig12_RegisterReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, txt := Figure12()
+		if len(a.Uses) != 2 {
+			b.Fatal("Figure 12 analysis changed")
+		}
+		emit("fig12", txt)
+	}
+}
+
+// BenchmarkSpeed_AVFvsSVFThroughput is the paper's footnote-1 comparison:
+// the cost of one cross-layer assessment run vs one software-level run.
+func BenchmarkSpeed_AVFvsSVFThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		micro, soft, err := study().SpeedComparison("SRADv1", 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("speed", fmt.Sprintf(
+			"Assessment speed (SRADv1): cross-layer %v/run vs software-level %v/run (%.0f× gap; paper fn.1: 1258 vs 10 machine-days)",
+			micro, soft, float64(micro)/float64(soft)))
+	}
+}
+
+// BenchmarkAblation_MultiBit exercises the §II-A multi-bit fault model:
+// burst widths 1, 2 and 4 on the register file.
+func BenchmarkAblation_MultiBit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, txt, err := study().MultiBitAblation("VA", "K1", gpu.RF, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("multibit", txt)
+	}
+}
+
+// BenchmarkAblation_TransientUse contrasts persistent destination-register
+// corruption (NVBitFI's model) with transient single-operand corruption —
+// the blind spot the §V-B register reuse analyzer addresses.
+func BenchmarkAblation_TransientUse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := study()
+		p, err := s.SoftTally("SCP", "K1", softfi.SVF, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u, err := s.SoftTally("SCP", "K1", softfi.SVFUse, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("transient", fmt.Sprintf(
+			"SCP K1: SVF (persistent dst) = %.2f%%, transient single-use = %.2f%%",
+			100*p.FR(), 100*u.FR()))
+	}
+}
+
+// --- engine micro-benchmarks: the cost drivers behind every table ---
+
+func BenchmarkEngineMicroarchSim(b *testing.B) {
+	app, _ := kernels.ByName("HotSpot")
+	job := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := sim.Run(job, gpu.Volta(), sim.Options{}); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+func BenchmarkEngineFunctionalSim(b *testing.B) {
+	app, _ := kernels.ByName("HotSpot")
+	job := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := funcsim.Run(job, funcsim.Options{}); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+func BenchmarkEngineTMRSim(b *testing.B) {
+	s := study()
+	e, err := s.Eval("VA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := sim.Run(e.JobTMR, gpu.Volta(), sim.Options{}); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkAblation_ACEvsFI contrasts statistical AVF-RF with single-run
+// analytical ACE and PVF estimates (the accuracy/speed spectrum of §I).
+func BenchmarkAblation_ACEvsFI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, txt, err := study().CompareACE("SCP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.AVFACE <= 0 || c.PVF <= 0 {
+			b.Fatal("analytical estimates must be positive")
+		}
+		emit("ace", txt)
+	}
+}
+
+// BenchmarkAblation_ECC sweeps SEC-DED protection choices over the chip
+// structures — the targeted-protection design question of §II-A. Run with a
+// width-2 burst mix so detected-uncorrectable outcomes appear.
+func BenchmarkAblation_ECC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		txt, err := study().ECCAblation("HotSpot", "K1", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("ecc", txt)
+	}
+}
+
+// BenchmarkAblation_ErrorPropagation runs the §VI future-work experiment:
+// taint-based SDC prediction validated against real injections.
+func BenchmarkAblation_ErrorPropagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, txt, err := study().RunPropagationStudy("HotSpot", 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ps.Sites != 40 {
+			b.Fatalf("lost sites: %+v", ps)
+		}
+		emit("prop", txt)
+	}
+}
+
+// BenchmarkAblation_InputSize sweeps vectorAdd input sizes — the SUGAR
+// (ref. [48]) observation that resilience estimates shift with input size.
+func BenchmarkAblation_InputSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		txt, err := study().InputSizeAblation([]int{512, 2048, 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("inputsize", txt)
+	}
+}
+
+// BenchmarkAblation_BudgetedProtection evaluates the §III-A budgeted
+// protection pitfall: protect k apps by SVF ranking vs by AVF ranking and
+// compare the residual mean AVF.
+func BenchmarkAblation_BudgetedProtection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bp, txt, err := study().RunBudgetedProtection([]string{"VA", "SCP", "HotSpot", "LUD"}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(bp.ChosenByAVF) != 2 {
+			b.Fatal("policy broken")
+		}
+		emit("budget", txt)
+	}
+}

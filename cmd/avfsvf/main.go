@@ -1,0 +1,115 @@
+// Command avfsvf regenerates the paper's tables and figures: the full
+// cross-layer study over all 11 benchmarks / 23 kernels.
+//
+// Usage:
+//
+//	avfsvf -n 300                 # everything (campaign size 300/point)
+//	avfsvf -fig 1 -n 3000         # one figure at the paper's sample size
+//	avfsvf -table 1
+//	avfsvf -fig 12                # no campaigns needed
+//	avfsvf -speed                 # the §I footnote-1 speed comparison
+//
+// Campaign cost scales linearly in -n; the defaults keep a laptop run in
+// minutes. Figures 7-11 share the same hardened campaigns and are emitted
+// together whenever any of them is requested.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpurel"
+	"gpurel/internal/gpu"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 300, "injections per campaign point (paper: 3000)")
+		seed  = flag.Int64("seed", 1, "base seed")
+		fig   = flag.Int("fig", 0, "regenerate one figure (1-12); 0 = all")
+		table = flag.Int("table", 0, "regenerate one table (1); 0 with -fig 0 = all")
+		speed = flag.Bool("speed", false, "measure the AVF vs SVF assessment speed gap")
+	)
+	flag.Parse()
+
+	s := gpurel.NewStudy(*n, *seed)
+	all := *fig == 0 && *table == 0 && !*speed
+
+	emit := func(text string, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avfsvf:", err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+	}
+
+	if all || *fig == 1 {
+		_, txt, err := s.Figure1()
+		emit(txt, err)
+	}
+	if all || *fig == 2 {
+		_, txt, err := s.Figure2()
+		emit(txt, err)
+	}
+	if all || *table == 1 {
+		_, txt, err := s.TableI()
+		emit(txt, err)
+	}
+	if all || *fig == 3 {
+		_, txt, err := s.Figure3()
+		emit(txt, err)
+	}
+	if all || *fig == 4 {
+		_, txt, err := s.Figure4()
+		emit(txt, err)
+	}
+	if all || *fig == 5 {
+		_, txt, err := s.Figure5()
+		emit(txt, err)
+	}
+	if *fig == 6 {
+		fmt.Println("Figure 6 is the TMR workflow diagram; see internal/harden (no data to regenerate).")
+	}
+	if all || (*fig >= 7 && *fig <= 11) {
+		pts, err := s.Hardened()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avfsvf:", err)
+			os.Exit(1)
+		}
+		if all || *fig == 7 {
+			fmt.Println(gpurel.Figure7(pts))
+		}
+		if all || *fig == 8 {
+			fmt.Println(gpurel.Figure8(pts))
+		}
+		if all || *fig == 9 {
+			fmt.Println(gpurel.Figure9(pts))
+		}
+		if all || *fig == 10 {
+			fmt.Println(gpurel.Figure10(pts))
+		}
+		if all || *fig == 11 {
+			fmt.Println(gpurel.Figure11(pts))
+		}
+	}
+	if all || *fig == 12 {
+		_, txt := gpurel.Figure12()
+		fmt.Println(txt)
+	}
+	if all || *speed {
+		micro, soft, err := s.SpeedComparison("SRADv1", 5)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avfsvf:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Assessment speed (SRADv1): cross-layer %v/run, software-level %v/run → %.0f× gap\n",
+			micro, soft, float64(micro)/float64(soft))
+		fmt.Println("(the paper's footnote 1: 1258 vs 10 machine-days at full scale)")
+	}
+	if all {
+		ab, txt, err := s.MultiBitAblation("VA", "K1", gpu.RF, []int{1, 2, 4})
+		_ = ab
+		emit(txt, err)
+	}
+}

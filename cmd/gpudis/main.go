@@ -1,0 +1,138 @@
+// Command gpudis disassembles the benchmark kernels into the repository's
+// SASS-like assembly and optionally annotates register reuse — the static
+// view behind Figure 12's analyzer.
+//
+// Usage:
+//
+//	gpudis -app SRADv1                 # list kernels with sizes
+//	gpudis -app SRADv1 -kernel K4      # disassemble one kernel
+//	gpudis -app VA -kernel K1 -reuse   # annotate destination-register fanout
+//	gpudis -app HotSpot -kernel K1 -mix  # static instruction mix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+	"gpurel/internal/reuse"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "benchmark application")
+		kernel  = flag.String("kernel", "", "kernel name (K1..Kn)")
+		fanout  = flag.Bool("reuse", false, "annotate destination-register reuse fanout")
+		mix     = flag.Bool("mix", false, "print the static instruction mix instead of the listing")
+		list    = flag.Bool("list", false, "list benchmarks")
+	)
+	flag.Parse()
+
+	if *list || *appName == "" {
+		for _, a := range kernels.All() {
+			fmt.Printf("%-12s %v\n", a.Name, a.Kernels)
+		}
+		return
+	}
+	app, err := kernels.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	job := app.Build()
+
+	progs := map[string]*isa.Program{}
+	var order []string
+	for _, st := range job.Steps {
+		if st.Launch == nil {
+			continue
+		}
+		name := st.Launch.Name()
+		if _, ok := progs[name]; !ok {
+			progs[name] = st.Launch.Kernel
+			order = append(order, name)
+		}
+	}
+
+	if *kernel == "" {
+		fmt.Printf("%s: %d kernels\n", app.Name, len(order))
+		for _, name := range order {
+			p := progs[name]
+			fmt.Printf("  %-4s %-24s %4d instructions, %3d registers/thread\n",
+				name, p.Name, len(p.Code), p.NumRegs)
+		}
+		describeSchedule(job)
+		return
+	}
+	p, ok := progs[*kernel]
+	if !ok {
+		fatal(fmt.Errorf("%s has no kernel %q", app.Name, *kernel))
+	}
+	fmt.Printf("// %s %s (%s): %d instructions, %d registers per thread\n",
+		app.Name, *kernel, p.Name, len(p.Code), p.NumRegs)
+	if *mix {
+		printMix(p)
+		return
+	}
+	if !*fanout {
+		fmt.Print(p.Disassemble())
+		return
+	}
+	fan := reuse.Fanout(p)
+	for pc, ins := range p.Code {
+		note := ""
+		if n, ok := fan[pc]; ok {
+			note = fmt.Sprintf("  // %d later reads of R%d", n, ins.Dst)
+		}
+		fmt.Printf("#%-4d %-50s%s\n", pc, ins.String(), note)
+	}
+}
+
+// printMix prints the static opcode histogram of a kernel — the
+// "instruction types and counts" dimension the paper's §II-D controls for
+// by benchmark diversity.
+func printMix(p *isa.Program) {
+	counts := map[isa.Op]int{}
+	for _, ins := range p.Code {
+		counts[ins.Op]++
+	}
+	type row struct {
+		op isa.Op
+		n  int
+	}
+	var rows []row
+	for op, n := range counts {
+		rows = append(rows, row{op, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].op < rows[j].op
+	})
+	for _, r := range rows {
+		fmt.Printf("  %-8s %4d  (%4.1f%%)\n", r.op, r.n, 100*float64(r.n)/float64(len(p.Code)))
+	}
+}
+
+func describeSchedule(job *device.Job) {
+	fmt.Println("schedule:")
+	for i, st := range job.Steps {
+		switch {
+		case st.Launch != nil:
+			l := st.Launch
+			fmt.Printf("  %2d: launch %-4s grid %d×%d, block %d×%d, smem %dB\n",
+				i, l.Name(), l.GridX, l.GridY, l.BlockX, l.BlockY, l.SmemBytes)
+		case st.Host != nil:
+			fmt.Printf("  %2d: host step\n", i)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpudis:", err)
+	os.Exit(1)
+}

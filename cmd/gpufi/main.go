@@ -1,0 +1,112 @@
+// Command gpufi runs a microarchitecture-level fault-injection campaign on
+// one benchmark — the gpuFI-4 workflow: pick an application, a kernel and a
+// hardware structure, inject n uniformly random single-bit flips, and report
+// the outcome distribution, failure rate, derating factor and AVF.
+//
+// Usage:
+//
+//	gpufi -app SRADv1 -kernel K4 -structure RF -n 3000 [-seed 1] [-tmr] [-burst 1]
+//	gpufi -app VA -structure all -n 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+	"gpurel/internal/gpu"
+	"gpurel/internal/harden"
+	"gpurel/internal/kernels"
+	"gpurel/internal/metrics"
+	"gpurel/internal/microfi"
+	"gpurel/internal/report"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "VA", "benchmark application (see -list)")
+		kernel    = flag.String("kernel", "", "kernel name (K1..Kn); empty = whole application")
+		structure = flag.String("structure", "RF", "RF, SMEM, L1D, L1T, L2 or all")
+		n         = flag.Int("n", 3000, "injections per campaign (paper: 3000 → ±2.35% at 99% confidence)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		tmr       = flag.Bool("tmr", false, "harden the application with thread-level TMR first")
+		burst     = flag.Int("burst", 1, "adjacent multi-bit burst width (1 = single-bit)")
+		list      = flag.Bool("list", false, "list benchmarks and kernels")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range kernels.All() {
+			fmt.Printf("%-12s %s\n", a.Name, strings.Join(a.Kernels, " "))
+		}
+		return
+	}
+
+	app, err := kernels.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	job := app.Build()
+	if *tmr {
+		job = harden.TMR(job)
+	}
+	cfg := gpu.Volta()
+	g, err := microfi.Golden(job, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("golden run: %d cycles, %d launches\n", g.Res.Cycles, len(g.Res.Spans))
+
+	var structures []gpu.Structure
+	if *structure == "all" {
+		structures = gpu.Structures[:]
+	} else {
+		found := false
+		for _, s := range gpu.Structures {
+			if s.String() == *structure {
+				structures = append(structures, s)
+				found = true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown structure %q", *structure))
+		}
+	}
+
+	tbl := report.Table{
+		Title:  fmt.Sprintf("gpuFI campaign: %s %s (n=%d, seed=%d, tmr=%v)", *appName, *kernel, *n, *seed, *tmr),
+		Header: []string{"Structure", "Masked", "SDC", "Timeout", "DUE", "FR", "±99%", "DF", "AVF"},
+	}
+	var structAVFs []metrics.StructAVF
+	for _, st := range structures {
+		tgt := microfi.Target{Structure: st, Kernel: *kernel, IncludeVote: *tmr, Burst: *burst}
+		tl := campaign.Run(campaign.Options{Runs: *n, Seed: *seed, Workers: *workers},
+			func(run int, rng *rand.Rand) faults.Result {
+				return microfi.Inject(job, g, tgt, rng)
+			})
+		df := tgt.DF(g)
+		sa := metrics.NewStructAVF(st, tl, df)
+		structAVFs = append(structAVFs, sa)
+		tbl.AddRow(st.String(),
+			report.Pct(tl.Pct(faults.Masked)), report.Pct(tl.Pct(faults.SDC)),
+			report.Pct(tl.Pct(faults.Timeout)), report.Pct(tl.Pct(faults.DUE)),
+			report.Pct(tl.FR()), report.Pct(tl.ErrMargin99()),
+			fmt.Sprintf("%.4f", df), report.Pct(sa.AVF.Total()))
+	}
+	if len(structAVFs) == int(gpu.NumStructures) {
+		chip := metrics.ChipAVF(cfg, structAVFs)
+		tbl.AddFooter("full-chip AVF (size-weighted): %s  [SDC %s, Timeout %s, DUE %s]",
+			report.Pct(chip.Total()), report.Pct(chip.SDC), report.Pct(chip.Timeout), report.Pct(chip.DUE))
+	}
+	fmt.Print(tbl.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpufi:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command nvbitfi runs a software-level fault-injection campaign on one
+// benchmark — the NVBitFI workflow: inject n single-bit flips into the
+// destination registers of uniformly chosen dynamic instructions and report
+// the outcome distribution and SVF. Variants restrict injection to load
+// instructions (SVF-LD) or flip a single operand use (the §V-B ablation).
+//
+// Usage:
+//
+//	nvbitfi -app HotSpot -kernel K1 -n 3000 [-mode svf|svf-ld|svf-use] [-tmr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+	"gpurel/internal/harden"
+	"gpurel/internal/kernels"
+	"gpurel/internal/report"
+	"gpurel/internal/softfi"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "VA", "benchmark application (see -list)")
+		kernel  = flag.String("kernel", "", "kernel name (K1..Kn); empty = whole application")
+		mode    = flag.String("mode", "svf", "svf, svf-ld or svf-use")
+		n       = flag.Int("n", 3000, "injections per campaign")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		tmr     = flag.Bool("tmr", false, "harden the application with thread-level TMR first")
+		list    = flag.Bool("list", false, "list benchmarks and kernels")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range kernels.All() {
+			fmt.Printf("%-12s %s\n", a.Name, strings.Join(a.Kernels, " "))
+		}
+		return
+	}
+
+	app, err := kernels.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	job := app.Build()
+	if *tmr {
+		job = harden.TMR(job)
+	}
+	g, err := softfi.Golden(job)
+	if err != nil {
+		fatal(err)
+	}
+
+	var m softfi.Mode
+	switch *mode {
+	case "svf":
+		m = softfi.SVF
+	case "svf-ld":
+		m = softfi.SVFLD
+	case "svf-use":
+		m = softfi.SVFUse
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	tgt := softfi.Target{Kernel: *kernel, Mode: m, IncludeVote: *tmr}
+	fmt.Printf("golden run: %d dynamic instructions, %d injection candidates\n",
+		g.Res.DynInstrs, tgt.Candidates(g))
+
+	tl := campaign.Run(campaign.Options{Runs: *n, Seed: *seed, Workers: *workers},
+		func(run int, rng *rand.Rand) faults.Result {
+			return softfi.Inject(job, g, tgt, rng)
+		})
+
+	tbl := report.Table{
+		Title:  fmt.Sprintf("NVBitFI campaign: %s %s, mode %s (n=%d, seed=%d, tmr=%v)", *appName, *kernel, m, *n, *seed, *tmr),
+		Header: []string{"Masked", "SDC", "Timeout", "DUE", m.String(), "±99%"},
+	}
+	tbl.AddRow(
+		report.Pct(tl.Pct(faults.Masked)), report.Pct(tl.Pct(faults.SDC)),
+		report.Pct(tl.Pct(faults.Timeout)), report.Pct(tl.Pct(faults.DUE)),
+		report.Pct(tl.FR()), report.Pct(tl.ErrMargin99()))
+	fmt.Print(tbl.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvbitfi:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,196 @@
+package gpurel
+
+import (
+	"strings"
+	"testing"
+
+	"gpurel/internal/gpu"
+	"gpurel/internal/metrics"
+)
+
+// synthPoints builds a fabricated hardened-study dataset so the Figure 7-11
+// renderers can be tested without campaigns.
+func synthPoints() []HardenedPoint {
+	var pts []HardenedPoint
+	mk := func(app, k string, avf, avfH, svf, svfH float64) HardenedPoint {
+		p := HardenedPoint{
+			ID:          KernelID{App: app, Kernel: k},
+			AVF:         metrics.Breakdown{SDC: avf / 2, DUE: avf / 2},
+			AVFHardened: metrics.Breakdown{DUE: avfH},
+			SVF:         metrics.Breakdown{SDC: svf},
+			SVFHardened: metrics.Breakdown{DUE: svfH},
+			CtrlPct:     0.01,
+			CtrlPctH:    0.02,
+		}
+		for _, st := range gpu.Structures {
+			p.StructAVF = append(p.StructAVF, metrics.StructAVF{Structure: st, AVF: metrics.Breakdown{SDC: avf / 5}})
+			p.StructAVFHardened = append(p.StructAVFHardened, metrics.StructAVF{Structure: st, AVF: metrics.Breakdown{DUE: avfH / 5}})
+		}
+		return p
+	}
+	pts = append(pts,
+		mk("LUD", "K2", 0.02, 0.01, 0.9, 0.3),
+		mk("SCP", "K1", 0.015, 0.022, 0.91, 0.26),
+		mk("NW", "K2", 0.01, 0.002, 0.84, 0.55),
+		mk("BackProp", "K2", 0.019, 0.006, 0.86, 0.47),
+		mk("SRADv1", "K2", 0.016, 0.005, 0.83, 0.34),
+		mk("K-Means", "K2", 0.0075, 0.016, 0.38, 0.26),
+	)
+	return pts
+}
+
+func TestFigureRenderers(t *testing.T) {
+	pts := synthPoints()
+	cases := []struct {
+		name string
+		out  string
+		want []string
+	}{
+		{"fig7", Figure7(pts), []string{"Figure 7", "SCP K1", "SVF w/o", "AVF w/"}},
+		{"fig8", Figure8(pts), []string{"Figure 8", "AVF.SDC w/o", "SRADv1 K2"}},
+		{"fig9", Figure9(pts), []string{"Figure 9", "SVF.T+D w/", "AVF.T+D w/o"}},
+		{"fig10", Figure10(pts), []string{"Figure 10 (RF)", "Figure 10 (SMEM)", "Figure 10 (L1D)", "Figure 10 (L2)", "K-Means K2"}},
+		{"fig11", Figure11(pts), []string{"Figure 11", "w/o Hardening", "w/ Hardening"}},
+	}
+	for _, c := range cases {
+		for _, w := range c.want {
+			if !strings.Contains(c.out, w) {
+				t.Errorf("%s: missing %q", c.name, w)
+			}
+		}
+	}
+}
+
+func TestFigure12Static(t *testing.T) {
+	a, txt := Figure12()
+	if len(a.Uses) != 2 || a.KilledAt != 6 {
+		t.Errorf("Figure 12 analysis = %+v", a)
+	}
+	if !strings.Contains(txt, "fault injected here") {
+		t.Error("annotation missing")
+	}
+}
+
+func TestKernelIDLabel(t *testing.T) {
+	id := KernelID{App: "SRADv1", Kernel: "K4"}
+	if id.Label() != "SRADv1 K4" {
+		t.Errorf("label = %q", id.Label())
+	}
+	if len(SortedAppNames()) != 11 {
+		t.Error("expected 11 app names")
+	}
+}
+
+func TestSmallAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns")
+	}
+	s := NewStudy(15, 5)
+
+	// ACE comparison on a small app
+	c, txt, err := s.CompareACE("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AVFACE <= 0 || c.PVF <= 0 || !strings.Contains(txt, "ACE analysis") {
+		t.Errorf("ACE comparison incomplete: %+v", c)
+	}
+
+	// multi-bit ablation produces one breakdown per width
+	bs, txt2, err := s.MultiBitAblation("VA", "K1", gpu.RF, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || !strings.Contains(txt2, "Burst width") {
+		t.Errorf("multi-bit ablation incomplete")
+	}
+
+	// ECC ablation: "ECC everywhere" must zero single-bit chip AVF
+	txt3, err := s.ECCAblation("VA", "K1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(txt3, "\n")
+	var everywhere string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "ECC everywhere") {
+			everywhere = l
+		}
+	}
+	if everywhere == "" || !strings.Contains(everywhere, "0.00%") {
+		t.Errorf("ECC everywhere should zero the single-bit AVF: %q", everywhere)
+	}
+
+	// input-size ablation renders one row per size
+	txt4, err := s.InputSizeAblation([]int{512, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt4, "512") || !strings.Contains(txt4, "1024") {
+		t.Errorf("input-size ablation missing rows:\n%s", txt4)
+	}
+
+	// propagation study on a small sample
+	ps, txt5, err := s.RunPropagationStudy("VA", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Sites != 10 || !strings.Contains(txt5, "prediction accuracy") {
+		t.Errorf("propagation study incomplete: %+v", ps)
+	}
+	if ps.FalseNeg > 0 {
+		t.Errorf("propagation must not miss SDCs (sound over-approximation), got %d", ps.FalseNeg)
+	}
+
+	// speed comparison returns positive durations
+	micro, soft, err := s.SpeedComparison("VA", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if micro <= 0 || soft <= 0 {
+		t.Error("speed comparison returned non-positive durations")
+	}
+}
+
+func TestFigure3SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns")
+	}
+	s := NewStudy(10, 2)
+	pms, txt, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pms) != 3 {
+		t.Fatalf("Figure 3 has 3 panes, got %d", len(pms))
+	}
+	for _, pm := range pms {
+		if len(pm.Metrics) != 18 {
+			t.Errorf("%s vs %s: %d metrics, want 18", pm.KernelA, pm.KernelB, len(pm.Metrics))
+		}
+	}
+	if !strings.Contains(txt, "HotSpot K1 vs LUD K1") {
+		t.Error("missing pane 3a")
+	}
+}
+
+func TestBudgetedProtection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns")
+	}
+	s := NewStudy(25, 9)
+	apps := []string{"VA", "SCP", "LUD"}
+	bp, txt, err := s.RunBudgetedProtection(apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp.ChosenBySVF) != 1 || len(bp.ChosenByAVF) != 1 {
+		t.Fatalf("policy sets wrong: %+v", bp)
+	}
+	if bp.ResidualSVFPolicy < 0 || bp.ResidualAVFPolicy < 0 {
+		t.Error("negative residuals")
+	}
+	if !strings.Contains(txt, "Budgeted protection") {
+		t.Error("missing table title")
+	}
+}

@@ -1,0 +1,164 @@
+package ace
+
+import (
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/gpu"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+	"gpurel/internal/kernels"
+)
+
+// chainJob builds a kernel with a long-lived value: v is produced once and
+// read at the end after busy-work, so its ACE interval spans the loop.
+func chainJob(iters int32) *device.Job {
+	b := kasm.New("chain")
+	tid := b.S2R(isa.SRTidX)
+	v := b.Ldg(b.IScAdd(tid, b.Param(0), 2), 0) // long-lived
+	i := b.MovI(0)
+	acc := b.MovI(0)
+	b.ForI(i, iters, 1, func() {
+		b.IAddTo(acc, acc, i)
+	})
+	b.Stg(b.IScAdd(tid, b.Param(1), 2), 0, b.IAdd(v, acc))
+	prog := b.MustBuild()
+
+	m := device.NewMemory(1 << 16)
+	in := m.Alloc("in", 4*32)
+	out := m.Alloc("out", 4*32)
+	return &device.Job{
+		Name: "chain", Mem: m,
+		Steps: []device.Step{{Launch: &device.Launch{
+			Kernel: prog, KernelName: "K1", GridX: 1, GridY: 1, BlockX: 32, BlockY: 1,
+			Params: []uint32{in, out}, ParamIsPtr: []bool{true, true},
+		}}},
+		Outputs: []device.Output{{Name: "out", Addr: out, Size: 4 * 32}},
+	}
+}
+
+func TestACEBasics(t *testing.T) {
+	r, err := AnalyzeRF(chainJob(50), gpu.Volta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AVFACE <= 0 || r.AVFACE > 1 {
+		t.Errorf("ACE AVF = %v out of range", r.AVFACE)
+	}
+	if r.Reads == 0 || r.Writes == 0 || r.ACECycles == 0 {
+		t.Errorf("tracker saw no activity: %+v", r)
+	}
+}
+
+// TestACEGrowsWithLiveRange: stretching the live range of a value (longer
+// busy loop between producing and consuming it) must increase ACE cycles.
+func TestACEGrowsWithLiveRange(t *testing.T) {
+	short, err := AnalyzeRF(chainJob(10), gpu.Volta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := AnalyzeRF(chainJob(200), gpu.Volta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.ACECycles <= short.ACECycles {
+		t.Errorf("longer live range must add ACE cycles: %d vs %d", short.ACECycles, long.ACECycles)
+	}
+}
+
+// TestACEDeadValueNotCounted: a value written and never read contributes no
+// ACE interval.
+func TestACEDeadValueNotCounted(t *testing.T) {
+	b := kasm.New("dead")
+	b.MovI(42) // dead write
+	tid := b.S2R(isa.SRTidX)
+	b.Stg(b.IScAdd(tid, b.Param(0), 2), 0, tid)
+	prog := b.MustBuild()
+	m := device.NewMemory(1 << 16)
+	out := m.Alloc("out", 4*32)
+	job := &device.Job{
+		Name: "dead", Mem: m,
+		Steps: []device.Step{{Launch: &device.Launch{
+			Kernel: prog, GridX: 1, GridY: 1, BlockX: 32, BlockY: 1,
+			Params: []uint32{out}, ParamIsPtr: []bool{true},
+		}}},
+		Outputs: []device.Output{{Name: "out", Addr: out, Size: 4 * 32}},
+	}
+	r, err := AnalyzeRF(job, gpu.Volta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// only the tid/address chain is live; the dead constant adds nothing,
+	// so ACE cycles stay small
+	if r.AVFACE > 0.01 {
+		t.Errorf("nearly-dead kernel has ACE AVF %v", r.AVFACE)
+	}
+}
+
+func TestACEOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"VA", "SCP"} {
+		app, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := AnalyzeRF(app.Build(), gpu.Volta())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.AVFACE <= 0 || r.AVFACE > 1 {
+			t.Errorf("%s: ACE AVF = %v", name, r.AVFACE)
+		}
+	}
+}
+
+func TestPVFBasics(t *testing.T) {
+	r, err := AnalyzePVF(chainJob(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PVF <= 0 || r.PVF > 1 {
+		t.Errorf("PVF = %v out of range", r.PVF)
+	}
+	if r.ACEInstrs == 0 || r.DynInstrs == 0 {
+		t.Errorf("empty PVF analysis: %+v", r)
+	}
+}
+
+// TestPVFMicroarchIndependence pins PVF's defining property (§VII): it is
+// computed purely from architecturally visible state, so shrinking the
+// physical register file changes the ACE-based hardware AVF but leaves PVF
+// untouched.
+func TestPVFMicroarchIndependence(t *testing.T) {
+	app, err := kernels.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := app.Build()
+	pvfA, err := AnalyzePVF(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvfB, err := AnalyzePVF(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pvfA.PVF != pvfB.PVF {
+		t.Error("PVF must be deterministic")
+	}
+
+	big := gpu.Volta()
+	small := gpu.Volta()
+	small.RFRegsPerSM /= 4 // still fits VA's CTAs
+	avfBig, err := AnalyzeRF(job, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avfSmall, err := AnalyzeRF(job, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avfSmall.AVFACE <= avfBig.AVFACE {
+		t.Errorf("a smaller RF must raise the hardware ACE AVF: %v vs %v",
+			avfSmall.AVFACE, avfBig.AVFACE)
+	}
+}

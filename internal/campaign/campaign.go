@@ -1,0 +1,141 @@
+// Package campaign runs statistical fault-injection campaigns: n independent
+// experiments with per-run deterministic seeds, fanned out over a worker
+// pool, tallied into outcome-class counts with the 99%-confidence error
+// margin of the paper's methodology (±2.35% at n=3000, §II-A).
+package campaign
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"gpurel/internal/faults"
+)
+
+// Tally aggregates the outcomes of one campaign.
+type Tally struct {
+	N            int
+	Counts       [faults.NumOutcomes]int
+	CtrlAffected int // masked runs with a control-path deviation (Fig. 11)
+}
+
+// Add accumulates one result.
+func (t *Tally) Add(r faults.Result) {
+	t.N++
+	t.Counts[r.Outcome]++
+	if r.Outcome == faults.Masked && r.CtrlAffected {
+		t.CtrlAffected++
+	}
+}
+
+// Merge adds another tally.
+func (t *Tally) Merge(o Tally) {
+	t.N += o.N
+	for i := range t.Counts {
+		t.Counts[i] += o.Counts[i]
+	}
+	t.CtrlAffected += o.CtrlAffected
+}
+
+// Pct returns the percentage of outcome class o, in [0,1].
+func (t Tally) Pct(o faults.Outcome) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Counts[o]) / float64(t.N)
+}
+
+// FR is the failure rate: the probability of all non-masked outcomes,
+// FR = Pct(SDC) + Pct(Timeout) + Pct(DUE).
+func (t Tally) FR() float64 {
+	return t.Pct(faults.SDC) + t.Pct(faults.Timeout) + t.Pct(faults.DUE)
+}
+
+// CtrlAffectedPct is the fraction of all runs that were masked but
+// control-path affected.
+func (t Tally) CtrlAffectedPct() float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.CtrlAffected) / float64(t.N)
+}
+
+// z99 is the normal quantile for 99% two-sided confidence.
+const z99 = 2.5758293
+
+// ErrMargin99 returns the half-width of the 99% confidence interval around
+// the failure rate. At n=3000 and p=0.5 this is the paper's ±2.35%.
+func (t Tally) ErrMargin99() float64 {
+	if t.N == 0 {
+		return 0
+	}
+	p := t.FR()
+	return z99 * math.Sqrt(p*(1-p)/float64(t.N))
+}
+
+// WorstCaseMargin99 returns the margin at p=0.5, the a-priori bound quoted
+// by the paper for its sample size.
+func WorstCaseMargin99(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return z99 * math.Sqrt(0.25/float64(n))
+}
+
+// Experiment runs one injection with the given run index and seeded RNG.
+type Experiment func(run int, rng *rand.Rand) faults.Result
+
+// Options configures a campaign.
+type Options struct {
+	Runs    int
+	Seed    int64
+	Workers int // 0 = GOMAXPROCS
+}
+
+// Run executes the campaign. Results are deterministic for a given seed:
+// run i always uses rand.NewSource(Seed + i), independent of scheduling.
+func Run(opts Options, fn Experiment) Tally {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+	if workers <= 1 {
+		var t Tally
+		for i := 0; i < opts.Runs; i++ {
+			t.Add(fn(i, rand.New(rand.NewSource(opts.Seed+int64(i)))))
+		}
+		return t
+	}
+	var (
+		mu   sync.Mutex
+		t    Tally
+		next int
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local Tally
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= opts.Runs {
+					break
+				}
+				local.Add(fn(i, rand.New(rand.NewSource(opts.Seed+int64(i)))))
+			}
+			mu.Lock()
+			t.Merge(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return t
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpurel/internal/faults"
+)
+
+// fakeExperiment classifies runs deterministically from the seeded RNG.
+func fakeExperiment(run int, rng *rand.Rand) faults.Result {
+	switch rng.Intn(10) {
+	case 0:
+		return faults.Result{Outcome: faults.SDC}
+	case 1:
+		return faults.Result{Outcome: faults.DUE}
+	case 2:
+		return faults.Result{Outcome: faults.Timeout}
+	case 3:
+		return faults.Result{Outcome: faults.Masked, CtrlAffected: true}
+	default:
+		return faults.Result{Outcome: faults.Masked}
+	}
+}
+
+func TestTallyCounts(t *testing.T) {
+	var tl Tally
+	tl.Add(faults.Result{Outcome: faults.SDC})
+	tl.Add(faults.Result{Outcome: faults.Masked})
+	tl.Add(faults.Result{Outcome: faults.Masked, CtrlAffected: true})
+	tl.Add(faults.Result{Outcome: faults.DUE})
+	if tl.N != 4 || tl.Counts[faults.SDC] != 1 || tl.Counts[faults.Masked] != 2 {
+		t.Errorf("tally = %+v", tl)
+	}
+	if tl.FR() != 0.5 {
+		t.Errorf("FR = %v, want 0.5", tl.FR())
+	}
+	if tl.CtrlAffected != 1 || tl.CtrlAffectedPct() != 0.25 {
+		t.Errorf("ctrl affected = %d (%v)", tl.CtrlAffected, tl.CtrlAffectedPct())
+	}
+}
+
+// TestSchedulingIndependence: the tally must not depend on the worker count.
+func TestSchedulingIndependence(t *testing.T) {
+	t1 := Run(Options{Runs: 500, Seed: 42, Workers: 1}, fakeExperiment)
+	t4 := Run(Options{Runs: 500, Seed: 42, Workers: 4}, fakeExperiment)
+	t9 := Run(Options{Runs: 500, Seed: 42, Workers: 9}, fakeExperiment)
+	if t1 != t4 || t1 != t9 {
+		t.Errorf("tallies differ across worker counts:\n1: %+v\n4: %+v\n9: %+v", t1, t4, t9)
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := Run(Options{Runs: 300, Seed: 1}, fakeExperiment)
+	b := Run(Options{Runs: 300, Seed: 2}, fakeExperiment)
+	if a == b {
+		t.Error("different seeds should produce different tallies (overwhelmingly)")
+	}
+}
+
+// TestPaperMargin verifies the ±2.35% at n=3000 claim of §II-A.
+func TestPaperMargin(t *testing.T) {
+	m := WorstCaseMargin99(3000)
+	if math.Abs(m-0.0235) > 0.0005 {
+		t.Errorf("worst-case margin at n=3000 = %.4f, paper says ~2.35%%", m)
+	}
+}
+
+func TestErrMargin(t *testing.T) {
+	var tl Tally
+	for i := 0; i < 100; i++ {
+		o := faults.Masked
+		if i < 50 {
+			o = faults.SDC
+		}
+		tl.Add(faults.Result{Outcome: o})
+	}
+	m := tl.ErrMargin99()
+	want := z99 * math.Sqrt(0.25/100)
+	if math.Abs(m-want) > 1e-12 {
+		t.Errorf("margin = %v, want %v", m, want)
+	}
+	var empty Tally
+	if empty.ErrMargin99() != 0 || empty.FR() != 0 || empty.Pct(faults.SDC) != 0 {
+		t.Error("empty tally must be all zeros")
+	}
+}
+
+// TestMergeProperty: FR of a merged tally is the weighted mean.
+func TestMergeProperty(t *testing.T) {
+	f := func(sdc1, n1, sdc2, n2 uint8) bool {
+		a := Tally{N: int(n1%50) + int(sdc1%20)}
+		a.Counts[faults.SDC] = int(sdc1 % 20)
+		a.Counts[faults.Masked] = int(n1 % 50)
+		a.N = a.Counts[faults.SDC] + a.Counts[faults.Masked]
+		b := Tally{}
+		b.Counts[faults.SDC] = int(sdc2 % 20)
+		b.Counts[faults.Masked] = int(n2 % 50)
+		b.N = b.Counts[faults.SDC] + b.Counts[faults.Masked]
+		m := a
+		m.Merge(b)
+		if m.N != a.N+b.N {
+			return false
+		}
+		if m.Counts[faults.SDC] != a.Counts[faults.SDC]+b.Counts[faults.SDC] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroRuns(t *testing.T) {
+	tl := Run(Options{Runs: 0, Seed: 1}, fakeExperiment)
+	if tl.N != 0 {
+		t.Errorf("zero-run campaign tallied %d", tl.N)
+	}
+}

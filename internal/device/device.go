@@ -1,0 +1,345 @@
+// Package device models the GPU device side visible to the host: global
+// memory with an allocation table (the basis for illegal-access DUE
+// detection), kernel launch descriptors, and multi-kernel jobs with host
+// steps in between — the moral equivalent of a CUDA host program.
+package device
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gpurel/internal/isa"
+)
+
+// NullGuard is the size of the unmapped region at address zero; accesses
+// below it always fault, catching null-pointer dereferences from corrupted
+// address registers.
+const NullGuard = 0x1000
+
+// Alloc records one device allocation.
+type Alloc struct {
+	Name string
+	Addr uint32
+	Size uint32
+}
+
+// Memory is the device global memory image plus its allocation table.
+// Accesses outside an allocation (or misaligned) produce errors that the
+// simulators classify as DUEs.
+type Memory struct {
+	data   []byte
+	next   uint32
+	allocs []Alloc
+}
+
+// NewMemory creates a device memory of the given capacity in bytes.
+func NewMemory(capacity int) *Memory {
+	return &Memory{data: make([]byte, capacity), next: NullGuard}
+}
+
+// Alloc reserves size bytes (zeroed) and returns the device address.
+// Allocations are 256-byte aligned like cudaMalloc.
+func (m *Memory) Alloc(name string, size int) uint32 {
+	const align = 256
+	addr := (m.next + align - 1) &^ uint32(align-1)
+	if int(addr)+size > len(m.data) {
+		panic(fmt.Sprintf("device: out of memory allocating %q (%d bytes)", name, size))
+	}
+	m.allocs = append(m.allocs, Alloc{Name: name, Addr: addr, Size: uint32(size)})
+	m.next = addr + uint32(size)
+	return addr
+}
+
+// Allocs returns the allocation table.
+func (m *Memory) Allocs() []Alloc { return m.allocs }
+
+// Size returns the capacity of the memory in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Used returns the high-water mark of allocated memory.
+func (m *Memory) Used() uint32 { return m.next }
+
+// Clone returns a deep copy, used to reset state between injection runs.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{data: make([]byte, len(m.data)), next: m.next}
+	copy(c.data, m.data)
+	c.allocs = append([]Alloc(nil), m.allocs...)
+	return c
+}
+
+// Replicate builds a new memory holding `copies` replicas of this memory's
+// allocated image at a fixed stride, plus extra bytes of headroom for
+// additional allocations. It returns the new memory and the replica stride:
+// an address a of copy 0 maps to a + c*stride in copy c. The allocation
+// table is replicated so validity checks accept every copy.
+func (m *Memory) Replicate(copies, extra int) (*Memory, uint32) {
+	const align = 256
+	stride := (m.next + align - 1) &^ uint32(align-1)
+	capacity := int(stride)*copies + extra
+	n := &Memory{data: make([]byte, capacity), next: stride*uint32(copies-1) + m.next}
+	for c := 0; c < copies; c++ {
+		off := uint32(c) * stride
+		copy(n.data[off:], m.data[:m.next])
+		for _, a := range m.allocs {
+			n.allocs = append(n.allocs, Alloc{
+				Name: fmt.Sprintf("%s#%d", a.Name, c),
+				Addr: a.Addr + off,
+				Size: a.Size,
+			})
+		}
+	}
+	return n, stride
+}
+
+// AccessError describes an illegal device memory access.
+type AccessError struct {
+	Addr  uint32
+	Write bool
+}
+
+func (e *AccessError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("illegal global memory %s at 0x%x", kind, e.Addr)
+}
+
+// Valid reports whether [addr, addr+n) lies inside some allocation and is
+// n-aligned.
+func (m *Memory) Valid(addr uint32, n uint32) bool {
+	if addr%n != 0 {
+		return false
+	}
+	for _, a := range m.allocs {
+		if addr >= a.Addr && addr+n <= a.Addr+a.Size {
+			return true
+		}
+	}
+	return false
+}
+
+// Load4 reads a 4-byte word, checking validity.
+func (m *Memory) Load4(addr uint32) (uint32, error) {
+	if !m.Valid(addr, 4) {
+		return 0, &AccessError{Addr: addr}
+	}
+	return binary.LittleEndian.Uint32(m.data[addr:]), nil
+}
+
+// Store4 writes a 4-byte word, checking validity.
+func (m *Memory) Store4(addr uint32, v uint32) error {
+	if !m.Valid(addr, 4) {
+		return &AccessError{Addr: addr, Write: true}
+	}
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+	return nil
+}
+
+// Raw exposes the backing bytes. The cache model uses it for line fills and
+// writebacks; host steps use it for direct access. Callers must stay in
+// bounds.
+func (m *Memory) Raw() []byte { return m.data }
+
+// PeekU32 reads a word without validity checking (host-side access).
+func (m *Memory) PeekU32(addr uint32) uint32 {
+	return binary.LittleEndian.Uint32(m.data[addr:])
+}
+
+// PokeU32 writes a word without validity checking (host-side access).
+func (m *Memory) PokeU32(addr uint32, v uint32) {
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+}
+
+// PeekF32 reads a float32 (host-side).
+func (m *Memory) PeekF32(addr uint32) float32 {
+	return math.Float32frombits(m.PeekU32(addr))
+}
+
+// PokeF32 writes a float32 (host-side).
+func (m *Memory) PokeF32(addr uint32, v float32) {
+	m.PokeU32(addr, math.Float32bits(v))
+}
+
+// WriteU32s copies a word slice to device memory at addr.
+func (m *Memory) WriteU32s(addr uint32, vals []uint32) {
+	for i, v := range vals {
+		m.PokeU32(addr+uint32(4*i), v)
+	}
+}
+
+// ReadU32s copies n words from device memory at addr.
+func (m *Memory) ReadU32s(addr uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = m.PeekU32(addr + uint32(4*i))
+	}
+	return out
+}
+
+// WriteF32s copies a float slice to device memory at addr.
+func (m *Memory) WriteF32s(addr uint32, vals []float32) {
+	for i, v := range vals {
+		m.PokeF32(addr+uint32(4*i), v)
+	}
+}
+
+// ReadF32s copies n floats from device memory at addr.
+func (m *Memory) ReadF32s(addr uint32, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = m.PeekF32(addr + uint32(4*i))
+	}
+	return out
+}
+
+// WriteI32s copies an int slice to device memory at addr.
+func (m *Memory) WriteI32s(addr uint32, vals []int32) {
+	for i, v := range vals {
+		m.PokeU32(addr+uint32(4*i), uint32(v))
+	}
+}
+
+// ReadI32s copies n ints from device memory at addr.
+func (m *Memory) ReadI32s(addr uint32, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(m.PeekU32(addr + uint32(4*i)))
+	}
+	return out
+}
+
+// Launch describes one kernel launch. When Replicas > 1 (TMR hardening) the
+// grid is replicated and each replica r executes with Params resolved through
+// ReplicaParams[r]; replica 0 uses Params itself when ReplicaParams is nil.
+type Launch struct {
+	Kernel     *isa.Program
+	KernelName string // defaults to Kernel.Name
+	GridX      int
+	GridY      int
+	BlockX     int
+	BlockY     int
+	SmemBytes  int
+
+	Params []uint32
+	// ParamIsPtr marks parameter words that are device pointers; the TMR
+	// transform rebases these per replica.
+	ParamIsPtr []bool
+
+	Replicas      int        // 0 or 1 = no replication
+	ReplicaParams [][]uint32 // length Replicas when replicated
+}
+
+// Name returns the kernel name used for per-kernel campaigns.
+func (l *Launch) Name() string {
+	if l.KernelName != "" {
+		return l.KernelName
+	}
+	return l.Kernel.Name
+}
+
+// NumReplicas normalises Replicas.
+func (l *Launch) NumReplicas() int {
+	if l.Replicas <= 1 {
+		return 1
+	}
+	return l.Replicas
+}
+
+// ParamsFor returns the parameter bank for replica r.
+func (l *Launch) ParamsFor(r int) []uint32 {
+	if l.ReplicaParams != nil {
+		return l.ReplicaParams[r]
+	}
+	return l.Params
+}
+
+// ThreadsPerCTA returns the CTA size in threads.
+func (l *Launch) ThreadsPerCTA() int { return l.BlockX * l.BlockY }
+
+// NumCTAs returns the total CTA count including replicas.
+func (l *Launch) NumCTAs() int { return l.GridX * l.GridY * l.NumReplicas() }
+
+// Step is one element of a job schedule: either a kernel launch or a host
+// step. Host steps model CPU-side code between kernels (reductions of
+// partial sums, convergence checks); they are never fault-injected. A host
+// step receives the device-buffer offset of the data copy it operates on
+// (always 0 for unhardened jobs; the TMR transform invokes it once per
+// replica with that replica's offset) and returns the index of the next
+// step to run, or -1 to continue with the following step — this supports
+// data-dependent kernel loops like BFS.
+type Step struct {
+	Launch *Launch
+	Host   func(m *Memory, off uint32) int
+}
+
+// Output names a device buffer whose final contents define program output
+// for SDC classification.
+type Output struct {
+	Name string
+	Addr uint32
+	Size uint32 // bytes
+}
+
+// Job is a complete application run: pristine memory image, schedule, and
+// output buffers.
+type Job struct {
+	Name    string
+	Mem     *Memory
+	Steps   []Step
+	Outputs []Output
+	// MaxSteps bounds schedule execution (host-step loops under faults may
+	// never converge); exceeding it classifies the run as a Timeout. Zero
+	// means 4× the schedule length.
+	MaxSteps int
+	// DUEFlag, when nonzero, is the address of a word that the application
+	// sets to signal a detected unrecoverable error (the TMR voter writes it
+	// on three-way disagreement). A nonzero value at job end classifies the
+	// run as a DUE.
+	DUEFlag uint32
+}
+
+// MaxScheduleSteps returns the effective schedule-step budget.
+func (j *Job) MaxScheduleSteps() int {
+	if j.MaxSteps > 0 {
+		return j.MaxSteps
+	}
+	n := 4 * len(j.Steps)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// KernelNames returns the distinct kernel names in schedule order.
+func (j *Job) KernelNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, s := range j.Steps {
+		if s.Launch == nil {
+			continue
+		}
+		n := s.Launch.Name()
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// ReadOutputs concatenates the bytes of all output buffers from m, in
+// declaration order. Two runs produced the same output iff these byte slices
+// are equal.
+func (j *Job) ReadOutputs(m *Memory) []byte {
+	var total int
+	for _, o := range j.Outputs {
+		total += int(o.Size)
+	}
+	out := make([]byte, 0, total)
+	for _, o := range j.Outputs {
+		out = append(out, m.Raw()[o.Addr:o.Addr+o.Size]...)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Package faults defines the fault model shared by the microarchitecture-
+// and software-level injectors: single-bit (and burst multi-bit) flips and
+// the four outcome classes used throughout the paper (§II-A).
+package faults
+
+import "fmt"
+
+// Outcome classifies the effect of an injected fault on program output.
+type Outcome uint8
+
+// Fault effect classes, in the paper's order.
+const (
+	// Masked: the fault does not affect the system or the application in
+	// any observable way.
+	Masked Outcome = iota
+	// SDC: the application completes but its output differs from the
+	// fault-free run.
+	SDC
+	// Timeout: the application does not finish within the budget.
+	Timeout
+	// DUE: execution does not complete (crash, illegal access, detected
+	// unrecoverable error).
+	DUE
+	NumOutcomes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "Masked"
+	case SDC:
+		return "SDC"
+	case Timeout:
+		return "Timeout"
+	case DUE:
+		return "DUE"
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Result is one injection experiment's outcome plus the control-path proxy
+// used by Figure 11: a masked run whose cycle count deviates from the golden
+// run is "control-path affected".
+type Result struct {
+	Outcome      Outcome
+	CtrlAffected bool
+	// Detail carries the DUE reason or other diagnostics.
+	Detail string
+}
+
+// BitFlip describes a single-bit fault at an abstract bit offset within some
+// injection target space.
+type BitFlip struct {
+	Bit uint8
+}
+
+// Burst describes an adjacent multi-bit upset: Width consecutive bits
+// starting at Bit are flipped (the multi-bit extension discussed in §II-A).
+type Burst struct {
+	Bit   uint8
+	Width uint8
+}
+
+// Mask32 returns the 32-bit XOR mask flipping Width bits starting at Bit,
+// wrapping within the word.
+func (b Burst) Mask32() uint32 {
+	var m uint32
+	for i := uint8(0); i < b.Width; i++ {
+		m |= 1 << ((b.Bit + i) % 32)
+	}
+	return m
+}

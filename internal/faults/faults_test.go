@@ -1,0 +1,53 @@
+package faults
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{Masked: "Masked", SDC: "SDC", Timeout: "Timeout", DUE: "DUE"}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), s)
+		}
+	}
+	if Outcome(99).String() == "" {
+		t.Error("unknown outcome must still render")
+	}
+}
+
+func TestBurstMask(t *testing.T) {
+	b := Burst{Bit: 3, Width: 2}
+	if b.Mask32() != 0b11000 {
+		t.Errorf("mask = %#b", b.Mask32())
+	}
+	// wraps around the word
+	b = Burst{Bit: 31, Width: 2}
+	if b.Mask32() != (1<<31)|1 {
+		t.Errorf("wrap mask = %#x", b.Mask32())
+	}
+}
+
+// TestBurstPopcount: a width-w burst always flips exactly min(w,32) bits.
+func TestBurstPopcount(t *testing.T) {
+	f := func(bit, width uint8) bool {
+		w := width % 33
+		b := Burst{Bit: bit, Width: w}
+		want := int(w)
+		if want > 32 {
+			want = 32
+		}
+		return bits.OnesCount32(b.Mask32()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumOutcomes(t *testing.T) {
+	if NumOutcomes != 4 {
+		t.Errorf("the paper defines 4 fault effect classes, NumOutcomes = %d", NumOutcomes)
+	}
+}

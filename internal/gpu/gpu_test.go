@@ -1,0 +1,62 @@
+package gpu
+
+import "testing"
+
+func TestStructBitsSum(t *testing.T) {
+	cfg := Volta()
+	var sum int64
+	for _, s := range Structures {
+		b := cfg.StructBits(s)
+		if b <= 0 {
+			t.Errorf("%s has %d bits", s, b)
+		}
+		sum += b
+	}
+	if sum != cfg.TotalBits() {
+		t.Errorf("TotalBits %d != Σ StructBits %d", cfg.TotalBits(), sum)
+	}
+}
+
+// TestRFDominates: the register file must be the largest structure — the
+// paper attributes the GPU-specific SVF error magnitude to exactly this
+// (§VII: "underutilization of large register files in GPUs").
+func TestRFDominates(t *testing.T) {
+	cfg := Volta()
+	rf := cfg.StructBits(RF)
+	for _, s := range Structures[1:] {
+		if cfg.StructBits(s) >= rf {
+			t.Errorf("%s (%d bits) >= RF (%d bits)", s, cfg.StructBits(s), rf)
+		}
+	}
+	if frac := float64(rf) / float64(cfg.TotalBits()); frac < 0.5 {
+		t.Errorf("RF share = %.2f, must dominate the chip", frac)
+	}
+}
+
+func TestStructureNames(t *testing.T) {
+	names := map[Structure]string{RF: "RF", SMEM: "SMEM", L1D: "L1D", L1T: "L1T", L2: "L2"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestVoltaGeometry(t *testing.T) {
+	cfg := Volta()
+	if cfg.WarpSize != 32 {
+		t.Error("warp size must be 32")
+	}
+	if cfg.L2Bytes%cfg.LineSize != 0 || cfg.L1DBytes%cfg.LineSize != 0 {
+		t.Error("cache sizes must be line multiples")
+	}
+	if (cfg.L2Bytes/cfg.LineSize)%cfg.L2Ways != 0 {
+		t.Error("L2 geometry must divide into sets")
+	}
+	if cfg.TimeoutFactor <= 1 {
+		t.Error("timeout factor must exceed 1")
+	}
+	if cfg.DRAMLat <= cfg.L2Lat || cfg.L2Lat <= cfg.L1Lat {
+		t.Error("latencies must increase down the hierarchy")
+	}
+}

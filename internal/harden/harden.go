@@ -1,0 +1,134 @@
+// Package harden implements the paper's software-level protection case study
+// (§IV): thread-level Triple Modular Redundancy. The transform follows the
+// Figure 6 workflow exactly:
+//
+//  1. Pre-processing — the device image (inputs and all intermediate
+//     buffers) is triplicated at a fixed stride.
+//  2. Kernel execution — every launch runs with three replicas; replica c's
+//     pointer parameters are rebased into copy c, so three identical
+//     executions proceed in parallel on the same GPU.
+//  3. Post-processing — a generated GPU voting kernel majority-votes each
+//     output buffer word-wise into copy 0 and raises the application DUE
+//     flag when all three copies disagree.
+//
+// Because the same hardened job is executed by both the microarchitectural
+// and the functional simulator, AVF and SVF evaluate literally the same
+// hardened application, as §IV-A requires.
+package harden
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// VoteKernelName names the generated voting kernel's launches.
+const VoteKernelName = "vote"
+
+// voteBlock is the CTA size of the voting kernel.
+const voteBlock = 128
+
+// TMR transforms a job into its thread-triplicated equivalent.
+func TMR(job *device.Job) *device.Job {
+	mem, stride := job.Mem.Replicate(3, 4096)
+	flag := mem.Alloc("tmr_due_flag", 4)
+
+	rebase := func(params []uint32, isPtr []bool, off uint32) []uint32 {
+		out := append([]uint32(nil), params...)
+		for i := range out {
+			if i < len(isPtr) && isPtr[i] {
+				out[i] += off
+			}
+		}
+		return out
+	}
+
+	h := &device.Job{
+		Name:     job.Name + "+TMR",
+		Mem:      mem,
+		Outputs:  job.Outputs, // voted results land in copy 0
+		DUEFlag:  flag,
+		MaxSteps: job.MaxSteps,
+	}
+	if h.MaxSteps == 0 {
+		h.MaxSteps = job.MaxScheduleSteps()
+	}
+
+	for _, st := range job.Steps {
+		switch {
+		case st.Launch != nil:
+			l := *st.Launch
+			if l.Replicas > 1 {
+				panic("harden: job is already replicated")
+			}
+			l.Replicas = 3
+			l.ReplicaParams = [][]uint32{
+				rebase(l.Params, l.ParamIsPtr, 0),
+				rebase(l.Params, l.ParamIsPtr, stride),
+				rebase(l.Params, l.ParamIsPtr, 2*stride),
+			}
+			h.Steps = append(h.Steps, device.Step{Launch: &l})
+		case st.Host != nil:
+			orig := st.Host
+			h.Steps = append(h.Steps, device.Step{Host: func(m *device.Memory, off uint32) int {
+				// run the host step once per copy; if any copy asks to loop
+				// (data-dependent schedules like BFS), loop the whole group
+				next := -1
+				for c := uint32(0); c < 3; c++ {
+					if r := orig(m, off+c*stride); r >= 0 {
+						next = r
+					}
+				}
+				return next
+			}})
+		}
+	}
+
+	// Post-processing: one voting launch per output buffer.
+	prog := voteKernel()
+	for _, o := range job.Outputs {
+		words := int(o.Size / 4)
+		grid := (words + voteBlock - 1) / voteBlock
+		h.Steps = append(h.Steps, device.Step{Launch: &device.Launch{
+			Kernel:     prog,
+			KernelName: VoteKernelName,
+			GridX:      grid, GridY: 1, BlockX: voteBlock, BlockY: 1,
+			Params: []uint32{o.Addr, o.Addr + stride, o.Addr + 2*stride, flag, uint32(words)},
+			// pointers must not be rebased again if this job were hardened
+			// twice; TMR refuses replicated jobs above anyway
+			ParamIsPtr: []bool{true, true, true, true, false},
+		}})
+	}
+	return h
+}
+
+// voteKernel builds the word-wise majority voter:
+//
+//	i = global id; if i < n:
+//	  a,b,c = the three copies of word i
+//	  out0[i] = (a&b)|(a&c)|(b&c)
+//	  if a!=b && b!=c && a!=c: flag = 1   (three-way disagreement → DUE)
+func voteKernel() *isa.Program {
+	b := kasm.New("tmr_vote")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, i, b.Param(4))
+	b.If(p, false, func() {
+		a := b.Ldg(b.IScAdd(i, b.Param(0), 2), 0)
+		bb := b.Ldg(b.IScAdd(i, b.Param(1), 2), 0)
+		c := b.Ldg(b.IScAdd(i, b.Param(2), 2), 0)
+		maj := b.Or(b.Or(b.And(a, bb), b.And(a, c)), b.And(bb, c))
+		b.Stg(b.IScAdd(i, b.Param(0), 2), 0, maj)
+
+		q := b.P()
+		b.ISetp(q, isa.CmpNE, a, bb)
+		b.ISetpAnd(q, isa.CmpNE, bb, c, q, false)
+		b.ISetpAnd(q, isa.CmpNE, a, c, q, false)
+		b.If(q, false, func() {
+			b.Stg(b.Param(3), 0, b.MovI(1))
+		})
+		b.FreeP(q)
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}

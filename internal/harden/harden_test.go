@@ -1,0 +1,243 @@
+package harden
+
+import (
+	"bytes"
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/funcsim"
+	"gpurel/internal/gpu"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+	"gpurel/internal/sim"
+)
+
+// doubler builds out[i] = 2*in[i] with a host post-step that adds one, to
+// exercise host rebasing under TMR.
+func doublerJob(n int) *device.Job {
+	b := kasm.New("double")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetpI(p, isa.CmpLT, i, int32(n))
+	b.If(p, false, func() {
+		v := b.Ldg(b.IScAdd(i, b.Param(0), 2), 0)
+		b.Stg(b.IScAdd(i, b.Param(1), 2), 0, b.IAdd(v, v))
+	})
+	b.FreeP(p)
+	prog := b.MustBuild()
+
+	m := device.NewMemory(1 << 18)
+	in := m.Alloc("in", 4*n)
+	out := m.Alloc("out", 4*n)
+	vals := make([]uint32, n)
+	for k := range vals {
+		vals[k] = uint32(k + 1)
+	}
+	m.WriteU32s(in, vals)
+	return &device.Job{
+		Name: "double", Mem: m,
+		Steps: []device.Step{
+			{Launch: &device.Launch{
+				Kernel: prog, KernelName: "K1", GridX: 2, GridY: 1, BlockX: n / 2, BlockY: 1,
+				Params: []uint32{in, out}, ParamIsPtr: []bool{true, true},
+			}},
+			{Host: func(mm *device.Memory, off uint32) int {
+				mm.PokeU32(out+off, mm.PeekU32(out+off)+1)
+				return -1
+			}},
+		},
+		Outputs: []device.Output{{Name: "out", Addr: out, Size: uint32(4 * n)}},
+	}
+}
+
+func TestTMRPreservesOutput(t *testing.T) {
+	job := doublerJob(64)
+	plain := funcsim.Run(job, funcsim.Options{})
+	if plain.Err != nil {
+		t.Fatal(plain.Err)
+	}
+	h := TMR(job)
+	hard := funcsim.Run(h, funcsim.Options{})
+	if hard.Err != nil {
+		t.Fatal(hard.Err)
+	}
+	if hard.DUEFlag {
+		t.Fatal("fault-free TMR run raised the DUE flag")
+	}
+	if !bytes.Equal(plain.Output, hard.Output) {
+		t.Error("TMR must not change fault-free output")
+	}
+	// and on the microarchitectural simulator too
+	hs := sim.Run(h, gpu.Volta(), sim.Options{})
+	if hs.Err != nil || !bytes.Equal(hs.Output, plain.Output) {
+		t.Errorf("TMR output differs on the cycle simulator: %v", hs.Err)
+	}
+}
+
+func TestTMRStructure(t *testing.T) {
+	job := doublerJob(64)
+	h := TMR(job)
+	if h.DUEFlag == 0 {
+		t.Error("TMR job must carry a DUE flag address")
+	}
+	var kernelLaunch, voteLaunch *device.Launch
+	for _, st := range h.Steps {
+		if st.Launch == nil {
+			continue
+		}
+		if st.Launch.KernelName == VoteKernelName {
+			voteLaunch = st.Launch
+		} else {
+			kernelLaunch = st.Launch
+		}
+	}
+	if kernelLaunch == nil || kernelLaunch.Replicas != 3 {
+		t.Fatal("kernel launches must be triplicated")
+	}
+	if len(kernelLaunch.ReplicaParams) != 3 {
+		t.Fatal("missing replica parameter banks")
+	}
+	// pointer params rebase, scalar params do not
+	p0, p1 := kernelLaunch.ReplicaParams[0], kernelLaunch.ReplicaParams[1]
+	if p0[0] == p1[0] {
+		t.Error("pointer parameters must differ across replicas")
+	}
+	if voteLaunch == nil {
+		t.Fatal("missing voting launch")
+	}
+}
+
+// TestVoteCorrectsSingleCopy: corrupt one replica's output before the vote —
+// the voted output must still be correct and no DUE raised.
+func TestVoteCorrectsSingleCopy(t *testing.T) {
+	job := doublerJob(64)
+	h := TMR(job)
+	// find the stride from the replica params of the first launch
+	var stride uint32
+	for _, st := range h.Steps {
+		if st.Launch != nil && st.Launch.Replicas == 3 {
+			stride = st.Launch.ReplicaParams[1][0] - st.Launch.ReplicaParams[0][0]
+			break
+		}
+	}
+	if stride == 0 {
+		t.Fatal("could not infer stride")
+	}
+	out := h.Outputs[0].Addr
+	// corrupt copy 1's output between the kernel and the vote
+	corrupt := device.Step{Host: func(mm *device.Memory, off uint32) int {
+		mm.PokeU32(out+stride, 0xFFFF)
+		return -1
+	}}
+	// insert before the vote launch
+	var steps []device.Step
+	for _, st := range h.Steps {
+		if st.Launch != nil && st.Launch.KernelName == VoteKernelName {
+			steps = append(steps, corrupt)
+		}
+		steps = append(steps, st)
+	}
+	h2 := *h
+	h2.Steps = steps
+
+	plain := funcsim.Run(job, funcsim.Options{})
+	r := funcsim.Run(&h2, funcsim.Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.DUEFlag {
+		t.Error("single-copy corruption must be outvoted, not flagged")
+	}
+	if !bytes.Equal(r.Output, plain.Output) {
+		t.Error("vote failed to correct a single corrupted copy")
+	}
+}
+
+// TestVoteFlagsThreeWayDisagreement: corrupt two copies differently — the
+// voter must raise the DUE flag.
+func TestVoteFlagsThreeWayDisagreement(t *testing.T) {
+	job := doublerJob(64)
+	h := TMR(job)
+	var stride uint32
+	for _, st := range h.Steps {
+		if st.Launch != nil && st.Launch.Replicas == 3 {
+			stride = st.Launch.ReplicaParams[1][0] - st.Launch.ReplicaParams[0][0]
+			break
+		}
+	}
+	out := h.Outputs[0].Addr
+	corrupt := device.Step{Host: func(mm *device.Memory, off uint32) int {
+		mm.PokeU32(out, 0x1111)
+		mm.PokeU32(out+stride, 0x2222)
+		return -1
+	}}
+	var steps []device.Step
+	for _, st := range h.Steps {
+		if st.Launch != nil && st.Launch.KernelName == VoteKernelName {
+			steps = append(steps, corrupt)
+		}
+		steps = append(steps, st)
+	}
+	h2 := *h
+	h2.Steps = steps
+	r := funcsim.Run(&h2, funcsim.Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !r.DUEFlag {
+		t.Error("three-way disagreement must raise the DUE flag")
+	}
+}
+
+func TestTMRRejectsReplicatedJob(t *testing.T) {
+	job := doublerJob(64)
+	h := TMR(job)
+	defer func() {
+		if recover() == nil {
+			t.Error("double TMR must panic")
+		}
+	}()
+	TMR(h)
+}
+
+// TestHostLoopUnderTMR: a data-dependent host loop must still converge when
+// all three copies run.
+func TestHostLoopUnderTMR(t *testing.T) {
+	m := device.NewMemory(1 << 16)
+	cnt := m.Alloc("cnt", 4)
+	b := kasm.New("inc")
+	p := b.P()
+	b.ISetpI(p, isa.CmpEQ, b.S2R(isa.SRTidX), 0)
+	b.If(p, false, func() {
+		a := b.Param(0)
+		b.Stg(a, 0, b.IAddI(b.Ldg(a, 0), 1))
+	})
+	b.FreeP(p)
+	prog := b.MustBuild()
+	job := &device.Job{
+		Name: "loop", Mem: m,
+		Steps: []device.Step{
+			{Launch: &device.Launch{Kernel: prog, KernelName: "K1",
+				GridX: 1, GridY: 1, BlockX: 32, BlockY: 1,
+				Params: []uint32{cnt}, ParamIsPtr: []bool{true}}},
+			{Host: func(mm *device.Memory, off uint32) int {
+				if mm.PeekU32(cnt+off) < 3 {
+					return 0
+				}
+				return -1
+			}},
+		},
+		Outputs: []device.Output{{Name: "cnt", Addr: cnt, Size: 4}},
+	}
+	h := TMR(job)
+	r := funcsim.Run(h, funcsim.Options{})
+	if r.Err != nil || r.TimedOut {
+		t.Fatalf("hardened loop failed: %v timeout=%v", r.Err, r.TimedOut)
+	}
+	if r.Output[0] != 3 {
+		t.Errorf("hardened loop count = %d, want 3", r.Output[0])
+	}
+	if r.DUEFlag {
+		t.Error("fault-free hardened loop must not flag")
+	}
+}

@@ -1,0 +1,168 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding: each instruction packs into a fixed 128-bit word, like
+// real SASS. Programs serialize to a small container format, so compiled
+// kernels can be stored and reloaded (and so the instruction stream has a
+// well-defined bit-level representation — the substrate a future
+// instruction-memory fault model would target).
+//
+// Word layout (little-endian):
+//
+//	byte  0     opcode
+//	byte  1     flags: bit0 BImm, bit1 PredNeg, bit2 CPredNeg, bit3 SelPredNeg
+//	bytes 2-3   Dst
+//	bytes 4-5   SrcA
+//	bytes 6-7   SrcB
+//	bytes 8-9   SrcC
+//	bytes 10    Pred(3b) | PDst(3b) spread over bytes 10-11:
+//	byte 10     Pred | CPred<<4
+//	byte 11     PDst | SelPred<<4
+//	byte 12     Cmp | Special<<4  (Special also carries Mufu: disjoint ops)
+//	byte 13     Imm2
+//	bytes 14-15 reserved (zero)
+//	bytes 16-19 Imm (separate dword)
+//	bytes 20-23 Target
+//	bytes 24-27 Reconv
+//
+// EncodedSize is therefore 28 bytes; the first 16 form the "instruction
+// word" proper and the rest immediate/branch extensions.
+
+// EncodedSize is the byte size of one encoded instruction.
+const EncodedSize = 28
+
+const (
+	flagBImm = 1 << iota
+	flagPredNeg
+	flagCPredNeg
+	flagSelPredNeg
+)
+
+// Encode packs the instruction into buf (which must hold EncodedSize bytes).
+func (i *Instr) Encode(buf []byte) {
+	_ = buf[EncodedSize-1]
+	buf[0] = byte(i.Op)
+	var fl byte
+	if i.BImm {
+		fl |= flagBImm
+	}
+	if i.PredNeg {
+		fl |= flagPredNeg
+	}
+	if i.CPredNeg {
+		fl |= flagCPredNeg
+	}
+	if i.SelPredNeg {
+		fl |= flagSelPredNeg
+	}
+	buf[1] = fl
+	binary.LittleEndian.PutUint16(buf[2:], uint16(i.Dst))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(i.SrcA))
+	binary.LittleEndian.PutUint16(buf[6:], uint16(i.SrcB))
+	binary.LittleEndian.PutUint16(buf[8:], uint16(i.SrcC))
+	buf[10] = byte(i.Pred) | byte(i.CPred)<<4
+	buf[11] = byte(i.PDst) | byte(i.SelPred)<<4
+	sp := byte(i.Special)
+	if i.Op == OpMUFU {
+		sp = byte(i.Mufu)
+	}
+	buf[12] = byte(i.Cmp) | sp<<4
+	buf[13] = i.Imm2
+	buf[14], buf[15] = 0, 0
+	binary.LittleEndian.PutUint32(buf[16:], uint32(i.Imm))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(int32(i.Target)))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(int32(i.Reconv)))
+}
+
+// DecodeInstr unpacks one instruction from buf.
+func DecodeInstr(buf []byte) (Instr, error) {
+	if len(buf) < EncodedSize {
+		return Instr{}, fmt.Errorf("isa: short instruction word (%d bytes)", len(buf))
+	}
+	var i Instr
+	i.Op = Op(buf[0])
+	if i.Op >= opCount {
+		return Instr{}, fmt.Errorf("isa: bad opcode %d", buf[0])
+	}
+	fl := buf[1]
+	i.BImm = fl&flagBImm != 0
+	i.PredNeg = fl&flagPredNeg != 0
+	i.CPredNeg = fl&flagCPredNeg != 0
+	i.SelPredNeg = fl&flagSelPredNeg != 0
+	i.Dst = Reg(binary.LittleEndian.Uint16(buf[2:]))
+	i.SrcA = Reg(binary.LittleEndian.Uint16(buf[4:]))
+	i.SrcB = Reg(binary.LittleEndian.Uint16(buf[6:]))
+	i.SrcC = Reg(binary.LittleEndian.Uint16(buf[8:]))
+	i.Pred = Pred(buf[10] & 0xF)
+	i.CPred = Pred(buf[10] >> 4)
+	i.PDst = Pred(buf[11] & 0xF)
+	i.SelPred = Pred(buf[11] >> 4)
+	i.Cmp = CmpOp(buf[12] & 0xF)
+	if i.Op == OpMUFU {
+		i.Mufu = MufuOp(buf[12] >> 4)
+	} else {
+		i.Special = SReg(buf[12] >> 4)
+	}
+	i.Imm2 = buf[13]
+	i.Imm = int32(binary.LittleEndian.Uint32(buf[16:]))
+	i.Target = int(int32(binary.LittleEndian.Uint32(buf[20:])))
+	i.Reconv = int(int32(binary.LittleEndian.Uint32(buf[24:])))
+	return i, nil
+}
+
+// programMagic identifies a serialized program blob.
+var programMagic = [4]byte{'G', 'K', 'B', '1'}
+
+// Marshal serializes the program: magic, register count, name, instruction
+// count, then the encoded instruction stream.
+func (p *Program) Marshal() []byte {
+	name := []byte(p.Name)
+	out := make([]byte, 0, 16+len(name)+len(p.Code)*EncodedSize)
+	out = append(out, programMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.NumRegs))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(name)))
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Code)))
+	var w [EncodedSize]byte
+	for k := range p.Code {
+		p.Code[k].Encode(w[:])
+		out = append(out, w[:]...)
+	}
+	return out
+}
+
+// UnmarshalProgram parses a serialized program and validates it.
+func UnmarshalProgram(data []byte) (*Program, error) {
+	if len(data) < 12 || [4]byte(data[:4]) != programMagic {
+		return nil, fmt.Errorf("isa: not a kernel blob")
+	}
+	numRegs := binary.LittleEndian.Uint32(data[4:])
+	nameLen := binary.LittleEndian.Uint32(data[8:])
+	rest := data[12:]
+	if uint32(len(rest)) < nameLen+4 {
+		return nil, fmt.Errorf("isa: truncated kernel blob")
+	}
+	name := string(rest[:nameLen])
+	rest = rest[nameLen:]
+	n := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(len(rest)) < uint64(n)*EncodedSize {
+		return nil, fmt.Errorf("isa: truncated instruction stream")
+	}
+	p := &Program{Name: name, NumRegs: int(numRegs), Code: make([]Instr, n)}
+	for k := uint32(0); k < n; k++ {
+		ins, err := DecodeInstr(rest[k*EncodedSize:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", k, err)
+		}
+		p.Code[k] = ins
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

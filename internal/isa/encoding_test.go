@@ -1,0 +1,125 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleInstrs() []Instr {
+	return []Instr{
+		{Op: OpS2R, Dst: 0, Special: SRCtaIDX},
+		{Op: OpMOVI, Dst: 3, Imm: -12345},
+		{Op: OpIMAD, Dst: 4, SrcA: 0, SrcB: 5, SrcC: 3},
+		{Op: OpISCADD, Dst: 3, SrcA: 0, SrcB: 6, Imm2: 2},
+		{Op: OpMUFU, Dst: 7, SrcA: 3, Mufu: MufuEX2},
+		{Op: OpISETP, PDst: P2, Cmp: CmpGE, SrcA: 1, BImm: true, Imm: 99, CPred: P1, CPredNeg: true},
+		{Op: OpSEL, Dst: 2, SrcA: 3, SrcB: 4, SelPred: P6, SelPredNeg: true},
+		{Op: OpBRA, Pred: P0, PredNeg: true, Target: 17, Reconv: 42},
+		{Op: OpLDG, Dst: 9, SrcA: 1, Imm: 0x100},
+		{Op: OpSTS, SrcA: 2, SrcB: 3, Imm: -4},
+		{Op: OpIADD, Dst: RZ, SrcA: RZ, SrcB: RZ},
+		{Op: OpEXIT},
+	}
+}
+
+func TestInstrRoundtrip(t *testing.T) {
+	var buf [EncodedSize]byte
+	for k, ins := range sampleInstrs() {
+		ins.Encode(buf[:])
+		got, err := DecodeInstr(buf[:])
+		if err != nil {
+			t.Fatalf("instr %d: %v", k, err)
+		}
+		if got != ins {
+			t.Errorf("instr %d roundtrip:\n got %+v\nwant %+v", k, got, ins)
+		}
+	}
+}
+
+// TestInstrRoundtripProperty: arbitrary field values (within their domains)
+// survive the encoding.
+func TestInstrRoundtripProperty(t *testing.T) {
+	f := func(op, flags uint8, dst, a, b, c uint16, preds [4]uint8, cmp, aux, imm2 uint8, imm, tgt, rcv int32) bool {
+		ins := Instr{
+			Op:         Op(op % uint8(opCount)),
+			BImm:       flags&1 != 0,
+			PredNeg:    flags&2 != 0,
+			CPredNeg:   flags&4 != 0,
+			SelPredNeg: flags&8 != 0,
+			Dst:        Reg(dst), SrcA: Reg(a), SrcB: Reg(b), SrcC: Reg(c),
+			Pred: Pred(preds[0] % 8), CPred: Pred(preds[1] % 8),
+			PDst: Pred(preds[2] % 8), SelPred: Pred(preds[3] % 8),
+			Cmp:  CmpOp(cmp % 6),
+			Imm2: imm2,
+			Imm:  imm, Target: int(tgt), Reconv: int(rcv),
+		}
+		if ins.Op == OpMUFU {
+			ins.Mufu = MufuOp(aux % 5)
+		} else {
+			ins.Special = SReg(aux % 9)
+		}
+		var buf [EncodedSize]byte
+		ins.Encode(buf[:])
+		got, err := DecodeInstr(buf[:])
+		return err == nil && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeInstr(make([]byte, 4)); err == nil {
+		t.Error("short buffer must fail")
+	}
+	var buf [EncodedSize]byte
+	buf[0] = 0xFF
+	if _, err := DecodeInstr(buf[:]); err == nil {
+		t.Error("bad opcode must fail")
+	}
+}
+
+func TestProgramMarshalRoundtrip(t *testing.T) {
+	code := sampleInstrs()
+	// make the synthetic program valid: pull the branch targets in range
+	for i := range code {
+		if code[i].Op == OpBRA {
+			code[i].Target = len(code) - 1
+			code[i].Reconv = len(code) - 1
+		}
+	}
+	p := &Program{Name: "roundtrip-kernel", NumRegs: 16, Code: code}
+	blob := p.Marshal()
+	got, err := UnmarshalProgram(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.NumRegs != p.NumRegs || len(got.Code) != len(p.Code) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range p.Code {
+		if got.Code[i] != p.Code[i] {
+			t.Errorf("instr %d differs", i)
+		}
+	}
+	// marshalling again is stable
+	if !bytes.Equal(blob, got.Marshal()) {
+		t.Error("marshal is not canonical")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("nope"),
+		[]byte("GKB1\x01\x00\x00\x00"), // truncated header
+		append([]byte("GKB1"), make([]byte, 8)...),              // zero instrs → no EXIT
+		append([]byte("GKB1"), bytes.Repeat([]byte{1}, 300)...), // garbage
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalProgram(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package isa defines the SASS-like instruction set executed by the GPU
+// simulator. It is a deliberately small, Volta-flavoured subset: 32-bit
+// general-purpose registers, seven predicate registers, integer and
+// single-precision float arithmetic, special-function (MUFU) operations,
+// global/shared/texture memory accesses, structured branches carrying an
+// explicit reconvergence point, and a CTA-wide barrier.
+//
+// Programs are straight arrays of Instr values addressed by PC index; there
+// is no binary encoding. Branch targets and reconvergence PCs are resolved
+// at build time by the kasm package.
+package isa
+
+import "fmt"
+
+// Reg names a 32-bit general purpose register. RZ is the zero register: it
+// reads as zero and discards writes, mirroring NVIDIA's RZ convention.
+type Reg uint16
+
+// RZ is the always-zero register.
+const RZ Reg = 0xFFFF
+
+// MaxRegs bounds the per-thread architectural register count.
+const MaxRegs = 255
+
+// Pred names a 1-bit predicate register. PT is the always-true predicate and
+// is deliberately the zero value, so an unset guard field means "unguarded".
+type Pred uint8
+
+// Predicate registers: the constant-true PT plus writable P0..P6.
+const (
+	PT Pred = iota // always true; writes are discarded
+	P0
+	P1
+	P2
+	P3
+	P4
+	P5
+	P6
+)
+
+// NumPreds is the number of writable predicate registers.
+const NumPreds = 7
+
+// SReg identifies a special (read-only) hardware register readable via S2R.
+type SReg uint8
+
+// Special registers exposed to kernels.
+const (
+	SRTidX SReg = iota
+	SRTidY
+	SRCtaIDX
+	SRCtaIDY
+	SRNTidX  // block dim x
+	SRNTidY  // block dim y
+	SRNCtaX  // grid dim x
+	SRNCtaY  // grid dim y
+	SRLaneID // lane within warp
+)
+
+// MufuOp selects the special-function-unit operation performed by OpMUFU.
+type MufuOp uint8
+
+// Special function unit operations.
+const (
+	MufuRCP  MufuOp = iota // 1/x
+	MufuSQRT               // sqrt(x)
+	MufuRSQ                // 1/sqrt(x)
+	MufuEX2                // 2^x
+	MufuLG2                // log2(x)
+)
+
+// CmpOp is the comparison performed by ISETP/FSETP.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. Memory opcodes operate on 4-byte words; addresses are byte
+// addresses formed as R[SrcA] + Imm.
+const (
+	OpNOP Op = iota
+	OpEXIT
+	OpBRA // guarded branch to Target; Reconv holds the IPDOM for the SIMT stack
+	OpBAR // CTA-wide barrier
+
+	OpS2R  // Dst = special register
+	OpMOV  // Dst = SrcA
+	OpMOVI // Dst = Imm
+	OpLDC  // Dst = kernel parameter word [Imm]
+
+	OpIADD // Dst = SrcA + SrcB
+	OpISUB // Dst = SrcA - SrcB
+	OpIMUL // Dst = SrcA * SrcB (low 32 bits, signed)
+	OpIMAD // Dst = SrcA*SrcB + SrcC
+	OpISCADD
+	OpIMIN // signed min
+	OpIMAX // signed max
+	OpSHL
+	OpSHR // logical shift right
+	OpAND
+	OpOR
+	OpXOR
+
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFFMA // Dst = SrcA*SrcB + SrcC
+	OpFMIN
+	OpFMAX
+	OpMUFU // Dst = Mufu(SrcA)
+
+	OpI2F // int32 -> float32
+	OpF2I // float32 -> int32 (truncate)
+
+	OpISETP // PDst = (SrcA cmp SrcB) && CPred
+	OpFSETP
+	OpSEL // Dst = SelPred ? SrcA : SrcB
+
+	OpLDG // Dst = global[R[SrcA]+Imm]
+	OpSTG // global[R[SrcA]+Imm] = R[SrcB]
+	OpLDS // Dst = shared[R[SrcA]+Imm]
+	OpSTS // shared[R[SrcA]+Imm] = R[SrcB]
+	OpLDT // Dst = texture path read of global[R[SrcA]+Imm]
+
+	opCount
+)
+
+// ISCADD semantics: Dst = (SrcA << Imm2) + SrcB, matching the SASS pattern
+// used for array index scaling.
+
+// Instr is one decoded instruction. A single struct covers all opcodes; the
+// per-op field usage is documented alongside the opcodes.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	SrcA Reg
+	SrcB Reg
+	SrcC Reg
+
+	// BImm replaces the SrcB register operand with Imm for ALU ops.
+	BImm bool
+	Imm  int32
+	// Imm2 is the shift amount for ISCADD.
+	Imm2 uint8
+
+	// Guard predicate: the instruction executes on lanes where the guard
+	// holds (guard = Pred value, negated when PredNeg).
+	Pred    Pred
+	PredNeg bool
+
+	// ISETP/FSETP fields.
+	PDst     Pred
+	Cmp      CmpOp
+	CPred    Pred // ANDed into the comparison result (PT = no-op)
+	CPredNeg bool
+
+	// SEL condition.
+	SelPred    Pred
+	SelPredNeg bool
+
+	Special SReg
+	Mufu    MufuOp
+
+	// Branch fields (PC indices).
+	Target int
+	Reconv int
+}
+
+// Program is an executable kernel: a name, the instruction stream, and the
+// number of architectural registers each thread requires.
+type Program struct {
+	Name    string
+	Code    []Instr
+	NumRegs int
+}
+
+// Writing reports whether the instruction writes a general-purpose
+// destination register.
+func (i *Instr) Writing() bool {
+	switch i.Op {
+	case OpS2R, OpMOV, OpMOVI, OpLDC, OpIADD, OpISUB, OpIMUL, OpIMAD, OpISCADD,
+		OpIMIN, OpIMAX, OpSHL, OpSHR, OpAND, OpOR, OpXOR, OpFADD, OpFSUB, OpFMUL,
+		OpFFMA, OpFMIN, OpFMAX, OpMUFU, OpI2F, OpF2I, OpSEL, OpLDG, OpLDS, OpLDT:
+		return i.Dst != RZ
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction is a memory load (global, shared or
+// texture). Used to restrict software-level injection to SVF-LD campaigns.
+func (i *Instr) IsLoad() bool {
+	return i.Op == OpLDG || i.Op == OpLDS || i.Op == OpLDT
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (i *Instr) IsMem() bool {
+	switch i.Op {
+	case OpLDG, OpSTG, OpLDS, OpSTS, OpLDT:
+		return true
+	}
+	return false
+}
+
+// SrcRegs appends the general-purpose source registers read by the
+// instruction to dst and returns it. RZ sources are included (they are real
+// operands) but callers typically skip them.
+func (i *Instr) SrcRegs(dst []Reg) []Reg {
+	switch i.Op {
+	case OpMOV, OpMUFU, OpI2F, OpF2I:
+		dst = append(dst, i.SrcA)
+	case OpIADD, OpISUB, OpIMUL, OpIMIN, OpIMAX, OpSHL, OpSHR, OpAND, OpOR,
+		OpXOR, OpFADD, OpFSUB, OpFMUL, OpFMIN, OpFMAX, OpSEL:
+		dst = append(dst, i.SrcA)
+		if !i.BImm {
+			dst = append(dst, i.SrcB)
+		}
+	case OpIMAD, OpFFMA:
+		dst = append(dst, i.SrcA)
+		if !i.BImm {
+			dst = append(dst, i.SrcB)
+		}
+		dst = append(dst, i.SrcC)
+	case OpISCADD:
+		dst = append(dst, i.SrcA, i.SrcB)
+	case OpISETP, OpFSETP:
+		dst = append(dst, i.SrcA)
+		if !i.BImm {
+			dst = append(dst, i.SrcB)
+		}
+	case OpLDG, OpLDS, OpLDT:
+		dst = append(dst, i.SrcA)
+	case OpSTG, OpSTS:
+		dst = append(dst, i.SrcA, i.SrcB)
+	}
+	return dst
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+var opNames = [...]string{
+	"NOP", "EXIT", "BRA", "BAR",
+	"S2R", "MOV", "MOVI", "LDC",
+	"IADD", "ISUB", "IMUL", "IMAD", "ISCADD", "IMIN", "IMAX", "SHL", "SHR",
+	"AND", "OR", "XOR",
+	"FADD", "FSUB", "FMUL", "FFMA", "FMIN", "FMAX", "MUFU",
+	"I2F", "F2I",
+	"ISETP", "FSETP", "SEL",
+	"LDG", "STG", "LDS", "STS", "LDT",
+}
+
+func (c CmpOp) String() string {
+	switch c {
+	case CmpLT:
+		return "LT"
+	case CmpLE:
+		return "LE"
+	case CmpGT:
+		return "GT"
+	case CmpGE:
+		return "GE"
+	case CmpEQ:
+		return "EQ"
+	case CmpNE:
+		return "NE"
+	}
+	return "??"
+}
+
+func (m MufuOp) String() string {
+	switch m {
+	case MufuRCP:
+		return "RCP"
+	case MufuSQRT:
+		return "SQRT"
+	case MufuRSQ:
+		return "RSQ"
+	case MufuEX2:
+		return "EX2"
+	case MufuLG2:
+		return "LG2"
+	}
+	return "??"
+}
+
+func (s SReg) String() string {
+	switch s {
+	case SRTidX:
+		return "SR_TID.X"
+	case SRTidY:
+		return "SR_TID.Y"
+	case SRCtaIDX:
+		return "SR_CTAID.X"
+	case SRCtaIDY:
+		return "SR_CTAID.Y"
+	case SRNTidX:
+		return "SR_NTID.X"
+	case SRNTidY:
+		return "SR_NTID.Y"
+	case SRNCtaX:
+		return "SR_NCTAID.X"
+	case SRNCtaY:
+		return "SR_NCTAID.Y"
+	case SRLaneID:
+		return "SR_LANEID"
+	}
+	return "SR_??"
+}
+
+func regName(r Reg) string {
+	if r == RZ {
+		return "RZ"
+	}
+	return fmt.Sprintf("R%d", r)
+}
+
+func predName(p Pred, neg bool) string {
+	s := "PT"
+	if p != PT {
+		s = "P" + fmt.Sprint(int(p)-1)
+	}
+	if neg {
+		return "!" + s
+	}
+	return s
+}
+
+// String disassembles the instruction into a SASS-like line.
+func (i Instr) String() string {
+	guard := ""
+	if i.Pred != PT || i.PredNeg {
+		guard = "@" + predName(i.Pred, i.PredNeg) + " "
+	}
+	b := func() string {
+		if i.BImm {
+			return fmt.Sprintf("0x%x", uint32(i.Imm))
+		}
+		return regName(i.SrcB)
+	}
+	switch i.Op {
+	case OpNOP, OpEXIT, OpBAR:
+		return guard + i.Op.String()
+	case OpBRA:
+		return fmt.Sprintf("%sBRA %d (reconv %d)", guard, i.Target, i.Reconv)
+	case OpS2R:
+		return fmt.Sprintf("%sS2R %s, %s", guard, regName(i.Dst), i.Special)
+	case OpMOV:
+		return fmt.Sprintf("%sMOV %s, %s", guard, regName(i.Dst), regName(i.SrcA))
+	case OpMOVI:
+		return fmt.Sprintf("%sMOV32I %s, 0x%x", guard, regName(i.Dst), uint32(i.Imm))
+	case OpLDC:
+		return fmt.Sprintf("%sLDC %s, c[0x0][%d]", guard, regName(i.Dst), i.Imm)
+	case OpIMAD, OpFFMA:
+		return fmt.Sprintf("%s%s %s, %s, %s, %s", guard, i.Op, regName(i.Dst), regName(i.SrcA), b(), regName(i.SrcC))
+	case OpISCADD:
+		return fmt.Sprintf("%sISCADD %s, %s, %s, 0x%x", guard, regName(i.Dst), regName(i.SrcA), regName(i.SrcB), i.Imm2)
+	case OpMUFU:
+		return fmt.Sprintf("%sMUFU.%s %s, %s", guard, i.Mufu, regName(i.Dst), regName(i.SrcA))
+	case OpI2F, OpF2I:
+		return fmt.Sprintf("%s%s %s, %s", guard, i.Op, regName(i.Dst), regName(i.SrcA))
+	case OpISETP, OpFSETP:
+		s := fmt.Sprintf("%s%s.%s.AND %s, %s, %s, %s", guard, i.Op, i.Cmp,
+			predName(i.PDst, false), regName(i.SrcA), b(), predName(i.CPred, i.CPredNeg))
+		return s
+	case OpSEL:
+		return fmt.Sprintf("%sSEL %s, %s, %s, %s", guard, regName(i.Dst), regName(i.SrcA), b(), predName(i.SelPred, i.SelPredNeg))
+	case OpLDG, OpLDS, OpLDT:
+		return fmt.Sprintf("%s%s %s, [%s+0x%x]", guard, i.Op, regName(i.Dst), regName(i.SrcA), uint32(i.Imm))
+	case OpSTG, OpSTS:
+		return fmt.Sprintf("%s%s [%s+0x%x], %s", guard, i.Op, regName(i.SrcA), uint32(i.Imm), regName(i.SrcB))
+	default:
+		return fmt.Sprintf("%s%s %s, %s, %s", guard, i.Op, regName(i.Dst), regName(i.SrcA), b())
+	}
+}
+
+// Disassemble renders the whole program, one instruction per line with PC
+// prefixes, in the style of Figure 12 of the paper.
+func (p *Program) Disassemble() string {
+	out := ""
+	for pc, ins := range p.Code {
+		out += fmt.Sprintf("#%-4d %s\n", pc, ins.String())
+	}
+	return out
+}
+
+// Validate checks structural invariants: branch targets in range, register
+// indices under NumRegs, and a terminating EXIT reachable at the end.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("%s: empty program", p.Name)
+	}
+	if p.NumRegs > MaxRegs {
+		return fmt.Errorf("%s: %d registers exceeds MaxRegs", p.Name, p.NumRegs)
+	}
+	checkReg := func(pc int, r Reg) error {
+		if r != RZ && int(r) >= p.NumRegs {
+			return fmt.Errorf("%s: pc %d: register R%d out of range (NumRegs=%d)", p.Name, pc, r, p.NumRegs)
+		}
+		return nil
+	}
+	var srcs []Reg
+	for pc := range p.Code {
+		ins := &p.Code[pc]
+		if ins.Op >= opCount {
+			return fmt.Errorf("%s: pc %d: bad opcode %d", p.Name, pc, ins.Op)
+		}
+		if ins.Op == OpBRA {
+			if ins.Target < 0 || ins.Target > len(p.Code) {
+				return fmt.Errorf("%s: pc %d: branch target %d out of range", p.Name, pc, ins.Target)
+			}
+			if ins.Reconv < 0 || ins.Reconv > len(p.Code) {
+				return fmt.Errorf("%s: pc %d: reconvergence point %d out of range", p.Name, pc, ins.Reconv)
+			}
+		}
+		if ins.Writing() {
+			if err := checkReg(pc, ins.Dst); err != nil {
+				return err
+			}
+		}
+		srcs = ins.SrcRegs(srcs[:0])
+		for _, r := range srcs {
+			if err := checkReg(pc, r); err != nil {
+				return err
+			}
+		}
+	}
+	if p.Code[len(p.Code)-1].Op != OpEXIT {
+		return fmt.Errorf("%s: program must end with EXIT", p.Name)
+	}
+	return nil
+}

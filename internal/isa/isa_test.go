@@ -1,0 +1,136 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Program{Name: "ok", NumRegs: 4, Code: []Instr{
+		{Op: OpMOVI, Dst: 0, Imm: 1},
+		{Op: OpEXIT},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		p    *Program
+		want string
+	}{
+		{"empty", &Program{Name: "e"}, "empty"},
+		{"no exit", &Program{Name: "n", NumRegs: 1, Code: []Instr{{Op: OpNOP}}}, "EXIT"},
+		{"bad target", &Program{Name: "b", NumRegs: 1, Code: []Instr{
+			{Op: OpBRA, Target: 9, Reconv: 0}, {Op: OpEXIT}}}, "target"},
+		{"bad reconv", &Program{Name: "r", NumRegs: 1, Code: []Instr{
+			{Op: OpBRA, Target: 0, Reconv: -2}, {Op: OpEXIT}}}, "reconvergence"},
+		{"reg range dst", &Program{Name: "d", NumRegs: 2, Code: []Instr{
+			{Op: OpMOVI, Dst: 7}, {Op: OpEXIT}}}, "out of range"},
+		{"reg range src", &Program{Name: "s", NumRegs: 2, Code: []Instr{
+			{Op: OpIADD, Dst: 0, SrcA: 9, SrcB: 0}, {Op: OpEXIT}}}, "out of range"},
+		{"too many regs", &Program{Name: "m", NumRegs: MaxRegs + 1, Code: []Instr{{Op: OpEXIT}}}, "MaxRegs"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRZIsAlwaysValid(t *testing.T) {
+	p := &Program{Name: "rz", NumRegs: 1, Code: []Instr{
+		{Op: OpIADD, Dst: RZ, SrcA: RZ, SrcB: RZ},
+		{Op: OpEXIT},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("RZ operands must validate: %v", err)
+	}
+}
+
+func TestWritingAndLoads(t *testing.T) {
+	cases := []struct {
+		ins     Instr
+		writing bool
+		load    bool
+	}{
+		{Instr{Op: OpLDG, Dst: 1}, true, true},
+		{Instr{Op: OpLDS, Dst: 1}, true, true},
+		{Instr{Op: OpLDT, Dst: 1}, true, true},
+		{Instr{Op: OpSTG}, false, false},
+		{Instr{Op: OpISETP}, false, false},
+		{Instr{Op: OpBRA}, false, false},
+		{Instr{Op: OpFADD, Dst: 1}, true, false},
+		{Instr{Op: OpFADD, Dst: RZ}, false, false},
+		{Instr{Op: OpEXIT}, false, false},
+	}
+	for _, c := range cases {
+		if got := c.ins.Writing(); got != c.writing {
+			t.Errorf("%v Writing = %v, want %v", c.ins.Op, got, c.writing)
+		}
+		if got := c.ins.IsLoad(); got != c.load {
+			t.Errorf("%v IsLoad = %v, want %v", c.ins.Op, got, c.load)
+		}
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	i := Instr{Op: OpIMAD, SrcA: 1, SrcB: 2, SrcC: 3}
+	got := i.SrcRegs(nil)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("IMAD sources = %v", got)
+	}
+	i.BImm = true
+	got = i.SrcRegs(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("IMAD immediate sources = %v", got)
+	}
+	st := Instr{Op: OpSTG, SrcA: 4, SrcB: 5}
+	got = st.SrcRegs(nil)
+	if len(got) != 2 {
+		t.Errorf("STG sources = %v", got)
+	}
+}
+
+// TestStringTotality: every opcode disassembles to a non-empty line for
+// arbitrary field contents.
+func TestStringTotality(t *testing.T) {
+	f := func(op uint8, dst, a, b uint16, imm int32, pred, cmp uint8) bool {
+		ins := Instr{
+			Op: Op(op % uint8(opCount)), Dst: Reg(dst), SrcA: Reg(a), SrcB: Reg(b),
+			Imm: imm, Pred: Pred(pred % 8), Cmp: CmpOp(cmp % 6),
+		}
+		return len(ins.String()) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleStyle(t *testing.T) {
+	p := &Program{Name: "d", NumRegs: 4, Code: []Instr{
+		{Op: OpS2R, Dst: 0, Special: SRCtaIDX},
+		{Op: OpISETP, PDst: P0, Cmp: CmpLT, SrcA: 0, BImm: true, Imm: 4, CPred: PT},
+		{Op: OpBRA, Pred: P0, Target: 3, Reconv: 3},
+		{Op: OpEXIT},
+	}}
+	d := p.Disassemble()
+	for _, want := range []string{"S2R R0, SR_CTAID.X", "ISETP.LT.AND P0,", "@P0 BRA 3", "EXIT"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if len(opNames) != int(opCount) {
+		t.Fatalf("opNames has %d entries for %d opcodes", len(opNames), opCount)
+	}
+	for o := Op(0); o < opCount; o++ {
+		if o.String() == "" || strings.HasPrefix(o.String(), "OP(") {
+			t.Errorf("opcode %d has no name", o)
+		}
+	}
+}

@@ -1,0 +1,501 @@
+// Package kasm is a tiny kernel assembler: an embedded DSL that builds
+// isa.Program values with structured control flow. If/Else and While
+// constructs are lowered to guarded branches annotated with their immediate
+// post-dominator, which the simulator's SIMT divergence stack relies on.
+//
+// Register allocation is static: every helper that produces a value allocates
+// a fresh architectural register at build time. Closures passed to control
+// constructs run exactly once (they emit code), so registers allocated inside
+// a loop body are ordinary static temporaries. The *To variants write into an
+// existing register and are used for loop-carried values.
+package kasm
+
+import (
+	"fmt"
+	"math"
+
+	"gpurel/internal/isa"
+)
+
+// Builder incrementally assembles a kernel program.
+type Builder struct {
+	name    string
+	code    []isa.Instr
+	nextReg int
+	nextP   int
+	guard   isa.Pred
+	guardN  bool
+	err     error
+}
+
+// New returns a Builder for a kernel with the given name.
+func New(name string) *Builder {
+	return &Builder{name: name, guard: isa.PT}
+}
+
+// R allocates a fresh general-purpose register.
+func (b *Builder) R() isa.Reg {
+	if b.nextReg >= isa.MaxRegs {
+		b.fail("out of registers")
+		return 0
+	}
+	r := isa.Reg(b.nextReg)
+	b.nextReg++
+	return r
+}
+
+// P allocates a fresh predicate register. Predicates are a scarce resource
+// (7); kernels release them with FreeP when a scope ends.
+func (b *Builder) P() isa.Pred {
+	if b.nextP >= isa.NumPreds {
+		b.fail("out of predicate registers")
+		return isa.P0
+	}
+	b.nextP++
+	return isa.Pred(b.nextP) // PT is 0; P0..P6 are 1..7
+}
+
+// FreeP releases the most recently allocated predicate. It must be called in
+// LIFO order with respect to P.
+func (b *Builder) FreeP(p isa.Pred) {
+	if b.nextP == 0 || isa.Pred(b.nextP) != p {
+		b.fail("FreeP out of order")
+		return
+	}
+	b.nextP--
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kasm %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Emit appends a raw instruction, applying the current guard predicate if the
+// instruction does not carry its own (PT, the zero value, means unguarded).
+func (b *Builder) Emit(ins isa.Instr) {
+	if ins.Pred == isa.PT && !ins.PredNeg {
+		ins.Pred, ins.PredNeg = b.guard, b.guardN
+	}
+	b.code = append(b.code, ins)
+}
+
+// Guarded executes emit under guard predicate p (negated when neg): every
+// instruction emitted inside runs only on lanes where the guard holds.
+// Guards do not nest.
+func (b *Builder) Guarded(p isa.Pred, neg bool, emit func()) {
+	if b.guard != isa.PT || b.guardN {
+		b.fail("nested Guarded")
+	}
+	b.guard, b.guardN = p, neg
+	emit()
+	b.guard, b.guardN = isa.PT, false
+}
+
+func (b *Builder) alu(op isa.Op, a, src2 isa.Reg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: op, Dst: d, SrcA: a, SrcB: src2})
+	return d
+}
+
+func (b *Builder) aluTo(op isa.Op, d, a, src2 isa.Reg) {
+	b.Emit(isa.Instr{Op: op, Dst: d, SrcA: a, SrcB: src2})
+}
+
+func (b *Builder) aluI(op isa.Op, a isa.Reg, imm int32) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: op, Dst: d, SrcA: a, BImm: true, Imm: imm})
+	return d
+}
+
+// --- moves and constants ---
+
+// S2R reads a special register.
+func (b *Builder) S2R(s isa.SReg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpS2R, Dst: d, Special: s})
+	return d
+}
+
+// MovI materialises a 32-bit integer immediate.
+func (b *Builder) MovI(v int32) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpMOVI, Dst: d, Imm: v})
+	return d
+}
+
+// MovF materialises a float32 immediate.
+func (b *Builder) MovF(f float32) isa.Reg {
+	return b.MovI(int32(math.Float32bits(f)))
+}
+
+// Mov copies a register.
+func (b *Builder) Mov(a isa.Reg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpMOV, Dst: d, SrcA: a})
+	return d
+}
+
+// MovTo copies a into d.
+func (b *Builder) MovTo(d, a isa.Reg) { b.Emit(isa.Instr{Op: isa.OpMOV, Dst: d, SrcA: a}) }
+
+// MovITo writes an integer immediate into d.
+func (b *Builder) MovITo(d isa.Reg, v int32) { b.Emit(isa.Instr{Op: isa.OpMOVI, Dst: d, Imm: v}) }
+
+// MovFTo writes a float immediate into d.
+func (b *Builder) MovFTo(d isa.Reg, f float32) { b.MovITo(d, int32(math.Float32bits(f))) }
+
+// Param loads kernel parameter word idx (the c[0x0][..] constant bank).
+func (b *Builder) Param(idx int) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpLDC, Dst: d, Imm: int32(idx)})
+	return d
+}
+
+// --- integer ALU ---
+
+// IAdd returns a+b2.
+func (b *Builder) IAdd(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpIADD, a, b2) }
+
+// IAddI returns a+imm.
+func (b *Builder) IAddI(a isa.Reg, imm int32) isa.Reg { return b.aluI(isa.OpIADD, a, imm) }
+
+// IAddTo sets d = a+b2.
+func (b *Builder) IAddTo(d, a, b2 isa.Reg) { b.aluTo(isa.OpIADD, d, a, b2) }
+
+// IAddITo sets d = a+imm.
+func (b *Builder) IAddITo(d, a isa.Reg, imm int32) {
+	b.Emit(isa.Instr{Op: isa.OpIADD, Dst: d, SrcA: a, BImm: true, Imm: imm})
+}
+
+// ISub returns a-b2.
+func (b *Builder) ISub(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpISUB, a, b2) }
+
+// ISubI returns a-imm.
+func (b *Builder) ISubI(a isa.Reg, imm int32) isa.Reg { return b.aluI(isa.OpISUB, a, imm) }
+
+// IMul returns a*b2 (low 32 bits).
+func (b *Builder) IMul(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpIMUL, a, b2) }
+
+// IMulI returns a*imm.
+func (b *Builder) IMulI(a isa.Reg, imm int32) isa.Reg { return b.aluI(isa.OpIMUL, a, imm) }
+
+// IMad returns a*b2+c.
+func (b *Builder) IMad(a, b2, c isa.Reg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpIMAD, Dst: d, SrcA: a, SrcB: b2, SrcC: c})
+	return d
+}
+
+// IMadTo sets d = a*b2+c.
+func (b *Builder) IMadTo(d, a, b2, c isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.OpIMAD, Dst: d, SrcA: a, SrcB: b2, SrcC: c})
+}
+
+// IScAdd returns (a<<shift)+b2, the SASS array-indexing idiom.
+func (b *Builder) IScAdd(a, b2 isa.Reg, shift uint8) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpISCADD, Dst: d, SrcA: a, SrcB: b2, Imm2: shift})
+	return d
+}
+
+// IMin returns min(a,b2) (signed).
+func (b *Builder) IMin(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpIMIN, a, b2) }
+
+// IMax returns max(a,b2) (signed).
+func (b *Builder) IMax(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpIMAX, a, b2) }
+
+// Shl returns a<<imm.
+func (b *Builder) Shl(a isa.Reg, imm int32) isa.Reg { return b.aluI(isa.OpSHL, a, imm) }
+
+// Shr returns a>>imm (logical).
+func (b *Builder) Shr(a isa.Reg, imm int32) isa.Reg { return b.aluI(isa.OpSHR, a, imm) }
+
+// ShrTo sets d = a>>imm (logical).
+func (b *Builder) ShrTo(d, a isa.Reg, imm int32) {
+	b.Emit(isa.Instr{Op: isa.OpSHR, Dst: d, SrcA: a, BImm: true, Imm: imm})
+}
+
+// And returns a&b2.
+func (b *Builder) And(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpAND, a, b2) }
+
+// AndI returns a&imm.
+func (b *Builder) AndI(a isa.Reg, imm int32) isa.Reg { return b.aluI(isa.OpAND, a, imm) }
+
+// Or returns a|b2.
+func (b *Builder) Or(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpOR, a, b2) }
+
+// Xor returns a^b2.
+func (b *Builder) Xor(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpXOR, a, b2) }
+
+// --- float ALU ---
+
+// FAdd returns a+b2.
+func (b *Builder) FAdd(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpFADD, a, b2) }
+
+// FAddTo sets d = a+b2.
+func (b *Builder) FAddTo(d, a, b2 isa.Reg) { b.aluTo(isa.OpFADD, d, a, b2) }
+
+// FSub returns a-b2.
+func (b *Builder) FSub(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpFSUB, a, b2) }
+
+// FMul returns a*b2.
+func (b *Builder) FMul(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpFMUL, a, b2) }
+
+// FMulTo sets d = a*b2.
+func (b *Builder) FMulTo(d, a, b2 isa.Reg) { b.aluTo(isa.OpFMUL, d, a, b2) }
+
+// FFma returns a*b2+c.
+func (b *Builder) FFma(a, b2, c isa.Reg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpFFMA, Dst: d, SrcA: a, SrcB: b2, SrcC: c})
+	return d
+}
+
+// FFmaTo sets d = a*b2+c.
+func (b *Builder) FFmaTo(d, a, b2, c isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.OpFFMA, Dst: d, SrcA: a, SrcB: b2, SrcC: c})
+}
+
+// FMin returns min(a,b2).
+func (b *Builder) FMin(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpFMIN, a, b2) }
+
+// FMax returns max(a,b2).
+func (b *Builder) FMax(a, b2 isa.Reg) isa.Reg { return b.alu(isa.OpFMAX, a, b2) }
+
+// Mufu returns the special-function result op(a).
+func (b *Builder) Mufu(op isa.MufuOp, a isa.Reg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpMUFU, Dst: d, SrcA: a, Mufu: op})
+	return d
+}
+
+// Rcp returns 1/a.
+func (b *Builder) Rcp(a isa.Reg) isa.Reg { return b.Mufu(isa.MufuRCP, a) }
+
+// Sqrt returns sqrt(a).
+func (b *Builder) Sqrt(a isa.Reg) isa.Reg { return b.Mufu(isa.MufuSQRT, a) }
+
+// Ex2 returns 2^a.
+func (b *Builder) Ex2(a isa.Reg) isa.Reg { return b.Mufu(isa.MufuEX2, a) }
+
+// Lg2 returns log2(a).
+func (b *Builder) Lg2(a isa.Reg) isa.Reg { return b.Mufu(isa.MufuLG2, a) }
+
+// FDiv returns a/b2 computed as a * (1/b2), the usual SASS lowering.
+func (b *Builder) FDiv(a, b2 isa.Reg) isa.Reg { return b.FMul(a, b.Rcp(b2)) }
+
+// Expf returns e^a via EX2(a*log2(e)).
+func (b *Builder) Expf(a isa.Reg) isa.Reg {
+	log2e := b.MovF(float32(math.Log2E))
+	return b.Ex2(b.FMul(a, log2e))
+}
+
+// Logf returns ln(a) via LG2(a)*ln(2).
+func (b *Builder) Logf(a isa.Reg) isa.Reg {
+	ln2 := b.MovF(float32(math.Ln2))
+	return b.FMul(b.Lg2(a), ln2)
+}
+
+// I2F converts a signed integer to float32.
+func (b *Builder) I2F(a isa.Reg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpI2F, Dst: d, SrcA: a})
+	return d
+}
+
+// F2I truncates a float32 to a signed integer.
+func (b *Builder) F2I(a isa.Reg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpF2I, Dst: d, SrcA: a})
+	return d
+}
+
+// --- predicates and select ---
+
+// ISetp sets p = (a cmp b2).
+func (b *Builder) ISetp(p isa.Pred, cmp isa.CmpOp, a, b2 isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.OpISETP, PDst: p, Cmp: cmp, SrcA: a, SrcB: b2, CPred: isa.PT})
+}
+
+// ISetpI sets p = (a cmp imm).
+func (b *Builder) ISetpI(p isa.Pred, cmp isa.CmpOp, a isa.Reg, imm int32) {
+	b.Emit(isa.Instr{Op: isa.OpISETP, PDst: p, Cmp: cmp, SrcA: a, BImm: true, Imm: imm, CPred: isa.PT})
+}
+
+// ISetpAnd sets p = (a cmp b2) && c, the SASS ISETP.AND form.
+func (b *Builder) ISetpAnd(p isa.Pred, cmp isa.CmpOp, a, b2 isa.Reg, c isa.Pred, cNeg bool) {
+	b.Emit(isa.Instr{Op: isa.OpISETP, PDst: p, Cmp: cmp, SrcA: a, SrcB: b2, CPred: c, CPredNeg: cNeg})
+}
+
+// ISetpIAnd sets p = (a cmp imm) && c.
+func (b *Builder) ISetpIAnd(p isa.Pred, cmp isa.CmpOp, a isa.Reg, imm int32, c isa.Pred, cNeg bool) {
+	b.Emit(isa.Instr{Op: isa.OpISETP, PDst: p, Cmp: cmp, SrcA: a, BImm: true, Imm: imm, CPred: c, CPredNeg: cNeg})
+}
+
+// FSetp sets p = (a cmp b2) for float operands.
+func (b *Builder) FSetp(p isa.Pred, cmp isa.CmpOp, a, b2 isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.OpFSETP, PDst: p, Cmp: cmp, SrcA: a, SrcB: b2, CPred: isa.PT})
+}
+
+// Sel returns p ? a : b2.
+func (b *Builder) Sel(p isa.Pred, a, b2 isa.Reg) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpSEL, Dst: d, SrcA: a, SrcB: b2, SelPred: p})
+	return d
+}
+
+// SelTo sets d = p ? a : b2.
+func (b *Builder) SelTo(d isa.Reg, p isa.Pred, a, b2 isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.OpSEL, Dst: d, SrcA: a, SrcB: b2, SelPred: p})
+}
+
+// --- memory ---
+
+// Ldg loads global[addr+off].
+func (b *Builder) Ldg(addr isa.Reg, off int32) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpLDG, Dst: d, SrcA: addr, Imm: off})
+	return d
+}
+
+// LdgTo loads global[addr+off] into d.
+func (b *Builder) LdgTo(d, addr isa.Reg, off int32) {
+	b.Emit(isa.Instr{Op: isa.OpLDG, Dst: d, SrcA: addr, Imm: off})
+}
+
+// Stg stores v to global[addr+off].
+func (b *Builder) Stg(addr isa.Reg, off int32, v isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.OpSTG, SrcA: addr, Imm: off, SrcB: v})
+}
+
+// Lds loads shared[addr+off].
+func (b *Builder) Lds(addr isa.Reg, off int32) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpLDS, Dst: d, SrcA: addr, Imm: off})
+	return d
+}
+
+// LdsTo loads shared[addr+off] into d.
+func (b *Builder) LdsTo(d, addr isa.Reg, off int32) {
+	b.Emit(isa.Instr{Op: isa.OpLDS, Dst: d, SrcA: addr, Imm: off})
+}
+
+// Sts stores v to shared[addr+off].
+func (b *Builder) Sts(addr isa.Reg, off int32, v isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.OpSTS, SrcA: addr, Imm: off, SrcB: v})
+}
+
+// Ldt loads global[addr+off] through the texture path (L1T cache).
+func (b *Builder) Ldt(addr isa.Reg, off int32) isa.Reg {
+	d := b.R()
+	b.Emit(isa.Instr{Op: isa.OpLDT, Dst: d, SrcA: addr, Imm: off})
+	return d
+}
+
+// --- control flow ---
+
+// Barrier emits a CTA-wide BAR.SYNC.
+func (b *Builder) Barrier() { b.Emit(isa.Instr{Op: isa.OpBAR}) }
+
+// Exit emits EXIT for the active lanes.
+func (b *Builder) Exit() { b.Emit(isa.Instr{Op: isa.OpEXIT}) }
+
+// If emits a structured conditional: then() runs on lanes where p holds
+// (negated when neg).
+func (b *Builder) If(p isa.Pred, neg bool, then func()) {
+	br := len(b.code)
+	// branch AROUND the then-block when the condition is false
+	b.code = append(b.code, isa.Instr{Op: isa.OpBRA, Pred: p, PredNeg: !neg})
+	then()
+	end := len(b.code)
+	b.code[br].Target = end
+	b.code[br].Reconv = end
+}
+
+// IfElse emits a structured two-way conditional.
+func (b *Builder) IfElse(p isa.Pred, neg bool, then, els func()) {
+	br := len(b.code)
+	b.code = append(b.code, isa.Instr{Op: isa.OpBRA, Pred: p, PredNeg: !neg})
+	then()
+	jmp := len(b.code)
+	b.code = append(b.code, isa.Instr{Op: isa.OpBRA, Pred: isa.PT})
+	elseStart := len(b.code)
+	els()
+	end := len(b.code)
+	b.code[br].Target = elseStart
+	b.code[br].Reconv = end
+	b.code[jmp].Target = end
+	b.code[jmp].Reconv = end
+}
+
+// While emits a loop. cond() emits code computing the continue predicate and
+// returns it (with neg=true meaning "continue while !p"). body() emits the
+// loop body.
+func (b *Builder) While(cond func() (isa.Pred, bool), body func()) {
+	head := len(b.code)
+	p, neg := cond()
+	br := len(b.code)
+	// exit the loop when the continue predicate is false
+	b.code = append(b.code, isa.Instr{Op: isa.OpBRA, Pred: p, PredNeg: !neg})
+	body()
+	b.code = append(b.code, isa.Instr{Op: isa.OpBRA, Pred: isa.PT, Target: head})
+	end := len(b.code)
+	b.code[br].Target = end
+	b.code[br].Reconv = end
+	b.code[len(b.code)-1].Reconv = end
+}
+
+// For emits the canonical counted loop: for i starting at its current value,
+// while i < bound, stepping by step. The counter register must be initialised
+// by the caller; it is updated in place.
+func (b *Builder) For(i, bound isa.Reg, step int32, body func()) {
+	p := b.P()
+	b.While(func() (isa.Pred, bool) {
+		b.ISetp(p, isa.CmpLT, i, bound)
+		return p, false
+	}, func() {
+		body()
+		b.IAddITo(i, i, step)
+	})
+	b.FreeP(p)
+}
+
+// ForI is For with an immediate bound.
+func (b *Builder) ForI(i isa.Reg, bound int32, step int32, body func()) {
+	p := b.P()
+	b.While(func() (isa.Pred, bool) {
+		b.ISetpI(p, isa.CmpLT, i, bound)
+		return p, false
+	}, func() {
+		body()
+		b.IAddITo(i, i, step)
+	})
+	b.FreeP(p)
+}
+
+// Build finalises the program: appends a trailing EXIT when missing,
+// validates, and returns it.
+func (b *Builder) Build() (*isa.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.code) == 0 || b.code[len(b.code)-1].Op != isa.OpEXIT {
+		b.Exit()
+	}
+	p := &isa.Program{Name: b.name, Code: b.code, NumRegs: b.nextReg}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; kernels are static so a failure is
+// a programming bug.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,237 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+
+	"gpurel/internal/isa"
+)
+
+func TestIfLowering(t *testing.T) {
+	b := New("if")
+	p := b.P()
+	b.ISetpI(p, isa.CmpLT, b.S2R(isa.SRTidX), 4)
+	b.If(p, false, func() {
+		b.MovI(1)
+	})
+	b.FreeP(p)
+	prog := b.MustBuild()
+
+	var br *isa.Instr
+	for i := range prog.Code {
+		if prog.Code[i].Op == isa.OpBRA {
+			br = &prog.Code[i]
+			break
+		}
+	}
+	if br == nil {
+		t.Fatal("If emitted no branch")
+	}
+	if !br.PredNeg {
+		t.Error("If branch must be taken when the condition is false")
+	}
+	if br.Target != br.Reconv {
+		t.Errorf("If branch target %d must equal reconvergence %d", br.Target, br.Reconv)
+	}
+	if br.Target > len(prog.Code) {
+		t.Errorf("branch target out of range")
+	}
+}
+
+func TestIfElseLowering(t *testing.T) {
+	b := New("ifelse")
+	p := b.P()
+	b.ISetpI(p, isa.CmpEQ, b.S2R(isa.SRTidX), 0)
+	b.IfElse(p, false, func() { b.MovI(1) }, func() { b.MovI(2) })
+	b.FreeP(p)
+	prog := b.MustBuild()
+
+	var brs []*isa.Instr
+	for i := range prog.Code {
+		if prog.Code[i].Op == isa.OpBRA {
+			brs = append(brs, &prog.Code[i])
+		}
+	}
+	if len(brs) != 2 {
+		t.Fatalf("IfElse must emit 2 branches, got %d", len(brs))
+	}
+	condBr, jmp := brs[0], brs[1]
+	if condBr.Reconv != jmp.Reconv {
+		t.Errorf("both branches must share the reconvergence point: %d vs %d", condBr.Reconv, jmp.Reconv)
+	}
+	if condBr.Target <= jmp.Target-1 && condBr.Target != jmp.Target {
+		// cond branch jumps to the else start, which follows the jmp
+		if condBr.Target != jmp.Target {
+			// else start is right after the unconditional jump
+		}
+	}
+	if jmp.Pred != isa.PT || jmp.PredNeg {
+		t.Error("then-exit jump must be unconditional")
+	}
+}
+
+func TestWhileLowering(t *testing.T) {
+	b := New("while")
+	i := b.MovI(0)
+	p := b.P()
+	b.While(func() (isa.Pred, bool) {
+		b.ISetpI(p, isa.CmpLT, i, 10)
+		return p, false
+	}, func() {
+		b.IAddITo(i, i, 1)
+	})
+	b.FreeP(p)
+	prog := b.MustBuild()
+
+	var exitBr, backBr *isa.Instr
+	for k := range prog.Code {
+		ins := &prog.Code[k]
+		if ins.Op != isa.OpBRA {
+			continue
+		}
+		if ins.Target <= k {
+			backBr = ins
+		} else {
+			exitBr = ins
+		}
+	}
+	if exitBr == nil || backBr == nil {
+		t.Fatal("While must emit a forward exit branch and a backward branch")
+	}
+	if exitBr.Target != exitBr.Reconv {
+		t.Error("loop-exit branch must reconverge at the loop end")
+	}
+	if backBr.Pred != isa.PT {
+		t.Error("back edge must be unconditional")
+	}
+}
+
+func TestForCountsCorrectly(t *testing.T) {
+	// structural check: For body plus increment and bound test exist
+	b := New("for")
+	i := b.MovI(0)
+	n := 0
+	b.ForI(i, 5, 1, func() { n++; b.MovI(9) })
+	prog := b.MustBuild()
+	if n != 1 {
+		t.Errorf("loop body closure must run exactly once at build time, ran %d", n)
+	}
+	if len(prog.Code) < 5 {
+		t.Errorf("For emitted too little code: %d instructions", len(prog.Code))
+	}
+}
+
+func TestPredLIFO(t *testing.T) {
+	b := New("pred")
+	p1 := b.P()
+	p2 := b.P()
+	b.FreeP(p2)
+	b.FreeP(p1)
+	b.MovI(0)
+	if _, err := b.Build(); err != nil {
+		t.Errorf("LIFO pred usage must build: %v", err)
+	}
+
+	b2 := New("pred2")
+	q1 := b2.P()
+	_ = b2.P()
+	b2.FreeP(q1) // out of order
+	b2.MovI(0)
+	if _, err := b2.Build(); err == nil {
+		t.Error("out-of-order FreeP must fail the build")
+	}
+}
+
+func TestPredExhaustion(t *testing.T) {
+	b := New("exhaust")
+	for i := 0; i < isa.NumPreds; i++ {
+		b.P()
+	}
+	b.P() // 8th
+	b.MovI(0)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "predicate") {
+		t.Errorf("predicate exhaustion must fail: %v", err)
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	b := New("regs")
+	for i := 0; i < isa.MaxRegs+1; i++ {
+		b.MovI(int32(i))
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("register exhaustion must fail the build")
+	}
+}
+
+func TestGuarded(t *testing.T) {
+	b := New("guard")
+	p := b.P()
+	b.ISetpI(p, isa.CmpEQ, b.S2R(isa.SRTidX), 0)
+	var idx int
+	b.Guarded(p, true, func() {
+		idx = len(b.code)
+		b.MovI(5)
+	})
+	b.FreeP(p)
+	prog := b.MustBuild()
+	ins := prog.Code[idx]
+	if ins.Pred != p || !ins.PredNeg {
+		t.Errorf("guarded instruction has guard %v/%v, want %v/true", ins.Pred, ins.PredNeg, p)
+	}
+	// after the Guarded block, instructions are unguarded again
+	last := prog.Code[len(prog.Code)-2] // the instruction before EXIT... EXIT itself is unguarded
+	_ = last
+}
+
+func TestAutoExit(t *testing.T) {
+	b := New("exit")
+	b.MovI(0)
+	prog := b.MustBuild()
+	if prog.Code[len(prog.Code)-1].Op != isa.OpEXIT {
+		t.Error("Build must append EXIT")
+	}
+	b2 := New("exit2")
+	b2.MovI(0)
+	b2.Exit()
+	prog2 := b2.MustBuild()
+	count := 0
+	for _, ins := range prog2.Code {
+		if ins.Op == isa.OpEXIT {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("explicit EXIT must not be duplicated, found %d", count)
+	}
+}
+
+func TestNumRegsTracksAllocations(t *testing.T) {
+	b := New("nr")
+	b.MovI(1)
+	b.MovI(2)
+	r := b.IAdd(0, 1)
+	_ = r
+	prog := b.MustBuild()
+	if prog.NumRegs != 3 {
+		t.Errorf("NumRegs = %d, want 3", prog.NumRegs)
+	}
+}
+
+func TestFDivAndExpfEmitMufu(t *testing.T) {
+	b := New("mufu")
+	x := b.MovF(2)
+	b.FDiv(x, x)
+	b.Expf(x)
+	b.Logf(x)
+	prog := b.MustBuild()
+	var mufus []isa.MufuOp
+	for _, ins := range prog.Code {
+		if ins.Op == isa.OpMUFU {
+			mufus = append(mufus, ins.Mufu)
+		}
+	}
+	if len(mufus) != 3 || mufus[0] != isa.MufuRCP || mufus[1] != isa.MufuEX2 || mufus[2] != isa.MufuLG2 {
+		t.Errorf("expected RCP, EX2, LG2; got %v", mufus)
+	}
+}

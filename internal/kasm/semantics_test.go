@@ -1,0 +1,278 @@
+package kasm_test
+
+import (
+	"math"
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/funcsim"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// runKernel executes a single-CTA kernel that stores results to out[] and
+// returns the output words.
+func runKernel(t *testing.T, threads, smem, words int, build func(b *kasm.Builder, out isa.Reg)) []uint32 {
+	t.Helper()
+	b := kasm.New("semantics")
+	out := b.Param(0)
+	build(b, out)
+	prog := b.MustBuild()
+	m := device.NewMemory(1 << 16)
+	buf := m.Alloc("out", 4*words)
+	job := &device.Job{
+		Name: "sem", Mem: m,
+		Steps: []device.Step{{Launch: &device.Launch{
+			Kernel: prog, GridX: 1, GridY: 1, BlockX: threads, BlockY: 1,
+			SmemBytes: smem,
+			Params:    []uint32{buf}, ParamIsPtr: []bool{true},
+		}}},
+		Outputs: []device.Output{{Name: "out", Addr: buf, Size: uint32(4 * words)}},
+	}
+	r := funcsim.Run(job, funcsim.Options{})
+	if r.Err != nil {
+		t.Fatalf("kernel failed: %v", r.Err)
+	}
+	words32 := make([]uint32, words)
+	for i := range words32 {
+		words32[i] = uint32(r.Output[4*i]) | uint32(r.Output[4*i+1])<<8 |
+			uint32(r.Output[4*i+2])<<16 | uint32(r.Output[4*i+3])<<24
+	}
+	return words32
+}
+
+// TestIntegerHelpers drives every integer helper end to end.
+func TestIntegerHelpers(t *testing.T) {
+	got := runKernel(t, 1, 0, 14, func(b *kasm.Builder, out isa.Reg) {
+		a := b.MovI(20)
+		c := b.MovI(6)
+		store := func(slot int32, v isa.Reg) { b.Stg(out, 4*slot, v) }
+		store(0, b.IAdd(a, c))      // 26
+		store(1, b.ISub(a, c))      // 14
+		store(2, b.ISubI(a, 5))     // 15
+		store(3, b.IMul(a, c))      // 120
+		store(4, b.IMulI(a, -2))    // -40
+		store(5, b.IMad(a, c, c))   // 126
+		store(6, b.IScAdd(a, c, 3)) // 20<<3+6 = 166
+		store(7, b.IMin(a, c))      // 6
+		store(8, b.IMax(a, c))      // 20
+		store(9, b.Shl(c, 4))       // 96
+		store(10, b.Shr(a, 2))      // 5
+		store(11, b.And(a, c))      // 4
+		store(12, b.Or(a, c))       // 22
+		store(13, b.Xor(a, c))      // 18
+	})
+	neg40 := int32(-40)
+	want := []uint32{26, 14, 15, 120, uint32(neg40), 126, 166, 6, 20, 96, 5, 4, 22, 18}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("slot %d = %d, want %d", i, int32(got[i]), int32(w))
+		}
+	}
+}
+
+// TestFloatHelpers drives every float helper.
+func TestFloatHelpers(t *testing.T) {
+	got := runKernel(t, 1, 0, 12, func(b *kasm.Builder, out isa.Reg) {
+		x := b.MovF(3)
+		y := b.MovF(4)
+		store := func(slot int32, v isa.Reg) { b.Stg(out, 4*slot, v) }
+		store(0, b.FAdd(x, y))            // 7
+		store(1, b.FSub(x, y))            // -1
+		store(2, b.FMul(x, y))            // 12
+		store(3, b.FFma(x, y, x))         // 15
+		store(4, b.FMin(x, y))            // 3
+		store(5, b.FMax(x, y))            // 4
+		store(6, b.FDiv(y, x))            // 4/3 via reciprocal
+		store(7, b.Rcp(y))                // 0.25
+		store(8, b.Sqrt(y))               // 2
+		store(9, b.Ex2(x))                // 8
+		store(10, b.Lg2(y))               // 2
+		store(11, b.Mufu(isa.MufuRSQ, y)) // 0.5
+	})
+	want := []float32{7, -1, 12, 15, 3, 4, 4.0 / 3.0, 0.25, 2, 8, 2, 0.5}
+	for i, w := range want {
+		g := math.Float32frombits(got[i])
+		if d := math.Abs(float64(g - w)); d > 1e-5 {
+			t.Errorf("slot %d = %v, want %v", i, g, w)
+		}
+	}
+}
+
+// TestConversionsAndExpLog drives I2F/F2I and the exp/ln sugar.
+func TestConversionsAndExpLog(t *testing.T) {
+	got := runKernel(t, 1, 0, 4, func(b *kasm.Builder, out isa.Reg) {
+		b.Stg(out, 0, b.I2F(b.MovI(-9)))
+		b.Stg(out, 4, b.F2I(b.MovF(7.9)))
+		b.Stg(out, 8, b.Expf(b.MovF(1)))
+		b.Stg(out, 12, b.Logf(b.MovF(float32(math.E))))
+	})
+	if math.Float32frombits(got[0]) != -9 {
+		t.Errorf("I2F = %v", math.Float32frombits(got[0]))
+	}
+	if int32(got[1]) != 7 {
+		t.Errorf("F2I = %d", int32(got[1]))
+	}
+	if e := math.Float32frombits(got[2]); math.Abs(float64(e)-math.E) > 1e-4 {
+		t.Errorf("Expf(1) = %v", e)
+	}
+	if l := math.Float32frombits(got[3]); math.Abs(float64(l)-1) > 1e-4 {
+		t.Errorf("Logf(e) = %v", l)
+	}
+}
+
+// TestPredicateHelpers drives ISetp variants, FSetp, Sel and Guarded.
+func TestPredicateHelpers(t *testing.T) {
+	got := runKernel(t, 32, 0, 4*32, func(b *kasm.Builder, out isa.Reg) {
+		tid := b.S2R(isa.SRTidX)
+		slot := b.IScAdd(tid, out, 2)
+		p := b.P()
+		q := b.P()
+		// p = tid >= 8 && tid < 24  (via ISetpI then ISetpIAnd)
+		b.ISetpI(p, isa.CmpGE, tid, 8)
+		b.ISetpIAnd(p, isa.CmpLT, tid, 24, p, false)
+		b.Stg(slot, 0, b.Sel(p, b.MovI(1), b.MovI(0)))
+		// q = float compare
+		b.FSetp(q, isa.CmpGT, b.I2F(tid), b.MovF(15.5))
+		v := b.MovI(0)
+		b.SelTo(v, q, b.MovI(1), b.MovI(0))
+		b.Stg(slot, 4*32, v)
+		// guarded store: only lanes with p write the third region
+		z := b.MovI(0)
+		b.Stg(slot, 8*32, z)
+		b.Guarded(p, false, func() {
+			b.Stg(slot, 8*32, b.MovI(9))
+		})
+		// ISetpAnd with register operand
+		r := b.P()
+		b.ISetpAnd(r, isa.CmpEQ, b.AndI(tid, 1), b.MovI(0), p, false)
+		b.Stg(slot, 12*32, b.Sel(r, b.MovI(1), b.MovI(0)))
+		b.FreeP(r)
+		b.FreeP(q)
+		b.FreeP(p)
+	})
+	for tid := 0; tid < 32; tid++ {
+		inBand := tid >= 8 && tid < 24
+		if (got[tid] == 1) != inBand {
+			t.Errorf("tid %d band = %d", tid, got[tid])
+		}
+		if (got[32+tid] == 1) != (float32(tid) > 15.5) {
+			t.Errorf("tid %d fsetp = %d", tid, got[32+tid])
+		}
+		wantG := uint32(0)
+		if inBand {
+			wantG = 9
+		}
+		if got[64+tid] != wantG {
+			t.Errorf("tid %d guarded = %d, want %d", tid, got[64+tid], wantG)
+		}
+		wantR := uint32(0)
+		if inBand && tid%2 == 0 {
+			wantR = 1
+		}
+		if got[96+tid] != wantR {
+			t.Errorf("tid %d and-chain = %d, want %d", tid, got[96+tid], wantR)
+		}
+	}
+}
+
+// TestControlFlowHelpers drives IfElse, While, For and ForI together.
+func TestControlFlowHelpers(t *testing.T) {
+	got := runKernel(t, 32, 4*32, 2*32, func(b *kasm.Builder, out isa.Reg) {
+		tid := b.S2R(isa.SRTidX)
+		slot := b.IScAdd(tid, out, 2)
+		p := b.P()
+		b.ISetpI(p, isa.CmpLT, tid, 16)
+		v := b.R()
+		b.IfElse(p, false, func() {
+			// sum 0..tid-1 with For
+			acc := b.MovI(0)
+			i := b.MovI(0)
+			b.For(i, tid, 1, func() { b.IAddTo(acc, acc, i) })
+			b.MovTo(v, acc)
+		}, func() {
+			// tid * 3 with a manual While
+			acc := b.MovI(0)
+			i := b.MovI(0)
+			q := b.P()
+			b.While(func() (isa.Pred, bool) {
+				b.ISetpI(q, isa.CmpLT, i, 3)
+				return q, false
+			}, func() {
+				b.IAddTo(acc, acc, tid)
+				b.IAddITo(i, i, 1)
+			})
+			b.FreeP(q)
+			b.MovTo(v, acc)
+		})
+		b.FreeP(p)
+		b.Stg(slot, 0, v)
+
+		// ForI with shared-memory exchange and MovITo/MovFTo/ShrTo coverage
+		b.Sts(b.Shl(tid, 2), 0, tid)
+		b.Barrier()
+		sum := b.MovI(0)
+		k := b.MovI(0)
+		b.ForI(k, 4, 1, func() {
+			idx := b.AndI(b.IAdd(tid, k), 31)
+			b.IAddTo(sum, sum, b.Lds(b.Shl(idx, 2), 0))
+		})
+		b.Stg(slot, 4*32, sum)
+	})
+	for tid := 0; tid < 32; tid++ {
+		var want uint32
+		if tid < 16 {
+			want = uint32(tid * (tid - 1) / 2)
+		} else {
+			want = uint32(tid * 3)
+		}
+		if got[tid] != want {
+			t.Errorf("tid %d ifelse = %d, want %d", tid, got[tid], want)
+		}
+		wantSum := uint32(0)
+		for k := 0; k < 4; k++ {
+			wantSum += uint32((tid + k) % 32)
+		}
+		if got[32+tid] != wantSum {
+			t.Errorf("tid %d windowed sum = %d, want %d", tid, got[32+tid], wantSum)
+		}
+	}
+}
+
+// TestMemoryHelperVariants drives LdgTo/LdsTo/Ldt/MovFTo/FAddTo/FMulTo/
+// FFmaTo/ShrTo/IMadTo.
+func TestMemoryHelperVariants(t *testing.T) {
+	got := runKernel(t, 1, 16, 5, func(b *kasm.Builder, out isa.Reg) {
+		b.Stg(out, 0, b.MovI(17))
+		v := b.R()
+		b.LdgTo(v, out, 0) // 17
+		tex := b.Ldt(out, 0)
+		b.Sts(b.MovI(0), 0, b.IAdd(v, tex)) // 34 in smem
+		w := b.R()
+		b.LdsTo(w, b.MovI(0), 0)
+		b.Stg(out, 4, w) // 34
+
+		f := b.R()
+		b.MovFTo(f, 1.5)
+		b.FAddTo(f, f, f)            // 3
+		b.FMulTo(f, f, b.MovF(2))    // 6
+		b.FFmaTo(f, f, b.MovF(2), f) // 18
+		b.Stg(out, 8, f)
+
+		s := b.R()
+		b.ShrTo(s, b.MovI(64), 3) // 8
+		b.Stg(out, 12, s)
+		m := b.R()
+		b.IMadTo(m, s, s, s) // 72
+		b.Stg(out, 16, m)
+	})
+	if got[1] != 34 {
+		t.Errorf("Ldg+Ldt+smem = %d", got[1])
+	}
+	if math.Float32frombits(got[2]) != 18 {
+		t.Errorf("float-to chain = %v", math.Float32frombits(got[2]))
+	}
+	if got[3] != 8 || got[4] != 72 {
+		t.Errorf("ShrTo/IMadTo = %d, %d", got[3], got[4])
+	}
+}

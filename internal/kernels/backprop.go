@@ -1,0 +1,248 @@
+package kernels
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// BackProp is the Rodinia backprop benchmark: K1 bpnn_layerforward_CUDA
+// computes per-block partial sums of input×weight products with an in-block
+// tree reduction; the host squashes the sums through a sigmoid (as the
+// Rodinia host code does); K2 bpnn_adjust_weights_cuda applies the
+// delta-rule weight update with momentum.
+func BackProp() App {
+	const (
+		in  = 64
+		hid = 16
+		blk = 16
+		eta = float32(0.3)
+		mom = float32(0.3)
+	)
+	nBlocks := in / blk
+	return App{
+		Name:    "BackProp",
+		Kernels: []string{"K1", "K2"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			input, w, oldw, delta := backpropInput(in, hid)
+			dIn := m.Alloc("input", 4*(in+1))
+			dW := m.Alloc("weights", 4*(in+1)*(hid+1))
+			dOldW := m.Alloc("oldWeights", 4*(in+1)*(hid+1))
+			dDelta := m.Alloc("delta", 4*(hid+1))
+			dPartial := m.Alloc("partialSum", 4*nBlocks*hid)
+			dHidden := m.Alloc("hidden", 4*(hid+1))
+			m.WriteF32s(dIn, input)
+			m.WriteF32s(dW, w)
+			m.WriteF32s(dOldW, oldw)
+			m.WriteF32s(dDelta, delta)
+
+			k1 := backpropForward(in, hid, blk)
+			k2 := backpropAdjust(in, hid, blk, eta, mom)
+
+			hostSquash := func(mm *device.Memory, off uint32) int {
+				for j := 0; j < hid; j++ {
+					var sum float32
+					for bb := 0; bb < nBlocks; bb++ {
+						sum += mm.PeekF32(dPartial + off + uint32(4*(bb*hid+j)))
+					}
+					sum += mm.PeekF32(dW + off + uint32(4*(j+1))) // bias row
+					mm.PokeF32(dHidden+off+uint32(4*(j+1)), squash32(sum))
+				}
+				return -1
+			}
+
+			return &device.Job{
+				Name: "BackProp",
+				Mem:  m,
+				Steps: []device.Step{
+					{Launch: launch2D(k1, "K1", 1, nBlocks, blk, blk, 4*(blk+blk*blk),
+						ptr(dIn), ptr(dW), ptr(dPartial), val(in), val(hid))},
+					{Host: hostSquash},
+					{Launch: launch2D(k2, "K2", 1, nBlocks, blk, blk, 0,
+						ptr(dDelta), val(hid), ptr(dIn), val(in), ptr(dW), ptr(dOldW))},
+				},
+				Outputs: []device.Output{
+					{Name: "weights", Addr: dW, Size: 4 * (in + 1) * (hid + 1)},
+					{Name: "hidden", Addr: dHidden, Size: 4 * (hid + 1)},
+				},
+			}
+		},
+		Check: func(out []byte) error {
+			wWant, hWant := backpropRef(in, hid, blk, eta, mom)
+			var sc sliceCheck
+			sc.floats(out, wWant, 1e-3)
+			sc.floats(out, hWant, 1e-3)
+			return sc.err
+		},
+	}
+}
+
+func squash32(x float32) float32 {
+	// 1/(1+exp(-x)) mirrored with the ISA float ops
+	return fdiv32(1, 1+exp32(-x))
+}
+
+func backpropInput(in, hid int) (input, w, oldw, delta []float32) {
+	input = randFloats(1001, in+1, 0, 1)
+	input[0] = 1 // bias unit
+	w = randFloats(1002, (in+1)*(hid+1), -0.5, 0.5)
+	oldw = make([]float32, (in+1)*(hid+1))
+	delta = randFloats(1003, hid+1, -0.2, 0.2)
+	return
+}
+
+// backpropRef mirrors both kernels and the host squash step.
+func backpropRef(in, hid, blk int, eta, mom float32) (wOut, hidden []float32) {
+	nBlocks := in / blk
+	input, w, oldw, delta := backpropInput(in, hid)
+
+	// K1: per-block tile product + tree reduction over ty
+	partial := make([]float32, nBlocks*hid)
+	for by := 0; by < nBlocks; by++ {
+		var wm [16][16]float32
+		for ty := 0; ty < blk; ty++ {
+			for tx := 0; tx < blk; tx++ {
+				idx := (hid+1)*(by*blk+ty+1) + tx + 1
+				wm[ty][tx] = w[idx] * input[by*blk+ty+1]
+			}
+		}
+		for pow := 2; pow <= blk; pow *= 2 {
+			for ty := 0; ty < blk; ty++ {
+				if ty%pow == 0 {
+					for tx := 0; tx < blk; tx++ {
+						wm[ty][tx] += wm[ty+pow/2][tx]
+					}
+				}
+			}
+		}
+		for tx := 0; tx < blk; tx++ {
+			partial[by*hid+tx] = wm[0][tx]
+		}
+	}
+	hidden = make([]float32, hid+1)
+	for j := 0; j < hid; j++ {
+		var sum float32
+		for bb := 0; bb < nBlocks; bb++ {
+			sum += partial[bb*hid+j]
+		}
+		sum += w[j+1]
+		hidden[j+1] = squash32(sum)
+	}
+
+	// K2: weight adjustment
+	for by := 0; by < nBlocks; by++ {
+		for ty := 0; ty < blk; ty++ {
+			for tx := 0; tx < blk; tx++ {
+				idx := (hid+1)*(by*blk+ty+1) + tx + 1
+				dv := fma32(eta*delta[tx+1], input[by*blk+ty+1], mom*oldw[idx])
+				w[idx] += dv
+				oldw[idx] = dv
+				if ty == 0 && by == 0 {
+					dv0 := fma32(eta*delta[tx+1], 1, mom*oldw[tx+1])
+					w[tx+1] += dv0
+					oldw[tx+1] = dv0
+				}
+			}
+		}
+	}
+	return w, hidden
+}
+
+// backpropForward is bpnn_layerforward_CUDA.
+// Params: input weights partialSum in hid.
+func backpropForward(in, hid, blk int) *isa.Program {
+	b := kasm.New("bpnn_layerforward")
+	tx := b.S2R(isa.SRTidX)
+	ty := b.S2R(isa.SRTidY)
+	by := b.S2R(isa.SRCtaIDY)
+
+	// shared: input_node[blk] at 0, weight_matrix[blk][blk] after
+	wmOff := int32(4 * blk)
+	smIn := b.Shl(ty, 2)
+	smWm := b.IAddI(b.Shl(b.IMad(ty, b.MovI(int32(blk)), tx), 2), wmOff)
+
+	indexIn := b.IAddI(b.IMad(by, b.MovI(int32(blk)), ty), 1)
+	hid1 := b.MovI(int32(hid + 1))
+	index := b.IAddI(b.IAdd(b.IMul(hid1, indexIn), tx), 1)
+
+	p := b.P()
+	b.ISetpI(p, isa.CmpEQ, tx, 0)
+	b.If(p, false, func() {
+		b.Sts(smIn, 0, b.Ldg(b.IScAdd(indexIn, b.Param(0), 2), 0))
+	})
+	b.Barrier()
+	b.Sts(smWm, 0, b.Ldg(b.IScAdd(index, b.Param(1), 2), 0))
+	b.Barrier()
+	b.Sts(smWm, 0, b.FMul(b.Lds(smWm, 0), b.Lds(smIn, 0)))
+	b.Barrier()
+
+	// tree reduction over ty: for pow=2,4,..,blk: if ty%pow==0: wm[ty][tx] += wm[ty+pow/2][tx]
+	pow := b.MovI(2)
+	q := b.P()
+	b.While(func() (isa.Pred, bool) {
+		b.ISetpI(q, isa.CmpLE, pow, int32(blk))
+		return q, false
+	}, func() {
+		r := b.P()
+		mask := b.ISubI(pow, 1)
+		b.ISetpI(r, isa.CmpEQ, b.And(ty, mask), 0)
+		b.If(r, false, func() {
+			half := b.Shr(pow, 1)
+			other := b.IAddI(b.Shl(b.IMad(b.IAdd(ty, half), b.MovI(int32(blk)), tx), 2), wmOff)
+			b.Sts(smWm, 0, b.FAdd(b.Lds(smWm, 0), b.Lds(other, 0)))
+		})
+		b.FreeP(r)
+		b.Barrier()
+		b.Emit(isa.Instr{Op: isa.OpSHL, Dst: pow, SrcA: pow, BImm: true, Imm: 1})
+	})
+	b.FreeP(q)
+
+	b.ISetpI(p, isa.CmpEQ, ty, 0)
+	b.If(p, false, func() {
+		out := b.IMad(by, b.Param(4), tx)
+		b.Stg(b.IScAdd(out, b.Param(2), 2), 0, b.Lds(smWm, 0))
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}
+
+// backpropAdjust is bpnn_adjust_weights_cuda.
+// Params: delta hid ly in w oldw.
+func backpropAdjust(in, hid, blk int, eta, mom float32) *isa.Program {
+	b := kasm.New("bpnn_adjust_weights")
+	tx := b.S2R(isa.SRTidX)
+	ty := b.S2R(isa.SRTidY)
+	by := b.S2R(isa.SRCtaIDY)
+
+	indexY := b.IAddI(b.IMad(by, b.MovI(int32(blk)), ty), 1)
+	indexX := b.IAddI(tx, 1)
+	hid1 := b.MovI(int32(hid + 1))
+	index := b.IAdd(b.IMul(hid1, indexY), indexX)
+
+	etaR := b.MovF(eta)
+	momR := b.MovF(mom)
+	dl := b.Ldg(b.IScAdd(indexX, b.Param(0), 2), 0)
+	ly := b.Ldg(b.IScAdd(indexY, b.Param(2), 2), 0)
+	oldAddr := b.IScAdd(index, b.Param(5), 2)
+	wAddr := b.IScAdd(index, b.Param(4), 2)
+	ow := b.Ldg(oldAddr, 0)
+	dv := b.FFma(b.FMul(etaR, dl), ly, b.FMul(momR, ow))
+	b.Stg(wAddr, 0, b.FAdd(b.Ldg(wAddr, 0), dv))
+	b.Stg(oldAddr, 0, dv)
+
+	// bias row (ly[0] = 1), done by the by==0, ty==0 threads
+	p := b.P()
+	b.ISetpI(p, isa.CmpEQ, ty, 0)
+	b.ISetpIAnd(p, isa.CmpEQ, by, 0, p, false)
+	b.If(p, false, func() {
+		oldAddr0 := b.IScAdd(indexX, b.Param(5), 2)
+		wAddr0 := b.IScAdd(indexX, b.Param(4), 2)
+		ow0 := b.Ldg(oldAddr0, 0)
+		dv0 := b.FFma(b.FMul(etaR, dl), b.MovF(1), b.FMul(momR, ow0))
+		b.Stg(wAddr0, 0, b.FAdd(b.Ldg(wAddr0, 0), dv0))
+		b.Stg(oldAddr0, 0, dv0)
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}

@@ -1,0 +1,181 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// BFS is the Rodinia breadth-first-search benchmark: K1 expands the current
+// frontier (mask) writing tentative costs and the updating mask, K2 promotes
+// the updating mask into the next frontier and raises the host-visible stop
+// flag. The host loops the kernel pair while the flag is set, exactly like
+// the Rodinia driver's do/while over cudaMemcpy of g_over.
+func BFS() App {
+	const (
+		nodes = 512
+		block = 256
+	)
+	return App{
+		Name:    "BFS",
+		Kernels: []string{"K1", "K2"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			starts, degs, edges := bfsGraph(nodes)
+			dStart := m.Alloc("nodeStart", 4*nodes)
+			dDeg := m.Alloc("nodeDeg", 4*nodes)
+			dEdges := m.Alloc("edges", 4*len(edges))
+			dMask := m.Alloc("mask", 4*nodes)
+			dUpd := m.Alloc("updating", 4*nodes)
+			dVis := m.Alloc("visited", 4*nodes)
+			dCost := m.Alloc("cost", 4*nodes)
+			dStop := m.Alloc("stop", 4)
+			m.WriteI32s(dStart, starts)
+			m.WriteI32s(dDeg, degs)
+			m.WriteI32s(dEdges, edges)
+			cost := make([]int32, nodes)
+			for i := range cost {
+				cost[i] = -1
+			}
+			cost[0] = 0
+			m.WriteI32s(dCost, cost)
+			m.PokeU32(dMask, 1)
+			m.PokeU32(dVis, 1)
+
+			k1 := bfsKernel1(nodes)
+			k2 := bfsKernel2(nodes)
+			grid := nodes / block
+
+			hostLoop := func(mm *device.Memory, off uint32) int {
+				if mm.PeekU32(dStop+off) != 0 {
+					mm.PokeU32(dStop+off, 0)
+					return 0 // run the kernel pair again
+				}
+				return -1
+			}
+			return &device.Job{
+				Name: "BFS",
+				Mem:  m,
+				Steps: []device.Step{
+					{Launch: launch1D(k1, "K1", grid, block, 0,
+						ptr(dStart), ptr(dDeg), ptr(dEdges), ptr(dMask), ptr(dUpd),
+						ptr(dVis), ptr(dCost), val(nodes))},
+					{Launch: launch1D(k2, "K2", grid, block, 0,
+						ptr(dMask), ptr(dUpd), ptr(dVis), ptr(dStop), val(nodes))},
+					{Host: hostLoop},
+				},
+				Outputs:  []device.Output{{Name: "cost", Addr: dCost, Size: 4 * nodes}},
+				MaxSteps: 200,
+			}
+		},
+		Check: func(out []byte) error {
+			return checkInts(out, bfsRef(nodes))
+		},
+	}
+}
+
+// bfsGraph builds a deterministic connected graph: a ring plus two random
+// out-edges per node, in Rodinia's CSR-like layout.
+func bfsGraph(nodes int) (starts, degs, edges []int32) {
+	rng := rand.New(rand.NewSource(1101))
+	adj := make([][]int32, nodes)
+	for i := 0; i < nodes; i++ {
+		adj[i] = append(adj[i], int32((i+1)%nodes), int32((i+nodes-1)%nodes))
+		for k := 0; k < 2; k++ {
+			adj[i] = append(adj[i], rng.Int31n(int32(nodes)))
+		}
+	}
+	starts = make([]int32, nodes)
+	degs = make([]int32, nodes)
+	for i, a := range adj {
+		starts[i] = int32(len(edges))
+		degs[i] = int32(len(a))
+		edges = append(edges, a...)
+	}
+	return
+}
+
+// bfsRef computes BFS levels from node 0.
+func bfsRef(nodes int) []int32 {
+	starts, degs, edges := bfsGraph(nodes)
+	cost := make([]int32, nodes)
+	for i := range cost {
+		cost[i] = -1
+	}
+	cost[0] = 0
+	frontier := []int32{0}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, n := range frontier {
+			for e := starts[n]; e < starts[n]+degs[n]; e++ {
+				id := edges[e]
+				if cost[id] < 0 {
+					cost[id] = cost[n] + 1
+					next = append(next, id)
+				}
+			}
+		}
+		frontier = next
+	}
+	return cost
+}
+
+// bfsKernel1 expands the frontier.
+// Params: nodeStart nodeDeg edges mask updating visited cost n.
+func bfsKernel1(nodes int) *isa.Program {
+	b := kasm.New("bfs_kernel")
+	tid := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, tid, b.Param(7))
+	maskAddr := b.IScAdd(tid, b.Param(3), 2)
+	inFrontier := b.P()
+	mv := b.Ldg(maskAddr, 0)
+	b.ISetpIAnd(inFrontier, isa.CmpNE, mv, 0, p, false)
+	b.If(inFrontier, false, func() {
+		b.Stg(maskAddr, 0, b.MovI(0))
+		myCost := b.Ldg(b.IScAdd(tid, b.Param(6), 2), 0)
+		newCost := b.IAddI(myCost, 1)
+		start := b.Ldg(b.IScAdd(tid, b.Param(0), 2), 0)
+		deg := b.Ldg(b.IScAdd(tid, b.Param(1), 2), 0)
+		end := b.IAdd(start, deg)
+		e := b.Mov(start)
+		b.For(e, end, 1, func() {
+			id := b.Ldg(b.IScAdd(e, b.Param(2), 2), 0)
+			vis := b.Ldg(b.IScAdd(id, b.Param(5), 2), 0)
+			q := b.P()
+			b.ISetpI(q, isa.CmpEQ, vis, 0)
+			b.If(q, false, func() {
+				b.Stg(b.IScAdd(id, b.Param(6), 2), 0, newCost)
+				b.Stg(b.IScAdd(id, b.Param(4), 2), 0, b.MovI(1))
+			})
+			b.FreeP(q)
+		})
+	})
+	b.FreeP(inFrontier)
+	b.FreeP(p)
+	return b.MustBuild()
+}
+
+// bfsKernel2 promotes the updating mask into the next frontier.
+// Params: mask updating visited stop n.
+func bfsKernel2(nodes int) *isa.Program {
+	b := kasm.New("bfs_kernel2")
+	tid := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, tid, b.Param(4))
+	updAddr := b.IScAdd(tid, b.Param(1), 2)
+	q := b.P()
+	uv := b.Ldg(updAddr, 0)
+	b.ISetpIAnd(q, isa.CmpNE, uv, 0, p, false)
+	b.If(q, false, func() {
+		b.Stg(b.IScAdd(tid, b.Param(0), 2), 0, b.MovI(1))
+		b.Stg(b.IScAdd(tid, b.Param(2), 2), 0, b.MovI(1))
+		b.Stg(b.Param(3), 0, b.MovI(1))
+		b.Stg(updAddr, 0, b.MovI(0))
+	})
+	b.FreeP(q)
+	b.FreeP(p)
+	return b.MustBuild()
+}

@@ -1,0 +1,213 @@
+package kernels
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// HotSpot is the Rodinia hotspot benchmark: the calculate_temp kernel with
+// the original pyramid structure — each CTA loads a 16×16 halo-extended tile
+// of temperature and power into shared memory and iterates the thermal
+// update `iteration` times in-block, shrinking the valid region each step.
+// Two ping-pong launches advance the simulation by 2×iteration steps.
+func HotSpot() App {
+	const (
+		gridRows = 32
+		gridCols = 32
+		blk      = 16
+		pyramid  = 2 // in-block iterations per launch
+		launches = 2
+
+		ambTemp    = float32(80)
+		stepDivCap = float32(0.05)
+		rx         = float32(5)  // Rx_1 = 0.2
+		ry         = float32(5)  // Ry_1 = 0.2
+		rz         = float32(20) // Rz_1 = 0.05
+	)
+	border := pyramid // border rows/cols = iteration * EXPAND_RATE/2
+	smallBlk := blk - 2*border
+	gBlocks := (gridCols + smallBlk - 1) / smallBlk
+
+	return App{
+		Name:    "HotSpot",
+		Kernels: []string{"K1"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			temp := randFloats(601, gridRows*gridCols, 320, 340)
+			power := randFloats(602, gridRows*gridCols, 0, 1)
+			dPower := m.Alloc("power", 4*gridRows*gridCols)
+			dT0 := m.Alloc("temp0", 4*gridRows*gridCols)
+			dT1 := m.Alloc("temp1", 4*gridRows*gridCols)
+			m.WriteF32s(dPower, power)
+			m.WriteF32s(dT0, temp)
+
+			k := hotspotKernel(gridRows, gridCols, blk, pyramid, border,
+				ambTemp, stepDivCap, rx, ry, rz)
+			var steps []device.Step
+			src, dst := dT0, dT1
+			for i := 0; i < launches; i++ {
+				steps = append(steps, device.Step{
+					Launch: launch2D(k, "K1", gBlocks, gBlocks, blk, blk, 3*4*blk*blk,
+						ptr(dPower), ptr(src), ptr(dst)),
+				})
+				src, dst = dst, src
+			}
+			return &device.Job{
+				Name:    "HotSpot",
+				Mem:     m,
+				Steps:   steps,
+				Outputs: []device.Output{{Name: "temp", Addr: src, Size: 4 * gridRows * gridCols}},
+			}
+		},
+		Check: func(out []byte) error {
+			want := hotspotRef(gridRows, gridCols, pyramid*launches,
+				ambTemp, stepDivCap, rx, ry, rz)
+			return checkFloats(out, want, 1e-3)
+		},
+	}
+}
+
+// hotspotRef computes `iters` global steps of the thermal update in float32,
+// mirroring the kernel's operation order.
+func hotspotRef(rows, cols, iters int, amb, sdc, rx, ry, rz float32) []float32 {
+	temp := randFloats(601, rows*cols, 320, 340)
+	power := randFloats(602, rows*cols, 0, 1)
+	rx1, ry1, rz1 := rcp32(rx), rcp32(ry), rcp32(rz)
+	cur := append([]float32(nil), temp...)
+	next := make([]float32, rows*cols)
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	for it := 0; it < iters; it++ {
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				i := y*cols + x
+				t := cur[i]
+				tn := cur[clamp(y-1, 0, rows-1)*cols+x]
+				ts := cur[clamp(y+1, 0, rows-1)*cols+x]
+				tw := cur[y*cols+clamp(x-1, 0, cols-1)]
+				te := cur[y*cols+clamp(x+1, 0, cols-1)]
+				next[i] = t + sdc*(power[i]+
+					(ts+tn-2*t)*ry1+
+					(te+tw-2*t)*rx1+
+					(amb-t)*rz1)
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// hotspotKernel is calculate_temp. Params: power tempSrc tempDst.
+func hotspotKernel(rows, cols, blk, iteration, border int,
+	amb, sdc, rx, ry, rz float32) *isa.Program {
+	b := kasm.New("calculate_temp")
+	tx := b.S2R(isa.SRTidX)
+	ty := b.S2R(isa.SRTidY)
+	bx := b.S2R(isa.SRCtaIDX)
+	by := b.S2R(isa.SRCtaIDY)
+
+	smallBlk := blk - 2*border
+	// blkY = small_block_rows*by - border; yidx = blkY + ty
+	blkY := b.ISubI(b.IMulI(by, int32(smallBlk)), int32(border))
+	blkX := b.ISubI(b.IMulI(bx, int32(smallBlk)), int32(border))
+	yidx := b.IAdd(blkY, ty)
+	xidx := b.IAdd(blkX, tx)
+	index := b.IMad(yidx, b.MovI(int32(cols)), xidx)
+
+	// shared: temp_on [0], power_on [blk*blk*4], temp_t [2*blk*blk*4]
+	smOff := b.Shl(b.IMad(ty, b.MovI(int32(blk)), tx), 2)
+	tOn := int32(0)
+	pOn := int32(4 * blk * blk)
+	tT := int32(8 * blk * blk)
+
+	inGrid := b.P()
+	b.ISetpI(inGrid, isa.CmpGE, yidx, 0)
+	b.ISetpIAnd(inGrid, isa.CmpLE, yidx, int32(rows-1), inGrid, false)
+	b.ISetpIAnd(inGrid, isa.CmpGE, xidx, 0, inGrid, false)
+	b.ISetpIAnd(inGrid, isa.CmpLE, xidx, int32(cols-1), inGrid, false)
+	b.If(inGrid, false, func() {
+		b.Sts(smOff, tOn, b.Ldg(b.IScAdd(index, b.Param(1), 2), 0))
+		b.Sts(smOff, pOn, b.Ldg(b.IScAdd(index, b.Param(0), 2), 0))
+	})
+	b.Barrier()
+
+	// valid region of the tile (clipped at the grid edge)
+	zero := b.MovI(0)
+	blkMax := b.MovI(int32(blk - 1))
+	validYmin := b.IMax(zero, b.ISub(zero, blkY))
+	vYtmp := b.ISubI(b.IAddI(blkY, int32(blk-1)), int32(rows-1)) // overhang
+	validYmax := b.ISub(blkMax, b.IMax(zero, vYtmp))
+	validXmin := b.IMax(zero, b.ISub(zero, blkX))
+	vXtmp := b.ISubI(b.IAddI(blkX, int32(blk-1)), int32(cols-1))
+	validXmax := b.ISub(blkMax, b.IMax(zero, vXtmp))
+
+	n := b.IMax(b.ISubI(ty, 1), validYmin)
+	s := b.IMin(b.IAddI(ty, 1), validYmax)
+	w := b.IMax(b.ISubI(tx, 1), validXmin)
+	e := b.IMin(b.IAddI(tx, 1), validXmax)
+
+	nOff := b.Shl(b.IMad(n, b.MovI(int32(blk)), tx), 2)
+	sOff := b.Shl(b.IMad(s, b.MovI(int32(blk)), tx), 2)
+	wOff := b.Shl(b.IMad(ty, b.MovI(int32(blk)), w), 2)
+	eOff := b.Shl(b.IMad(ty, b.MovI(int32(blk)), e), 2)
+
+	rx1 := b.Rcp(b.MovF(rx))
+	ry1 := b.Rcp(b.MovF(ry))
+	rz1 := b.Rcp(b.MovF(rz))
+	sdcR := b.MovF(sdc)
+	ambR := b.MovF(amb)
+	two := b.MovF(2)
+
+	computed := b.P()
+	i := b.MovI(0)
+	iterReg := b.MovI(int32(iteration))
+	b.For(i, iterReg, 1, func() {
+		lo := b.IAddI(i, 1)
+		hi := b.ISub(b.MovI(int32(blk-2)), i)
+		b.ISetp(computed, isa.CmpGE, tx, lo)
+		b.ISetpAnd(computed, isa.CmpLE, tx, hi, computed, false)
+		b.ISetpAnd(computed, isa.CmpGE, ty, lo, computed, false)
+		b.ISetpAnd(computed, isa.CmpLE, ty, hi, computed, false)
+		b.ISetpAnd(computed, isa.CmpGE, tx, validXmin, computed, false)
+		b.ISetpAnd(computed, isa.CmpLE, tx, validXmax, computed, false)
+		b.ISetpAnd(computed, isa.CmpGE, ty, validYmin, computed, false)
+		b.ISetpAnd(computed, isa.CmpLE, ty, validYmax, computed, false)
+		b.If(computed, false, func() {
+			t := b.Lds(smOff, tOn)
+			pw := b.Lds(smOff, pOn)
+			tn := b.Lds(nOff, tOn)
+			ts := b.Lds(sOff, tOn)
+			tw := b.Lds(wOff, tOn)
+			te := b.Lds(eOff, tOn)
+			t2 := b.FMul(two, t)
+			acc := b.FAdd(pw, b.FMul(b.FSub(b.FAdd(ts, tn), t2), ry1))
+			acc = b.FAdd(acc, b.FMul(b.FSub(b.FAdd(te, tw), t2), rx1))
+			acc = b.FAdd(acc, b.FMul(b.FSub(ambR, t), rz1))
+			b.Sts(smOff, tT, b.FAdd(t, b.FMul(sdcR, acc)))
+		})
+		b.Barrier()
+		last := b.P()
+		b.ISetpI(last, isa.CmpLT, i, int32(iteration-1))
+		b.If(last, false, func() {
+			b.If(computed, false, func() {
+				b.Sts(smOff, tOn, b.Lds(smOff, tT))
+			})
+			b.Barrier()
+		})
+		b.FreeP(last)
+	})
+
+	b.If(computed, false, func() {
+		b.Stg(b.IScAdd(index, b.Param(2), 2), 0, b.Lds(smOff, tT))
+	})
+	b.FreeP(computed)
+	return b.MustBuild()
+}

@@ -1,0 +1,81 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+
+	"gpurel/internal/funcsim"
+	"gpurel/internal/gpu"
+	"gpurel/internal/sim"
+)
+
+// runBoth executes an app on both simulators and cross-checks the outputs.
+func runBoth(t *testing.T, app App) ([]byte, *sim.Result) {
+	t.Helper()
+	job := app.Build()
+
+	fr := funcsim.Run(job, funcsim.Options{CollectWindows: true})
+	if fr.Err != nil {
+		t.Fatalf("%s funcsim error: %v", app.Name, fr.Err)
+	}
+	if fr.TimedOut {
+		t.Fatalf("%s funcsim timed out", app.Name)
+	}
+	if err := app.Check(fr.Output); err != nil {
+		t.Fatalf("%s funcsim output check: %v", app.Name, err)
+	}
+
+	sr := sim.Run(job, gpu.Volta(), sim.Options{})
+	if sr.Err != nil {
+		t.Fatalf("%s sim error: %v", app.Name, sr.Err)
+	}
+	if sr.TimedOut {
+		t.Fatalf("%s sim timed out", app.Name)
+	}
+	if err := app.Check(sr.Output); err != nil {
+		t.Fatalf("%s sim output check: %v", app.Name, err)
+	}
+	if !bytes.Equal(fr.Output, sr.Output) {
+		t.Errorf("%s: functional and microarchitectural outputs differ", app.Name)
+	}
+
+	// every declared kernel must actually have run
+	for _, k := range app.Kernels {
+		if fr.PerKernel[k] == nil || fr.PerKernel[k].DynInstrs == 0 {
+			t.Errorf("%s: kernel %s executed no instructions (funcsim)", app.Name, k)
+		}
+		if sr.PerKernel[k] == nil || sr.PerKernel[k].DynInstrs == 0 {
+			t.Errorf("%s: kernel %s executed no instructions (sim)", app.Name, k)
+		}
+	}
+	return fr.Output, sr
+}
+
+func TestVA(t *testing.T)  { runBoth(t, VA()) }
+func TestSCP(t *testing.T) { runBoth(t, SCP()) }
+
+// TestDeterminism verifies that repeated runs produce identical outputs and
+// cycle counts — the foundation of golden-run fault classification.
+func TestDeterminism(t *testing.T) {
+	app := SCP()
+	job := app.Build()
+	r1 := sim.Run(job, gpu.Volta(), sim.Options{})
+	r2 := sim.Run(job, gpu.Volta(), sim.Options{})
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("cycles differ: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+	if !bytes.Equal(r1.Output, r2.Output) {
+		t.Errorf("outputs differ between identical runs")
+	}
+}
+
+func TestSRADv1(t *testing.T) { runBoth(t, SRADv1()) }
+
+func TestSRADv2(t *testing.T)     { runBoth(t, SRADv2()) }
+func TestKMeans(t *testing.T)     { runBoth(t, KMeans()) }
+func TestHotSpot(t *testing.T)    { runBoth(t, HotSpot()) }
+func TestLUD(t *testing.T)        { runBoth(t, LUD()) }
+func TestNW(t *testing.T)         { runBoth(t, NW()) }
+func TestPathFinder(t *testing.T) { runBoth(t, PathFinder()) }
+func TestBackProp(t *testing.T)   { runBoth(t, BackProp()) }
+func TestBFS(t *testing.T)        { runBoth(t, BFS()) }

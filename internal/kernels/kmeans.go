@@ -1,0 +1,128 @@
+package kernels
+
+import (
+	"math"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// KMeans is the Rodinia kmeans benchmark: K1 invert_mapping transposes the
+// feature matrix to the layout the texture path expects, K2 kmeansPoint
+// assigns each point to its nearest cluster, reading features through the
+// texture cache as the CUDA version binds t_features.
+func KMeans() App {
+	const (
+		npoints   = 256
+		nfeatures = 8
+		nclusters = 5
+		block     = 128
+	)
+	return App{
+		Name:    "K-Means",
+		Kernels: []string{"K1", "K2"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			feat := randFloats(501, npoints*nfeatures, 0, 1)
+			clus := randFloats(502, nclusters*nfeatures, 0, 1)
+			dFeat := m.Alloc("features", 4*npoints*nfeatures)
+			dFeatT := m.Alloc("featuresT", 4*npoints*nfeatures)
+			dClus := m.Alloc("clusters", 4*nclusters*nfeatures)
+			dMemb := m.Alloc("membership", 4*npoints)
+			m.WriteF32s(dFeat, feat)
+			m.WriteF32s(dClus, clus)
+
+			k1 := kmeansInvert(npoints, nfeatures)
+			k2 := kmeansPoint(npoints, nfeatures, nclusters)
+			return &device.Job{
+				Name: "K-Means",
+				Mem:  m,
+				Steps: []device.Step{
+					{Launch: launch1D(k1, "K1", npoints/block, block, 0,
+						ptr(dFeat), ptr(dFeatT), val(npoints), val(nfeatures))},
+					{Launch: launch1D(k2, "K2", npoints/block, block, 0,
+						ptr(dFeatT), ptr(dClus), ptr(dMemb), val(npoints), val(nclusters))},
+				},
+				Outputs: []device.Output{{Name: "membership", Addr: dMemb, Size: 4 * npoints}},
+			}
+		},
+		Check: func(out []byte) error {
+			feat := randFloats(501, npoints*nfeatures, 0, 1)
+			clus := randFloats(502, nclusters*nfeatures, 0, 1)
+			want := make([]int32, npoints)
+			for p := 0; p < npoints; p++ {
+				best := int32(0)
+				bestD := float32(math.Inf(1))
+				for c := 0; c < nclusters; c++ {
+					var d float32
+					for f := 0; f < nfeatures; f++ {
+						diff := feat[p*nfeatures+f] - clus[c*nfeatures+f]
+						d = fma32(diff, diff, d)
+					}
+					if d < bestD {
+						bestD, best = d, int32(c)
+					}
+				}
+				want[p] = best
+			}
+			return checkInts(out, want)
+		},
+	}
+}
+
+// kmeansInvert is invert_mapping: out[f*npoints+p] = in[p*nfeatures+f].
+func kmeansInvert(npoints, nfeatures int) *isa.Program {
+	b := kasm.New("invert_mapping")
+	p := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	q := b.P()
+	b.ISetp(q, isa.CmpLT, p, b.Param(2))
+	b.If(q, false, func() {
+		inRow := b.IScAdd(b.IMul(p, b.Param(3)), b.Param(0), 2)
+		f := b.MovI(0)
+		b.For(f, b.Param(3), 1, func() {
+			v := b.Ldg(b.IScAdd(f, inRow, 2), 0)
+			outIdx := b.IMad(f, b.Param(2), p)
+			b.Stg(b.IScAdd(outIdx, b.Param(1), 2), 0, v)
+		})
+	})
+	b.FreeP(q)
+	return b.MustBuild()
+}
+
+// kmeansPoint assigns each point to its nearest cluster; features are read
+// through the texture path (LDT), clusters through L1D.
+func kmeansPoint(npoints, nfeatures, nclusters int) *isa.Program {
+	b := kasm.New("kmeansPoint")
+	pt := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	g := b.P()
+	b.ISetp(g, isa.CmpLT, pt, b.Param(3))
+	b.If(g, false, func() {
+		featT := b.Param(0)
+		clusBase := b.Param(1)
+		best := b.MovI(0)
+		bestD := b.MovF(float32(math.Inf(1)))
+		c := b.MovI(0)
+		b.For(c, b.Param(4), 1, func() {
+			d := b.MovF(0)
+			f := b.MovI(0)
+			b.For(f, b.MovI(int32(nfeatures)), 1, func() {
+				// feature[f*npoints + pt] via texture
+				fi := b.IMad(f, b.Param(3), pt)
+				fv := b.Ldt(b.IScAdd(fi, featT, 2), 0)
+				ci := b.IMad(c, b.MovI(int32(nfeatures)), f)
+				cv := b.Ldg(b.IScAdd(ci, clusBase, 2), 0)
+				diff := b.FSub(fv, cv)
+				b.FFmaTo(d, diff, diff, d)
+			})
+			lt := b.P()
+			b.FSetp(lt, isa.CmpLT, d, bestD)
+			b.SelTo(bestD, lt, d, bestD)
+			b.SelTo(best, lt, c, best)
+			b.FreeP(lt)
+		})
+		b.Stg(b.IScAdd(pt, b.Param(2), 2), 0, best)
+	})
+	b.FreeP(g)
+	return b.MustBuild()
+}

@@ -1,0 +1,351 @@
+package kernels
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// LUD is the Rodinia LU decomposition benchmark with its three kernels:
+// K1 lud_diagonal factorises the diagonal tile, K2 lud_perimeter solves the
+// row and column strips, K3 lud_internal updates the trailing submatrix.
+// The host schedule walks tile offsets exactly as the Rodinia driver does.
+func LUD() App {
+	const (
+		n   = 32
+		blk = 16
+	)
+	return App{
+		Name:    "LUD",
+		Kernels: []string{"K1", "K2", "K3"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			mat := ludInput(n)
+			dM := m.Alloc("matrix", 4*n*n)
+			m.WriteF32s(dM, mat)
+
+			diag := ludDiagonal(n, blk)
+			peri := ludPerimeter(n, blk)
+			intl := ludInternal(n, blk)
+
+			var steps []device.Step
+			for off := 0; off < n; off += blk {
+				steps = append(steps, device.Step{
+					Launch: launch1D(diag, "K1", 1, blk, 4*blk*blk, ptr(dM), val(int32(off))),
+				})
+				rem := (n - off) / blk
+				if rem > 1 {
+					steps = append(steps, device.Step{
+						Launch: launch1D(peri, "K2", rem-1, 2*blk, 3*4*blk*blk, ptr(dM), val(int32(off))),
+					})
+					steps = append(steps, device.Step{
+						Launch: launch2D(intl, "K3", rem-1, rem-1, blk, blk, 2*4*blk*blk, ptr(dM), val(int32(off))),
+					})
+				}
+			}
+			return &device.Job{
+				Name:    "LUD",
+				Mem:     m,
+				Steps:   steps,
+				Outputs: []device.Output{{Name: "matrix", Addr: dM, Size: 4 * n * n}},
+			}
+		},
+		Check: func(out []byte) error {
+			return checkFloats(out, ludRef(n, blk), 1e-2)
+		},
+	}
+}
+
+// ludInput builds a diagonally dominant matrix so the factorisation is
+// well conditioned without pivoting.
+func ludInput(n int) []float32 {
+	mat := randFloats(701, n*n, 0, 1)
+	for i := 0; i < n; i++ {
+		mat[i*n+i] += float32(n)
+	}
+	return mat
+}
+
+// ludRef mirrors the three kernels in float32, tile by tile.
+func ludRef(n, blk int) []float32 {
+	m := ludInput(n)
+	at := func(r, c int) *float32 { return &m[r*n+c] }
+	for off := 0; off < n; off += blk {
+		// diagonal
+		var sh [16][16]float32
+		for i := 0; i < blk; i++ {
+			for j := 0; j < blk; j++ {
+				sh[i][j] = *at(off+i, off+j)
+			}
+		}
+		for i := 0; i < blk-1; i++ {
+			for t := i + 1; t < blk; t++ {
+				for j := 0; j < i; j++ {
+					sh[t][i] -= sh[t][j] * sh[j][i]
+				}
+				sh[t][i] = fdiv32(sh[t][i], sh[i][i])
+			}
+			for t := i + 1; t < blk; t++ {
+				for j := 0; j < i+1; j++ {
+					sh[i+1][t] -= sh[i+1][j] * sh[j][t]
+				}
+			}
+		}
+		for i := 0; i < blk; i++ {
+			for j := 0; j < blk; j++ {
+				*at(off+i, off+j) = sh[i][j]
+			}
+		}
+		rem := (n - off) / blk
+		if rem <= 1 {
+			continue
+		}
+		// perimeter
+		for bx := 0; bx < rem-1; bx++ {
+			c0 := off + (bx+1)*blk // row strip columns
+			for idx := 0; idx < blk; idx++ {
+				for i := 1; i < blk; i++ {
+					var v float32 = *at(off+i, c0+idx)
+					for j := 0; j < i; j++ {
+						v -= sh[i][j] * *at(off+j, c0+idx)
+					}
+					*at(off+i, c0+idx) = v
+				}
+			}
+			r0 := off + (bx+1)*blk // column strip rows
+			for idx := 0; idx < blk; idx++ {
+				for i := 0; i < blk; i++ {
+					var v float32 = *at(r0+idx, off+i)
+					for j := 0; j < i; j++ {
+						v -= *at(r0+idx, off+j) * sh[j][i]
+					}
+					*at(r0+idx, off+i) = fdiv32(v, sh[i][i])
+				}
+			}
+		}
+		// internal
+		for by := 0; by < rem-1; by++ {
+			for bx := 0; bx < rem-1; bx++ {
+				r0 := off + (by+1)*blk
+				c0 := off + (bx+1)*blk
+				var upd [16][16]float32
+				for ty := 0; ty < blk; ty++ {
+					for tx := 0; tx < blk; tx++ {
+						var sum float32
+						for k := 0; k < blk; k++ {
+							sum = fma32(*at(r0+ty, off+k), *at(off+k, c0+tx), sum)
+						}
+						upd[ty][tx] = *at(r0+ty, c0+tx) - sum
+					}
+				}
+				for ty := 0; ty < blk; ty++ {
+					for tx := 0; tx < blk; tx++ {
+						*at(r0+ty, c0+tx) = upd[ty][tx]
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// ludDiagonal factorises the blk×blk tile at (offset, offset) in shared
+// memory. Params: matrix offset.
+func ludDiagonal(n, blk int) *isa.Program {
+	b := kasm.New("lud_diagonal")
+	tid := b.S2R(isa.SRTidX)
+	off := b.Param(1)
+	base := b.IScAdd(b.IMad(off, b.MovI(int32(n)), off), b.Param(0), 2)
+
+	// shadow[i][tid] = m[off+i][off+tid]
+	smCol := b.Shl(tid, 2)
+	i := b.MovI(0)
+	b.For(i, b.MovI(int32(blk)), 1, func() {
+		g := b.IScAdd(b.IAdd(b.IMulI(i, int32(n)), tid), base, 2)
+		b.Sts(b.IScAdd(b.IMulI(i, int32(blk)), smCol, 2), 0, b.Ldg(g, int32(0)))
+	})
+	b.Barrier()
+
+	smAt := func(row, col isa.Reg) isa.Reg {
+		return b.Shl(b.IMad(row, b.MovI(int32(blk)), col), 2)
+	}
+	p := b.P()
+	b.MovITo(i, 0)
+	b.ForI(i, int32(blk-1), 1, func() {
+		b.ISetp(p, isa.CmpGT, tid, i)
+		b.If(p, false, func() {
+			// shadow[tid][i] -= Σ_{j<i} shadow[tid][j]*shadow[j][i]; /= shadow[i][i]
+			v := b.Lds(smAt(tid, i), 0)
+			j := b.MovI(0)
+			b.For(j, i, 1, func() {
+				prod := b.FMul(b.Lds(smAt(tid, j), 0), b.Lds(smAt(j, i), 0))
+				b.FAddTo(v, v, b.FMul(prod, b.MovF(-1)))
+			})
+			v2 := b.FDiv(v, b.Lds(smAt(i, i), 0))
+			b.Sts(smAt(tid, i), 0, v2)
+		})
+		b.Barrier()
+		b.If(p, false, func() {
+			// shadow[i+1][tid] -= Σ_{j<i+1} shadow[i+1][j]*shadow[j][tid]
+			ip1 := b.IAddI(i, 1)
+			v := b.Lds(smAt(ip1, tid), 0)
+			j := b.MovI(0)
+			bound := b.IAddI(i, 1)
+			b.For(j, bound, 1, func() {
+				prod := b.FMul(b.Lds(smAt(ip1, j), 0), b.Lds(smAt(j, tid), 0))
+				b.FAddTo(v, v, b.FMul(prod, b.MovF(-1)))
+			})
+			b.Sts(smAt(ip1, tid), 0, v)
+		})
+		b.Barrier()
+	})
+	b.FreeP(p)
+
+	// write back rows 1..blk-1
+	b.MovITo(i, 1)
+	b.For(i, b.MovI(int32(blk)), 1, func() {
+		g := b.IScAdd(b.IAdd(b.IMulI(i, int32(n)), tid), base, 2)
+		b.Stg(g, 0, b.Lds(smAt(i, tid), 0))
+	})
+	return b.MustBuild()
+}
+
+// ludPerimeter processes the row strip right of and the column strip below
+// the diagonal tile; CTA b handles strip b+1. Threads 0..blk-1 own the row
+// strip, threads blk..2blk-1 the column strip. Params: matrix offset.
+func ludPerimeter(n, blk int) *isa.Program {
+	b := kasm.New("lud_perimeter")
+	tid := b.S2R(isa.SRTidX)
+	bx := b.S2R(isa.SRCtaIDX)
+	off := b.Param(1)
+	mBase := b.Param(0)
+	nReg := b.MovI(int32(n))
+
+	// shared: dia [0], peri_row [blk*blk*4], peri_col [2*blk*blk*4]
+	diaOff := int32(0)
+	rowOff := int32(4 * blk * blk)
+	colOff := int32(8 * blk * blk)
+	smAt := func(base int32, row, col isa.Reg) isa.Reg {
+		return b.IAddI(b.Shl(b.IMad(row, b.MovI(int32(blk)), col), 2), base)
+	}
+
+	half := b.P()
+	b.ISetpI(half, isa.CmpLT, tid, int32(blk))
+	idx := b.R()
+	strip := b.IAddI(bx, 1) // strip index
+	diagBase := b.IScAdd(b.IMad(off, nReg, off), mBase, 2)
+	i := b.MovI(0)
+	b.IfElse(half, false, func() {
+		b.MovTo(idx, tid)
+		// load lower half of dia plus the row strip
+		b.MovITo(i, 0)
+		b.For(i, b.MovI(int32(blk/2)), 1, func() {
+			b.Sts(smAt(diaOff, i, idx), 0, b.Ldg(b.IScAdd(b.IMad(i, nReg, idx), diagBase, 2), int32(-0)))
+		})
+		// peri_row[i][idx] = m[off+i][off + strip*blk + idx]
+		c0 := b.IAdd(off, b.IMulI(strip, int32(blk)))
+		b.MovITo(i, 0)
+		b.For(i, b.MovI(int32(blk)), 1, func() {
+			g := b.IMad(b.IAdd(off, i), nReg, b.IAdd(c0, idx))
+			b.Sts(smAt(rowOff, i, idx), 0, b.Ldg(b.IScAdd(g, mBase, 2), 0))
+		})
+	}, func() {
+		b.IAddITo(idx, tid, int32(-blk))
+		b.MovITo(i, int32(blk/2))
+		b.For(i, b.MovI(int32(blk)), 1, func() {
+			b.Sts(smAt(diaOff, i, idx), 0, b.Ldg(b.IScAdd(b.IMad(i, nReg, idx), diagBase, 2), 0))
+		})
+		// peri_col[i][idx] = m[off + strip*blk + i][off + idx]
+		r0 := b.IAdd(off, b.IMulI(strip, int32(blk)))
+		b.MovITo(i, 0)
+		b.For(i, b.MovI(int32(blk)), 1, func() {
+			g := b.IMad(b.IAdd(r0, i), nReg, b.IAdd(off, idx))
+			b.Sts(smAt(colOff, i, idx), 0, b.Ldg(b.IScAdd(g, mBase, 2), 0))
+		})
+	})
+	b.Barrier()
+
+	b.IfElse(half, false, func() {
+		// row strip: peri_row[i][idx] -= Σ_{j<i} dia[i][j]*peri_row[j][idx]
+		b.MovITo(i, 1)
+		b.For(i, b.MovI(int32(blk)), 1, func() {
+			v := b.Lds(smAt(rowOff, i, idx), 0)
+			j := b.MovI(0)
+			b.For(j, i, 1, func() {
+				prod := b.FMul(b.Lds(smAt(diaOff, i, j), 0), b.Lds(smAt(rowOff, j, idx), 0))
+				b.FAddTo(v, v, b.FMul(prod, b.MovF(-1)))
+			})
+			b.Sts(smAt(rowOff, i, idx), 0, v)
+		})
+	}, func() {
+		// column strip: peri_col[idx][i] = (A - Σ_{j<i} peri_col[idx][j]*dia[j][i]) / dia[i][i]
+		b.MovITo(i, 0)
+		b.For(i, b.MovI(int32(blk)), 1, func() {
+			v := b.Lds(smAt(colOff, idx, i), 0)
+			j := b.MovI(0)
+			b.For(j, i, 1, func() {
+				prod := b.FMul(b.Lds(smAt(colOff, idx, j), 0), b.Lds(smAt(diaOff, j, i), 0))
+				b.FAddTo(v, v, b.FMul(prod, b.MovF(-1)))
+			})
+			b.Sts(smAt(colOff, idx, i), 0, b.FDiv(v, b.Lds(smAt(diaOff, i, i), 0)))
+		})
+	})
+	b.Barrier()
+
+	// write both strips back
+	b.IfElse(half, false, func() {
+		c0 := b.IAdd(off, b.IMulI(strip, int32(blk)))
+		b.MovITo(i, 1)
+		b.For(i, b.MovI(int32(blk)), 1, func() {
+			g := b.IMad(b.IAdd(off, i), nReg, b.IAdd(c0, idx))
+			b.Stg(b.IScAdd(g, mBase, 2), 0, b.Lds(smAt(rowOff, i, idx), 0))
+		})
+	}, func() {
+		r0 := b.IAdd(off, b.IMulI(strip, int32(blk)))
+		b.MovITo(i, 0)
+		b.For(i, b.MovI(int32(blk)), 1, func() {
+			g := b.IMad(b.IAdd(r0, i), nReg, b.IAdd(off, idx))
+			b.Stg(b.IScAdd(g, mBase, 2), 0, b.Lds(smAt(colOff, i, idx), 0))
+		})
+	})
+	b.FreeP(half)
+	return b.MustBuild()
+}
+
+// ludInternal updates the trailing submatrix tile (by+1, bx+1):
+// A[r][c] -= Σ_k L[r][k]·U[k][c]. Params: matrix offset.
+func ludInternal(n, blk int) *isa.Program {
+	b := kasm.New("lud_internal")
+	tx := b.S2R(isa.SRTidX)
+	ty := b.S2R(isa.SRTidY)
+	bx := b.S2R(isa.SRCtaIDX)
+	by := b.S2R(isa.SRCtaIDY)
+	off := b.Param(1)
+	mBase := b.Param(0)
+	nReg := b.MovI(int32(n))
+
+	rowOff := int32(0)             // peri_row tile (U rows)
+	colOff := int32(4 * blk * blk) // peri_col tile (L columns)
+	smAt := func(base int32, row, col isa.Reg) isa.Reg {
+		return b.IAddI(b.Shl(b.IMad(row, b.MovI(int32(blk)), col), 2), base)
+	}
+
+	r0 := b.IAdd(off, b.IMulI(b.IAddI(by, 1), int32(blk)))
+	c0 := b.IAdd(off, b.IMulI(b.IAddI(bx, 1), int32(blk)))
+
+	// peri_row[ty][tx] = m[off+ty][c0+tx]; peri_col[ty][tx] = m[r0+ty][off+tx]
+	b.Sts(smAt(rowOff, ty, tx), 0,
+		b.Ldg(b.IScAdd(b.IMad(b.IAdd(off, ty), nReg, b.IAdd(c0, tx)), mBase, 2), 0))
+	b.Sts(smAt(colOff, ty, tx), 0,
+		b.Ldg(b.IScAdd(b.IMad(b.IAdd(r0, ty), nReg, b.IAdd(off, tx)), mBase, 2), 0))
+	b.Barrier()
+
+	sum := b.MovF(0)
+	k := b.MovI(0)
+	b.For(k, b.MovI(int32(blk)), 1, func() {
+		b.FFmaTo(sum, b.Lds(smAt(colOff, ty, k), 0), b.Lds(smAt(rowOff, k, tx), 0), sum)
+	})
+	g := b.IScAdd(b.IMad(b.IAdd(r0, ty), nReg, b.IAdd(c0, tx)), mBase, 2)
+	b.Stg(g, 0, b.FSub(b.Ldg(g, 0), sum))
+	return b.MustBuild()
+}

@@ -1,0 +1,203 @@
+package kernels
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// NW is the Rodinia Needleman-Wunsch benchmark: dynamic-programming sequence
+// alignment processed block-wavefront — K1 (needle_cuda_shared_1) sweeps the
+// upper-left anti-diagonals of blocks, K2 (needle_cuda_shared_2) the
+// lower-right ones. Each CTA solves a 16×16 tile in shared memory with an
+// in-block anti-diagonal wavefront.
+func NW() App {
+	const (
+		dim     = 32 // alignment length
+		mc      = dim + 1
+		blk     = 16
+		penalty = 10
+	)
+	nBlocks := dim / blk
+	return App{
+		Name:    "NW",
+		Kernels: []string{"K1", "K2"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			items, ref := nwInput(dim, penalty)
+			dItems := m.Alloc("itemsets", 4*mc*mc)
+			dRef := m.Alloc("reference", 4*mc*mc)
+			m.WriteI32s(dItems, items)
+			m.WriteI32s(dRef, ref)
+
+			k1 := nwKernel(mc, blk, penalty, false)
+			k2 := nwKernel(mc, blk, penalty, true)
+			var steps []device.Step
+			for i := 1; i <= nBlocks; i++ {
+				steps = append(steps, device.Step{
+					Launch: launch1D(k1, "K1", i, blk, 4*(17*17+blk*blk),
+						ptr(dRef), ptr(dItems), val(int32(i)), val(int32(nBlocks))),
+				})
+			}
+			for i := nBlocks - 1; i >= 1; i-- {
+				steps = append(steps, device.Step{
+					Launch: launch1D(k2, "K2", i, blk, 4*(17*17+blk*blk),
+						ptr(dRef), ptr(dItems), val(int32(i)), val(int32(nBlocks))),
+				})
+			}
+			return &device.Job{
+				Name:    "NW",
+				Mem:     m,
+				Steps:   steps,
+				Outputs: []device.Output{{Name: "itemsets", Addr: dItems, Size: 4 * mc * mc}},
+			}
+		},
+		Check: func(out []byte) error {
+			return checkInts(out, nwRef(dim, penalty))
+		},
+	}
+}
+
+// nwInput builds the boundary-initialised itemset matrix and the random
+// substitution-score matrix.
+func nwInput(dim, penalty int) (items, ref []int32) {
+	mc := dim + 1
+	items = make([]int32, mc*mc)
+	for i := 1; i < mc; i++ {
+		items[i*mc] = int32(-i * penalty)
+		items[i] = int32(-i * penalty)
+	}
+	ref = randInts(801, mc*mc, -4, 12)
+	return
+}
+
+// nwRef computes the full DP table (integer, order-independent).
+func nwRef(dim, penalty int) []int32 {
+	mc := dim + 1
+	items, ref := nwInput(dim, penalty)
+	maxi := func(a, b int32) int32 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for i := 1; i < mc; i++ {
+		for j := 1; j < mc; j++ {
+			items[i*mc+j] = maxi(items[(i-1)*mc+j-1]+ref[i*mc+j],
+				maxi(items[i*mc+j-1]-int32(penalty), items[(i-1)*mc+j]-int32(penalty)))
+		}
+	}
+	return items
+}
+
+// nwKernel builds either wavefront kernel. Params: reference itemsets blkIdx
+// nBlocks. For the first pass block (bx) maps to column bx, row blkIdx-1-bx;
+// for the second pass to column bx+nBlocks-blkIdx, row nBlocks-1-bx.
+func nwKernel(mc, blk, penalty int, second bool) *isa.Program {
+	name := "needle_cuda_shared_1"
+	if second {
+		name = "needle_cuda_shared_2"
+	}
+	b := kasm.New(name)
+	tx := b.S2R(isa.SRTidX)
+	bx := b.S2R(isa.SRCtaIDX)
+	blkIdx := b.Param(2)
+
+	var bIndexX, bIndexY isa.Reg
+	if second {
+		nB := b.Param(3)
+		bIndexX = b.IAdd(bx, b.ISub(nB, blkIdx))
+		bIndexY = b.ISub(b.ISubI(nB, 1), bx)
+	} else {
+		bIndexX = b.Mov(bx)
+		bIndexY = b.ISub(b.ISubI(blkIdx, 1), bx)
+	}
+	row0 := b.IMulI(bIndexY, int32(blk))
+	col0 := b.IMulI(bIndexX, int32(blk))
+	mcR := b.MovI(int32(mc))
+	itemsBase := b.Param(1)
+	refBase := b.Param(0)
+
+	// shared: temp[17][17] at 0, ref[16][16] after it
+	refOff := int32(4 * 17 * 17)
+	tempAt := func(r, c isa.Reg) isa.Reg {
+		return b.Shl(b.IMad(r, b.MovI(17), c), 2)
+	}
+	tempAtI := func(r isa.Reg, rPlus int32, c isa.Reg, cPlus int32) isa.Reg {
+		rr := b.IAddI(r, rPlus)
+		cc := b.IAddI(c, cPlus)
+		return tempAt(rr, cc)
+	}
+	refAt := func(r, c isa.Reg) isa.Reg {
+		return b.IAddI(b.Shl(b.IMad(r, b.MovI(int32(blk)), c), 2), refOff)
+	}
+
+	zero := b.MovI(0)
+	// corner: temp[0][0] = items[row0][col0] (one thread)
+	p := b.P()
+	b.ISetpI(p, isa.CmpEQ, tx, 0)
+	b.If(p, false, func() {
+		g := b.IScAdd(b.IMad(row0, mcR, col0), itemsBase, 2)
+		b.Sts(tempAt(zero, zero), 0, b.Ldg(g, 0))
+	})
+	// west column: temp[tx+1][0] = items[row0+tx+1][col0]
+	gw := b.IScAdd(b.IMad(b.IAdd(row0, b.IAddI(tx, 1)), mcR, col0), itemsBase, 2)
+	b.Sts(tempAtI(tx, 1, zero, 0), 0, b.Ldg(gw, 0))
+	// north row: temp[0][tx+1] = items[row0][col0+tx+1]
+	gn := b.IScAdd(b.IMad(row0, mcR, b.IAdd(col0, b.IAddI(tx, 1))), itemsBase, 2)
+	b.Sts(tempAtI(zero, 0, tx, 1), 0, b.Ldg(gn, 0))
+	// reference tile
+	ty := b.MovI(0)
+	b.For(ty, b.MovI(int32(blk)), 1, func() {
+		g := b.IScAdd(b.IMad(b.IAdd(row0, b.IAddI(ty, 1)), mcR, b.IAdd(col0, b.IAddI(tx, 1))), refBase, 2)
+		b.Sts(refAt(ty, tx), 0, b.Ldg(g, 0))
+	})
+	b.Barrier()
+
+	pen := b.MovI(int32(penalty))
+	compute := func(tiy, tix isa.Reg) {
+		// temp[tiy][tix] = max3(temp[tiy-1][tix-1]+ref[tiy-1][tix-1],
+		//                       temp[tiy][tix-1]-p, temp[tiy-1][tix]-p)
+		nw := b.IAdd(b.Lds(tempAtI(tiy, -1, tix, -1), 0),
+			b.Lds(refAt(b.ISubI(tiy, 1), b.ISubI(tix, 1)), 0))
+		w := b.ISub(b.Lds(tempAtI(tiy, 0, tix, -1), 0), pen)
+		n := b.ISub(b.Lds(tempAtI(tiy, -1, tix, 0), 0), pen)
+		b.Sts(tempAt(tiy, tix), 0, b.IMax(nw, b.IMax(w, n)))
+	}
+
+	mIdx := b.MovI(0)
+	q := b.P()
+	b.For(mIdx, b.MovI(int32(blk)), 1, func() {
+		b.ISetp(q, isa.CmpLE, tx, mIdx)
+		b.If(q, false, func() {
+			tix := b.IAddI(tx, 1)
+			tiy := b.IAddI(b.ISub(mIdx, tx), 1)
+			compute(tiy, tix)
+		})
+		b.Barrier()
+	})
+	b.MovITo(mIdx, int32(blk-2))
+	b.While(func() (isa.Pred, bool) {
+		b.ISetpI(q, isa.CmpGE, mIdx, 0)
+		return q, false
+	}, func() {
+		b.ISetp(q, isa.CmpLE, tx, mIdx)
+		b.If(q, false, func() {
+			tix := b.IAdd(tx, b.ISub(b.MovI(int32(blk)), mIdx))
+			tiy := b.ISub(b.MovI(int32(blk)), tx)
+			compute(tiy, tix)
+		})
+		b.Barrier()
+		b.IAddITo(mIdx, mIdx, -1)
+	})
+	b.FreeP(q)
+	b.FreeP(p)
+
+	// write back interior
+	b.MovITo(ty, 0)
+	b.For(ty, b.MovI(int32(blk)), 1, func() {
+		g := b.IScAdd(b.IMad(b.IAdd(row0, b.IAddI(ty, 1)), mcR, b.IAdd(col0, b.IAddI(tx, 1))), itemsBase, 2)
+		b.Stg(g, 0, b.Lds(tempAtI(ty, 1, tx, 1), 0))
+	})
+	return b.MustBuild()
+}

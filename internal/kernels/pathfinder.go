@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// PathFinder is the Rodinia pathfinder benchmark: dynamic programming over a
+// rows×cols grid, one pyramid-of-height-p row batch per kernel launch, with
+// the halo/ghost-zone structure of the original dynproc_kernel.
+func PathFinder() App {
+	const (
+		cols    = 256
+		rows    = 8
+		blk     = 128
+		pyramid = 2
+		border  = pyramid // HALO=1
+	)
+	smallBlk := blk - 2*border
+	gBlocks := (cols + smallBlk - 1) / smallBlk
+	return App{
+		Name:    "PathFinder",
+		Kernels: []string{"K1"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			wall := randInts(901, rows*cols, 0, 10)
+			dWall := m.Alloc("wall", 4*rows*cols)
+			dR0 := m.Alloc("result0", 4*cols)
+			dR1 := m.Alloc("result1", 4*cols)
+			m.WriteI32s(dWall, wall)
+			m.WriteI32s(dR0, wall[:cols]) // first row seeds the DP
+
+			k := pathfinderKernel(cols, blk, border)
+			var steps []device.Step
+			src, dst := dR0, dR1
+			for t := 0; t < rows-1; t += pyramid {
+				iter := pyramid
+				if t+pyramid > rows-1 {
+					iter = rows - 1 - t
+				}
+				steps = append(steps, device.Step{
+					Launch: launch1D(k, "K1", gBlocks, blk, 2*4*blk,
+						val(int32(iter)), ptr(dWall), ptr(src), ptr(dst), val(cols), val(int32(t))),
+				})
+				src, dst = dst, src
+			}
+			return &device.Job{
+				Name:    "PathFinder",
+				Mem:     m,
+				Steps:   steps,
+				Outputs: []device.Output{{Name: "result", Addr: src, Size: 4 * cols}},
+			}
+		},
+		Check: func(out []byte) error {
+			return checkInts(out, pathfinderRef(rows, cols))
+		},
+	}
+}
+
+// pathfinderRef computes the DP exactly (integers).
+func pathfinderRef(rows, cols int) []int32 {
+	wall := randInts(901, rows*cols, 0, 10)
+	cur := append([]int32(nil), wall[:cols]...)
+	next := make([]int32, cols)
+	mini := func(a, b int32) int32 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	for t := 1; t < rows; t++ {
+		for x := 0; x < cols; x++ {
+			s := mini(cur[clamp(x-1, 0, cols-1)], mini(cur[x], cur[clamp(x+1, 0, cols-1)]))
+			next[x] = s + wall[t*cols+x]
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// pathfinderKernel is dynproc_kernel.
+// Params: iteration wall src dst cols startStep.
+func pathfinderKernel(cols, blk, border int) *isa.Program {
+	b := kasm.New("dynproc_kernel")
+	tx := b.S2R(isa.SRTidX)
+	bx := b.S2R(isa.SRCtaIDX)
+	iter := b.Param(0)
+
+	// small_block_cols = blk - iteration*2 (HALO=1)
+	sbc := b.ISub(b.MovI(int32(blk)), b.Shl(iter, 1))
+	blkX := b.ISubI(b.IMul(sbc, bx), int32(border))
+	xidx := b.IAdd(blkX, tx)
+
+	zero := b.MovI(0)
+	blkMax := b.MovI(int32(blk - 1))
+	validXmin := b.IMax(zero, b.ISub(zero, blkX))
+	overhang := b.ISubI(b.IAddI(blkX, int32(blk-1)), int32(cols-1))
+	validXmax := b.ISub(blkMax, b.IMax(zero, overhang))
+
+	w := b.IMax(b.ISubI(tx, 1), validXmin)
+	e := b.IMin(b.IAddI(tx, 1), validXmax)
+
+	// shared: prev[blk] at 0, result[blk] after
+	prevOff := int32(0)
+	resOff := int32(4 * blk)
+	smTx := b.Shl(tx, 2)
+
+	inRange := b.P()
+	b.ISetpI(inRange, isa.CmpGE, xidx, 0)
+	b.ISetpIAnd(inRange, isa.CmpLE, xidx, int32(cols-1), inRange, false)
+	b.If(inRange, false, func() {
+		b.Sts(smTx, prevOff, b.Ldg(b.IScAdd(xidx, b.Param(2), 2), 0))
+	})
+	b.Barrier()
+
+	computed := b.P()
+	isValid := b.P()
+	b.ISetp(isValid, isa.CmpGE, tx, validXmin)
+	b.ISetpAnd(isValid, isa.CmpLE, tx, validXmax, isValid, false)
+
+	i := b.MovI(0)
+	b.For(i, iter, 1, func() {
+		lo := b.IAddI(i, 1)
+		hi := b.ISub(b.MovI(int32(blk-2)), i)
+		b.ISetp(computed, isa.CmpGE, tx, lo)
+		b.ISetpAnd(computed, isa.CmpLE, tx, hi, computed, false)
+		b.ISetpAnd(computed, isa.CmpEQ, b.Sel(isValid, b.MovI(1), b.MovI(0)), b.MovI(1), computed, false)
+		b.If(computed, false, func() {
+			left := b.Lds(b.Shl(w, 2), prevOff)
+			up := b.Lds(smTx, prevOff)
+			right := b.Lds(b.Shl(e, 2), prevOff)
+			shortest := b.IMin(left, b.IMin(up, right))
+			// wall row startStep+i+1 feeds DP row startStep+i+1
+			row := b.IAddI(b.IAdd(b.Param(5), i), 1)
+			gi := b.IAdd(b.IMul(row, b.Param(4)), xidx)
+			b.Sts(smTx, resOff, b.IAdd(shortest, b.Ldg(b.IScAdd(gi, b.Param(1), 2), 0)))
+		})
+		b.Barrier()
+		last := b.P()
+		b.ISetp(last, isa.CmpLT, i, b.ISubI(iter, 1))
+		b.If(last, false, func() {
+			b.If(computed, false, func() {
+				b.Sts(smTx, prevOff, b.Lds(smTx, resOff))
+			})
+			b.Barrier()
+		})
+		b.FreeP(last)
+	})
+	b.If(computed, false, func() {
+		b.Stg(b.IScAdd(xidx, b.Param(3), 2), 0, b.Lds(smTx, resOff))
+	})
+	b.FreeP(isValid)
+	b.FreeP(computed)
+	b.FreeP(inRange)
+	return b.MustBuild()
+}

@@ -1,0 +1,122 @@
+package kernels
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// SCP is the CUDA SDK scalarProd benchmark: dot products of vector pairs,
+// one CTA per pair, with a shared-memory tree reduction.
+func SCP() App {
+	const (
+		vectorN  = 8
+		elementN = 512
+		block    = 64
+	)
+	return App{
+		Name:    "SCP",
+		Kernels: []string{"K1"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			a := randFloats(201, vectorN*elementN, -1, 1)
+			bv := randFloats(202, vectorN*elementN, -1, 1)
+			da := m.Alloc("A", 4*vectorN*elementN)
+			db := m.Alloc("B", 4*vectorN*elementN)
+			dc := m.Alloc("C", 4*vectorN)
+			m.WriteF32s(da, a)
+			m.WriteF32s(db, bv)
+
+			prog := scpKernel(block)
+			return &device.Job{
+				Name: "SCP",
+				Mem:  m,
+				Steps: []device.Step{
+					{Launch: launch1D(prog, "K1", vectorN, block, 4*block,
+						ptr(dc), ptr(da), ptr(db), val(elementN))},
+				},
+				Outputs: []device.Output{{Name: "C", Addr: dc, Size: 4 * vectorN}},
+			}
+		},
+		Check: func(out []byte) error {
+			a := randFloats(201, vectorN*elementN, -1, 1)
+			bv := randFloats(202, vectorN*elementN, -1, 1)
+			want := make([]float32, vectorN)
+			for v := 0; v < vectorN; v++ {
+				// mirror the GPU sum order: strided partials then tree
+				partial := make([]float32, block)
+				for t := 0; t < block; t++ {
+					for pos := t; pos < elementN; pos += block {
+						partial[t] += a[v*elementN+pos] * bv[v*elementN+pos]
+					}
+				}
+				for s := block / 2; s > 0; s /= 2 {
+					for t := 0; t < s; t++ {
+						partial[t] += partial[t+s]
+					}
+				}
+				want[v] = partial[0]
+			}
+			return checkFloats(out, want, 1e-4)
+		},
+	}
+}
+
+// scpKernel: each CTA computes one dot product.
+//
+//	acc = 0
+//	for pos = tid; pos < elementN; pos += blockDim: acc += A[vec][pos]*B[vec][pos]
+//	smem[tid] = acc; tree-reduce; if tid==0: C[vec] = smem[0]
+func scpKernel(block int) *isa.Program {
+	b := kasm.New("scalarProd")
+	tid := b.S2R(isa.SRTidX)
+	vec := b.S2R(isa.SRCtaIDX)
+	ntid := b.S2R(isa.SRNTidX)
+	elementN := b.Param(3)
+
+	// element base of this CTA's vectors
+	vecBase := b.IMul(vec, elementN)
+	aBase := b.IScAdd(vecBase, b.Param(1), 2)
+	bBase := b.IScAdd(vecBase, b.Param(2), 2)
+
+	acc := b.MovF(0)
+	pos := b.Mov(tid)
+	b.For(pos, elementN, 0, func() {
+		av := b.Ldg(b.IScAdd(pos, aBase, 2), 0)
+		bvv := b.Ldg(b.IScAdd(pos, bBase, 2), 0)
+		b.FFmaTo(acc, av, bvv, acc)
+		// stride by blockDim (For adds its own step of 0, so add here)
+		b.IAddTo(pos, pos, ntid)
+	})
+
+	smAddr := b.Shl(tid, 2)
+	b.Sts(smAddr, 0, acc)
+	b.Barrier()
+
+	// tree reduction: for s = block/2; s > 0; s >>= 1
+	s := b.MovI(int32(block / 2))
+	p := b.P()
+	q := b.P()
+	b.While(func() (isa.Pred, bool) {
+		b.ISetpI(p, isa.CmpGT, s, 0)
+		return p, false
+	}, func() {
+		b.ISetp(q, isa.CmpLT, tid, s)
+		b.If(q, false, func() {
+			other := b.IAdd(tid, s)
+			sum := b.FAdd(b.Lds(smAddr, 0), b.Lds(b.Shl(other, 2), 0))
+			b.Sts(smAddr, 0, sum)
+		})
+		b.Barrier()
+		b.ShrTo(s, s, 1)
+	})
+	b.FreeP(q)
+
+	b.ISetpI(p, isa.CmpEQ, tid, 0)
+	b.If(p, false, func() {
+		res := b.Lds(b.MovI(0), 0)
+		b.Stg(b.IScAdd(vec, b.Param(0), 2), 0, res)
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}

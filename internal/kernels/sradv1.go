@@ -1,0 +1,408 @@
+package kernels
+
+import (
+	"math"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// SRADv1 is the Rodinia srad_v1 benchmark: speckle-reducing anisotropic
+// diffusion on a rows×cols image, with the original six kernels —
+// K1 extract, K2 prepare, K3 reduce (launched twice), K4 srad, K5 srad2,
+// K6 compress. Host steps compute q0sqr between K3 and K4, exactly as the
+// Rodinia host code does between kernel launches.
+func SRADv1() App {
+	const (
+		rows   = 32
+		cols   = 32
+		ne     = rows * cols
+		block  = 256
+		grid   = ne / block
+		lambda = float32(0.5)
+	)
+	return App{
+		Name:    "SRADv1",
+		Kernels: []string{"K1", "K2", "K3", "K4", "K5", "K6"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			img := randFloats(301, ne, 0, 255)
+			dI := m.Alloc("I", 4*ne)
+			dSums := m.Alloc("sums", 4*ne)
+			dSums2 := m.Alloc("sums2", 4*ne)
+			dPsum := m.Alloc("psum", 4*grid)
+			dPsum2 := m.Alloc("psum2", 4*grid)
+			dTot := m.Alloc("tot", 4)
+			dTot2 := m.Alloc("tot2", 4)
+			dQ0 := m.Alloc("q0sqr", 4)
+			dC := m.Alloc("c", 4*ne)
+			dDN := m.Alloc("dN", 4*ne)
+			dDS := m.Alloc("dS", 4*ne)
+			dDW := m.Alloc("dW", 4*ne)
+			dDE := m.Alloc("dE", 4*ne)
+			dIN := m.Alloc("iN", 4*rows)
+			dIS := m.Alloc("iS", 4*rows)
+			dJW := m.Alloc("jW", 4*cols)
+			dJE := m.Alloc("jE", 4*cols)
+			m.WriteF32s(dI, img)
+			iN, iS, jW, jE := sradBounds(rows, cols)
+			m.WriteI32s(dIN, iN)
+			m.WriteI32s(dIS, iS)
+			m.WriteI32s(dJW, jW)
+			m.WriteI32s(dJE, jE)
+
+			extract := sradExtract(ne)
+			prepare := sradPrepare(ne)
+			reduce := sradReduce(block)
+			srad := sradMain(rows, ne)
+			srad2 := sradUpdate(rows, ne, lambda)
+			compress := sradCompress(ne)
+
+			hostQ0 := func(mm *device.Memory, off uint32) int {
+				total := mm.PeekF32(dTot + off)
+				total2 := mm.PeekF32(dTot2 + off)
+				meanROI := total / float32(ne)
+				varROI := total2/float32(ne) - meanROI*meanROI
+				q0 := varROI / (meanROI * meanROI)
+				mm.PokeF32(dQ0+off, q0)
+				return -1
+			}
+
+			return &device.Job{
+				Name: "SRADv1",
+				Mem:  m,
+				Steps: []device.Step{
+					{Launch: launch1D(extract, "K1", grid, block, 0, ptr(dI), val(ne))},
+					{Launch: launch1D(prepare, "K2", grid, block, 0,
+						ptr(dI), ptr(dSums), ptr(dSums2), val(ne))},
+					{Launch: launch1D(reduce, "K3", grid, block, 8*block,
+						ptr(dSums), ptr(dSums2), ptr(dPsum), ptr(dPsum2), val(ne))},
+					{Launch: launch1D(reduce, "K3", 1, block, 8*block,
+						ptr(dPsum), ptr(dPsum2), ptr(dTot), ptr(dTot2), val(grid))},
+					{Host: hostQ0},
+					{Launch: launch1D(srad, "K4", grid, block, 0,
+						ptr(dI), ptr(dC), ptr(dDN), ptr(dDS), ptr(dDW), ptr(dDE),
+						ptr(dIN), ptr(dIS), ptr(dJW), ptr(dJE), ptr(dQ0), val(ne))},
+					{Launch: launch1D(srad2, "K5", grid, block, 0,
+						ptr(dI), ptr(dC), ptr(dDN), ptr(dDS), ptr(dDW), ptr(dDE),
+						ptr(dIS), ptr(dJE), val(ne))},
+					{Launch: launch1D(compress, "K6", grid, block, 0, ptr(dI), val(ne))},
+				},
+				Outputs: []device.Output{{Name: "I", Addr: dI, Size: 4 * ne}},
+			}
+		},
+		Check: func(out []byte) error {
+			want := sradV1Ref(rows, cols, lambda)
+			return checkFloats(out, want, 1e-3)
+		},
+	}
+}
+
+// sradBounds builds the Rodinia boundary index arrays.
+func sradBounds(rows, cols int) (iN, iS, jW, jE []int32) {
+	iN = make([]int32, rows)
+	iS = make([]int32, rows)
+	jW = make([]int32, cols)
+	jE = make([]int32, cols)
+	for i := 0; i < rows; i++ {
+		iN[i], iS[i] = int32(i-1), int32(i+1)
+	}
+	for j := 0; j < cols; j++ {
+		jW[j], jE[j] = int32(j-1), int32(j+1)
+	}
+	iN[0], iS[rows-1], jW[0], jE[cols-1] = 0, int32(rows-1), 0, int32(cols-1)
+	return
+}
+
+// float32 op mirrors of the ISA semantics, used by the reference.
+func rcp32(x float32) float32 { return float32(1 / float64(x)) }
+func ex232(x float32) float32 { return float32(math.Exp2(float64(x))) }
+func lg232(x float32) float32 { return float32(math.Log2(float64(x))) }
+func fdiv32(a, b float32) float32 {
+	return a * rcp32(b)
+}
+func exp32(x float32) float32 { return ex232(x * float32(math.Log2E)) }
+func log32(x float32) float32 { return lg232(x) * float32(math.Ln2) }
+func fma32(a, b, c float32) float32 {
+	return float32(math.FMA(float64(a), float64(b), float64(c)))
+}
+
+// sradV1Ref mirrors the kernels step for step in float32.
+func sradV1Ref(rows, cols int, lambda float32) []float32 {
+	ne := rows * cols
+	img := randFloats(301, ne, 0, 255)
+	iN, iS, jW, jE := sradBounds(rows, cols)
+
+	I := make([]float32, ne)
+	for i := range I {
+		I[i] = exp32(fdiv32(img[i], 255))
+	}
+	// prepare + reduce (same tree order as the GPU)
+	sums := make([]float32, ne)
+	sums2 := make([]float32, ne)
+	for i := range I {
+		sums[i] = I[i]
+		sums2[i] = I[i] * I[i]
+	}
+	reduceRef := func(src []float32, n, block int) []float32 {
+		blocks := (n + block - 1) / block
+		out := make([]float32, blocks)
+		for b := 0; b < blocks; b++ {
+			buf := make([]float32, block)
+			for t := 0; t < block; t++ {
+				if b*block+t < n {
+					buf[t] = src[b*block+t]
+				}
+			}
+			for s := block / 2; s > 0; s /= 2 {
+				for t := 0; t < s; t++ {
+					buf[t] += buf[t+s]
+				}
+			}
+			out[b] = buf[0]
+		}
+		return out
+	}
+	const block = 256
+	p1 := reduceRef(sums, ne, block)
+	p2 := reduceRef(sums2, ne, block)
+	total := reduceRef(p1, len(p1), block)[0]
+	total2 := reduceRef(p2, len(p2), block)[0]
+	meanROI := total / float32(ne)
+	varROI := total2/float32(ne) - meanROI*meanROI
+	q0 := varROI / (meanROI * meanROI)
+
+	c := make([]float32, ne)
+	dN := make([]float32, ne)
+	dS := make([]float32, ne)
+	dW := make([]float32, ne)
+	dE := make([]float32, ne)
+	for i := 0; i < ne; i++ {
+		row, col := i%rows, i/rows
+		jc := I[i]
+		dN[i] = I[int(iN[row])+rows*col] - jc
+		dS[i] = I[int(iS[row])+rows*col] - jc
+		dW[i] = I[row+rows*int(jW[col])] - jc
+		dE[i] = I[row+rows*int(jE[col])] - jc
+		g2 := fdiv32(dN[i]*dN[i]+dS[i]*dS[i]+dW[i]*dW[i]+dE[i]*dE[i], jc*jc)
+		l := fdiv32(dN[i]+dS[i]+dW[i]+dE[i], jc)
+		num := 0.5*g2 - (1.0/16.0)*(l*l)
+		den := 1 + 0.25*l
+		qsqr := fdiv32(num, den*den)
+		den = fdiv32(qsqr-q0, q0*(1+q0))
+		cv := fdiv32(1, 1+den)
+		if cv < 0 {
+			cv = 0
+		} else if cv > 1 {
+			cv = 1
+		}
+		c[i] = cv
+	}
+	out := make([]float32, ne)
+	copy(out, I)
+	for i := 0; i < ne; i++ {
+		row, col := i%rows, i/rows
+		cN := c[i]
+		cS := c[int(iS[row])+rows*col]
+		cW := c[i]
+		cE := c[row+rows*int(jE[col])]
+		d := cN*dN[i] + cS*dS[i] + cW*dW[i] + cE*dE[i]
+		out[i] = fma32(0.25*lambda, d, out[i])
+	}
+	for i := range out {
+		out[i] = log32(out[i]) * 255
+	}
+	return out
+}
+
+// sradExtract: I[i] = exp(I[i]/255).
+func sradExtract(ne int) *isa.Program {
+	b := kasm.New("srad.extract")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, i, b.Param(1))
+	b.If(p, false, func() {
+		addr := b.IScAdd(i, b.Param(0), 2)
+		v := b.Ldg(addr, 0)
+		b.Stg(addr, 0, b.Expf(b.FDiv(v, b.MovF(255))))
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}
+
+// sradPrepare: sums[i] = I[i]; sums2[i] = I[i]².
+func sradPrepare(ne int) *isa.Program {
+	b := kasm.New("srad.prepare")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, i, b.Param(3))
+	b.If(p, false, func() {
+		v := b.Ldg(b.IScAdd(i, b.Param(0), 2), 0)
+		b.Stg(b.IScAdd(i, b.Param(1), 2), 0, v)
+		b.Stg(b.IScAdd(i, b.Param(2), 2), 0, b.FMul(v, v))
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}
+
+// sradReduce reduces two arrays at once with a shared-memory tree; each CTA
+// writes one partial per array. Params: src1 src2 dst1 dst2 n.
+func sradReduce(block int) *isa.Program {
+	b := kasm.New("srad.reduce")
+	tid := b.S2R(isa.SRTidX)
+	bid := b.S2R(isa.SRCtaIDX)
+	i := b.IMad(bid, b.S2R(isa.SRNTidX), tid)
+	n := b.Param(4)
+
+	v1 := b.MovF(0)
+	v2 := b.MovF(0)
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, i, n)
+	b.If(p, false, func() {
+		b.LdgTo(v1, b.IScAdd(i, b.Param(0), 2), 0)
+		b.LdgTo(v2, b.IScAdd(i, b.Param(1), 2), 0)
+	})
+	sm1 := b.Shl(tid, 2)
+	sm2 := b.IAddI(sm1, int32(4*block))
+	b.Sts(sm1, 0, v1)
+	b.Sts(sm2, 0, v2)
+	b.Barrier()
+
+	s := b.MovI(int32(block / 2))
+	q := b.P()
+	b.While(func() (isa.Pred, bool) {
+		b.ISetpI(q, isa.CmpGT, s, 0)
+		return q, false
+	}, func() {
+		r := b.P()
+		b.ISetp(r, isa.CmpLT, tid, s)
+		b.If(r, false, func() {
+			o := b.Shl(b.IAdd(tid, s), 2)
+			b.Sts(sm1, 0, b.FAdd(b.Lds(sm1, 0), b.Lds(o, 0)))
+			b.Sts(sm2, 0, b.FAdd(b.Lds(sm2, 0), b.Lds(b.IAddI(o, int32(4*block)), 0)))
+		})
+		b.FreeP(r)
+		b.Barrier()
+		b.ShrTo(s, s, 1)
+	})
+	b.FreeP(q)
+
+	b.ISetpI(p, isa.CmpEQ, tid, 0)
+	b.If(p, false, func() {
+		b.Stg(b.IScAdd(bid, b.Param(2), 2), 0, b.Lds(b.MovI(0), 0))
+		b.Stg(b.IScAdd(bid, b.Param(3), 2), 0, b.Lds(b.MovI(int32(4*block)), 0))
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}
+
+// sradMain is the srad kernel (K4): diffusion coefficient computation.
+// Params: I c dN dS dW dE iN iS jW jE q0 ne.
+func sradMain(rows, ne int) *isa.Program {
+	shift := int32(log2i(rows))
+	b := kasm.New("srad.srad")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, i, b.Param(11))
+	b.If(p, false, func() {
+		row := b.AndI(i, int32(rows-1))
+		col := b.Shr(i, shift)
+
+		iN := b.Ldg(b.IScAdd(row, b.Param(6), 2), 0)
+		iS := b.Ldg(b.IScAdd(row, b.Param(7), 2), 0)
+		jW := b.Ldg(b.IScAdd(col, b.Param(8), 2), 0)
+		jE := b.Ldg(b.IScAdd(col, b.Param(9), 2), 0)
+
+		iBase := b.Param(0)
+		colRows := b.Shl(col, shift)
+		jc := b.Ldg(b.IScAdd(i, iBase, 2), 0)
+		idxN := b.IAdd(iN, colRows)
+		idxS := b.IAdd(iS, colRows)
+		idxW := b.IAdd(row, b.Shl(jW, shift))
+		idxE := b.IAdd(row, b.Shl(jE, shift))
+		dN := b.FSub(b.Ldg(b.IScAdd(idxN, iBase, 2), 0), jc)
+		dS := b.FSub(b.Ldg(b.IScAdd(idxS, iBase, 2), 0), jc)
+		dW := b.FSub(b.Ldg(b.IScAdd(idxW, iBase, 2), 0), jc)
+		dE := b.FSub(b.Ldg(b.IScAdd(idxE, iBase, 2), 0), jc)
+
+		sq := func(x isa.Reg) isa.Reg { return b.FMul(x, x) }
+		g2 := b.FDiv(
+			b.FAdd(b.FAdd(sq(dN), sq(dS)), b.FAdd(sq(dW), sq(dE))),
+			sq(jc))
+		l := b.FDiv(b.FAdd(b.FAdd(dN, dS), b.FAdd(dW, dE)), jc)
+		num := b.FSub(b.FMul(b.MovF(0.5), g2), b.FMul(b.MovF(1.0/16.0), sq(l)))
+		den := b.FAdd(b.MovF(1), b.FMul(b.MovF(0.25), l))
+		qsqr := b.FDiv(num, sq(den))
+		q0 := b.Ldg(b.Param(10), 0)
+		den2 := b.FDiv(b.FSub(qsqr, q0), b.FMul(q0, b.FAdd(b.MovF(1), q0)))
+		c := b.FDiv(b.MovF(1), b.FAdd(b.MovF(1), den2))
+		c = b.FMax(b.FMin(c, b.MovF(1)), b.MovF(0))
+
+		b.Stg(b.IScAdd(i, b.Param(1), 2), 0, c)
+		b.Stg(b.IScAdd(i, b.Param(2), 2), 0, dN)
+		b.Stg(b.IScAdd(i, b.Param(3), 2), 0, dS)
+		b.Stg(b.IScAdd(i, b.Param(4), 2), 0, dW)
+		b.Stg(b.IScAdd(i, b.Param(5), 2), 0, dE)
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}
+
+// sradUpdate is srad2 (K5): divergence and image update.
+// Params: I c dN dS dW dE iS jE ne.
+func sradUpdate(rows, ne int, lambda float32) *isa.Program {
+	shift := int32(log2i(rows))
+	b := kasm.New("srad.srad2")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, i, b.Param(8))
+	b.If(p, false, func() {
+		row := b.AndI(i, int32(rows-1))
+		col := b.Shr(i, shift)
+		colRows := b.Shl(col, shift)
+
+		iS := b.Ldg(b.IScAdd(row, b.Param(6), 2), 0)
+		jE := b.Ldg(b.IScAdd(col, b.Param(7), 2), 0)
+		cBase := b.Param(1)
+		cN := b.Ldg(b.IScAdd(i, cBase, 2), 0)
+		cS := b.Ldg(b.IScAdd(b.IAdd(iS, colRows), cBase, 2), 0)
+		cW := cN
+		cE := b.Ldg(b.IScAdd(b.IAdd(row, b.Shl(jE, shift)), cBase, 2), 0)
+
+		dN := b.Ldg(b.IScAdd(i, b.Param(2), 2), 0)
+		dS := b.Ldg(b.IScAdd(i, b.Param(3), 2), 0)
+		dW := b.Ldg(b.IScAdd(i, b.Param(4), 2), 0)
+		dE := b.Ldg(b.IScAdd(i, b.Param(5), 2), 0)
+
+		d := b.FAdd(b.FAdd(b.FMul(cN, dN), b.FMul(cS, dS)),
+			b.FAdd(b.FMul(cW, dW), b.FMul(cE, dE)))
+		iAddr := b.IScAdd(i, b.Param(0), 2)
+		v := b.Ldg(iAddr, 0)
+		b.Stg(iAddr, 0, b.FFma(b.MovF(0.25*lambda), d, v))
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}
+
+// sradCompress: I[i] = log(I[i])*255.
+func sradCompress(ne int) *isa.Program {
+	b := kasm.New("srad.compress")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, i, b.Param(1))
+	b.If(p, false, func() {
+		addr := b.IScAdd(i, b.Param(0), 2)
+		b.Stg(addr, 0, b.FMul(b.Logf(b.Ldg(addr, 0)), b.MovF(255)))
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}
+
+func log2i(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

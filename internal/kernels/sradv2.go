@@ -1,0 +1,280 @@
+package kernels
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// SRADv2 is the Rodinia srad_v2 benchmark: the same diffusion as srad_v1 but
+// on a row-major matrix with 2D 16×16 CTAs and shared-memory tiles — kernels
+// srad_cuda_1 (K1) and srad_cuda_2 (K2), run for two iterations. q0sqr is
+// computed on the host from the initial image, as the Rodinia host loop does
+// before each kernel pair.
+func SRADv2() App {
+	const (
+		rows   = 32
+		cols   = 32
+		ne     = rows * cols
+		blk    = 16
+		iters  = 2
+		lambda = float32(0.5)
+	)
+	return App{
+		Name:    "SRADv2",
+		Kernels: []string{"K1", "K2"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			img := randFloats(401, ne, 0, 255)
+			J := make([]float32, ne)
+			for i, v := range img {
+				J[i] = exp32(fdiv32(v, 255))
+			}
+			dJ := m.Alloc("J", 4*ne)
+			dC := m.Alloc("C", 4*ne)
+			dE := m.Alloc("E", 4*ne)
+			dW := m.Alloc("W", 4*ne)
+			dN := m.Alloc("N", 4*ne)
+			dS := m.Alloc("S", 4*ne)
+			dQ0 := m.Alloc("q0sqr", 4)
+			m.WriteF32s(dJ, J)
+
+			k1 := sradV2K1(rows, cols, blk)
+			k2 := sradV2K2(rows, cols, blk, lambda)
+
+			hostQ0 := func(mm *device.Memory, off uint32) int {
+				var sum, sum2 float32
+				for i := 0; i < ne; i++ {
+					v := mm.PeekF32(dJ + off + uint32(4*i))
+					sum += v
+					sum2 += v * v
+				}
+				mean := sum / float32(ne)
+				vr := sum2/float32(ne) - mean*mean
+				mm.PokeF32(dQ0+off, vr/(mean*mean))
+				return -1
+			}
+
+			var steps []device.Step
+			for it := 0; it < iters; it++ {
+				steps = append(steps,
+					device.Step{Host: hostQ0},
+					device.Step{Launch: launch2D(k1, "K1", cols/blk, rows/blk, blk, blk, 4*blk*blk,
+						ptr(dE), ptr(dW), ptr(dN), ptr(dS), ptr(dJ), ptr(dC), ptr(dQ0))},
+					device.Step{Launch: launch2D(k2, "K2", cols/blk, rows/blk, blk, blk, 4*blk*blk,
+						ptr(dE), ptr(dW), ptr(dN), ptr(dS), ptr(dJ), ptr(dC))},
+				)
+			}
+			return &device.Job{
+				Name:    "SRADv2",
+				Mem:     m,
+				Steps:   steps,
+				Outputs: []device.Output{{Name: "J", Addr: dJ, Size: 4 * ne}},
+			}
+		},
+		Check: func(out []byte) error {
+			want := sradV2Ref(rows, cols, iters, lambda)
+			return checkFloats(out, want, 1e-3)
+		},
+	}
+}
+
+// sradV2Ref mirrors both kernels in float32.
+func sradV2Ref(rows, cols, iters int, lambda float32) []float32 {
+	ne := rows * cols
+	img := randFloats(401, ne, 0, 255)
+	J := make([]float32, ne)
+	for i, v := range img {
+		J[i] = exp32(fdiv32(v, 255))
+	}
+	C := make([]float32, ne)
+	dE := make([]float32, ne)
+	dW := make([]float32, ne)
+	dN := make([]float32, ne)
+	dS := make([]float32, ne)
+	clampI := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	for it := 0; it < iters; it++ {
+		var sum, sum2 float32
+		for i := 0; i < ne; i++ {
+			sum += J[i]
+			sum2 += J[i] * J[i]
+		}
+		mean := sum / float32(ne)
+		vr := sum2/float32(ne) - mean*mean
+		q0 := vr / (mean * mean)
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				i := y*cols + x
+				jc := J[i]
+				n := J[clampI(y-1, 0, rows-1)*cols+x] - jc
+				s := J[clampI(y+1, 0, rows-1)*cols+x] - jc
+				w := J[y*cols+clampI(x-1, 0, cols-1)] - jc
+				e := J[y*cols+clampI(x+1, 0, cols-1)] - jc
+				g2 := fdiv32(n*n+s*s+w*w+e*e, jc*jc)
+				l := fdiv32(n+s+w+e, jc)
+				num := 0.5*g2 - (1.0/16.0)*(l*l)
+				den := 1 + 0.25*l
+				qsqr := fdiv32(num, den*den)
+				den = fdiv32(qsqr-q0, q0*(1+q0))
+				cv := fdiv32(1, 1+den)
+				if cv < 0 {
+					cv = 0
+				} else if cv > 1 {
+					cv = 1
+				}
+				C[i], dN[i], dS[i], dW[i], dE[i] = cv, n, s, w, e
+			}
+		}
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				i := y*cols + x
+				cc := C[i]
+				cs := C[clampI(y+1, 0, rows-1)*cols+x]
+				ce := C[y*cols+clampI(x+1, 0, cols-1)]
+				d := cc*dN[i] + cs*dS[i] + cc*dW[i] + ce*dE[i]
+				J[i] = fma32(0.25*lambda, d, J[i])
+			}
+		}
+	}
+	return J
+}
+
+// sradV2K1 is srad_cuda_1: load a 16×16 tile into shared memory, fetch
+// boundary neighbours from global memory with clamping, compute the
+// diffusion coefficient and the four directional derivatives.
+// Params: E W N S J C q0sqr.
+func sradV2K1(rows, cols, blk int) *isa.Program {
+	b := kasm.New("srad_cuda_1")
+	tx := b.S2R(isa.SRTidX)
+	ty := b.S2R(isa.SRTidY)
+	bx := b.S2R(isa.SRCtaIDX)
+	by := b.S2R(isa.SRCtaIDY)
+
+	x := b.IMad(bx, b.MovI(int32(blk)), tx)
+	y := b.IMad(by, b.MovI(int32(blk)), ty)
+	idx := b.IMad(y, b.MovI(int32(cols)), x)
+	jBase := b.Param(4)
+
+	// temp[ty][tx] = J[idx]
+	smAddr := b.Shl(b.IMad(ty, b.MovI(int32(blk)), tx), 2)
+	jc := b.Ldg(b.IScAdd(idx, jBase, 2), 0)
+	b.Sts(smAddr, 0, jc)
+	b.Barrier()
+
+	// neighbour fetch: from the tile when interior, from global (clamped)
+	// when on a tile edge.
+	p := b.P()
+	nbr := func(cond isa.CmpOp, coord isa.Reg, lim int32, smOff int32, gIdx func() isa.Reg) isa.Reg {
+		v := b.R()
+		b.ISetpI(p, cond, coord, lim)
+		b.IfElse(p, false, func() {
+			// tile edge: load from global with clamped index
+			b.LdgTo(v, b.IScAdd(gIdx(), jBase, 2), 0)
+		}, func() {
+			b.LdsTo(v, smAddr, smOff)
+		})
+		return v
+	}
+	// north: ty==0 ? J[clamp(y-1)*cols+x] : temp[ty-1][tx]
+	nV := nbr(isa.CmpEQ, ty, 0, int32(-4*blk), func() isa.Reg {
+		ym := b.IMax(b.ISubI(y, 1), b.MovI(0))
+		return b.IMad(ym, b.MovI(int32(cols)), x)
+	})
+	sV := nbr(isa.CmpEQ, ty, int32(blk-1), int32(4*blk), func() isa.Reg {
+		yp := b.IMin(b.IAddI(y, 1), b.MovI(int32(rows-1)))
+		return b.IMad(yp, b.MovI(int32(cols)), x)
+	})
+	wV := nbr(isa.CmpEQ, tx, 0, -4, func() isa.Reg {
+		xm := b.IMax(b.ISubI(x, 1), b.MovI(0))
+		return b.IMad(y, b.MovI(int32(cols)), xm)
+	})
+	eV := nbr(isa.CmpEQ, tx, int32(blk-1), 4, func() isa.Reg {
+		xp := b.IMin(b.IAddI(x, 1), b.MovI(int32(cols-1)))
+		return b.IMad(y, b.MovI(int32(cols)), xp)
+	})
+	b.FreeP(p)
+
+	dN := b.FSub(nV, jc)
+	dS := b.FSub(sV, jc)
+	dW := b.FSub(wV, jc)
+	dE := b.FSub(eV, jc)
+
+	sq := func(r isa.Reg) isa.Reg { return b.FMul(r, r) }
+	g2 := b.FDiv(b.FAdd(b.FAdd(sq(dN), sq(dS)), b.FAdd(sq(dW), sq(dE))), sq(jc))
+	l := b.FDiv(b.FAdd(b.FAdd(dN, dS), b.FAdd(dW, dE)), jc)
+	num := b.FSub(b.FMul(b.MovF(0.5), g2), b.FMul(b.MovF(1.0/16.0), sq(l)))
+	den := b.FAdd(b.MovF(1), b.FMul(b.MovF(0.25), l))
+	qsqr := b.FDiv(num, sq(den))
+	q0 := b.Ldg(b.Param(6), 0)
+	den2 := b.FDiv(b.FSub(qsqr, q0), b.FMul(q0, b.FAdd(b.MovF(1), q0)))
+	c := b.FDiv(b.MovF(1), b.FAdd(b.MovF(1), den2))
+	c = b.FMax(b.FMin(c, b.MovF(1)), b.MovF(0))
+
+	b.Stg(b.IScAdd(idx, b.Param(5), 2), 0, c)
+	b.Stg(b.IScAdd(idx, b.Param(2), 2), 0, dN)
+	b.Stg(b.IScAdd(idx, b.Param(3), 2), 0, dS)
+	b.Stg(b.IScAdd(idx, b.Param(1), 2), 0, dW)
+	b.Stg(b.IScAdd(idx, b.Param(0), 2), 0, dE)
+	return b.MustBuild()
+}
+
+// sradV2K2 is srad_cuda_2: divergence and image update, reading the south
+// and east coefficients from neighbours (clamped at the matrix edge).
+// Params: E W N S J C.
+func sradV2K2(rows, cols, blk int, lambda float32) *isa.Program {
+	b := kasm.New("srad_cuda_2")
+	tx := b.S2R(isa.SRTidX)
+	ty := b.S2R(isa.SRTidY)
+	bx := b.S2R(isa.SRCtaIDX)
+	by := b.S2R(isa.SRCtaIDY)
+
+	x := b.IMad(bx, b.MovI(int32(blk)), tx)
+	y := b.IMad(by, b.MovI(int32(blk)), ty)
+	idx := b.IMad(y, b.MovI(int32(cols)), x)
+	cBase := b.Param(5)
+
+	// temp tile of C for in-block south/east neighbours
+	smAddr := b.Shl(b.IMad(ty, b.MovI(int32(blk)), tx), 2)
+	cc := b.Ldg(b.IScAdd(idx, cBase, 2), 0)
+	b.Sts(smAddr, 0, cc)
+	b.Barrier()
+
+	p := b.P()
+	cs := b.R()
+	b.ISetpI(p, isa.CmpEQ, ty, int32(blk-1))
+	b.IfElse(p, false, func() {
+		yp := b.IMin(b.IAddI(y, 1), b.MovI(int32(rows-1)))
+		b.LdgTo(cs, b.IScAdd(b.IMad(yp, b.MovI(int32(cols)), x), cBase, 2), 0)
+	}, func() {
+		b.LdsTo(cs, smAddr, int32(4*blk))
+	})
+	ce := b.R()
+	b.ISetpI(p, isa.CmpEQ, tx, int32(blk-1))
+	b.IfElse(p, false, func() {
+		xp := b.IMin(b.IAddI(x, 1), b.MovI(int32(cols-1)))
+		b.LdgTo(ce, b.IScAdd(b.IMad(y, b.MovI(int32(cols)), xp), cBase, 2), 0)
+	}, func() {
+		b.LdsTo(ce, smAddr, 4)
+	})
+	b.FreeP(p)
+
+	dN := b.Ldg(b.IScAdd(idx, b.Param(2), 2), 0)
+	dS := b.Ldg(b.IScAdd(idx, b.Param(3), 2), 0)
+	dW := b.Ldg(b.IScAdd(idx, b.Param(1), 2), 0)
+	dE := b.Ldg(b.IScAdd(idx, b.Param(0), 2), 0)
+
+	d := b.FAdd(b.FAdd(b.FMul(cc, dN), b.FMul(cs, dS)),
+		b.FAdd(b.FMul(cc, dW), b.FMul(ce, dE)))
+	jAddr := b.IScAdd(idx, b.Param(4), 2)
+	v := b.Ldg(jAddr, 0)
+	b.Stg(jAddr, 0, b.FFma(b.MovF(0.25*lambda), d, v))
+	return b.MustBuild()
+}

@@ -1,0 +1,79 @@
+package kernels
+
+import (
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+// VA is the CUDA SDK vectorAdd benchmark: C[i] = A[i] + B[i].
+func VA() App { return VAWithSize(2048) }
+
+// VAWithSize builds vectorAdd over n elements (n must be a multiple of 256).
+// Sized variants support the input-size resilience study (SUGAR, the
+// paper's ref. [48]).
+func VAWithSize(n int) App {
+	const block = 256
+	grid := n / block
+	return App{
+		Name:    "VA",
+		Kernels: []string{"K1"},
+		Build: func() *device.Job {
+			m := device.NewMemory(MemCapacity)
+			a := randFloats(101, n, 0, 100)
+			bv := randFloats(102, n, 0, 100)
+			da := m.Alloc("A", 4*n)
+			db := m.Alloc("B", 4*n)
+			dc := m.Alloc("C", 4*n)
+			m.WriteF32s(da, a)
+			m.WriteF32s(db, bv)
+
+			prog := vaKernel()
+			return &device.Job{
+				Name: "VA",
+				Mem:  m,
+				Steps: []device.Step{
+					{Launch: launch1D(prog, "K1", grid, block, 0,
+						ptr(da), ptr(db), ptr(dc), val(int32(n)))},
+				},
+				Outputs: []device.Output{{Name: "C", Addr: dc, Size: uint32(4 * n)}},
+			}
+		},
+		Check: func(out []byte) error {
+			a := randFloats(101, n, 0, 100)
+			bv := randFloats(102, n, 0, 100)
+			want := make([]float32, n)
+			for i := range want {
+				want[i] = a[i] + bv[i]
+			}
+			return checkFloats(out, want, 1e-6)
+		},
+	}
+}
+
+// vaKernel builds:
+//
+//	i = ctaid.x*ntid.x + tid.x
+//	if i < n { C[i] = A[i] + B[i] }
+func vaKernel() *isa.Program {
+	b := kasm.New("vectorAdd")
+	tid := b.S2R(isa.SRTidX)
+	ctaid := b.S2R(isa.SRCtaIDX)
+	ntid := b.S2R(isa.SRNTidX)
+	i := b.IMad(ctaid, ntid, tid)
+	n := b.Param(3)
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, i, n)
+	b.If(p, false, func() {
+		aBase := b.Param(0)
+		bBase := b.Param(1)
+		cBase := b.Param(2)
+		aAddr := b.IScAdd(i, aBase, 2)
+		bAddr := b.IScAdd(i, bBase, 2)
+		cAddr := b.IScAdd(i, cBase, 2)
+		sum := b.FAdd(b.Ldg(aAddr, 0), b.Ldg(bAddr, 0))
+		b.Stg(cAddr, 0, sum)
+	})
+	b.FreeP(p)
+	return b.MustBuild()
+}

@@ -1,0 +1,102 @@
+// Package metrics implements the AVF/SVF algebra of §II of the paper:
+// failure rates, derating factors, per-structure AVFs, the size-weighted
+// full-chip AVF, cycle-weighted application AVF and instruction-weighted
+// application SVF, all decomposed into the SDC/Timeout/DUE classes that the
+// figures stack.
+package metrics
+
+import (
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+	"gpurel/internal/gpu"
+)
+
+// Breakdown is a vulnerability factor decomposed by fault-effect class.
+// Total = SDC + Timeout + DUE.
+type Breakdown struct {
+	SDC     float64
+	Timeout float64
+	DUE     float64
+}
+
+// Total returns the summed vulnerability factor.
+func (b Breakdown) Total() float64 { return b.SDC + b.Timeout + b.DUE }
+
+// Scale multiplies all classes by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{SDC: b.SDC * f, Timeout: b.Timeout * f, DUE: b.DUE * f}
+}
+
+// Add returns the class-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{SDC: b.SDC + o.SDC, Timeout: b.Timeout + o.Timeout, DUE: b.DUE + o.DUE}
+}
+
+// FromTally extracts the class percentages of a campaign (the failure-rate
+// decomposition FR = Pct(SDC)+Pct(Timeout)+Pct(DUE)).
+func FromTally(t campaign.Tally) Breakdown {
+	return Breakdown{
+		SDC:     t.Pct(faults.SDC),
+		Timeout: t.Pct(faults.Timeout),
+		DUE:     t.Pct(faults.DUE),
+	}
+}
+
+// StructAVF is the cross-layer AVF of one hardware structure:
+// AVF(h) = FR(h) × DF(h), per class (§II-B).
+type StructAVF struct {
+	Structure gpu.Structure
+	DF        float64
+	AVF       Breakdown
+}
+
+// NewStructAVF applies the derating factor to a campaign tally.
+func NewStructAVF(s gpu.Structure, t campaign.Tally, df float64) StructAVF {
+	return StructAVF{Structure: s, DF: df, AVF: FromTally(t).Scale(df)}
+}
+
+// ChipAVF consolidates per-structure AVFs into the full-chip AVF by
+// weighting each structure by its bit count:
+// AVF(all) = Σ AVF(h_i) × size(h_i)/Σ size(h_j).
+func ChipAVF(cfg gpu.Config, structs []StructAVF) Breakdown {
+	var total Breakdown
+	totalBits := float64(cfg.TotalBits())
+	for _, s := range structs {
+		w := float64(cfg.StructBits(s.Structure)) / totalBits
+		total = total.Add(s.AVF.Scale(w))
+	}
+	return total
+}
+
+// SubsetAVF consolidates a subset of structures (e.g. AVF-Cache over
+// L1D+L1T+L2), weighting by bit counts within the subset.
+func SubsetAVF(cfg gpu.Config, structs []StructAVF) Breakdown {
+	var bits int64
+	for _, s := range structs {
+		bits += cfg.StructBits(s.Structure)
+	}
+	var total Breakdown
+	for _, s := range structs {
+		w := float64(cfg.StructBits(s.Structure)) / float64(bits)
+		total = total.Add(s.AVF.Scale(w))
+	}
+	return total
+}
+
+// Weighted combines per-kernel vulnerability factors into an application
+// factor with the given weights (cycles for AVF, §II-B; dynamic instruction
+// counts for SVF, §II-C).
+func Weighted(parts []Breakdown, weights []float64) Breakdown {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	var total Breakdown
+	if sum == 0 {
+		return total
+	}
+	for i, p := range parts {
+		total = total.Add(p.Scale(weights[i] / sum))
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+	"gpurel/internal/gpu"
+)
+
+func tally(sdc, timeout, due, masked int) campaign.Tally {
+	var t campaign.Tally
+	for i := 0; i < sdc; i++ {
+		t.Add(faults.Result{Outcome: faults.SDC})
+	}
+	for i := 0; i < timeout; i++ {
+		t.Add(faults.Result{Outcome: faults.Timeout})
+	}
+	for i := 0; i < due; i++ {
+		t.Add(faults.Result{Outcome: faults.DUE})
+	}
+	for i := 0; i < masked; i++ {
+		t.Add(faults.Result{Outcome: faults.Masked})
+	}
+	return t
+}
+
+func TestFromTally(t *testing.T) {
+	b := FromTally(tally(10, 5, 5, 80))
+	if b.SDC != 0.10 || b.Timeout != 0.05 || b.DUE != 0.05 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if math.Abs(b.Total()-0.20) > 1e-12 {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestStructAVFApplyingDF(t *testing.T) {
+	s := NewStructAVF(gpu.RF, tally(50, 0, 0, 50), 0.3)
+	if math.Abs(s.AVF.SDC-0.15) > 1e-12 {
+		t.Errorf("AVF.SDC = %v, want FR×DF = 0.15", s.AVF.SDC)
+	}
+}
+
+// TestChipAVFWeights: the chip AVF of uniform per-structure AVFs equals that
+// AVF (weights sum to 1).
+func TestChipAVFWeights(t *testing.T) {
+	cfg := gpu.Volta()
+	var structs []StructAVF
+	for _, st := range gpu.Structures {
+		structs = append(structs, StructAVF{Structure: st, AVF: Breakdown{SDC: 0.02}})
+	}
+	chip := ChipAVF(cfg, structs)
+	if math.Abs(chip.SDC-0.02) > 1e-12 {
+		t.Errorf("uniform chip AVF = %v, want 0.02", chip.SDC)
+	}
+}
+
+// TestChipAVFDominatedByRF: with AVF only in the register file, the chip AVF
+// equals AVF_RF × (RF bits / total bits) — and the RF share must dominate
+// the Volta-like configuration, as the paper's §VII notes.
+func TestChipAVFDominatedByRF(t *testing.T) {
+	cfg := gpu.Volta()
+	structs := []StructAVF{{Structure: gpu.RF, AVF: Breakdown{SDC: 0.5}}}
+	for _, st := range gpu.Structures[1:] {
+		structs = append(structs, StructAVF{Structure: st})
+	}
+	chip := ChipAVF(cfg, structs)
+	share := float64(cfg.StructBits(gpu.RF)) / float64(cfg.TotalBits())
+	if math.Abs(chip.SDC-0.5*share) > 1e-12 {
+		t.Errorf("chip AVF = %v, want %v", chip.SDC, 0.5*share)
+	}
+	if share < 0.5 {
+		t.Errorf("RF must dominate the chip bit count (share = %v)", share)
+	}
+}
+
+func TestSubsetAVF(t *testing.T) {
+	cfg := gpu.Volta()
+	structs := []StructAVF{
+		{Structure: gpu.L1D, AVF: Breakdown{DUE: 0.1}},
+		{Structure: gpu.L1T, AVF: Breakdown{DUE: 0.1}},
+		{Structure: gpu.L2, AVF: Breakdown{DUE: 0.1}},
+	}
+	sub := SubsetAVF(cfg, structs)
+	if math.Abs(sub.DUE-0.1) > 1e-12 {
+		t.Errorf("uniform subset AVF = %v", sub.DUE)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	parts := []Breakdown{{SDC: 0.4}, {SDC: 0.8}}
+	w := Weighted(parts, []float64{3, 1})
+	if math.Abs(w.SDC-0.5) > 1e-12 {
+		t.Errorf("weighted = %v, want 0.5", w.SDC)
+	}
+	if z := Weighted(parts, []float64{0, 0}); z.Total() != 0 {
+		t.Error("zero weights must yield zero")
+	}
+}
+
+// TestBreakdownAlgebra: Scale and Add distribute correctly.
+func TestBreakdownAlgebra(t *testing.T) {
+	f := func(a, b, c, d, e, g float64, k float64) bool {
+		clamp := func(x float64) float64 { return math.Mod(math.Abs(x), 1) }
+		x := Breakdown{SDC: clamp(a), Timeout: clamp(b), DUE: clamp(c)}
+		y := Breakdown{SDC: clamp(d), Timeout: clamp(e), DUE: clamp(g)}
+		kk := clamp(k)
+		s := x.Add(y).Scale(kk)
+		want := x.Scale(kk).Add(y.Scale(kk))
+		return math.Abs(s.SDC-want.SDC) < 1e-9 &&
+			math.Abs(s.Timeout-want.Timeout) < 1e-9 &&
+			math.Abs(s.DUE-want.DUE) < 1e-9 &&
+			s.Total() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAVFInRange: for any tally and DF in [0,1], AVF stays in [0,1].
+func TestAVFInRange(t *testing.T) {
+	f := func(sdc, timeout, due, masked uint8, df float64) bool {
+		d := math.Mod(math.Abs(df), 1)
+		tl := tally(int(sdc%50), int(timeout%50), int(due%50), int(masked%50)+1)
+		s := NewStructAVF(gpu.L2, tl, d)
+		tot := s.AVF.Total()
+		return tot >= 0 && tot <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package microfi is the gpuFI-4 analogue: microarchitecture-level
+// statistical fault injection into the simulator's storage arrays (register
+// files, shared memory, L1 data/texture caches, L2 cache). Each experiment
+// flips one uniformly chosen bit at one uniformly chosen cycle of the target
+// kernel's execution window and classifies the run against the golden
+// output (§II-B of the paper).
+package microfi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpurel/internal/device"
+	"gpurel/internal/faults"
+	"gpurel/internal/gpu"
+	"gpurel/internal/sim"
+)
+
+// GoldenRun caches the fault-free simulation of a job.
+type GoldenRun struct {
+	Res *sim.Result
+	Cfg gpu.Config
+}
+
+// Golden runs the job fault-free.
+func Golden(job *device.Job, cfg gpu.Config) (*GoldenRun, error) {
+	res := sim.Run(job, cfg, sim.Options{})
+	if res.Err != nil {
+		return nil, fmt.Errorf("golden run failed: %w", res.Err)
+	}
+	if res.TimedOut {
+		return nil, fmt.Errorf("golden run timed out")
+	}
+	if res.DUEFlag {
+		return nil, fmt.Errorf("golden run raised the DUE flag")
+	}
+	return &GoldenRun{Res: res, Cfg: cfg}, nil
+}
+
+// Target selects what one injection experiment hits.
+type Target struct {
+	Structure gpu.Structure
+	// Kernel restricts the injection cycle to that kernel's execution
+	// windows ("" = the whole application).
+	Kernel string
+	// IncludeVote additionally includes the TMR voting kernel's windows —
+	// the vote is part of the hardened kernel's workflow (Fig. 6 step 3).
+	IncludeVote bool
+	// Burst widens the flip to an adjacent multi-bit upset (0/1 = single).
+	Burst int
+}
+
+// VoteKernelName is the kernel name the TMR transform gives vote launches.
+const VoteKernelName = "vote"
+
+// spans returns the launch spans matching the target kernel.
+func (t Target) spans(g *GoldenRun) []sim.LaunchSpan {
+	var out []sim.LaunchSpan
+	for _, s := range g.Res.Spans {
+		if t.Kernel == "" || s.Kernel == t.Kernel || (t.IncludeVote && s.Kernel == VoteKernelName) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Windows returns the total cycle count of the target windows.
+func (t Target) Windows(g *GoldenRun) int64 {
+	var total int64
+	for _, s := range t.spans(g) {
+		total += s.End - s.Start
+	}
+	return total
+}
+
+// DF returns the derating factor for the target structure, cycle-weighted
+// across the target kernel's launches (§II-B). Caches have DF = 1.
+func (t Target) DF(g *GoldenRun) float64 {
+	switch t.Structure {
+	case gpu.RF, gpu.SMEM:
+	default:
+		return 1
+	}
+	var num, den float64
+	for _, s := range t.spans(g) {
+		c := float64(s.End - s.Start)
+		den += c
+		if t.Structure == gpu.RF {
+			num += c * s.RFDeratingFactor(g.Cfg)
+		} else {
+			num += c * s.SmemDeratingFactor(g.Cfg)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// pickCycle draws a uniform cycle within the target windows.
+func (t Target) pickCycle(g *GoldenRun, rng *rand.Rand) (int64, bool) {
+	total := t.Windows(g)
+	if total <= 0 {
+		return 0, false
+	}
+	k := rng.Int63n(total)
+	for _, s := range t.spans(g) {
+		n := s.End - s.Start
+		if k < n {
+			return s.Start + k + 1, true // cycles are 1-based in the runner
+		}
+		k -= n
+	}
+	return 0, false
+}
+
+// Inject performs one injection experiment and classifies the outcome.
+func Inject(job *device.Job, g *GoldenRun, t Target, rng *rand.Rand) faults.Result {
+	cycle, ok := t.pickCycle(g, rng)
+	if !ok {
+		// kernel never ran (e.g. zero shared memory usage): nothing to hit
+		return faults.Result{Outcome: faults.Masked, Detail: "empty injection window"}
+	}
+	width := t.Burst
+	if width < 1 {
+		width = 1
+	}
+	// SEC-DED ECC on the target structure: single-bit upsets are corrected,
+	// double-bit upsets are detected but uncorrectable. Wider bursts escape
+	// the code and strike the array below.
+	if g.Cfg.ECC[t.Structure] {
+		switch width {
+		case 1:
+			return faults.Result{Outcome: faults.Masked, Detail: "corrected by ECC"}
+		case 2:
+			return faults.Result{Outcome: faults.DUE, Detail: "detected uncorrectable (ECC)"}
+		}
+	}
+	hit := false
+	opts := sim.Options{
+		MaxCycles: g.Res.Cycles * int64(g.Cfg.TimeoutFactor),
+		AtCycle:   cycle,
+		OnCycle: func(m *sim.Machine) {
+			hit = flip(m, t.Structure, width, rng)
+		},
+	}
+	res := sim.Run(job, g.Cfg, opts)
+	return Classify(g, res, hit)
+}
+
+// Classify compares a (possibly faulty) run against the golden run.
+func Classify(g *GoldenRun, res *sim.Result, injected bool) faults.Result {
+	switch {
+	case res.TimedOut:
+		return faults.Result{Outcome: faults.Timeout}
+	case res.Err != nil:
+		return faults.Result{Outcome: faults.DUE, Detail: res.Err.Error()}
+	case res.DUEFlag:
+		return faults.Result{Outcome: faults.DUE, Detail: "application-detected (TMR vote disagreement)"}
+	case !bytesEqual(res.Output, g.Res.Output):
+		return faults.Result{Outcome: faults.SDC}
+	default:
+		r := faults.Result{Outcome: faults.Masked, CtrlAffected: res.Cycles != g.Res.Cycles}
+		if !injected {
+			r.Detail = "no allocated entry at injection cycle"
+		}
+		return r
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// flip corrupts one uniformly chosen entry of the structure. For RF and
+// shared memory only currently allocated entries are addressable (exactly
+// gpuFI-4's constraint, corrected by the derating factor); for caches any
+// data bit of the array is a target, valid or not. Returns false when the
+// structure has no allocated entries at this cycle.
+func flip(m *sim.Machine, s gpu.Structure, width int, rng *rand.Rand) bool {
+	switch s {
+	case gpu.RF:
+		var blocks []regBlock
+		total := 0
+		for _, sm := range m.SMs {
+			for _, b := range sm.AllocatedRF() {
+				blocks = append(blocks, regBlock{sm, b})
+				total += b.Size
+			}
+		}
+		if total == 0 {
+			return false
+		}
+		k := rng.Intn(total)
+		bit := uint(rng.Intn(32))
+		for _, rb := range blocks {
+			if k < rb.blk.Size {
+				for w := 0; w < width; w++ {
+					rb.sm.RF[rb.blk.Base+k] ^= 1 << ((bit + uint(w)) % 32)
+				}
+				return true
+			}
+			k -= rb.blk.Size
+		}
+	case gpu.SMEM:
+		var blocks []regBlock
+		total := 0
+		for _, sm := range m.SMs {
+			for _, b := range sm.AllocatedSmem() {
+				blocks = append(blocks, regBlock{sm, b})
+				total += b.Size
+			}
+		}
+		if total == 0 {
+			return false
+		}
+		k := rng.Intn(total)
+		bit := uint(rng.Intn(8))
+		for _, rb := range blocks {
+			if k < rb.blk.Size {
+				for w := 0; w < width; w++ {
+					rb.sm.Smem[rb.blk.Base+k] ^= 1 << ((bit + uint(w)) % 8)
+				}
+				return true
+			}
+			k -= rb.blk.Size
+		}
+	case gpu.L1D, gpu.L1T:
+		sm := m.SMs[rng.Intn(len(m.SMs))]
+		c := sm.L1D
+		if s == gpu.L1T {
+			c = sm.L1T
+		}
+		line := rng.Intn(c.NumLines())
+		off := uint32(rng.Intn(int(c.LineSize())))
+		bit := uint8(rng.Intn(8))
+		for w := 0; w < width; w++ {
+			c.FlipBit(line, off, bit+uint8(w))
+		}
+		return true
+	case gpu.L2:
+		line := rng.Intn(m.L2.NumLines())
+		off := uint32(rng.Intn(int(m.L2.LineSize())))
+		bit := uint8(rng.Intn(8))
+		for w := 0; w < width; w++ {
+			m.L2.FlipBit(line, off, bit+uint8(w))
+		}
+		return true
+	}
+	return false
+}
+
+type regBlock struct {
+	sm  *sim.SM
+	blk sim.RFBlock
+}

@@ -1,0 +1,210 @@
+package propagate
+
+import (
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/funcsim"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+	"gpurel/internal/kernels"
+)
+
+// chainedJob: out[i] = (in[i]*3 + 7); a dead value is also computed so some
+// seeds must not propagate.
+func chainedJob(n int) *device.Job {
+	b := kasm.New("chain")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetpI(p, isa.CmpLT, i, int32(n))
+	b.If(p, false, func() {
+		v := b.Ldg(b.IScAdd(i, b.Param(0), 2), 0)
+		b.MovI(99) // dead value: taint seeded here must die
+		r := b.IAddI(b.IMulI(v, 3), 7)
+		b.Stg(b.IScAdd(i, b.Param(1), 2), 0, r)
+	})
+	b.FreeP(p)
+	prog := b.MustBuild()
+	m := device.NewMemory(1 << 18)
+	in := m.Alloc("in", 4*n)
+	out := m.Alloc("out", 4*n)
+	vals := make([]uint32, n)
+	for k := range vals {
+		vals[k] = uint32(k)
+	}
+	m.WriteU32s(in, vals)
+	return &device.Job{
+		Name: "chain", Mem: m,
+		Steps: []device.Step{{Launch: &device.Launch{
+			Kernel: prog, KernelName: "K1", GridX: 1, GridY: 1, BlockX: n, BlockY: 1,
+			Params: []uint32{in, out}, ParamIsPtr: []bool{true, true},
+		}}},
+		Outputs: []device.Output{{Name: "out", Addr: out, Size: uint32(4 * n)}},
+	}
+}
+
+func TestSeedReachesOutput(t *testing.T) {
+	job := chainedJob(32)
+	g := funcsim.Run(job, funcsim.Options{CollectWindows: true})
+	reached, died := 0, 0
+	for idx := int64(0); idx < g.DstCands; idx++ {
+		r, err := Analyze(job, Seed{Index: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Seeded {
+			t.Fatalf("seed %d never reached", idx)
+		}
+		if r.OutputTainted {
+			reached++
+		} else {
+			died++
+		}
+	}
+	if reached == 0 {
+		t.Error("no seed propagated to the output")
+	}
+	if died == 0 {
+		t.Error("no seed died (the dead value must not propagate)")
+	}
+}
+
+// TestDeadValueDoesNotPropagate builds a single-thread kernel whose write
+// sequence is fully known and asserts exactly which seeds reach the output:
+// writes on the dataflow path to the store do, the dead constant does not.
+func TestDeadValueDoesNotPropagate(t *testing.T) {
+	b := kasm.New("onethread")
+	dead := b.MovI(123) // write 0: dead
+	_ = dead
+	addr := b.Param(0)  // write 1: base pointer (feeds both stores)
+	v := b.Ldg(addr, 0) // write 2: loaded value
+	r := b.IAddI(v, 1)  // write 3: on the path
+	b.Stg(addr, 4, r)   // store to out word 1
+	prog := b.MustBuild()
+
+	m := device.NewMemory(1 << 14)
+	buf := m.Alloc("buf", 16)
+	m.PokeU32(buf, 7)
+	job := &device.Job{
+		Name: "onethread", Mem: m,
+		Steps: []device.Step{{Launch: &device.Launch{
+			Kernel: prog, GridX: 1, GridY: 1, BlockX: 1, BlockY: 1,
+			Params: []uint32{buf}, ParamIsPtr: []bool{true},
+		}}},
+		Outputs: []device.Output{{Name: "out", Addr: buf + 4, Size: 4}},
+	}
+	want := map[int64]bool{0: false, 1: true, 2: true, 3: true}
+	for idx, wantTaint := range want {
+		res, err := Analyze(job, Seed{Index: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Seeded {
+			t.Fatalf("seed %d unreachable", idx)
+		}
+		if res.OutputTainted != wantTaint {
+			t.Errorf("seed %d: OutputTainted = %v, want %v", idx, res.OutputTainted, wantTaint)
+		}
+	}
+}
+
+// TestTaintThroughSharedMemory: taint must survive a smem round trip.
+func TestTaintThroughSharedMemory(t *testing.T) {
+	b := kasm.New("smem")
+	tid := b.S2R(isa.SRTidX)
+	v := b.Ldg(b.IScAdd(tid, b.Param(0), 2), 0)
+	b.Sts(b.Shl(tid, 2), 0, v)
+	b.Barrier()
+	// read the neighbour's value
+	n := b.AndI(b.IAddI(tid, 1), 31)
+	w := b.Lds(b.Shl(n, 2), 0)
+	b.Stg(b.IScAdd(tid, b.Param(1), 2), 0, w)
+	prog := b.MustBuild()
+	m := device.NewMemory(1 << 16)
+	in := m.Alloc("in", 4*32)
+	out := m.Alloc("out", 4*32)
+	job := &device.Job{
+		Name: "smem", Mem: m,
+		Steps: []device.Step{{Launch: &device.Launch{
+			Kernel: prog, GridX: 1, GridY: 1, BlockX: 32, BlockY: 1, SmemBytes: 128,
+			Params: []uint32{in, out}, ParamIsPtr: []bool{true, true},
+		}}},
+		Outputs: []device.Output{{Name: "out", Addr: out, Size: 4 * 32}},
+	}
+	// seed the load destination of some thread: taint must cross to another
+	// thread through shared memory
+	g := funcsim.Run(job, funcsim.Options{CollectWindows: true})
+	crossed := false
+	for idx := int64(0); idx < g.DstCands && !crossed; idx++ {
+		r, err := Analyze(job, Seed{Index: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OutputTainted && r.TaintedThreads >= 2 {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Error("taint never crossed threads through shared memory")
+	}
+}
+
+// TestWriteIndexAlignment: the propagation seed space must align with the
+// softfi candidate space (same counting of destination writes).
+func TestWriteIndexAlignment(t *testing.T) {
+	job := chainedJob(16)
+	g := funcsim.Run(job, funcsim.Options{CollectWindows: true})
+	r, err := Analyze(job, Seed{Index: g.DstCands - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Seeded {
+		t.Error("last candidate index not reachable: spaces misaligned")
+	}
+	r, err = Analyze(job, Seed{Index: g.DstCands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seeded {
+		t.Error("index beyond the candidate space must not seed")
+	}
+}
+
+// TestPredictionCorrelation (integration): the propagation-based SDC
+// prediction must agree with real injections much more often than chance on
+// a real benchmark. High bits of data values reliably surface as SDCs when
+// they reach output, so inject bit 30.
+func TestPredictionCorrelation(t *testing.T) {
+	app, err := kernels.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := app.Build()
+	g := funcsim.Run(job, funcsim.Options{CollectWindows: true})
+	agree, total := 0, 0
+	for k := int64(0); k < 60; k++ {
+		idx := (k * 7919) % g.DstCands
+		pr, err := Analyze(job, Seed{Index: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := funcsim.Run(job, funcsim.Options{
+			MaxDynInstrs: g.DynInstrs * 10,
+			Inject:       &funcsim.Injection{Mode: funcsim.InjectDst, Index: idx, Bit: 30},
+		})
+		if run.Err != nil || run.TimedOut {
+			continue // prediction does not model DUE/timeout
+		}
+		actualSDC := string(run.Output) != string(g.Output)
+		total++
+		if actualSDC == pr.OutputTainted {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Skip("all sampled injections crashed")
+	}
+	if ratio := float64(agree) / float64(total); ratio < 0.7 {
+		t.Errorf("propagation prediction agrees on only %.0f%% of %d sites", 100*ratio, total)
+	}
+}

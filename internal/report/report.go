@@ -1,0 +1,95 @@
+// Package report renders the study's tables and figure data as aligned text:
+// each paper figure becomes a table whose rows/series carry the same
+// quantities the figure plots.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Footers []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddFooter appends a footnote line.
+func (t *Table) AddFooter(format string, args ...any) {
+	t.Footers = append(t.Footers, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+		sb.WriteString(strings.Repeat("=", len(t.Title)) + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, f := range t.Footers {
+		sb.WriteString(f + "\n")
+	}
+	return sb.String()
+}
+
+// Pct formats a [0,1] fraction as a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%6.2f%%", 100*v) }
+
+// PctShort formats with one decimal.
+func PctShort(v float64) string { return fmt.Sprintf("%5.1f%%", 100*v) }
+
+// F formats a float compactly.
+func F(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Bar renders a tiny ASCII bar for a [0,1] value, scaled by max.
+func Bar(v, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		Title:  "Demo",
+		Header: []string{"Name", "Value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "22")
+	tbl.AddFooter("footnote %d", 7)
+	s := tbl.String()
+	for _, want := range []string{"Demo", "Name", "alpha", "a-much-longer-name", "footnote 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	// columns must align: the Value header must start at the same offset in
+	// the header and in the first row
+	lines := strings.Split(s, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "Name") {
+			header = l
+			row = lines[i+2]
+			break
+		}
+	}
+	if strings.Index(header, "Value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%q\n%q", header, row)
+	}
+}
+
+func TestPctFormats(t *testing.T) {
+	if got := Pct(0.1234); !strings.Contains(got, "12.34%") {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := PctShort(0.5); !strings.Contains(got, "50.0%") {
+		t.Errorf("PctShort = %q", got)
+	}
+}
+
+// TestBarBounds: bars never exceed the width and never have negative fill.
+func TestBarBounds(t *testing.T) {
+	f := func(v, max float64, w uint8) bool {
+		width := int(w%40) + 1
+		b := Bar(v, max, width)
+		return len(b) == width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if Bar(0.5, 1, 10) != "#####....." {
+		t.Errorf("Bar(0.5,1,10) = %q", Bar(0.5, 1, 10))
+	}
+}

@@ -1,0 +1,119 @@
+// Package reuse implements the register reuse analyzer proposed in §V-B of
+// the paper (Figure 12): given a fault in a register at some instruction,
+// find every subsequent instruction that reads the corrupted register before
+// it is rewritten, i.e. the set of dynamic uses an "instantaneous"
+// software-level injection fails to model.
+//
+// The analyzer works on the static instruction stream. Within straight-line
+// regions the reader set is exact; across branches the scan follows the
+// fall-through path and conservatively notes the first branch (matching the
+// compiler-level analyzer the paper sketches, which would be integrated with
+// an LLVM-based injector).
+package reuse
+
+import (
+	"fmt"
+	"strings"
+
+	"gpurel/internal/isa"
+)
+
+// Use is one instruction that reads the tracked register.
+type Use struct {
+	PC    int
+	Instr isa.Instr
+}
+
+// Analysis is the reader set of one (pc, register) fault site.
+type Analysis struct {
+	Reg     isa.Reg
+	FaultPC int
+	// Uses are the subsequent reads of Reg before its next write, in
+	// program order along the fall-through path.
+	Uses []Use
+	// KilledAt is the PC of the instruction that rewrites Reg (-1 if the
+	// scan reached the end of the program or a control-flow join first).
+	KilledAt int
+}
+
+// ReadersAfter scans forward from pc+1 and collects every instruction that
+// reads reg before the register is written again.
+func ReadersAfter(p *isa.Program, pc int, reg isa.Reg) Analysis {
+	a := Analysis{Reg: reg, FaultPC: pc, KilledAt: -1}
+	var srcs []isa.Reg
+	for cur := pc + 1; cur < len(p.Code); cur++ {
+		ins := &p.Code[cur]
+		srcs = ins.SrcRegs(srcs[:0])
+		for _, r := range srcs {
+			if r == reg {
+				a.Uses = append(a.Uses, Use{PC: cur, Instr: *ins})
+				break
+			}
+		}
+		if ins.Writing() && ins.Dst == reg {
+			a.KilledAt = cur
+			return a
+		}
+		if ins.Op == isa.OpBRA || ins.Op == isa.OpEXIT {
+			// conservative: stop at control flow
+			return a
+		}
+	}
+	return a
+}
+
+// Annotate renders the program in the style of Figure 12: every instruction
+// on its own line, with the fault site and every affected use marked.
+func Annotate(p *isa.Program, a Analysis) string {
+	marks := map[int]string{a.FaultPC: "  <-- fault injected here"}
+	for _, u := range a.Uses {
+		marks[u.PC] = fmt.Sprintf("  <-- reads corrupted R%d", a.Reg)
+	}
+	if a.KilledAt >= 0 {
+		marks[a.KilledAt] = fmt.Sprintf("  <-- R%d rewritten; fault dies", a.Reg)
+	}
+	var sb strings.Builder
+	for pc, ins := range p.Code {
+		fmt.Fprintf(&sb, "#%-3d %-50s%s\n", pc, ins.String(), marks[pc])
+	}
+	return sb.String()
+}
+
+// Fanout summarises, for every register-writing instruction of a program,
+// how many subsequent reads its destination has before being rewritten —
+// the aggregate measure of how much state an instantaneous injection
+// under-covers.
+func Fanout(p *isa.Program) map[int]int {
+	out := make(map[int]int)
+	for pc := range p.Code {
+		ins := &p.Code[pc]
+		if !ins.Writing() {
+			continue
+		}
+		out[pc] = len(ReadersAfter(p, pc, ins.Dst).Uses)
+	}
+	return out
+}
+
+// Figure12Program reproduces the SASS snippet of Figure 12 of the paper in
+// this repository's ISA, for the worked example in the documentation and the
+// reuse-analyzer demo.
+func Figure12Program() *isa.Program {
+	return &isa.Program{
+		Name:    "figure12",
+		NumRegs: 8,
+		Code: []isa.Instr{
+			{Op: isa.OpS2R, Dst: 0, Special: isa.SRCtaIDX},        // #1 S2R R0, SR_CTAID.X
+			{Op: isa.OpS2R, Dst: 3, Special: isa.SRTidX},          // #2 S2R R3, SR_TID.X
+			{Op: isa.OpIMAD, Dst: 4, SrcA: 0, SrcB: 5, SrcC: 3},   // #3 IMAD R4, R0, c[...], R3
+			{Op: isa.OpISCADD, Dst: 3, SrcA: 0, SrcB: 6, Imm2: 2}, // #4 ISCADD R3, R0, c[0x140], 0x2
+			{Op: isa.OpISCADD, Dst: 2, SrcA: 0, SrcB: 6, Imm2: 2}, // #5 ISCADD R2, R0, c[0x144], 0x2
+			{Op: isa.OpLDG, Dst: 3, SrcA: 3},                      // #6 LD.CG R3, [R3]
+			{Op: isa.OpISCADD, Dst: 0, SrcA: 0, SrcB: 6, Imm2: 2}, // #7 ISCADD R0, R0, c[0x148], 0x2
+			{Op: isa.OpLDG, Dst: 2, SrcA: 2},                      // #8 LD.CG R2, [R2]
+			{Op: isa.OpFADD, Dst: 3, SrcA: 0, SrcB: 2},            // #9 FADD R3, R0, R2
+			{Op: isa.OpSTG, SrcA: 0, SrcB: 3},                     // #10 ST [R0], R3
+			{Op: isa.OpEXIT},
+		},
+	}
+}

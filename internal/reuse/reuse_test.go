@@ -1,0 +1,145 @@
+package reuse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpurel/internal/isa"
+)
+
+// TestFigure12Example reproduces the paper's worked example: a fault in R0
+// at the paper's instruction #4 affects #5 and #7 and dies when #7 rewrites
+// R0 (the FADD at #9 reads the fresh R0).
+func TestFigure12Example(t *testing.T) {
+	p := Figure12Program()
+	a := ReadersAfter(p, 3, 0)
+	if len(a.Uses) != 2 {
+		t.Fatalf("expected 2 affected uses, got %d: %+v", len(a.Uses), a.Uses)
+	}
+	if a.Uses[0].PC != 4 || a.Uses[1].PC != 6 {
+		t.Errorf("affected PCs = %d, %d; want 4 and 6", a.Uses[0].PC, a.Uses[1].PC)
+	}
+	if a.KilledAt != 6 {
+		t.Errorf("fault must die at PC 6 (R0 rewritten), got %d", a.KilledAt)
+	}
+}
+
+func TestKilledAtWritesReg(t *testing.T) {
+	p := Figure12Program()
+	for pc := range p.Code {
+		ins := &p.Code[pc]
+		if !ins.Writing() {
+			continue
+		}
+		a := ReadersAfter(p, pc, ins.Dst)
+		if a.KilledAt >= 0 {
+			k := &p.Code[a.KilledAt]
+			if !k.Writing() || k.Dst != ins.Dst {
+				t.Errorf("pc %d: KilledAt %d does not rewrite R%d", pc, a.KilledAt, ins.Dst)
+			}
+		}
+	}
+}
+
+func TestUsesActuallyRead(t *testing.T) {
+	p := Figure12Program()
+	var srcs []isa.Reg
+	for pc := range p.Code {
+		ins := &p.Code[pc]
+		if !ins.Writing() {
+			continue
+		}
+		a := ReadersAfter(p, pc, ins.Dst)
+		for _, u := range a.Uses {
+			srcs = p.Code[u.PC].SrcRegs(srcs[:0])
+			found := false
+			for _, r := range srcs {
+				if r == ins.Dst {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("pc %d: claimed use at %d does not read R%d", pc, u.PC, ins.Dst)
+			}
+		}
+	}
+}
+
+func TestScanStopsAtControlFlow(t *testing.T) {
+	p := &isa.Program{Name: "cf", NumRegs: 4, Code: []isa.Instr{
+		{Op: isa.OpMOVI, Dst: 0, Imm: 1},
+		{Op: isa.OpBRA, Target: 3, Reconv: 3},
+		{Op: isa.OpIADD, Dst: 1, SrcA: 0, SrcB: 0}, // behind the branch
+		{Op: isa.OpEXIT},
+	}}
+	a := ReadersAfter(p, 0, 0)
+	if len(a.Uses) != 0 {
+		t.Errorf("scan must stop at the branch, found %+v", a.Uses)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	p := Figure12Program()
+	a := ReadersAfter(p, 3, 0)
+	s := Annotate(p, a)
+	if !strings.Contains(s, "fault injected here") {
+		t.Error("missing fault marker")
+	}
+	if !strings.Contains(s, "reads corrupted R0") {
+		t.Error("missing use marker")
+	}
+	if !strings.Contains(s, "rewritten") {
+		t.Error("missing kill marker")
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != len(p.Code) {
+		t.Error("annotation must list every instruction")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	p := Figure12Program()
+	f := Fanout(p)
+	if len(f) == 0 {
+		t.Fatal("no fanout data")
+	}
+	for pc, n := range f {
+		if n < 0 {
+			t.Errorf("pc %d: negative fanout", pc)
+		}
+		if !p.Code[pc].Writing() {
+			t.Errorf("pc %d: fanout for a non-writing instruction", pc)
+		}
+	}
+}
+
+// TestFanoutMatchesReaders (property): Fanout agrees with ReadersAfter for
+// random straight-line programs.
+func TestFanoutMatchesReaders(t *testing.T) {
+	f := func(dsts, srcs [8]uint8) bool {
+		code := make([]isa.Instr, 0, 9)
+		for i := 0; i < 8; i++ {
+			code = append(code, isa.Instr{
+				Op:   isa.OpIADD,
+				Dst:  isa.Reg(dsts[i] % 4),
+				SrcA: isa.Reg(srcs[i] % 4),
+				SrcB: isa.Reg((srcs[i] >> 2) % 4),
+			})
+		}
+		code = append(code, isa.Instr{Op: isa.OpEXIT})
+		p := &isa.Program{Name: "r", NumRegs: 4, Code: code}
+		fan := Fanout(p)
+		for pc := range p.Code {
+			if !p.Code[pc].Writing() {
+				continue
+			}
+			if fan[pc] != len(ReadersAfter(p, pc, p.Code[pc].Dst).Uses) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,810 @@
+// Package sim is the microarchitecture-level GPU simulator — the GPGPU-Sim
+// analogue on which cross-layer AVF measurement runs. It models an array of
+// SMs with physical register files and shared memories (real storage arrays
+// with per-cycle allocation, the fault-injection targets), per-SM L1 data
+// and texture caches, a shared write-back L2, SIMT divergence, CTA-wide
+// barriers, CTA scheduling under occupancy limits, and an in-order
+// scoreboard timing model.
+//
+// A fault-injection hook fires at an exact cycle and receives the Machine,
+// giving the injector access to every storage array exactly as gpuFI-4
+// patches GPGPU-Sim's structures.
+package sim
+
+import (
+	"fmt"
+
+	"gpurel/internal/device"
+	"gpurel/internal/exec"
+	"gpurel/internal/gpu"
+	"gpurel/internal/isa"
+	"gpurel/internal/mem"
+)
+
+// block is a contiguous allocation in a physical storage array.
+type block struct{ base, size int }
+
+// allocator is a first-fit free-list allocator over [0, capacity).
+type allocator struct {
+	capacity int
+	free     []block
+}
+
+func newAllocator(capacity int) *allocator {
+	return &allocator{capacity: capacity, free: []block{{0, capacity}}}
+}
+
+func (a *allocator) alloc(size int) (int, bool) {
+	if size == 0 {
+		return 0, true
+	}
+	for i := range a.free {
+		if a.free[i].size >= size {
+			base := a.free[i].base
+			a.free[i].base += size
+			a.free[i].size -= size
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return base, true
+		}
+	}
+	return 0, false
+}
+
+func (a *allocator) release(base, size int) {
+	if size == 0 {
+		return
+	}
+	// insert sorted and coalesce
+	pos := len(a.free)
+	for i := range a.free {
+		if a.free[i].base > base {
+			pos = i
+			break
+		}
+	}
+	a.free = append(a.free, block{})
+	copy(a.free[pos+1:], a.free[pos:])
+	a.free[pos] = block{base, size}
+	// coalesce around pos
+	merged := a.free[:0]
+	for _, b := range a.free {
+		n := len(merged)
+		if n > 0 && merged[n-1].base+merged[n-1].size == b.base {
+			merged[n-1].size += b.size
+		} else {
+			merged = append(merged, b)
+		}
+	}
+	a.free = merged
+}
+
+// SM is one streaming multiprocessor: its physical register file and shared
+// memory arrays (injection targets), caches, and resident CTAs.
+type SM struct {
+	ID      int
+	RF      []uint32
+	Smem    []byte
+	rfAlloc *allocator
+	smAlloc *allocator
+	L1D     *mem.Cache
+	L1T     *mem.Cache
+	hier    mem.Hierarchy
+
+	ctas        []*ctaRT
+	threadsUsed int
+	issuePtr    int
+}
+
+// AllocatedRF returns the allocated register blocks (base, size in
+// registers) of resident CTAs; the injector draws uniformly from these.
+func (s *SM) AllocatedRF() []RFBlock {
+	var out []RFBlock
+	for _, c := range s.ctas {
+		if c.rfSize > 0 {
+			out = append(out, RFBlock{Base: c.rfBase, Size: c.rfSize})
+		}
+	}
+	return out
+}
+
+// AllocatedSmem returns the allocated shared-memory blocks in bytes.
+func (s *SM) AllocatedSmem() []RFBlock {
+	var out []RFBlock
+	for _, c := range s.ctas {
+		if c.smSize > 0 {
+			out = append(out, RFBlock{Base: c.smBase, Size: c.smSize})
+		}
+	}
+	return out
+}
+
+// RFBlock is a contiguous allocated region of a storage array.
+type RFBlock struct{ Base, Size int }
+
+// Machine is the injectable hardware state handed to the OnCycle hook.
+type Machine struct {
+	Cfg gpu.Config
+	SMs []*SM
+	L2  *mem.Cache
+	Mem *device.Memory
+}
+
+// warpMeta is the scoreboard state of one warp.
+type warpMeta struct {
+	ready int64
+	atBar bool
+	done  bool
+}
+
+// ctaRT is a resident CTA.
+type ctaRT struct {
+	launch *device.Launch
+	prog   *isa.Program
+	params []uint32
+	cx, cy int
+
+	warps []*exec.Warp
+	meta  []warpMeta
+	preds []uint8
+	live  int // warps not yet done
+
+	rfBase, rfSize int
+	smBase, smSize int
+	threads        int
+}
+
+// KernelStats aggregates the fault-free profile of one kernel — the resource
+// utilisation metrics of Figure 3.
+type KernelStats struct {
+	Cycles       int64
+	DynInstrs    int64
+	LoadInstrs   int64
+	StoreInstrs  int64
+	SmemInstrs   int64
+	L1D, L1T, L2 mem.Stats
+	DRAMRead     int64
+	DRAMWrite    int64
+	OccupancySum int64 // resident threads summed over active cycles
+	Launches     int64
+}
+
+// Occupancy returns achieved occupancy: mean resident threads over the
+// kernel's cycles divided by the chip's thread capacity.
+func (k *KernelStats) Occupancy(cfg gpu.Config) float64 {
+	if k.Cycles == 0 {
+		return 0
+	}
+	capacity := float64(cfg.NumSMs * cfg.MaxThreadsPerSM)
+	return float64(k.OccupancySum) / float64(k.Cycles) / capacity
+}
+
+// LaunchSpan records the cycle window of one launch, with the data needed
+// for derating factors.
+type LaunchSpan struct {
+	Kernel        string
+	Start, End    int64
+	Threads       int64 // total threads incl. replicas
+	RegsPerThread int
+	SmemPerCTA    int
+	CTAs          int64
+}
+
+// RFDeratingFactor is size_per_thread × num_threads / system_size for the
+// register file (§II-B), capped at 1.
+func (s LaunchSpan) RFDeratingFactor(cfg gpu.Config) float64 {
+	df := float64(s.RegsPerThread) * float64(s.Threads) / float64(int64(cfg.NumSMs)*int64(cfg.RFRegsPerSM))
+	return min(df, 1)
+}
+
+// SmemDeratingFactor is the shared-memory analogue, allocated per CTA.
+func (s LaunchSpan) SmemDeratingFactor(cfg gpu.Config) float64 {
+	df := float64(s.SmemPerCTA) * float64(s.CTAs) / float64(int64(cfg.NumSMs)*int64(cfg.SmemPerSM))
+	return min(df, 1)
+}
+
+// Result reports one simulated run.
+type Result struct {
+	Err       error // non-nil = DUE
+	TimedOut  bool
+	Output    []byte
+	Cycles    int64
+	Spans     []LaunchSpan
+	PerKernel map[string]*KernelStats
+	DUEFlag   bool
+}
+
+// RFTracer observes register-file activity for analytical (ACE-style)
+// vulnerability analysis. Callbacks use physical register indices within an
+// SM. Implementations must be fast; they run on every register access.
+type RFTracer interface {
+	OnRegWrite(sm, phys int, cycle int64)
+	OnRegRead(sm, phys int, cycle int64)
+	OnRegAlloc(sm, base, size int, cycle int64)
+	OnRegRelease(sm, base, size int, cycle int64)
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxCycles is the timeout budget (0 = none).
+	MaxCycles int64
+	// AtCycle/OnCycle: fault-injection hook, fired once when the global
+	// cycle counter reaches AtCycle (must be > 0 to arm).
+	AtCycle int64
+	OnCycle func(*Machine)
+	// RFTrace, when set, receives register-file liveness events (used by
+	// the ACE analyzer).
+	RFTrace RFTracer
+}
+
+// Run simulates the job on a chip with configuration cfg.
+func Run(job *device.Job, cfg gpu.Config, opts Options) *Result {
+	r := newRunner(job, cfg, opts)
+	return r.run()
+}
+
+type runner struct {
+	job  *device.Job
+	cfg  gpu.Config
+	opts Options
+
+	mem   *device.Memory
+	sms   []*SM
+	l2    *mem.Cache
+	cycle int64
+	fired bool
+
+	dramRead, dramWrite int64
+
+	res *Result
+	env simEnv
+}
+
+func newRunner(job *device.Job, cfg gpu.Config, opts Options) *runner {
+	r := &runner{
+		job:  job,
+		cfg:  cfg,
+		opts: opts,
+		mem:  job.Mem.Clone(),
+		res:  &Result{PerKernel: map[string]*KernelStats{}},
+	}
+	r.l2 = mem.NewCache("L2", cfg.L2Bytes, cfg.LineSize, cfg.L2Ways, cfg.L2MSHRs)
+	for i := 0; i < cfg.NumSMs; i++ {
+		sm := &SM{
+			ID:      i,
+			RF:      make([]uint32, cfg.RFRegsPerSM),
+			Smem:    make([]byte, cfg.SmemPerSM),
+			rfAlloc: newAllocator(cfg.RFRegsPerSM),
+			smAlloc: newAllocator(cfg.SmemPerSM),
+			L1D:     mem.NewCache(fmt.Sprintf("L1D%d", i), cfg.L1DBytes, cfg.LineSize, cfg.L1Ways, cfg.L1MSHRs),
+			L1T:     mem.NewCache(fmt.Sprintf("L1T%d", i), cfg.L1TBytes, cfg.LineSize, cfg.L1Ways, cfg.L1MSHRs),
+		}
+		sm.hier = mem.Hierarchy{
+			L1D: sm.L1D, L1T: sm.L1T, L2: r.l2,
+			DRAMRead: &r.dramRead, DRAMWrite: &r.dramWrite,
+			L1Lat: int64(cfg.L1Lat), L2Lat: int64(cfg.L2Lat), DRAMLat: int64(cfg.DRAMLat),
+		}
+		r.sms = append(r.sms, sm)
+	}
+	r.env.r = r
+	return r
+}
+
+func (r *runner) machine() *Machine {
+	return &Machine{Cfg: r.cfg, SMs: r.sms, L2: r.l2, Mem: r.mem}
+}
+
+func (r *runner) kernelStats(name string) *KernelStats {
+	ks := r.res.PerKernel[name]
+	if ks == nil {
+		ks = &KernelStats{}
+		r.res.PerKernel[name] = ks
+	}
+	return ks
+}
+
+var errSimTimeout = fmt.Errorf("cycle budget exceeded")
+
+func (r *runner) run() *Result {
+	maxSteps := r.job.MaxScheduleSteps()
+	steps := 0
+	for si := 0; si < len(r.job.Steps); {
+		if steps >= maxSteps {
+			r.res.TimedOut = true
+			return r.res
+		}
+		steps++
+		st := &r.job.Steps[si]
+		if st.Host != nil {
+			// Host access goes through cudaMemcpy, which is coherent with
+			// L2: flush and invalidate before the host touches memory.
+			r.flushCaches(true)
+			next := st.Host(r.mem, 0)
+			if next >= 0 {
+				si = next
+			} else {
+				si++
+			}
+			continue
+		}
+		if err := r.runLaunch(st.Launch); err != nil {
+			if err == errSimTimeout {
+				r.res.TimedOut = true
+			} else {
+				r.res.Err = err
+			}
+			return r.res
+		}
+		si++
+	}
+	r.flushCaches(false)
+	r.res.Cycles = r.cycle
+	r.res.Output = r.job.ReadOutputs(r.mem)
+	if r.job.DUEFlag != 0 && r.mem.PeekU32(r.job.DUEFlag) != 0 {
+		r.res.DUEFlag = true
+	}
+	return r.res
+}
+
+// flushCaches writes dirty L2 lines to DRAM; when invalidate is set the L1s
+// and L2 are dropped as well (host-coherence points).
+func (r *runner) flushCaches(invalidate bool) {
+	r.l2.FlushTo(r.mem)
+	if invalidate {
+		r.l2.InvalidateAll()
+		for _, sm := range r.sms {
+			sm.L1D.InvalidateAll()
+			sm.L1T.InvalidateAll()
+		}
+	}
+}
+
+type pendingCTA struct{ rep, cy, cx int }
+
+func (r *runner) runLaunch(l *device.Launch) error {
+	prog := l.Kernel
+	threads := l.ThreadsPerCTA()
+	if threads == 0 || threads > r.cfg.MaxThreadsPerSM {
+		return fmt.Errorf("launch %s: bad CTA size %d", l.Name(), threads)
+	}
+	rfNeed := threads * prog.NumRegs
+	if rfNeed > r.cfg.RFRegsPerSM || l.SmemBytes > r.cfg.SmemPerSM {
+		return fmt.Errorf("launch %s: CTA does not fit on an SM", l.Name())
+	}
+
+	var pending []pendingCTA
+	for rep := 0; rep < l.NumReplicas(); rep++ {
+		for cy := 0; cy < l.GridY; cy++ {
+			for cx := 0; cx < l.GridX; cx++ {
+				pending = append(pending, pendingCTA{rep, cy, cx})
+			}
+		}
+	}
+
+	ks := r.kernelStats(l.Name())
+	ks.Launches++
+	span := LaunchSpan{
+		Kernel:        l.Name(),
+		Start:         r.cycle,
+		Threads:       int64(threads) * int64(l.NumCTAs()),
+		RegsPerThread: prog.NumRegs,
+		SmemPerCTA:    l.SmemBytes,
+		CTAs:          int64(l.NumCTAs()),
+	}
+	statsBase := r.snapshotStats()
+
+	// Per-kernel-launch L1 state: Volta flushes L1s between kernels.
+	for _, sm := range r.sms {
+		sm.L1D.InvalidateAll()
+		sm.L1T.InvalidateAll()
+	}
+
+	resident := 0
+	nextSM := 0
+	for len(pending) > 0 || resident > 0 {
+		// Place pending CTAs.
+		for len(pending) > 0 {
+			placed := false
+			for try := 0; try < len(r.sms); try++ {
+				sm := r.sms[(nextSM+try)%len(r.sms)]
+				if r.tryPlace(sm, l, prog, &pending[0]) {
+					nextSM = (nextSM + try + 1) % len(r.sms)
+					pending = pending[1:]
+					resident++
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+		if resident == 0 {
+			return fmt.Errorf("launch %s: CTA cannot be placed on any SM", l.Name())
+		}
+
+		// One cycle.
+		r.cycle++
+		if r.opts.AtCycle > 0 && !r.fired && r.cycle >= r.opts.AtCycle {
+			r.fired = true
+			if r.opts.OnCycle != nil {
+				r.opts.OnCycle(r.machine())
+			}
+		}
+		if r.opts.MaxCycles > 0 && r.cycle > r.opts.MaxCycles {
+			return errSimTimeout
+		}
+
+		for _, sm := range r.sms {
+			ks.OccupancySum += int64(sm.threadsUsed)
+			if len(sm.ctas) == 0 {
+				continue
+			}
+			finished, err := r.cycleSM(sm, ks)
+			if err != nil {
+				return err
+			}
+			resident -= finished
+		}
+	}
+
+	span.End = r.cycle
+	r.res.Spans = append(r.res.Spans, span)
+	ks.Cycles += span.End - span.Start
+	r.accumulateStats(ks, statsBase)
+	return nil
+}
+
+// statsSnapshot captures global counters so per-kernel deltas can be formed.
+type statsSnapshot struct {
+	l1d, l1t, l2        mem.Stats
+	dramRead, dramWrite int64
+}
+
+func (r *runner) snapshotStats() statsSnapshot {
+	var s statsSnapshot
+	for _, sm := range r.sms {
+		addStats(&s.l1d, sm.L1D.Stats)
+		addStats(&s.l1t, sm.L1T.Stats)
+	}
+	s.l2 = r.l2.Stats
+	s.dramRead, s.dramWrite = r.dramRead, r.dramWrite
+	return s
+}
+
+func addStats(dst *mem.Stats, s mem.Stats) {
+	dst.Accesses += s.Accesses
+	dst.Misses += s.Misses
+	dst.PendingHits += s.PendingHits
+	dst.ReservFails += s.ReservFails
+}
+
+func subStats(a, b mem.Stats) mem.Stats {
+	return mem.Stats{
+		Accesses:    a.Accesses - b.Accesses,
+		Misses:      a.Misses - b.Misses,
+		PendingHits: a.PendingHits - b.PendingHits,
+		ReservFails: a.ReservFails - b.ReservFails,
+	}
+}
+
+func (r *runner) accumulateStats(ks *KernelStats, base statsSnapshot) {
+	now := r.snapshotStats()
+	addStats(&ks.L1D, subStats(now.l1d, base.l1d))
+	addStats(&ks.L1T, subStats(now.l1t, base.l1t))
+	addStats(&ks.L2, subStats(now.l2, base.l2))
+	ks.DRAMRead += now.dramRead - base.dramRead
+	ks.DRAMWrite += now.dramWrite - base.dramWrite
+}
+
+func (r *runner) tryPlace(sm *SM, l *device.Launch, prog *isa.Program, p *pendingCTA) bool {
+	threads := l.ThreadsPerCTA()
+	if len(sm.ctas) >= r.cfg.MaxCTAsPerSM || sm.threadsUsed+threads > r.cfg.MaxThreadsPerSM {
+		return false
+	}
+	rfBase, ok := sm.rfAlloc.alloc(threads * prog.NumRegs)
+	if !ok {
+		return false
+	}
+	smBase, ok := sm.smAlloc.alloc(l.SmemBytes)
+	if !ok {
+		sm.rfAlloc.release(rfBase, threads*prog.NumRegs)
+		return false
+	}
+	cta := &ctaRT{
+		launch: l,
+		prog:   prog,
+		params: l.ParamsFor(p.rep),
+		cx:     p.cx, cy: p.cy,
+		preds:   make([]uint8, threads),
+		rfBase:  rfBase,
+		rfSize:  threads * prog.NumRegs,
+		smBase:  smBase,
+		smSize:  l.SmemBytes,
+		threads: threads,
+	}
+	nWarps := (threads + 31) / 32
+	for w := 0; w < nWarps; w++ {
+		lanes := threads - w*32
+		if lanes > 32 {
+			lanes = 32
+		}
+		cta.warps = append(cta.warps, exec.NewWarp(lanes))
+	}
+	cta.meta = make([]warpMeta, nWarps)
+	cta.live = nWarps
+	sm.ctas = append(sm.ctas, cta)
+	sm.threadsUsed += threads
+	if tr := r.opts.RFTrace; tr != nil {
+		tr.OnRegAlloc(sm.ID, cta.rfBase, cta.rfSize, r.cycle)
+	}
+	return true
+}
+
+// cycleSM issues up to IssuePerCycle warp instructions on one SM and returns
+// the number of CTAs that completed this cycle.
+func (r *runner) cycleSM(sm *SM, ks *KernelStats) (int, error) {
+	// Flatten warp slots for round-robin issue.
+	total := 0
+	for _, c := range sm.ctas {
+		total += len(c.warps)
+	}
+	issued := 0
+	finished := 0
+	for scan := 0; scan < total && issued < r.cfg.IssuePerCycle; scan++ {
+		slot := (sm.issuePtr + scan) % total
+		// locate (cta, warp) for slot
+		var cta *ctaRT
+		w := slot
+		for _, c := range sm.ctas {
+			if w < len(c.warps) {
+				cta = c
+				break
+			}
+			w -= len(c.warps)
+		}
+		m := &cta.meta[w]
+		if m.done || m.atBar || m.ready > r.cycle {
+			continue
+		}
+		issued++
+		sm.issuePtr = (slot + 1) % total
+
+		e := &r.env
+		e.sm = sm
+		e.cta = cta
+		e.warpBase = w * 32
+		e.lat = 0
+		e.lines = e.lines[:0]
+
+		info := exec.Step(cta.warps[w], cta.prog, e)
+		switch info.Kind {
+		case exec.StepFault:
+			return finished, info.Fault
+		case exec.StepExit:
+			n := popcount(info.ActiveMask)
+			ks.DynInstrs += int64(n)
+			m.done = true
+			cta.live--
+			if cta.live == 0 {
+				r.retireCTA(sm, cta)
+				finished++
+				// slot indices shifted; restart issue scan next cycle
+				return finished, nil
+			}
+			r.releaseBarrierIfReady(cta)
+		case exec.StepBarrier:
+			n := popcount(info.ActiveMask)
+			ks.DynInstrs += int64(n)
+			m.ready = r.cycle + int64(r.cfg.ALULat)
+			m.atBar = true
+			r.releaseBarrierIfReady(cta)
+		default:
+			r.countInstr(ks, info)
+			m.ready = r.cycle + r.instrLatency(info)
+		}
+	}
+	return finished, nil
+}
+
+func (r *runner) countInstr(ks *KernelStats, info exec.StepInfo) {
+	n := int64(popcount(info.ActiveMask))
+	ks.DynInstrs += n
+	switch info.Instr.Op {
+	case isa.OpLDG, isa.OpLDT:
+		ks.LoadInstrs += n
+	case isa.OpSTG:
+		ks.StoreInstrs += n
+	case isa.OpLDS, isa.OpSTS:
+		ks.SmemInstrs += n
+	}
+}
+
+func (r *runner) instrLatency(info exec.StepInfo) int64 {
+	switch info.Instr.Op {
+	case isa.OpMUFU:
+		return int64(r.cfg.SFULat)
+	case isa.OpLDS, isa.OpSTS:
+		return int64(r.cfg.SMemLat)
+	case isa.OpLDG, isa.OpSTG, isa.OpLDT:
+		lat := r.env.lat
+		if lat < int64(r.cfg.ALULat) {
+			lat = int64(r.cfg.ALULat)
+		}
+		return lat
+	default:
+		return int64(r.cfg.ALULat)
+	}
+}
+
+func (r *runner) releaseBarrierIfReady(cta *ctaRT) {
+	for i := range cta.meta {
+		if !cta.meta[i].done && !cta.meta[i].atBar {
+			return
+		}
+	}
+	if cta.live == 0 {
+		return
+	}
+	for i := range cta.meta {
+		if !cta.meta[i].done {
+			cta.meta[i].atBar = false
+			cta.warps[i].AdvancePastBarrier()
+		}
+	}
+}
+
+func (r *runner) retireCTA(sm *SM, cta *ctaRT) {
+	if tr := r.opts.RFTrace; tr != nil {
+		tr.OnRegRelease(sm.ID, cta.rfBase, cta.rfSize, r.cycle)
+	}
+	sm.rfAlloc.release(cta.rfBase, cta.rfSize)
+	sm.smAlloc.release(cta.smBase, cta.smSize)
+	sm.threadsUsed -= cta.threads
+	for i, c := range sm.ctas {
+		if c == cta {
+			sm.ctas = append(sm.ctas[:i], sm.ctas[i+1:]...)
+			break
+		}
+	}
+	if len(sm.ctas) == 0 {
+		sm.issuePtr = 0
+	}
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// simEnv implements exec.Env against the SM's physical storage.
+type simEnv struct {
+	r        *runner
+	sm       *SM
+	cta      *ctaRT
+	warpBase int
+	lat      int64
+	lines    []uint32
+}
+
+func (e *simEnv) thread(lane int) int { return e.warpBase + lane }
+
+func (e *simEnv) regIndex(lane int, reg isa.Reg) int {
+	return e.cta.rfBase + e.thread(lane)*e.cta.prog.NumRegs + int(reg)
+}
+
+func (e *simEnv) ReadReg(lane int, reg isa.Reg) uint32 {
+	idx := e.regIndex(lane, reg)
+	if tr := e.r.opts.RFTrace; tr != nil {
+		tr.OnRegRead(e.sm.ID, idx, e.r.cycle)
+	}
+	return e.sm.RF[idx]
+}
+
+func (e *simEnv) WriteReg(lane int, reg isa.Reg, v uint32) {
+	idx := e.regIndex(lane, reg)
+	if tr := e.r.opts.RFTrace; tr != nil {
+		tr.OnRegWrite(e.sm.ID, idx, e.r.cycle)
+	}
+	e.sm.RF[idx] = v
+}
+
+func (e *simEnv) ReadPred(lane int, p isa.Pred) bool {
+	return e.cta.preds[e.thread(lane)]&(1<<(p-1)) != 0
+}
+
+func (e *simEnv) WritePred(lane int, p isa.Pred, v bool) {
+	if v {
+		e.cta.preds[e.thread(lane)] |= 1 << (p - 1)
+	} else {
+		e.cta.preds[e.thread(lane)] &^= 1 << (p - 1)
+	}
+}
+
+func (e *simEnv) Special(lane int, s isa.SReg) uint32 {
+	t := e.thread(lane)
+	l := e.cta.launch
+	switch s {
+	case isa.SRTidX:
+		return uint32(t % l.BlockX)
+	case isa.SRTidY:
+		return uint32(t / l.BlockX)
+	case isa.SRCtaIDX:
+		return uint32(e.cta.cx)
+	case isa.SRCtaIDY:
+		return uint32(e.cta.cy)
+	case isa.SRNTidX:
+		return uint32(l.BlockX)
+	case isa.SRNTidY:
+		return uint32(l.BlockY)
+	case isa.SRNCtaX:
+		return uint32(l.GridX)
+	case isa.SRNCtaY:
+		return uint32(l.GridY)
+	case isa.SRLaneID:
+		return uint32(lane)
+	}
+	return 0
+}
+
+func (e *simEnv) Param(idx int) uint32 {
+	if idx < 0 || idx >= len(e.cta.params) {
+		return 0
+	}
+	return e.cta.params[idx]
+}
+
+func (e *simEnv) firstLine(addr uint32) bool {
+	line := addr &^ (uint32(e.r.cfg.LineSize) - 1)
+	for _, l := range e.lines {
+		if l == line {
+			return false
+		}
+	}
+	e.lines = append(e.lines, line)
+	return true
+}
+
+func (e *simEnv) LoadGlobal(lane int, addr uint32, tex bool) (uint32, error) {
+	if !e.r.mem.Valid(addr, 4) {
+		return 0, &device.AccessError{Addr: addr}
+	}
+	v, lat := e.sm.hier.Load(e.r.mem, addr, tex, e.firstLine(addr), e.r.cycle)
+	if lat > e.lat {
+		e.lat = lat
+	}
+	return v, nil
+}
+
+func (e *simEnv) StoreGlobal(lane int, addr uint32, v uint32) error {
+	if !e.r.mem.Valid(addr, 4) {
+		return &device.AccessError{Addr: addr, Write: true}
+	}
+	lat := e.sm.hier.Store(e.r.mem, addr, v, e.firstLine(addr), e.r.cycle)
+	if lat > e.lat {
+		e.lat = lat
+	}
+	return nil
+}
+
+func (e *simEnv) LoadShared(lane int, addr uint32) (uint32, error) {
+	if addr%4 != 0 || int(addr)+4 > e.cta.smSize {
+		return 0, fmt.Errorf("illegal shared memory read at 0x%x", addr)
+	}
+	b := e.sm.Smem[e.cta.smBase+int(addr):]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+func (e *simEnv) StoreShared(lane int, addr uint32, v uint32) error {
+	if addr%4 != 0 || int(addr)+4 > e.cta.smSize {
+		return fmt.Errorf("illegal shared memory write at 0x%x", addr)
+	}
+	b := e.sm.Smem[e.cta.smBase+int(addr):]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}

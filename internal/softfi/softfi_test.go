@@ -1,0 +1,133 @@
+package softfi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/faults"
+	"gpurel/internal/funcsim"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+)
+
+func twoKernelJob(n int) *device.Job {
+	mk := func(name string, addMul bool) *isa.Program {
+		b := kasm.New(name)
+		i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+		p := b.P()
+		b.ISetpI(p, isa.CmpLT, i, int32(n))
+		b.If(p, false, func() {
+			v := b.Ldg(b.IScAdd(i, b.Param(0), 2), 0)
+			if addMul {
+				v = b.IMulI(v, 3)
+			} else {
+				v = b.IAddI(v, 7)
+			}
+			b.Stg(b.IScAdd(i, b.Param(1), 2), 0, v)
+		})
+		b.FreeP(p)
+		return b.MustBuild()
+	}
+	m := device.NewMemory(1 << 18)
+	in := m.Alloc("in", 4*n)
+	mid := m.Alloc("mid", 4*n)
+	out := m.Alloc("out", 4*n)
+	vals := make([]uint32, n)
+	for k := range vals {
+		vals[k] = uint32(k)
+	}
+	m.WriteU32s(in, vals)
+	return &device.Job{
+		Name: "two", Mem: m,
+		Steps: []device.Step{
+			{Launch: &device.Launch{Kernel: mk("k1", true), KernelName: "K1",
+				GridX: 1, GridY: 1, BlockX: n, BlockY: 1,
+				Params: []uint32{in, mid}, ParamIsPtr: []bool{true, true}}},
+			{Launch: &device.Launch{Kernel: mk("k2", false), KernelName: "K2",
+				GridX: 1, GridY: 1, BlockX: n, BlockY: 1,
+				Params: []uint32{mid, out}, ParamIsPtr: []bool{true, true}}},
+		},
+		Outputs: []device.Output{{Name: "out", Addr: out, Size: uint32(4 * n)}},
+	}
+}
+
+func TestGoldenAndWindows(t *testing.T) {
+	job := twoKernelJob(64)
+	g, err := Golden(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Target{Mode: SVF}
+	k1 := Target{Kernel: "K1", Mode: SVF}
+	k2 := Target{Kernel: "K2", Mode: SVF}
+	if k1.Candidates(g)+k2.Candidates(g) != all.Candidates(g) {
+		t.Errorf("kernel windows must partition the candidate space: %d + %d != %d",
+			k1.Candidates(g), k2.Candidates(g), all.Candidates(g))
+	}
+	ld := Target{Kernel: "K1", Mode: SVFLD}
+	if ld.Candidates(g) <= 0 || ld.Candidates(g) >= k1.Candidates(g) {
+		t.Errorf("load candidates (%d) must be a proper subset of all writes (%d)",
+			ld.Candidates(g), k1.Candidates(g))
+	}
+}
+
+func TestInjectTargetsRightKernel(t *testing.T) {
+	job := twoKernelJob(64)
+	g, _ := Golden(job)
+	// every K2 injection with a low bit must corrupt only out (not crash);
+	// more importantly, the outcomes must be well-formed
+	tgt := Target{Kernel: "K2", Mode: SVF}
+	var counts [faults.NumOutcomes]int
+	for seed := int64(0); seed < 60; seed++ {
+		r := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
+		counts[r.Outcome]++
+	}
+	if counts[faults.SDC] == 0 {
+		t.Error("no K2 injection caused an SDC")
+	}
+}
+
+func TestInjectDeterminism(t *testing.T) {
+	job := twoKernelJob(64)
+	g, _ := Golden(job)
+	tgt := Target{Mode: SVF}
+	for seed := int64(0); seed < 10; seed++ {
+		a := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
+		b := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
+		if a.Outcome != b.Outcome {
+			t.Fatalf("seed %d: %v vs %v", seed, a.Outcome, b.Outcome)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	job := twoKernelJob(32)
+	g, _ := Golden(job)
+	cases := []struct {
+		res  *funcsim.Result
+		want faults.Outcome
+	}{
+		{&funcsim.Result{TimedOut: true}, faults.Timeout},
+		{&funcsim.Result{Err: fmt.Errorf("x")}, faults.DUE},
+		{&funcsim.Result{DUEFlag: true, Output: g.Res.Output}, faults.DUE},
+		{&funcsim.Result{Output: append([]byte{9}, g.Res.Output[1:]...)}, faults.SDC},
+		{&funcsim.Result{Output: g.Res.Output, DynInstrs: g.Res.DynInstrs}, faults.Masked},
+	}
+	for i, c := range cases {
+		if got := Classify(g, c.res); got.Outcome != c.want {
+			t.Errorf("case %d: %v, want %v", i, got.Outcome, c.want)
+		}
+	}
+	r := Classify(g, &funcsim.Result{Output: g.Res.Output, DynInstrs: g.Res.DynInstrs + 3})
+	if !r.CtrlAffected {
+		t.Error("instruction-count deviation must flag CtrlAffected")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if SVF.String() != "SVF" || SVFLD.String() != "SVF-LD" || SVFUse.String() != "SVF-USE" {
+		t.Error("mode names wrong")
+	}
+}

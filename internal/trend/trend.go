@@ -1,0 +1,67 @@
+// Package trend implements the paper's relative-vulnerability comparisons:
+// pairwise consistent/opposite trend classification between two metrics over
+// the same workloads (Table I) and the pairwise normalisation used for the
+// resource-utilisation indicator study (Figure 3, §III-C).
+package trend
+
+import "fmt"
+
+// Pair is one compared workload pair and whether the two metrics rank it the
+// same way.
+type Pair struct {
+	A, B       string
+	Consistent bool
+}
+
+// Compare classifies every unordered pair of items: a pair is consistent
+// when metric X and metric Y order it the same way (ties count as
+// consistent — neither metric contradicts the other).
+func Compare(names []string, x, y map[string]float64) (consistent, opposite int, pairs []Pair) {
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			sx := sign(x[names[i]] - x[names[j]])
+			sy := sign(y[names[i]] - y[names[j]])
+			ok := sx == sy || sx == 0 || sy == 0
+			if ok {
+				consistent++
+			} else {
+				opposite++
+			}
+			pairs = append(pairs, Pair{A: names[i], B: names[j], Consistent: ok})
+		}
+	}
+	return
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// Normalize returns the pairwise normalisation of §III-C:
+// Norm(a) = a/(a+b), Norm(b) = b/(a+b); 50% means the two kernels have the
+// same value of the metric.
+func Normalize(a, b float64) (float64, float64) {
+	if a+b == 0 {
+		return 0.5, 0.5
+	}
+	return a / (a + b), b / (a + b)
+}
+
+// Metric is one named metric value pair for a kernel-pair comparison chart
+// (one group of bars in Figure 3).
+type Metric struct {
+	Name string
+	A, B float64
+}
+
+// NormalizedRow renders one metric as its normalised percentages.
+func (m Metric) NormalizedRow() string {
+	na, nb := Normalize(m.A, m.B)
+	return fmt.Sprintf("%-22s %6.1f%% %6.1f%%", m.Name, 100*na, 100*nb)
+}

@@ -1,0 +1,113 @@
+package trend
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasic(t *testing.T) {
+	names := []string{"A", "B", "C"}
+	x := map[string]float64{"A": 1, "B": 2, "C": 3}
+	yConsistent := map[string]float64{"A": 10, "B": 20, "C": 30}
+	c, o, pairs := Compare(names, x, yConsistent)
+	if c != 3 || o != 0 {
+		t.Errorf("fully consistent: %d/%d", c, o)
+	}
+	if len(pairs) != 3 {
+		t.Errorf("3 names → 3 pairs, got %d", len(pairs))
+	}
+
+	yOpposite := map[string]float64{"A": 30, "B": 20, "C": 10}
+	c, o, _ = Compare(names, x, yOpposite)
+	if c != 0 || o != 3 {
+		t.Errorf("fully opposite: %d/%d", c, o)
+	}
+}
+
+func TestCompareTiesAreConsistent(t *testing.T) {
+	names := []string{"A", "B"}
+	x := map[string]float64{"A": 1, "B": 1}
+	y := map[string]float64{"A": 5, "B": 9}
+	c, o, _ := Compare(names, x, y)
+	if c != 1 || o != 0 {
+		t.Errorf("tie must count as consistent: %d/%d", c, o)
+	}
+}
+
+// TestComparePairCount: n items always produce n(n-1)/2 pairs, and
+// consistent+opposite covers all of them.
+func TestComparePairCount(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) > 20 {
+			vals = vals[:20]
+		}
+		names := make([]string, len(vals))
+		x := map[string]float64{}
+		y := map[string]float64{}
+		for i, v := range vals {
+			names[i] = string(rune('a' + i))
+			x[names[i]] = v
+			y[names[i]] = -v
+		}
+		c, o, pairs := Compare(names, x, y)
+		n := len(vals)
+		return c+o == n*(n-1)/2 && len(pairs) == c+o
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompareSymmetry: swapping the two metrics keeps the classification.
+func TestCompareSymmetry(t *testing.T) {
+	names := []string{"A", "B", "C", "D"}
+	x := map[string]float64{"A": 1, "B": 5, "C": 2, "D": 9}
+	y := map[string]float64{"A": 4, "B": 1, "C": 8, "D": 2}
+	c1, o1, _ := Compare(names, x, y)
+	c2, o2, _ := Compare(names, y, x)
+	if c1 != c2 || o1 != o2 {
+		t.Errorf("asymmetric comparison: %d/%d vs %d/%d", c1, o1, c2, o2)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a, b := Normalize(3, 1)
+	if a != 0.75 || b != 0.25 {
+		t.Errorf("Normalize(3,1) = %v, %v", a, b)
+	}
+	a, b = Normalize(0, 0)
+	if a != 0.5 || b != 0.5 {
+		t.Errorf("Normalize(0,0) = %v, %v (both-zero must read as equal)", a, b)
+	}
+}
+
+// TestNormalizeProperty: results are complementary and ordered like inputs.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		a, b := math.Abs(x), math.Abs(y)
+		if math.IsNaN(a) || math.IsNaN(b) || a > 1e300 || b > 1e300 {
+			// metric values are finite, non-negative and far below overflow
+			return true
+		}
+		na, nb := Normalize(a, b)
+		if math.IsNaN(na) {
+			return false
+		}
+		if math.Abs(na+nb-1) > 1e-9 {
+			return false
+		}
+		return (a >= b) == (na >= nb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricRow(t *testing.T) {
+	m := Metric{Name: "Occupancy", A: 1, B: 3}
+	row := m.NormalizedRow()
+	if row == "" {
+		t.Error("empty row")
+	}
+}

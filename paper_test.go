@@ -1,0 +1,232 @@
+package gpurel
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpurel/internal/faults"
+	"gpurel/internal/gpu"
+	"gpurel/internal/microfi"
+	"gpurel/internal/sim"
+	"gpurel/internal/softfi"
+)
+
+// TestScaleSeparation pins Figure 1's axis split: the full-system AVF is
+// always far below the software-only SVF, because AVF includes all hardware
+// masking (§III-A).
+func TestScaleSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns")
+	}
+	s := NewStudy(60, 21)
+	for _, app := range []string{"VA", "SCP", "HotSpot"} {
+		avf, err := s.AppAVF(app, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svf, err := s.AppSVF(app, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avf.Total() >= svf.Total() {
+			t.Errorf("%s: AVF %.3f >= SVF %.3f", app, avf.Total(), svf.Total())
+		}
+		if svf.Total() < 0.2 {
+			t.Errorf("%s: SVF %.3f implausibly low", app, svf.Total())
+		}
+	}
+}
+
+// TestTMRInsight5 pins §IV on SCP K1: TMR eliminates SVF-visible SDCs while
+// DUEs persist, and the AVF-level DUE share increases.
+func TestTMRInsight5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns")
+	}
+	s := NewStudy(150, 7)
+	svf, err := s.KernelSVF("SCP", "K1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svfH, err := s.KernelSVF("SCP", "K1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svf.SDC == 0 {
+		t.Fatal("plain SVF shows no SDCs; sample size too small")
+	}
+	if svfH.SDC > 0.05*svf.SDC {
+		t.Errorf("TMR should (nearly) eliminate SVF SDCs: %.3f → %.3f", svf.SDC, svfH.SDC)
+	}
+	if svfH.DUE == 0 {
+		t.Error("DUEs must persist under TMR at the software level (the voter detects)")
+	}
+
+	avf, _, err := s.KernelAVF("SCP", "K1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avfH, _, err := s.KernelAVF("SCP", "K1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avfH.DUE <= avf.DUE {
+		t.Errorf("hardening should raise the AVF DUE share on SCP K1: %.4f → %.4f", avf.DUE, avfH.DUE)
+	}
+}
+
+// TestResidualSDCMechanism demonstrates §IV-B's hardware-only SDC: a fault
+// in an L2 line that holds the *voted* output after the voting kernel has
+// written it is invisible to any software-level method, yet corrupts the
+// output of the hardened application.
+func TestResidualSDCMechanism(t *testing.T) {
+	s := NewStudy(10, 3)
+	e, err := s.Eval("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.MicroGTMR
+	sdc := 0
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		res := sim.Run(e.JobTMR, s.Cfg, sim.Options{
+			MaxCycles: g.Res.Cycles * 10,
+			AtCycle:   g.Res.Cycles - 1, // after the vote, before the final flush
+			OnCycle: func(m *sim.Machine) {
+				var dirty []int
+				for i := 0; i < m.L2.NumLines(); i++ {
+					if ln := m.L2.LineAt(i); ln.Valid && ln.Dirty {
+						dirty = append(dirty, i)
+					}
+				}
+				if len(dirty) == 0 {
+					return
+				}
+				line := dirty[rng.Intn(len(dirty))]
+				m.L2.FlipBit(line, uint32(rng.Intn(64)), uint8(rng.Intn(8)))
+			},
+		})
+		if microfi.Classify(g, res, true).Outcome == faults.SDC {
+			sdc++
+		}
+	}
+	if sdc == 0 {
+		t.Error("no post-vote L2 flip produced a residual SDC; the §IV-B mechanism is broken")
+	}
+}
+
+// TestHardwareMaskingDominates pins the reason for the AVF≪SVF gap: most
+// microarchitecture-level injections are masked, while most software-level
+// injections are not.
+func TestHardwareMaskingDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns")
+	}
+	s := NewStudy(80, 13)
+	tl, _, err := s.MicroTally("HotSpot", "K1", gpu.L1D, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Pct(faults.Masked) < 0.5 {
+		t.Errorf("L1D injections should be mostly masked (clean-line eviction etc.), masked=%.2f", tl.Pct(faults.Masked))
+	}
+	st, err := s.SoftTally("HotSpot", "K1", softfi.SVF, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FR() <= tl.FR() {
+		t.Errorf("software-level FR (%.2f) should exceed L1D hardware FR (%.2f)", st.FR(), tl.FR())
+	}
+}
+
+// TestSVFLDSubset: SVF-LD is a restriction of SVF; its candidate set must be
+// a proper, non-empty subset for a memory-heavy kernel.
+func TestSVFLDSubset(t *testing.T) {
+	s := NewStudy(10, 1)
+	e, err := s.Eval("NW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := softfi.Target{Kernel: "K1", Mode: softfi.SVF}
+	ld := softfi.Target{Kernel: "K1", Mode: softfi.SVFLD}
+	a, l := all.Candidates(e.SoftG), ld.Candidates(e.SoftG)
+	if l <= 0 || l >= a {
+		t.Errorf("SVF-LD candidates %d must be a proper subset of %d", l, a)
+	}
+}
+
+// TestEveryAppEvaluates builds golden runs (plain and TMR, both engines) for
+// all 11 applications — the integration gate for the whole suite.
+func TestEveryAppEvaluates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs for 11 apps × 2 engines × 2 variants")
+	}
+	s := NewStudy(1, 1)
+	for _, app := range s.Apps() {
+		e, err := s.Eval(app.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if err := app.Check(e.MicroG.Res.Output); err != nil {
+			t.Errorf("%s: golden output wrong: %v", app.Name, err)
+		}
+		// the hardened job must produce the identical output
+		if string(e.MicroGTMR.Res.Output) != string(e.MicroG.Res.Output) {
+			t.Errorf("%s: TMR changed the fault-free output", app.Name)
+		}
+		if string(e.SoftGTMR.Res.Output) != string(e.SoftG.Res.Output) {
+			t.Errorf("%s: TMR changed the functional output", app.Name)
+		}
+		// TMR must cost extra cycles
+		if e.MicroGTMR.Res.Cycles <= e.MicroG.Res.Cycles {
+			t.Errorf("%s: TMR did not increase cycles (%d → %d)",
+				app.Name, e.MicroG.Res.Cycles, e.MicroGTMR.Res.Cycles)
+		}
+		// every declared kernel must have spans and windows in both engines
+		for _, k := range app.Kernels {
+			tgt := microfi.Target{Structure: gpu.RF, Kernel: k}
+			if tgt.Windows(e.MicroG) <= 0 {
+				t.Errorf("%s %s: no µarch injection window", app.Name, k)
+			}
+			st := softfi.Target{Kernel: k, Mode: softfi.SVF}
+			if st.Candidates(e.SoftG) <= 0 {
+				t.Errorf("%s %s: no software injection candidates", app.Name, k)
+			}
+		}
+	}
+}
+
+// TestKernelCountMatchesPaper: 11 applications, 23 kernels (§II-D).
+func TestKernelCountMatchesPaper(t *testing.T) {
+	s := NewStudy(1, 1)
+	apps := s.Apps()
+	if len(apps) != 11 {
+		t.Errorf("paper evaluates 11 benchmarks, have %d", len(apps))
+	}
+	if ids := s.KernelIDs(); len(ids) != 23 {
+		t.Errorf("paper evaluates 23 kernels, have %d", len(ids))
+	}
+}
+
+// TestStudyDeterminism: the same study parameters reproduce identical
+// figure data.
+func TestStudyDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns")
+	}
+	a := NewStudy(30, 9)
+	b := NewStudy(30, 9)
+	fa, _, err := a.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _, err := b.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("Figure 4 point %d differs across identical studies", i)
+		}
+	}
+}

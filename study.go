@@ -1,0 +1,397 @@
+// Package gpurel reproduces "GPU Reliability Assessment: Insights Across the
+// Abstraction Layers" (IEEE CLUSTER 2024): cross-layer AVF measurement on a
+// cycle-level GPU microarchitecture simulator (the gpuFI-4/GPGPU-Sim
+// analogue), software-level SVF measurement on a functional executor (the
+// NVBitFI analogue), the 11-benchmark/23-kernel evaluation, thread-level TMR
+// hardening, and the trend analyses behind every table and figure of the
+// paper.
+//
+// Study is the entry point: it owns the chip configuration and campaign
+// sizing, lazily builds and caches golden runs, and memoises every campaign
+// so that figures sharing data (e.g. Figure 1 and Table I) measure it once.
+package gpurel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sync"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/device"
+	"gpurel/internal/faults"
+	"gpurel/internal/gpu"
+	"gpurel/internal/harden"
+	"gpurel/internal/kernels"
+	"gpurel/internal/metrics"
+	"gpurel/internal/microfi"
+	"gpurel/internal/sim"
+	"gpurel/internal/softfi"
+)
+
+// Study orchestrates the paper's measurements. The zero value is not usable;
+// call NewStudy.
+type Study struct {
+	Cfg     gpu.Config
+	Runs    int   // injections per campaign point
+	Seed    int64 // base seed; campaigns derive per-run seeds from it
+	Workers int   // parallel injection workers (0 = GOMAXPROCS)
+
+	mu    sync.Mutex
+	apps  map[string]*AppEval
+	micro map[microKey]campaign.Tally
+	soft  map[softKey]campaign.Tally
+}
+
+// NewStudy returns a study over the default scaled-Volta chip.
+func NewStudy(runs int, seed int64) *Study {
+	return &Study{
+		Cfg:   gpu.Volta(),
+		Runs:  runs,
+		Seed:  seed,
+		apps:  map[string]*AppEval{},
+		micro: map[microKey]campaign.Tally{},
+		soft:  map[softKey]campaign.Tally{},
+	}
+}
+
+// Apps returns the 11 benchmark applications in the paper's order.
+func (s *Study) Apps() []kernels.App { return kernels.All() }
+
+// AppEval is the cached per-application state: plain and hardened jobs with
+// their golden runs on both simulators.
+type AppEval struct {
+	App kernels.App
+
+	Job       *device.Job
+	MicroG    *microfi.GoldenRun
+	SoftG     *softfi.GoldenRun
+	JobTMR    *device.Job
+	MicroGTMR *microfi.GoldenRun
+	SoftGTMR  *softfi.GoldenRun
+}
+
+type microKey struct {
+	app, kernel string
+	structure   gpu.Structure
+	hardened    bool
+}
+
+type softKey struct {
+	app, kernel string
+	mode        softfi.Mode
+	hardened    bool
+}
+
+// Eval returns (building and caching on first use) the evaluation state of
+// the named application.
+func (s *Study) Eval(appName string) (*AppEval, error) {
+	s.mu.Lock()
+	if e, ok := s.apps[appName]; ok {
+		s.mu.Unlock()
+		return e, nil
+	}
+	s.mu.Unlock()
+
+	app, err := kernels.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	e := &AppEval{App: app, Job: app.Build()}
+	if e.MicroG, err = microfi.Golden(e.Job, s.Cfg); err != nil {
+		return nil, fmt.Errorf("%s: %w", appName, err)
+	}
+	if e.SoftG, err = softfi.Golden(e.Job); err != nil {
+		return nil, fmt.Errorf("%s: %w", appName, err)
+	}
+	e.JobTMR = harden.TMR(e.Job)
+	if e.MicroGTMR, err = microfi.Golden(e.JobTMR, s.Cfg); err != nil {
+		return nil, fmt.Errorf("%s+TMR: %w", appName, err)
+	}
+	if e.SoftGTMR, err = softfi.Golden(e.JobTMR); err != nil {
+		return nil, fmt.Errorf("%s+TMR: %w", appName, err)
+	}
+
+	s.mu.Lock()
+	s.apps[appName] = e
+	s.mu.Unlock()
+	return e, nil
+}
+
+// MicroTally runs (or recalls) the microarchitecture-level campaign for one
+// (app, kernel, structure) point and returns the tally plus the derating
+// factor of the target.
+func (s *Study) MicroTally(appName, kernel string, st gpu.Structure, hardened bool) (campaign.Tally, float64, error) {
+	e, err := s.Eval(appName)
+	if err != nil {
+		return campaign.Tally{}, 0, err
+	}
+	job, g := e.Job, e.MicroG
+	if hardened {
+		job, g = e.JobTMR, e.MicroGTMR
+	}
+	t := microfi.Target{Structure: st, Kernel: kernel, IncludeVote: hardened}
+	key := microKey{appName, kernel, st, hardened}
+
+	s.mu.Lock()
+	tl, ok := s.micro[key]
+	s.mu.Unlock()
+	if !ok {
+		seed := s.Seed + int64(hashKey(fmt.Sprintf("micro|%s|%s|%d|%v", appName, kernel, st, hardened)))
+		tl = campaign.Run(campaign.Options{Runs: s.Runs, Seed: seed, Workers: s.Workers},
+			func(run int, rng *rand.Rand) faults.Result {
+				return microfi.Inject(job, g, t, rng)
+			})
+		s.mu.Lock()
+		s.micro[key] = tl
+		s.mu.Unlock()
+	}
+	return tl, t.DF(g), nil
+}
+
+// SoftTally runs (or recalls) the software-level campaign for one
+// (app, kernel, mode) point.
+func (s *Study) SoftTally(appName, kernel string, mode softfi.Mode, hardened bool) (campaign.Tally, error) {
+	e, err := s.Eval(appName)
+	if err != nil {
+		return campaign.Tally{}, err
+	}
+	job, g := e.Job, e.SoftG
+	if hardened {
+		job, g = e.JobTMR, e.SoftGTMR
+	}
+	t := softfi.Target{Kernel: kernel, Mode: mode, IncludeVote: hardened}
+	key := softKey{appName, kernel, mode, hardened}
+
+	s.mu.Lock()
+	tl, ok := s.soft[key]
+	s.mu.Unlock()
+	if !ok {
+		seed := s.Seed + int64(hashKey(fmt.Sprintf("soft|%s|%s|%d|%v", appName, kernel, mode, hardened)))
+		tl = campaign.Run(campaign.Options{Runs: s.Runs, Seed: seed, Workers: s.Workers},
+			func(run int, rng *rand.Rand) faults.Result {
+				return softfi.Inject(job, g, t, rng)
+			})
+		s.mu.Lock()
+		s.soft[key] = tl
+		s.mu.Unlock()
+	}
+	return tl, nil
+}
+
+func hashKey(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// KernelAVF measures the full-chip cross-layer AVF of one kernel: one
+// campaign per hardware structure, derated, consolidated by structure bit
+// counts (§II-B).
+func (s *Study) KernelAVF(appName, kernel string, hardened bool) (metrics.Breakdown, []metrics.StructAVF, error) {
+	var structs []metrics.StructAVF
+	for _, st := range gpu.Structures {
+		tl, df, err := s.MicroTally(appName, kernel, st, hardened)
+		if err != nil {
+			return metrics.Breakdown{}, nil, err
+		}
+		structs = append(structs, metrics.NewStructAVF(st, tl, df))
+	}
+	return metrics.ChipAVF(s.Cfg, structs), structs, nil
+}
+
+// KernelSVF measures the SVF of one kernel.
+func (s *Study) KernelSVF(appName, kernel string, hardened bool) (metrics.Breakdown, error) {
+	tl, err := s.SoftTally(appName, kernel, softfi.SVF, hardened)
+	if err != nil {
+		return metrics.Breakdown{}, err
+	}
+	return metrics.FromTally(tl), nil
+}
+
+// kernelCycles returns the cycle weight of each kernel of an app (golden).
+func kernelCycles(g *microfi.GoldenRun, kernel string) float64 {
+	var c int64
+	for _, sp := range g.Res.Spans {
+		if sp.Kernel == kernel {
+			c += sp.End - sp.Start
+		}
+	}
+	return float64(c)
+}
+
+// AppAVF measures the application AVF: per-kernel AVFs weighted by kernel
+// cycles (§II-B).
+func (s *Study) AppAVF(appName string, hardened bool) (metrics.Breakdown, error) {
+	e, err := s.Eval(appName)
+	if err != nil {
+		return metrics.Breakdown{}, err
+	}
+	g := e.MicroG
+	if hardened {
+		g = e.MicroGTMR
+	}
+	var parts []metrics.Breakdown
+	var weights []float64
+	for _, k := range e.App.Kernels {
+		b, _, err := s.KernelAVF(appName, k, hardened)
+		if err != nil {
+			return metrics.Breakdown{}, err
+		}
+		parts = append(parts, b)
+		weights = append(weights, kernelCycles(g, k))
+	}
+	return metrics.Weighted(parts, weights), nil
+}
+
+// AppSVF measures the application SVF: per-kernel SVFs weighted by executed
+// instruction counts (§II-C).
+func (s *Study) AppSVF(appName string, hardened bool) (metrics.Breakdown, error) {
+	e, err := s.Eval(appName)
+	if err != nil {
+		return metrics.Breakdown{}, err
+	}
+	g := e.SoftG
+	if hardened {
+		g = e.SoftGTMR
+	}
+	var parts []metrics.Breakdown
+	var weights []float64
+	for _, k := range e.App.Kernels {
+		b, err := s.KernelSVF(appName, k, hardened)
+		if err != nil {
+			return metrics.Breakdown{}, err
+		}
+		parts = append(parts, b)
+		kc := g.Res.PerKernel[k]
+		var w float64
+		if kc != nil {
+			w = float64(kc.DynInstrs)
+		}
+		parts[len(parts)-1] = b
+		weights = append(weights, w)
+	}
+	return metrics.Weighted(parts, weights), nil
+}
+
+// AppAVFRF measures the application AVF restricted to the register file
+// (AVF-RF, Figure 4), cycle-weighted over kernels.
+func (s *Study) AppAVFRF(appName string) (metrics.Breakdown, error) {
+	return s.appStructAVF(appName, []gpu.Structure{gpu.RF})
+}
+
+// AppAVFCache measures AVF over the cache structures only (AVF-Cache,
+// Figure 5: L1D + L1T + L2), cycle-weighted over kernels and size-weighted
+// within the subset.
+func (s *Study) AppAVFCache(appName string) (metrics.Breakdown, error) {
+	return s.appStructAVF(appName, []gpu.Structure{gpu.L1D, gpu.L1T, gpu.L2})
+}
+
+func (s *Study) appStructAVF(appName string, sts []gpu.Structure) (metrics.Breakdown, error) {
+	e, err := s.Eval(appName)
+	if err != nil {
+		return metrics.Breakdown{}, err
+	}
+	var parts []metrics.Breakdown
+	var weights []float64
+	for _, k := range e.App.Kernels {
+		var structs []metrics.StructAVF
+		for _, st := range sts {
+			tl, df, err := s.MicroTally(appName, k, st, false)
+			if err != nil {
+				return metrics.Breakdown{}, err
+			}
+			structs = append(structs, metrics.NewStructAVF(st, tl, df))
+		}
+		parts = append(parts, metrics.SubsetAVF(s.Cfg, structs))
+		weights = append(weights, kernelCycles(e.MicroG, k))
+	}
+	return metrics.Weighted(parts, weights), nil
+}
+
+// AppSVFLD measures the application's load-only SVF (SVF-LD, Figure 5).
+func (s *Study) AppSVFLD(appName string) (metrics.Breakdown, error) {
+	e, err := s.Eval(appName)
+	if err != nil {
+		return metrics.Breakdown{}, err
+	}
+	var parts []metrics.Breakdown
+	var weights []float64
+	for _, k := range e.App.Kernels {
+		tl, err := s.SoftTally(appName, k, softfi.SVFLD, false)
+		if err != nil {
+			return metrics.Breakdown{}, err
+		}
+		parts = append(parts, metrics.FromTally(tl))
+		kc := e.SoftG.Res.PerKernel[k]
+		var w float64
+		if kc != nil {
+			w = float64(kc.DynInstrs)
+		}
+		weights = append(weights, w)
+	}
+	return metrics.Weighted(parts, weights), nil
+}
+
+// CtrlAffectedPct pools the five per-structure microarchitecture campaigns
+// of a kernel and returns the fraction of masked runs whose cycle count
+// deviated from golden — the control-path proxy of Figure 11.
+func (s *Study) CtrlAffectedPct(appName, kernel string, hardened bool) (float64, error) {
+	var pooled campaign.Tally
+	for _, st := range gpu.Structures {
+		tl, _, err := s.MicroTally(appName, kernel, st, hardened)
+		if err != nil {
+			return 0, err
+		}
+		pooled.Merge(tl)
+	}
+	return pooled.CtrlAffectedPct(), nil
+}
+
+// KernelStats returns the fault-free microarchitectural profile of a kernel
+// (the resource-utilisation metrics of Figure 3).
+func (s *Study) KernelStats(appName, kernel string) (*sim.KernelStats, []sim.LaunchSpan, error) {
+	e, err := s.Eval(appName)
+	if err != nil {
+		return nil, nil, err
+	}
+	ks := e.MicroG.Res.PerKernel[kernel]
+	if ks == nil {
+		return nil, nil, fmt.Errorf("%s: kernel %s not found", appName, kernel)
+	}
+	var spans []sim.LaunchSpan
+	for _, sp := range e.MicroG.Res.Spans {
+		if sp.Kernel == kernel {
+			spans = append(spans, sp)
+		}
+	}
+	return ks, spans, nil
+}
+
+// KernelIDs lists all 23 (app, kernel) pairs in the paper's order.
+func (s *Study) KernelIDs() []KernelID {
+	var out []KernelID
+	for _, a := range kernels.All() {
+		for _, k := range a.Kernels {
+			out = append(out, KernelID{App: a.Name, Kernel: k})
+		}
+	}
+	return out
+}
+
+// KernelID names one kernel of one application.
+type KernelID struct{ App, Kernel string }
+
+// Label renders the Figure 2 style label, e.g. "SRADv1 K4".
+func (k KernelID) Label() string { return k.App + " " + k.Kernel }
+
+// SortedAppNames returns the application names in the paper's order.
+func SortedAppNames() []string {
+	var out []string
+	for _, a := range kernels.All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
