@@ -8,108 +8,144 @@
 //	avfsvf -table 1
 //	avfsvf -fig 12                # no campaigns needed
 //	avfsvf -speed                 # the §I footnote-1 speed comparison
+//	avfsvf -fig 1 -json           # machine-readable NDJSON instead of tables
+//	avfsvf -daemon http://host:8080 -fig 2
+//	                              # campaigns run on a gpureld daemon
 //
 // Campaign cost scales linearly in -n; the defaults keep a laptop run in
 // minutes. Figures 7-11 share the same hardened campaigns and are emitted
 // together whenever any of them is requested.
+//
+// With -json, each requested figure prints one JSON line
+// {"figure":"...","data":...} whose data payload reuses the library's
+// result structs (gpurel.AppPoint, gpurel.KernelPoint, campaign.Tally, ...)
+// — the same types the gpureld service API serves, so daemon and CLI output
+// stay directly comparable.
+//
+// With -daemon, every campaign point is submitted to a running gpureld
+// instead of being computed in-process. Seeds are derived identically on
+// both paths (gpurel.PointSeed), so the numbers match bit for bit.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"gpurel"
 	"gpurel/internal/gpu"
+	"gpurel/internal/service/client"
 )
 
 func main() {
 	var (
-		n     = flag.Int("n", 300, "injections per campaign point (paper: 3000)")
-		seed  = flag.Int64("seed", 1, "base seed")
-		fig   = flag.Int("fig", 0, "regenerate one figure (1-12); 0 = all")
-		table = flag.Int("table", 0, "regenerate one table (1); 0 with -fig 0 = all")
-		speed = flag.Bool("speed", false, "measure the AVF vs SVF assessment speed gap")
+		n       = flag.Int("n", 300, "injections per campaign point (paper: 3000)")
+		seed    = flag.Int64("seed", 1, "base seed")
+		fig     = flag.Int("fig", 0, "regenerate one figure (1-12); 0 = all")
+		table   = flag.Int("table", 0, "regenerate one table (1); 0 with -fig 0 = all")
+		speed   = flag.Bool("speed", false, "measure the AVF vs SVF assessment speed gap")
+		jsonOut = flag.Bool("json", false, "emit machine-readable NDJSON figure results")
+		daemon  = flag.String("daemon", "", "submit campaigns to a running gpureld at this base URL instead of computing locally")
 	)
 	flag.Parse()
 
 	s := gpurel.NewStudy(*n, *seed)
+	if *daemon != "" {
+		s.RunPoint = client.New(*daemon).RunPoint(context.Background())
+	}
 	all := *fig == 0 && *table == 0 && !*speed
 
-	emit := func(text string, err error) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "avfsvf:", err)
+		os.Exit(1)
+	}
+	// emit prints one figure either as the paper-style table or as one
+	// NDJSON line carrying the library result structs.
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(name string, data any, text string, err error) {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "avfsvf:", err)
-			os.Exit(1)
+			fail(err)
+		}
+		if *jsonOut {
+			if err := enc.Encode(struct {
+				Figure string `json:"figure"`
+				Data   any    `json:"data"`
+			}{name, data}); err != nil {
+				fail(err)
+			}
+			return
 		}
 		fmt.Println(text)
 	}
 
 	if all || *fig == 1 {
-		_, txt, err := s.Figure1()
-		emit(txt, err)
+		pts, txt, err := s.Figure1()
+		emit("fig1", pts, txt, err)
 	}
 	if all || *fig == 2 {
-		_, txt, err := s.Figure2()
-		emit(txt, err)
+		pts, txt, err := s.Figure2()
+		emit("fig2", pts, txt, err)
 	}
 	if all || *table == 1 {
-		_, txt, err := s.TableI()
-		emit(txt, err)
+		rows, txt, err := s.TableI()
+		emit("table1", rows, txt, err)
 	}
 	if all || *fig == 3 {
-		_, txt, err := s.Figure3()
-		emit(txt, err)
+		pts, txt, err := s.Figure3()
+		emit("fig3", pts, txt, err)
 	}
 	if all || *fig == 4 {
-		_, txt, err := s.Figure4()
-		emit(txt, err)
+		pts, txt, err := s.Figure4()
+		emit("fig4", pts, txt, err)
 	}
 	if all || *fig == 5 {
-		_, txt, err := s.Figure5()
-		emit(txt, err)
+		pts, txt, err := s.Figure5()
+		emit("fig5", pts, txt, err)
 	}
 	if *fig == 6 {
-		fmt.Println("Figure 6 is the TMR workflow diagram; see internal/harden (no data to regenerate).")
+		emit("fig6", nil, "Figure 6 is the TMR workflow diagram; see internal/harden (no data to regenerate).", nil)
 	}
 	if all || (*fig >= 7 && *fig <= 11) {
 		pts, err := s.Hardened()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "avfsvf:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if all || *fig == 7 {
-			fmt.Println(gpurel.Figure7(pts))
+			emit("fig7", pts, gpurel.Figure7(pts), nil)
 		}
 		if all || *fig == 8 {
-			fmt.Println(gpurel.Figure8(pts))
+			emit("fig8", pts, gpurel.Figure8(pts), nil)
 		}
 		if all || *fig == 9 {
-			fmt.Println(gpurel.Figure9(pts))
+			emit("fig9", pts, gpurel.Figure9(pts), nil)
 		}
 		if all || *fig == 10 {
-			fmt.Println(gpurel.Figure10(pts))
+			emit("fig10", pts, gpurel.Figure10(pts), nil)
 		}
 		if all || *fig == 11 {
-			fmt.Println(gpurel.Figure11(pts))
+			emit("fig11", pts, gpurel.Figure11(pts), nil)
 		}
 	}
 	if all || *fig == 12 {
-		_, txt := gpurel.Figure12()
-		fmt.Println(txt)
+		a, txt := gpurel.Figure12()
+		emit("fig12", a, txt, nil)
 	}
 	if all || *speed {
 		micro, soft, err := s.SpeedComparison("SRADv1", 5)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "avfsvf:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Printf("Assessment speed (SRADv1): cross-layer %v/run, software-level %v/run → %.0f× gap\n",
-			micro, soft, float64(micro)/float64(soft))
-		fmt.Println("(the paper's footnote 1: 1258 vs 10 machine-days at full scale)")
+		emit("speed",
+			map[string]any{"micro_ns_per_run": micro.Nanoseconds(), "soft_ns_per_run": soft.Nanoseconds()},
+			fmt.Sprintf("Assessment speed (SRADv1): cross-layer %v/run, software-level %v/run → %.0f× gap\n"+
+				"(the paper's footnote 1: 1258 vs 10 machine-days at full scale)",
+				micro, soft, float64(micro)/float64(soft)),
+			nil)
 	}
 	if all {
 		ab, txt, err := s.MultiBitAblation("VA", "K1", gpu.RF, []int{1, 2, 4})
-		_ = ab
-		emit(txt, err)
+		emit("multibit", ab, txt, err)
 	}
 }

@@ -1,0 +1,103 @@
+// Command gpureld is the campaign daemon: a long-running fault-injection
+// job server over the study's simulators. It accepts AVF/SVF campaign specs
+// on an HTTP API, executes them on a bounded sharded worker pool with
+// shared golden-run memoisation, journals progress to a checkpoint file,
+// and resumes incomplete jobs bit-identically after a restart.
+//
+// Usage:
+//
+//	gpureld -addr :8080 -checkpoint gpureld.ckpt.json
+//
+// API (see docs/service.md):
+//
+//	POST   /v1/jobs             {"layer":"micro","app":"VA","kernel":"K1","structure":"RF","runs":3000,"seed":1}
+//	GET    /v1/jobs/{id}        status + partial tally + live ErrMargin99
+//	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             Prometheus text format
+//
+// On SIGINT/SIGTERM the daemon drains: in-flight run-range chunks finish,
+// incomplete jobs are parked and checkpointed, and the HTTP listener shuts
+// down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpurel"
+	"gpurel/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		ckpt     = flag.String("checkpoint", "gpureld.ckpt.json", "checkpoint journal path ('' disables persistence)")
+		interval = flag.Duration("checkpoint-interval", 2*time.Second, "periodic checkpoint flush cadence")
+		shards   = flag.Int("shards", 1, "concurrent job lanes")
+		workers  = flag.Int("workers", 0, "campaign workers per lane (0 = GOMAXPROCS)")
+		chunk    = flag.Int("chunk", 100, "runs per checkpointable chunk")
+		seed     = flag.Int64("seed", 1, "base seed of the shared study (golden-run cache)")
+	)
+	flag.Parse()
+
+	// The daemon's study exists for its golden-run memoisation; campaign
+	// sizing and seeds come from each job spec.
+	study := gpurel.NewStudy(0, *seed)
+	sched, err := service.NewScheduler(service.Config{
+		Source:             service.NewStudySource(study),
+		Shards:             *shards,
+		WorkersPerShard:    *workers,
+		ChunkSize:          *chunk,
+		CheckpointPath:     *ckpt,
+		CheckpointInterval: *interval,
+	})
+	if err != nil {
+		log.Fatalf("gpureld: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("gpureld: listening on %s (checkpoint %q, %d lane(s) × %d worker(s), chunk %d)",
+			*addr, *ckpt, *shards, *workers, *chunk)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			sched.Close()
+			log.Fatalf("gpureld: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("gpureld: signal received, draining (in-flight chunks finish, then checkpoint flush)")
+	}
+
+	// Drain the scheduler first (finishes in-flight chunks, parks the
+	// rest, flushes the checkpoint, and unblocks open event streams), then
+	// shut the listener down gracefully.
+	closeErr := sched.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("gpureld: http shutdown: %v", err)
+	}
+	if closeErr != nil {
+		log.Printf("gpureld: checkpoint flush: %v", closeErr)
+		os.Exit(1)
+	}
+	fmt.Println("gpureld: drained and checkpointed, bye")
+}

@@ -1,0 +1,116 @@
+// Contention benchmark for the campaign work queue: the seed
+// implementation handed out run indices under a mutex; Run now uses a
+// single atomic claim counter. runMutexQueue below preserves the old
+// dispatch verbatim so the two can be compared at high worker counts with
+// a deliberately cheap experiment (queue overhead dominates).
+//
+//	go test ./internal/campaign -bench=Queue -benchtime=10x
+package campaign
+
+import (
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"gpurel/internal/faults"
+)
+
+// cheapExperiment is near-free so the benchmark measures dispatch cost,
+// not injection cost.
+func cheapExperiment(run int, rng *rand.Rand) faults.Result {
+	if run%97 == 0 {
+		return faults.Result{Outcome: faults.SDC}
+	}
+	return faults.Result{Outcome: faults.Masked}
+}
+
+// runMutexQueue is the pre-optimisation Run: a mutex-guarded next counter.
+// Kept test-only as the "before" side of the benchmark.
+func runMutexQueue(opts Options, fn Experiment) Tally {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+	var (
+		mu   sync.Mutex
+		t    Tally
+		next int
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local Tally
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= opts.Runs {
+					break
+				}
+				local.Add(fn(i, rand.New(rand.NewSource(opts.Seed+int64(i)))))
+			}
+			mu.Lock()
+			t.Merge(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return t
+}
+
+// benchRuns keeps one benchmark iteration under a second even on a single
+// core; on many-core machines the mutex/atomic gap opens up at the higher
+// worker multiples (raise benchRuns for a cleaner signal there).
+const benchRuns = 20_000
+
+func benchWorkers() []int {
+	p := runtime.GOMAXPROCS(0)
+	return []int{p, 4 * p, 16 * p}
+}
+
+func BenchmarkQueueMutex(b *testing.B) {
+	for _, w := range benchWorkers() {
+		b.Run(workersLabel(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tl := runMutexQueue(Options{Runs: benchRuns, Seed: 1, Workers: w}, cheapExperiment)
+				if tl.N != benchRuns {
+					b.Fatalf("lost runs: %d", tl.N)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueueAtomic(b *testing.B) {
+	for _, w := range benchWorkers() {
+		b.Run(workersLabel(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tl := Run(Options{Runs: benchRuns, Seed: 1, Workers: w}, cheapExperiment)
+				if tl.N != benchRuns {
+					b.Fatalf("lost runs: %d", tl.N)
+				}
+			}
+		})
+	}
+}
+
+func workersLabel(w int) string { return "workers=" + strconv.Itoa(w) }
+
+// TestQueueEquivalence pins the two dispatchers to the same tally so the
+// benchmark comparison stays apples-to-apples.
+func TestQueueEquivalence(t *testing.T) {
+	opts := Options{Runs: 5000, Seed: 7, Workers: 8}
+	if a, b := runMutexQueue(opts, cheapExperiment), Run(opts, cheapExperiment); a != b {
+		t.Errorf("mutex and atomic dispatch disagree:\n%+v\n%+v", a, b)
+	}
+}

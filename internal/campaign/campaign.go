@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpurel/internal/faults"
 )
@@ -96,37 +97,57 @@ type Options struct {
 // Run executes the campaign. Results are deterministic for a given seed:
 // run i always uses rand.NewSource(Seed + i), independent of scheduling.
 func Run(opts Options, fn Experiment) Tally {
+	return RunRange(opts, 0, opts.Runs, fn)
+}
+
+// RunRange executes the half-open run-index range [from, to) of the
+// campaign. Run i always uses rand.NewSource(Seed + i), so
+// RunRange(o, 0, k, fn) merged with RunRange(o, k, n, fn) is identical to
+// Run over n runs — the invariant checkpoint/resume in internal/service
+// relies on. Ranges outside [0, Runs) are clamped.
+func RunRange(opts Options, from, to int, fn Experiment) Tally {
+	if from < 0 {
+		from = 0
+	}
+	if to > opts.Runs {
+		to = opts.Runs
+	}
+	n := to - from
+	if n <= 0 {
+		return Tally{}
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > opts.Runs {
-		workers = opts.Runs
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
 		var t Tally
-		for i := 0; i < opts.Runs; i++ {
+		for i := from; i < to; i++ {
 			t.Add(fn(i, rand.New(rand.NewSource(opts.Seed+int64(i)))))
 		}
 		return t
 	}
+	// The work queue is a single atomic claim counter: each worker grabs
+	// the next unclaimed run index with one uncontended-in-the-fast-path
+	// Add instead of a mutex round trip (hot at high worker counts).
 	var (
 		mu   sync.Mutex
 		t    Tally
-		next int
+		next atomic.Int64
 		wg   sync.WaitGroup
 	)
+	next.Store(int64(from))
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			var local Tally
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= opts.Runs {
+				i := int(next.Add(1) - 1)
+				if i >= to {
 					break
 				}
 				local.Add(fn(i, rand.New(rand.NewSource(opts.Seed+int64(i)))))

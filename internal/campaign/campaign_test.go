@@ -46,9 +46,52 @@ func TestTallyCounts(t *testing.T) {
 func TestSchedulingIndependence(t *testing.T) {
 	t1 := Run(Options{Runs: 500, Seed: 42, Workers: 1}, fakeExperiment)
 	t4 := Run(Options{Runs: 500, Seed: 42, Workers: 4}, fakeExperiment)
+	t8 := Run(Options{Runs: 500, Seed: 42, Workers: 8}, fakeExperiment)
 	t9 := Run(Options{Runs: 500, Seed: 42, Workers: 9}, fakeExperiment)
-	if t1 != t4 || t1 != t9 {
-		t.Errorf("tallies differ across worker counts:\n1: %+v\n4: %+v\n9: %+v", t1, t4, t9)
+	if t1 != t4 || t1 != t8 || t1 != t9 {
+		t.Errorf("tallies differ across worker counts:\n1: %+v\n4: %+v\n8: %+v\n9: %+v", t1, t4, t8, t9)
+	}
+}
+
+// TestRunRangeSplitMerge: RunRange(0,k) merged with RunRange(k,n) must equal
+// Run over n for any split point — the invariant the service's
+// checkpoint/resume machinery relies on (a resumed job replays only the
+// unexecuted indices, never the completed ones).
+func TestRunRangeSplitMerge(t *testing.T) {
+	const n = 400
+	opts := Options{Runs: n, Seed: 42, Workers: 4}
+	whole := Run(opts, fakeExperiment)
+	for _, k := range []int{0, 1, 137, n / 2, n - 1, n} {
+		lo := RunRange(opts, 0, k, fakeExperiment)
+		hi := RunRange(opts, k, n, fakeExperiment)
+		lo.Merge(hi)
+		if lo != whole {
+			t.Errorf("split at %d: merged %+v != whole %+v", k, lo, whole)
+		}
+	}
+	// Three-way split with shuffled execution order.
+	a := RunRange(opts, 250, n, fakeExperiment)
+	b := RunRange(opts, 0, 100, fakeExperiment)
+	c := RunRange(opts, 100, 250, fakeExperiment)
+	a.Merge(b)
+	a.Merge(c)
+	if a != whole {
+		t.Errorf("three-way merge %+v != whole %+v", a, whole)
+	}
+}
+
+// TestRunRangeClamp: out-of-bounds ranges are clamped, empty ranges tally
+// nothing.
+func TestRunRangeClamp(t *testing.T) {
+	opts := Options{Runs: 50, Seed: 9, Workers: 2}
+	if tl := RunRange(opts, -10, 1000, fakeExperiment); tl != Run(opts, fakeExperiment) {
+		t.Errorf("clamped range != full run: %+v", tl)
+	}
+	if tl := RunRange(opts, 30, 30, fakeExperiment); tl.N != 0 {
+		t.Errorf("empty range tallied %d", tl.N)
+	}
+	if tl := RunRange(opts, 40, 20, fakeExperiment); tl.N != 0 {
+		t.Errorf("inverted range tallied %d", tl.N)
 	}
 }
 

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gpurel/internal/campaign"
+)
+
+// checkpointVersion guards the on-disk format. Bump on incompatible change.
+const checkpointVersion = 1
+
+// jobCheckpoint is the durable state of one job: its spec, the normalized
+// completed run-ranges, and the tally merged over exactly those ranges.
+// Because run i's seed depends only on (Spec.Seed, i), this is everything a
+// fresh process needs to finish the job bit-identically.
+type jobCheckpoint struct {
+	ID      string         `json:"id"`
+	Spec    JobSpec        `json:"spec"`
+	State   JobState       `json:"state"`
+	Done    []Range        `json:"done_ranges,omitempty"`
+	Tally   campaign.Tally `json:"tally"`
+	Error   string         `json:"error,omitempty"`
+	Created int64          `json:"created_unix"`
+}
+
+type checkpointFile struct {
+	Version   int             `json:"version"`
+	SavedUnix int64           `json:"saved_unix"`
+	Jobs      []jobCheckpoint `json:"jobs"`
+}
+
+// saveCheckpoint writes the journal atomically (temp file + rename in the
+// same directory), so a crash mid-write never corrupts the previous
+// checkpoint.
+func saveCheckpoint(path string, jobs []jobCheckpoint) error {
+	cf := checkpointFile{Version: checkpointVersion, SavedUnix: time.Now().Unix(), Jobs: jobs}
+	data, err := json.MarshalIndent(cf, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".gpureld-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadCheckpoint reads a journal; a missing file is an empty journal, not
+// an error.
+func loadCheckpoint(path string) ([]jobCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, cf.Version, checkpointVersion)
+	}
+	return cf.Jobs, nil
+}

@@ -1,0 +1,229 @@
+// Package client is the thin HTTP client for a gpureld campaign daemon.
+// cmd/avfsvf uses it (flag -daemon) to submit the study's campaign points
+// to a running server instead of computing them locally; anything else that
+// speaks the internal/service API can reuse it.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"gpurel"
+	"gpurel/internal/campaign"
+	"gpurel/internal/service"
+)
+
+// Client talks to one daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client (default http.DefaultClient). Do not
+	// set a global timeout on it: event streams are long-lived.
+	HTTP *http.Client
+	// PollInterval is the status-poll fallback cadence used by Wait when
+	// the event stream is unavailable (default 500ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a campaign job.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Get fetches a job's status.
+func (c *Client) Get(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches all jobs.
+func (c *Client) List(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel asks the daemon to stop a job at its next chunk boundary.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Stream consumes a job's NDJSON event stream, invoking fn per event until
+// the job reaches a terminal state, fn returns an error, or ctx ends.
+func (c *Client) Stream(ctx context.Context, id string, fn func(service.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("events %s: bad line: %w", id, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Job.State.Terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("events %s: stream ended before job finished", id)
+}
+
+// Wait blocks until the job is terminal, preferring the event stream and
+// falling back to polling if streaming fails (e.g. across a daemon
+// restart).
+func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	poll := c.PollInterval
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		var last service.JobStatus
+		err := c.Stream(ctx, id, func(ev service.Event) error {
+			last = ev.Job
+			return nil
+		})
+		if err == nil && last.State.Terminal() {
+			return last, nil
+		}
+		if ctx.Err() != nil {
+			return last, ctx.Err()
+		}
+		// Stream broke (daemon restarting, proxy hiccup): poll instead.
+		select {
+		case <-ctx.Done():
+			return last, ctx.Err()
+		case <-time.After(poll):
+		}
+		st, gerr := c.Get(ctx, id)
+		if gerr == nil && st.State.Terminal() {
+			return st, nil
+		}
+	}
+}
+
+// RunJob submits a spec and waits for its final tally — the one-call remote
+// analogue of campaign.Run.
+func (c *Client) RunJob(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return st, err
+	}
+	return c.Wait(ctx, st.ID)
+}
+
+// RunPoint returns a Study.RunPoint hook that executes campaign points on
+// the daemon:
+//
+//	s := gpurel.NewStudy(runs, seed)
+//	s.RunPoint = client.New(url).RunPoint(ctx)
+//
+// The hook receives the fully derived point seed in opts, so the daemon's
+// tally is bit-identical to a local campaign.Run.
+func (c *Client) RunPoint(ctx context.Context) func(gpurel.PointSpec, campaign.Options) (campaign.Tally, error) {
+	return func(p gpurel.PointSpec, opts campaign.Options) (campaign.Tally, error) {
+		st, err := c.RunJob(ctx, service.SpecForPoint(p, opts))
+		if err != nil {
+			return campaign.Tally{}, err
+		}
+		if st.State != service.StateDone {
+			return campaign.Tally{}, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		return st.Tally, nil
+	}
+}

@@ -1,0 +1,236 @@
+// Package service is the campaign job server behind cmd/gpureld: a
+// long-running daemon that accepts AVF/SVF campaign-point specs over HTTP,
+// schedules them on a bounded sharded worker pool, journals completed
+// run-ranges to a JSON checkpoint so interrupted jobs resume exactly where
+// they stopped, streams NDJSON progress, and exports Prometheus metrics.
+//
+// Determinism is the load-bearing property: campaign run i always uses
+// rand.NewSource(Seed+i) (campaign.RunRange), so a job executed in chunks,
+// interrupted, checkpointed and resumed in a new process tallies bit for
+// bit the same as one uninterrupted campaign.Run with the same seed.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpurel"
+	"gpurel/internal/campaign"
+	"gpurel/internal/gpu"
+	"gpurel/internal/softfi"
+)
+
+// JobSpec is one campaign point as submitted over the wire. Seed is the
+// campaign seed used directly by campaign.RunRange (run i uses Seed+i);
+// clients that want parity with a local Study derive it with
+// gpurel.PointSeed(baseSeed, point).
+type JobSpec struct {
+	Layer     string  `json:"layer"`               // "micro" | "soft"
+	App       string  `json:"app"`                 // benchmark name, e.g. "VA"
+	Kernel    string  `json:"kernel"`              // kernel name, e.g. "K1"
+	Structure string  `json:"structure,omitempty"` // micro: RF | SMEM | L1D | L1T | L2 (default RF)
+	Mode      string  `json:"mode,omitempty"`      // soft: SVF | SVF-LD | SVF-USE (default SVF)
+	Hardened  bool    `json:"hardened,omitempty"`  // inject into the TMR-hardened variant
+	Runs      int     `json:"runs"`                // injections (paper: 3000 per point)
+	Seed      int64   `json:"seed"`                // campaign seed; run i uses Seed+i
+	Deadline  float64 `json:"deadline_sec,omitempty"`
+}
+
+// Point resolves the spec to the study-level campaign point, validating the
+// enum fields.
+func (sp JobSpec) Point() (gpurel.PointSpec, error) {
+	p := gpurel.PointSpec{App: sp.App, Kernel: sp.Kernel, Hardened: sp.Hardened}
+	switch sp.Layer {
+	case string(gpurel.LayerMicro):
+		p.Layer = gpurel.LayerMicro
+		st, err := ParseStructure(sp.Structure)
+		if err != nil {
+			return p, err
+		}
+		p.Structure = st
+	case string(gpurel.LayerSoft):
+		p.Layer = gpurel.LayerSoft
+		m, err := ParseMode(sp.Mode)
+		if err != nil {
+			return p, err
+		}
+		p.Mode = m
+	default:
+		return p, fmt.Errorf("layer must be %q or %q, got %q", gpurel.LayerMicro, gpurel.LayerSoft, sp.Layer)
+	}
+	return p, nil
+}
+
+// Validate rejects malformed specs at submission time (cheap checks only;
+// unknown apps/kernels surface when the job starts and fail it).
+func (sp JobSpec) Validate() error {
+	if sp.App == "" || sp.Kernel == "" {
+		return fmt.Errorf("app and kernel are required")
+	}
+	if sp.Runs <= 0 {
+		return fmt.Errorf("runs must be positive, got %d", sp.Runs)
+	}
+	if sp.Deadline < 0 {
+		return fmt.Errorf("deadline_sec must be non-negative")
+	}
+	_, err := sp.Point()
+	return err
+}
+
+// ParseStructure maps the wire name of a hardware structure ("" = RF).
+func ParseStructure(name string) (gpu.Structure, error) {
+	if name == "" {
+		return gpu.RF, nil
+	}
+	for _, st := range gpu.Structures {
+		if st.String() == name {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown structure %q (want RF|SMEM|L1D|L1T|L2)", name)
+}
+
+// ParseMode maps the wire name of a software injection mode ("" = SVF).
+func ParseMode(name string) (softfi.Mode, error) {
+	switch name {
+	case "", softfi.SVF.String():
+		return softfi.SVF, nil
+	case softfi.SVFLD.String():
+		return softfi.SVFLD, nil
+	case softfi.SVFUse.String():
+		return softfi.SVFUse, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want SVF|SVF-LD|SVF-USE)", name)
+}
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether no further progress will happen.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the API view of a job: its spec, lifecycle state, and the
+// partial (or final) tally with the live 99%-confidence error margin of the
+// paper's methodology.
+type JobStatus struct {
+	ID          string         `json:"id"`
+	Spec        JobSpec        `json:"spec"`
+	State       JobState       `json:"state"`
+	Done        int            `json:"done"`  // completed runs
+	Total       int            `json:"total"` // == Spec.Runs
+	DoneRanges  []Range        `json:"done_ranges,omitempty"`
+	Tally       campaign.Tally `json:"tally"`
+	FR          float64        `json:"fr"`           // failure rate of the partial tally
+	ErrMargin99 float64        `json:"err_margin99"` // ±CI half-width at current n
+	Error       string         `json:"error,omitempty"`
+	Created     int64          `json:"created_unix"`
+	Started     int64          `json:"started_unix,omitempty"`
+	Finished    int64          `json:"finished_unix,omitempty"`
+}
+
+// Event is one NDJSON line of a job's progress stream.
+type Event struct {
+	// Type: "status" (initial snapshot), "progress" (a chunk completed),
+	// or a terminal state name ("done" | "failed" | "canceled").
+	Type string    `json:"type"`
+	Job  JobStatus `json:"job"`
+}
+
+// job is the scheduler-internal mutable state behind a JobStatus.
+type job struct {
+	id      string
+	spec    JobSpec
+	created time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	done     []Range // normalized completed run-ranges
+	tally    campaign.Tally
+	errmsg   string
+	started  time.Time
+	finished time.Time
+	canceled bool
+	subs     map[int]chan Event
+	nextSub  int
+}
+
+func (j *job) snapshotLocked() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Spec:        j.spec,
+		State:       j.state,
+		Done:        rangesLen(j.done),
+		Total:       j.spec.Runs,
+		DoneRanges:  append([]Range(nil), j.done...),
+		Tally:       j.tally,
+		FR:          j.tally.FR(),
+		ErrMargin99: j.tally.ErrMargin99(),
+		Error:       j.errmsg,
+		Created:     j.created.Unix(),
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.Unix()
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.Unix()
+	}
+	return st
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// publishLocked fans an event out to subscribers. Slow consumers lose the
+// oldest buffered event rather than stalling the scheduler; terminal events
+// therefore always land (the buffer never stays full against them).
+func (j *job) publishLocked(typ string) {
+	ev := Event{Type: typ, Job: j.snapshotLocked()}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Buffer full: drop the oldest event to make room. Only the
+			// owning shard publishes to a job, so the retry cannot race
+			// another producer and always succeeds.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+func (j *job) subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.subs == nil {
+		j.subs = map[int]chan Event{}
+	}
+	id := j.nextSub
+	j.nextSub++
+	ch := make(chan Event, 64)
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
+}

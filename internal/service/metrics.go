@@ -1,0 +1,91 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+)
+
+// Metrics holds the daemon's counters, exported in Prometheus text format
+// at GET /metrics. Counters are cumulative for the process (a restart
+// resets them; the checkpoint journals job state, not metrics).
+type Metrics struct {
+	start         time.Time
+	jobsSubmitted atomic.Int64
+	jobsResumed   atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	injections    atomic.Int64
+	outcomes      [faults.NumOutcomes]atomic.Int64
+	ctrlAffected  atomic.Int64
+	chunks        atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// addTally folds one completed chunk into the injection counters.
+func (m *Metrics) addTally(t campaign.Tally) {
+	m.injections.Add(int64(t.N))
+	for o := faults.Outcome(0); o < faults.NumOutcomes; o++ {
+		m.outcomes[o].Add(int64(t.Counts[o]))
+	}
+	m.ctrlAffected.Add(int64(t.CtrlAffected))
+	m.chunks.Add(1)
+}
+
+// WritePrometheus renders the exposition text. gauges carries point-in-time
+// values owned by the scheduler (current queue depths).
+func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int) {
+	up := time.Since(m.start).Seconds()
+	inj := m.injections.Load()
+	var rate float64
+	if up > 0 {
+		rate = float64(inj) / up
+	}
+
+	fmt.Fprintln(w, "# HELP gpureld_jobs_total Jobs by lifecycle event since process start.")
+	fmt.Fprintln(w, "# TYPE gpureld_jobs_total counter")
+	fmt.Fprintf(w, "gpureld_jobs_total{event=\"submitted\"} %d\n", m.jobsSubmitted.Load())
+	fmt.Fprintf(w, "gpureld_jobs_total{event=\"resumed\"} %d\n", m.jobsResumed.Load())
+	fmt.Fprintf(w, "gpureld_jobs_total{event=\"done\"} %d\n", m.jobsDone.Load())
+	fmt.Fprintf(w, "gpureld_jobs_total{event=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "gpureld_jobs_total{event=\"canceled\"} %d\n", m.jobsCanceled.Load())
+
+	fmt.Fprintln(w, "# HELP gpureld_jobs Current jobs by state.")
+	fmt.Fprintln(w, "# TYPE gpureld_jobs gauge")
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "gpureld_jobs{state=%q} %d\n", st, gauges[string(st)])
+	}
+
+	fmt.Fprintln(w, "# HELP gpureld_injections_total Fault injections executed.")
+	fmt.Fprintln(w, "# TYPE gpureld_injections_total counter")
+	fmt.Fprintf(w, "gpureld_injections_total %d\n", inj)
+
+	fmt.Fprintln(w, "# HELP gpureld_outcomes_total Injection outcomes by class (§II-A).")
+	fmt.Fprintln(w, "# TYPE gpureld_outcomes_total counter")
+	for o := faults.Outcome(0); o < faults.NumOutcomes; o++ {
+		fmt.Fprintf(w, "gpureld_outcomes_total{outcome=%q} %d\n",
+			strings.ToLower(o.String()), m.outcomes[o].Load())
+	}
+	fmt.Fprintf(w, "gpureld_ctrl_affected_total %d\n", m.ctrlAffected.Load())
+
+	fmt.Fprintln(w, "# HELP gpureld_chunks_total Checkpointable run-range chunks completed.")
+	fmt.Fprintln(w, "# TYPE gpureld_chunks_total counter")
+	fmt.Fprintf(w, "gpureld_chunks_total %d\n", m.chunks.Load())
+
+	fmt.Fprintln(w, "# HELP gpureld_injections_per_second Mean injection throughput since start.")
+	fmt.Fprintln(w, "# TYPE gpureld_injections_per_second gauge")
+	fmt.Fprintf(w, "gpureld_injections_per_second %.3f\n", rate)
+
+	fmt.Fprintln(w, "# HELP gpureld_uptime_seconds Process uptime.")
+	fmt.Fprintln(w, "# TYPE gpureld_uptime_seconds gauge")
+	fmt.Fprintf(w, "gpureld_uptime_seconds %.3f\n", up)
+}

@@ -1,0 +1,75 @@
+package service
+
+import "sort"
+
+// Range is a half-open run-index interval [From, To) — the unit the
+// checkpoint journals. A job's completed work is a normalized (sorted,
+// disjoint, merged) list of ranges; the work left to do is its complement
+// in [0, Runs).
+type Range struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// normalizeRanges sorts, clips empty entries, and merges adjacent or
+// overlapping ranges.
+func normalizeRanges(rs []Range) []Range {
+	var out []Range
+	for _, r := range rs {
+		if r.To > r.From {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].From < out[k].From })
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && r.From <= merged[n-1].To {
+			if r.To > merged[n-1].To {
+				merged[n-1].To = r.To
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// addRange inserts one completed range into a normalized list, keeping it
+// normalized.
+func addRange(rs []Range, r Range) []Range {
+	return normalizeRanges(append(rs, r))
+}
+
+// complementRanges returns the gaps of a normalized list within [0, n) —
+// the run-ranges a resumed job still has to execute.
+func complementRanges(rs []Range, n int) []Range {
+	var out []Range
+	at := 0
+	for _, r := range rs {
+		if r.From > at {
+			to := r.From
+			if to > n {
+				to = n
+			}
+			if to > at {
+				out = append(out, Range{From: at, To: to})
+			}
+		}
+		if r.To > at {
+			at = r.To
+		}
+	}
+	if at < n {
+		out = append(out, Range{From: at, To: n})
+	}
+	return out
+}
+
+// rangesLen is the total number of runs covered by a normalized list.
+func rangesLen(rs []Range) int {
+	n := 0
+	for _, r := range rs {
+		n += r.To - r.From
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeAndComplement(t *testing.T) {
+	cases := []struct {
+		in    []Range
+		n     int
+		norm  []Range
+		compl []Range
+	}{
+		{nil, 10, nil, []Range{{0, 10}}},
+		{[]Range{{0, 10}}, 10, []Range{{0, 10}}, nil},
+		{[]Range{{3, 5}, {0, 3}}, 10, []Range{{0, 5}}, []Range{{5, 10}}},
+		{[]Range{{2, 4}, {6, 8}}, 10, []Range{{2, 4}, {6, 8}}, []Range{{0, 2}, {4, 6}, {8, 10}}},
+		{[]Range{{0, 4}, {2, 6}}, 6, []Range{{0, 6}}, nil},
+		{[]Range{{5, 5}, {7, 3}}, 4, nil, []Range{{0, 4}}},
+		{[]Range{{8, 20}}, 10, []Range{{8, 20}}, []Range{{0, 8}}},
+	}
+	for i, c := range cases {
+		norm := normalizeRanges(c.in)
+		if !reflect.DeepEqual(norm, c.norm) {
+			t.Errorf("case %d: normalize(%v) = %v, want %v", i, c.in, norm, c.norm)
+		}
+		compl := complementRanges(norm, c.n)
+		if !reflect.DeepEqual(compl, c.compl) {
+			t.Errorf("case %d: complement(%v, %d) = %v, want %v", i, norm, c.n, compl, c.compl)
+		}
+	}
+}
+
+// TestRangeCoverageProperty: done ∪ complement always tiles [0, n) exactly.
+func TestRangeCoverageProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(100)
+		var done []Range
+		for i := 0; i < rng.Intn(6); i++ {
+			from := rng.Intn(n)
+			done = addRange(done, Range{From: from, To: from + 1 + rng.Intn(n-from)})
+		}
+		covered := make([]bool, n)
+		mark := func(rs []Range) {
+			for _, r := range rs {
+				for i := r.From; i < r.To && i < n; i++ {
+					if covered[i] {
+						t.Fatalf("trial %d: index %d covered twice (done=%v compl=%v)",
+							trial, i, done, complementRanges(done, n))
+					}
+					covered[i] = true
+				}
+			}
+		}
+		mark(done)
+		mark(complementRanges(done, n))
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("trial %d: index %d uncovered (done=%v)", trial, i, done)
+			}
+		}
+		if got := rangesLen(done) + rangesLen(complementRanges(done, n)); got < n {
+			t.Fatalf("trial %d: lengths %d < n %d", trial, got, n)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpurel/internal/campaign"
+)
+
+// SourceFunc resolves a job spec to its injection experiment. The
+// production source wraps *gpurel.Study (NewStudySource), which memoises
+// golden runs so concurrent jobs against the same app share them; tests
+// substitute synthetic experiments.
+type SourceFunc func(spec JobSpec) (campaign.Experiment, error)
+
+// Config sizes the scheduler.
+type Config struct {
+	// Source is required.
+	Source SourceFunc
+	// Shards is the number of independent job lanes; each lane executes
+	// one job at a time, chunk by chunk (default 1). Jobs hash to a lane
+	// by ID, so lane order is FIFO per lane.
+	Shards int
+	// WorkersPerShard bounds the campaign workers each lane uses inside a
+	// chunk (default GOMAXPROCS). Total injection parallelism is bounded
+	// by Shards × WorkersPerShard.
+	WorkersPerShard int
+	// ChunkSize is the run-range granularity of checkpoints and progress
+	// events (default 100 runs).
+	ChunkSize int
+	// QueueDepth bounds each lane's backlog (default 256); Submit fails
+	// once a lane is full.
+	QueueDepth int
+	// CheckpointPath, when set, enables the journal: jobs are persisted
+	// there and incomplete ones resume on the next New with the same path.
+	CheckpointPath string
+	// CheckpointInterval is the periodic flush cadence (default 2s).
+	CheckpointInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = runtime.GOMAXPROCS(0)
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 100
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 2 * time.Second
+	}
+	return c
+}
+
+// Scheduler owns the job table and the sharded worker lanes.
+type Scheduler struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for listing
+
+	queues []chan *job
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	dirty  atomic.Bool
+}
+
+// NewScheduler builds a scheduler, resumes any incomplete jobs found in the
+// checkpoint journal, and starts the worker lanes.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("service: Config.Source is required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		jobs:    map[string]*job{},
+		queues:  make([]chan *job, cfg.Shards),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan *job, cfg.QueueDepth)
+	}
+
+	if cfg.CheckpointPath != "" {
+		saved, err := loadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		for _, jc := range saved {
+			j := &job{
+				id:      jc.ID,
+				spec:    jc.Spec,
+				created: time.Unix(jc.Created, 0),
+				state:   jc.State,
+				done:    normalizeRanges(jc.Done),
+				tally:   jc.Tally,
+				errmsg:  jc.Error,
+			}
+			// A job that was mid-flight when the previous process stopped
+			// resumes from its first unexecuted run index.
+			if j.state == StateRunning || j.state == StateQueued {
+				j.state = StateQueued
+				s.metrics.jobsResumed.Add(1)
+				s.enqueue(j)
+			}
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+		}
+	}
+
+	for i := range s.queues {
+		s.wg.Add(1)
+		go s.shardLoop(s.queues[i])
+	}
+	s.wg.Add(1)
+	go s.flushLoop()
+	return s, nil
+}
+
+// Metrics exposes the daemon counters.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// Done is closed when the scheduler starts draining; long-lived streams
+// (GET /v1/jobs/{id}/events) use it to end promptly so HTTP shutdown does
+// not wait out their clients.
+func (s *Scheduler) Done() <-chan struct{} { return s.ctx.Done() }
+
+// enqueue places a job on its lane. Must only be called with the job
+// already in (or being added to) the table.
+func (s *Scheduler) enqueue(j *job) bool {
+	h := fnv.New32a()
+	h.Write([]byte(j.id))
+	q := s.queues[int(h.Sum32())%len(s.queues)]
+	select {
+	case q <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit validates and enqueues a new job.
+func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
+	if s.closed.Load() {
+		return JobStatus{}, fmt.Errorf("server is shutting down")
+	}
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	j := &job{id: newJobID(), spec: spec, created: time.Now(), state: StateQueued}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	if !s.enqueue(j) {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("job queue full (depth %d)", s.cfg.QueueDepth)
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	s.dirty.Store(true)
+	return j.snapshot(), nil
+}
+
+// Get returns a job's status.
+func (s *Scheduler) Get(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns all jobs in submission order.
+func (s *Scheduler) List() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+// Cancel requests a job stop at the next chunk boundary; queued jobs are
+// canceled immediately.
+func (s *Scheduler) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.canceled = true
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.finished = time.Now()
+			s.metrics.jobsCanceled.Add(1)
+			j.publishLocked(string(StateCanceled))
+		}
+	}
+	st := j.snapshotLocked()
+	j.mu.Unlock()
+	s.dirty.Store(true)
+	return st, true
+}
+
+// Subscribe attaches a progress-event listener to a job.
+func (s *Scheduler) Subscribe(id string) (<-chan Event, func(), bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	ch, cancel := j.subscribe()
+	return ch, cancel, true
+}
+
+// stateGauges counts current jobs per state for /metrics.
+func (s *Scheduler) stateGauges() map[string]int {
+	g := map[string]int{}
+	for _, st := range s.List() {
+		g[string(st.State)]++
+	}
+	return g
+}
+
+// shardLoop is one lane: it executes queued jobs chunk by chunk until the
+// scheduler shuts down.
+func (s *Scheduler) shardLoop(q chan *job) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-q:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job to a terminal state — or parks it back to queued if
+// the scheduler is draining, leaving its completed ranges journaled for the
+// next process.
+func (s *Scheduler) runJob(j *job) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	if j.canceled {
+		s.finishLocked(j, StateCanceled, "")
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	pending := complementRanges(j.done, j.spec.Runs)
+	spec := j.spec
+	j.publishLocked(string(StateRunning))
+	j.mu.Unlock()
+	s.dirty.Store(true)
+
+	fn, err := s.cfg.Source(spec)
+	if err != nil {
+		j.mu.Lock()
+		s.finishLocked(j, StateFailed, err.Error())
+		j.mu.Unlock()
+		s.dirty.Store(true)
+		return
+	}
+
+	var deadline time.Time
+	if spec.Deadline > 0 {
+		deadline = time.Now().Add(time.Duration(spec.Deadline * float64(time.Second)))
+	}
+	opts := campaign.Options{Runs: spec.Runs, Seed: spec.Seed, Workers: s.cfg.WorkersPerShard}
+
+	for _, r := range pending {
+		for from := r.From; from < r.To; {
+			// Drain: stop between chunks, park the job for resume.
+			if s.ctx.Err() != nil {
+				j.mu.Lock()
+				j.state = StateQueued
+				j.mu.Unlock()
+				s.dirty.Store(true)
+				return
+			}
+			j.mu.Lock()
+			canceled := j.canceled
+			j.mu.Unlock()
+			if canceled {
+				j.mu.Lock()
+				s.finishLocked(j, StateCanceled, "")
+				j.mu.Unlock()
+				s.dirty.Store(true)
+				return
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				j.mu.Lock()
+				s.finishLocked(j, StateFailed, fmt.Sprintf("deadline exceeded (%gs)", spec.Deadline))
+				j.mu.Unlock()
+				s.dirty.Store(true)
+				return
+			}
+
+			to := from + s.cfg.ChunkSize
+			if to > r.To {
+				to = r.To
+			}
+			tl := campaign.RunRange(opts, from, to, fn)
+
+			j.mu.Lock()
+			j.done = addRange(j.done, Range{From: from, To: to})
+			j.tally.Merge(tl)
+			j.publishLocked("progress")
+			j.mu.Unlock()
+			s.metrics.addTally(tl)
+			s.dirty.Store(true)
+			from = to
+		}
+	}
+
+	j.mu.Lock()
+	s.finishLocked(j, StateDone, "")
+	j.mu.Unlock()
+	s.dirty.Store(true)
+}
+
+// finishLocked moves a job to a terminal state (j.mu held).
+func (s *Scheduler) finishLocked(j *job, st JobState, errmsg string) {
+	j.state = st
+	j.errmsg = errmsg
+	j.finished = time.Now()
+	switch st {
+	case StateDone:
+		s.metrics.jobsDone.Add(1)
+	case StateFailed:
+		s.metrics.jobsFailed.Add(1)
+	case StateCanceled:
+		s.metrics.jobsCanceled.Add(1)
+	}
+	j.publishLocked(string(st))
+}
+
+// flushLoop periodically writes the checkpoint journal while dirty.
+func (s *Scheduler) flushLoop() {
+	defer s.wg.Done()
+	if s.cfg.CheckpointPath == "" {
+		return
+	}
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			if s.dirty.Swap(false) {
+				s.Flush() //nolint:errcheck — periodic flush retries next tick
+			}
+		}
+	}
+}
+
+// Flush writes the checkpoint journal now.
+func (s *Scheduler) Flush() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	cps := make([]jobCheckpoint, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		cps = append(cps, jobCheckpoint{
+			ID:      j.id,
+			Spec:    j.spec,
+			State:   j.state,
+			Done:    append([]Range(nil), j.done...),
+			Tally:   j.tally,
+			Error:   j.errmsg,
+			Created: j.created.Unix(),
+		})
+		j.mu.Unlock()
+	}
+	return saveCheckpoint(s.cfg.CheckpointPath, cps)
+}
+
+// Close drains the scheduler: no new submissions, in-flight chunks finish,
+// incomplete jobs are parked as queued, and the journal is flushed one last
+// time. Safe to call more than once.
+func (s *Scheduler) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.cancel()
+	s.wg.Wait()
+	return s.Flush()
+}
+
+// newJobID returns a random 12-hex-char job ID.
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable enough to surface loudly.
+		panic(fmt.Sprintf("service: rand.Read: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Server exposes a Scheduler over HTTP:
+//
+//	POST   /v1/jobs             submit a JobSpec, returns JobStatus (202)
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        one job's status + partial tally
+//	DELETE /v1/jobs/{id}        cancel at the next chunk boundary
+//	GET    /v1/jobs/{id}/events NDJSON progress stream until terminal
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness
+type Server struct {
+	sched *Scheduler
+}
+
+// NewServer wraps a scheduler.
+func NewServer(s *Scheduler) *Server { return &Server{sched: s} }
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	st, err := s.sched.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if s.sched.closed.Load() {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sched.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams one NDJSON event per line: an initial "status"
+// snapshot, then "progress" per completed chunk, ending with the terminal
+// state ("done" | "failed" | "canceled").
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, unsub, ok := s.sched.Subscribe(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	defer unsub()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	write := func(ev Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return !ev.Job.State.Terminal()
+	}
+
+	// Snapshot first so late subscribers see where the job stands; a job
+	// already terminal ends the stream immediately.
+	st, _ := s.sched.Get(id)
+	typ := "status"
+	if st.State.Terminal() {
+		typ = string(st.State)
+	}
+	if !write(Event{Type: typ, Job: st}) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.sched.Done():
+			// Draining: end the stream without a terminal event; clients
+			// reconnect or poll after the daemon restarts.
+			return
+		case ev := <-ch:
+			if !write(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.sched.metrics.WritePrometheus(w, s.sched.stateGauges())
+}

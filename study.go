@@ -37,6 +37,13 @@ type Study struct {
 	Seed    int64 // base seed; campaigns derive per-run seeds from it
 	Workers int   // parallel injection workers (0 = GOMAXPROCS)
 
+	// RunPoint, when non-nil, executes campaign points instead of the local
+	// campaign.Run — e.g. by submitting them to a gpureld daemon
+	// (internal/service/client). The options carry the fully derived point
+	// seed (see PointSeed), so a remote executor reproduces the local tally
+	// bit for bit. Memoisation still applies on top.
+	RunPoint func(spec PointSpec, opts campaign.Options) (campaign.Tally, error)
+
 	mu    sync.Mutex
 	apps  map[string]*AppEval
 	micro map[microKey]campaign.Tally
@@ -83,6 +90,90 @@ type softKey struct {
 	hardened    bool
 }
 
+// Layer selects which injector a campaign point runs on.
+type Layer string
+
+const (
+	// LayerMicro is the cross-layer path: bit flips in the raw storage
+	// arrays of the cycle-level simulator (the gpuFI-4 analogue).
+	LayerMicro Layer = "micro"
+	// LayerSoft is the software-only path: instruction-level injection on
+	// the functional executor (the NVBitFI analogue).
+	LayerSoft Layer = "soft"
+)
+
+// PointSpec identifies one campaign point — the unit of work the campaign
+// scheduler (internal/service) accepts, checkpoints and resumes. Structure
+// is meaningful only for LayerMicro, Mode only for LayerSoft.
+type PointSpec struct {
+	Layer     Layer
+	App       string
+	Kernel    string
+	Structure gpu.Structure
+	Mode      softfi.Mode
+	Hardened  bool
+}
+
+// PointSeed derives the campaign seed of a point from a base seed, exactly
+// as Study's memoised tallies always have: base + FNV-1a of the point's
+// identity string. Run i of the point then uses rand.NewSource(seed+i)
+// (campaign.RunRange), which is what makes points resumable anywhere.
+func PointSeed(base int64, spec PointSpec) int64 {
+	switch spec.Layer {
+	case LayerSoft:
+		return base + int64(hashKey(fmt.Sprintf("soft|%s|%s|%d|%v", spec.App, spec.Kernel, spec.Mode, spec.Hardened)))
+	default:
+		return base + int64(hashKey(fmt.Sprintf("micro|%s|%s|%d|%v", spec.App, spec.Kernel, spec.Structure, spec.Hardened)))
+	}
+}
+
+// PointExperiment builds (caching golden runs on first use) the injection
+// closure of one campaign point. The returned Experiment is safe for
+// concurrent calls and deterministic per (run, rng) — the entry point the
+// campaign service schedules run-ranges against.
+func (s *Study) PointExperiment(spec PointSpec) (campaign.Experiment, error) {
+	e, err := s.Eval(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Layer {
+	case LayerMicro:
+		job, g := e.Job, e.MicroG
+		if spec.Hardened {
+			job, g = e.JobTMR, e.MicroGTMR
+		}
+		t := microfi.Target{Structure: spec.Structure, Kernel: spec.Kernel, IncludeVote: spec.Hardened}
+		return func(run int, rng *rand.Rand) faults.Result {
+			return microfi.Inject(job, g, t, rng)
+		}, nil
+	case LayerSoft:
+		job, g := e.Job, e.SoftG
+		if spec.Hardened {
+			job, g = e.JobTMR, e.SoftGTMR
+		}
+		t := softfi.Target{Kernel: spec.Kernel, Mode: spec.Mode, IncludeVote: spec.Hardened}
+		return func(run int, rng *rand.Rand) faults.Result {
+			return softfi.Inject(job, g, t, rng)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown campaign layer %q", spec.Layer)
+	}
+}
+
+// runPoint executes (locally or through the RunPoint hook) one campaign
+// point with the study's sizing and the point's derived seed.
+func (s *Study) runPoint(spec PointSpec) (campaign.Tally, error) {
+	opts := campaign.Options{Runs: s.Runs, Seed: PointSeed(s.Seed, spec), Workers: s.Workers}
+	if s.RunPoint != nil {
+		return s.RunPoint(spec, opts)
+	}
+	fn, err := s.PointExperiment(spec)
+	if err != nil {
+		return campaign.Tally{}, err
+	}
+	return campaign.Run(opts, fn), nil
+}
+
 // Eval returns (building and caching on first use) the evaluation state of
 // the named application.
 func (s *Study) Eval(appName string) (*AppEval, error) {
@@ -126,9 +217,9 @@ func (s *Study) MicroTally(appName, kernel string, st gpu.Structure, hardened bo
 	if err != nil {
 		return campaign.Tally{}, 0, err
 	}
-	job, g := e.Job, e.MicroG
+	g := e.MicroG
 	if hardened {
-		job, g = e.JobTMR, e.MicroGTMR
+		g = e.MicroGTMR
 	}
 	t := microfi.Target{Structure: st, Kernel: kernel, IncludeVote: hardened}
 	key := microKey{appName, kernel, st, hardened}
@@ -137,11 +228,10 @@ func (s *Study) MicroTally(appName, kernel string, st gpu.Structure, hardened bo
 	tl, ok := s.micro[key]
 	s.mu.Unlock()
 	if !ok {
-		seed := s.Seed + int64(hashKey(fmt.Sprintf("micro|%s|%s|%d|%v", appName, kernel, st, hardened)))
-		tl = campaign.Run(campaign.Options{Runs: s.Runs, Seed: seed, Workers: s.Workers},
-			func(run int, rng *rand.Rand) faults.Result {
-				return microfi.Inject(job, g, t, rng)
-			})
+		tl, err = s.runPoint(PointSpec{Layer: LayerMicro, App: appName, Kernel: kernel, Structure: st, Hardened: hardened})
+		if err != nil {
+			return campaign.Tally{}, 0, err
+		}
 		s.mu.Lock()
 		s.micro[key] = tl
 		s.mu.Unlock()
@@ -152,26 +242,20 @@ func (s *Study) MicroTally(appName, kernel string, st gpu.Structure, hardened bo
 // SoftTally runs (or recalls) the software-level campaign for one
 // (app, kernel, mode) point.
 func (s *Study) SoftTally(appName, kernel string, mode softfi.Mode, hardened bool) (campaign.Tally, error) {
-	e, err := s.Eval(appName)
-	if err != nil {
+	if _, err := s.Eval(appName); err != nil {
 		return campaign.Tally{}, err
 	}
-	job, g := e.Job, e.SoftG
-	if hardened {
-		job, g = e.JobTMR, e.SoftGTMR
-	}
-	t := softfi.Target{Kernel: kernel, Mode: mode, IncludeVote: hardened}
 	key := softKey{appName, kernel, mode, hardened}
 
 	s.mu.Lock()
 	tl, ok := s.soft[key]
 	s.mu.Unlock()
 	if !ok {
-		seed := s.Seed + int64(hashKey(fmt.Sprintf("soft|%s|%s|%d|%v", appName, kernel, mode, hardened)))
-		tl = campaign.Run(campaign.Options{Runs: s.Runs, Seed: seed, Workers: s.Workers},
-			func(run int, rng *rand.Rand) faults.Result {
-				return softfi.Inject(job, g, t, rng)
-			})
+		var err error
+		tl, err = s.runPoint(PointSpec{Layer: LayerSoft, App: appName, Kernel: kernel, Mode: mode, Hardened: hardened})
+		if err != nil {
+			return campaign.Tally{}, err
+		}
 		s.mu.Lock()
 		s.soft[key] = tl
 		s.mu.Unlock()
