@@ -1,0 +1,145 @@
+package gpurel
+
+import (
+	"testing"
+
+	"gpurel/internal/adaptive"
+	"gpurel/internal/campaign"
+	"gpurel/internal/gpu"
+)
+
+// TestPrunedPointEquivalence is the end-to-end bit-exactness property on a
+// real kernel: a pruned campaign point classifies every run identically to
+// the brute-force campaign over the same seeds, so the tallies match exactly
+// — while actually skipping simulations (prune hits > 0).
+func TestPrunedPointEquivalence(t *testing.T) {
+	const runs = 60
+	plain := NewStudy(runs, 5)
+	pruned := NewStudy(runs, 5)
+	pruned.Sampling = &SamplingPolicy{Prune: true}
+	pruned.Counters = &adaptive.Counters{}
+
+	for _, hardened := range []bool{false, true} {
+		a, _, err := plain.MicroTally("VA", "K1", gpu.RF, hardened)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := pruned.MicroTally("VA", "K1", gpu.RF, hardened)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("hardened=%v: pruned tally %+v != brute-force tally %+v", hardened, b, a)
+		}
+	}
+	if pruned.Counters.Pruned.Load() == 0 {
+		t.Error("no injection was pruned — the liveness map did no work")
+	}
+	if pruned.Counters.Simulated.Load() == 0 {
+		t.Error("no injection was simulated — suspicious for a live kernel")
+	}
+}
+
+// TestStratifiedPointEquivalence: every per-structure tally of a stratified
+// kernel campaign is a bit-identical prefix of the corresponding plain
+// fixed-n campaign, and the stop rule never fires before the margin target
+// is met on the executed prefix.
+func TestStratifiedPointEquivalence(t *testing.T) {
+	const runs = 80
+	s := NewStudy(runs, 9)
+	s.Sampling = &SamplingPolicy{Prune: true}
+	s.Counters = &adaptive.Counters{}
+	pol := adaptive.StratifiedPolicy{
+		Policy: adaptive.Policy{Margin: 0.3, Batch: 20, MinRuns: 20},
+		Pilot:  20,
+		Budget: 3 * runs, // tighter than the 5·runs brute-force total
+	}
+	avf, structs, results, err := s.KernelAVFStratified("VA", "K1", false, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avf.Total() < 0 || avf.Total() > 1 {
+		t.Fatalf("stratified AVF out of range: %v", avf.Total())
+	}
+	if len(structs) != int(gpu.NumStructures) || len(results) != int(gpu.NumStructures) {
+		t.Fatalf("expected %d strata, got %d/%d", gpu.NumStructures, len(structs), len(results))
+	}
+
+	ref := NewStudy(runs, 9)
+	total := 0
+	for i, st := range gpu.Structures {
+		got := results[i].Tally
+		total += got.N
+		if got.N == 0 {
+			t.Fatalf("stratum %v ran nothing", st)
+		}
+		// Prefix identity against the brute-force experiment over the same
+		// derived point seed.
+		spec := PointSpec{Layer: LayerMicro, App: "VA", Kernel: "K1", Structure: st}
+		fn, err := ref.PointExperiment(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := campaign.Options{Runs: runs, Seed: PointSeed(ref.Seed, spec)}
+		if want := campaign.RunRange(opts, 0, got.N, fn); want != got {
+			t.Errorf("stratum %v: tally %+v != brute-force prefix %+v", st, got, want)
+		}
+		// A stratum that stopped short of its cap must have met the margin.
+		if got.N < runs && got.Margin99() > pol.Margin && results[i].Allocated > 0 && !results[i].EarlyStopped {
+			t.Errorf("stratum %v stopped at n=%d margin %.3f without meeting target %.3f",
+				st, got.N, got.Margin99(), pol.Margin)
+		}
+	}
+	if total > pol.Budget {
+		t.Errorf("stratified campaign spent %d runs, budget %d", total, pol.Budget)
+	}
+
+	// The stratified tallies are cached: MicroTally must return them without
+	// re-running (same tally, including the reduced N).
+	for i, st := range gpu.Structures {
+		tl, _, err := s.MicroTally("VA", "K1", st, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tl != results[i].Tally {
+			t.Errorf("stratum %v not cached: %+v vs %+v", st, tl, results[i].Tally)
+		}
+	}
+}
+
+// TestAdaptivePointStopsHonestly: an adaptive (non-stratified) study point
+// stops only at a batch boundary whose prefix meets the margin, and the
+// resulting tally is a prefix of the fixed-n campaign.
+func TestAdaptivePointStopsHonestly(t *testing.T) {
+	const runs = 100
+	s := NewStudy(runs, 3)
+	s.Sampling = &SamplingPolicy{Margin: 0.25, Batch: 25}
+	s.Counters = &adaptive.Counters{}
+	tl, _, err := s.MicroTally("VA", "K1", gpu.L2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.N%25 != 0 {
+		t.Fatalf("stopped at n=%d, not a batch boundary", tl.N)
+	}
+	if tl.N < runs && tl.Margin99() > 0.25 {
+		t.Fatalf("stopped early at margin %.3f > 0.25", tl.Margin99())
+	}
+	ref := NewStudy(runs, 3)
+	want, _, err := ref.MicroTally("VA", "K1", gpu.L2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := PointSpec{Layer: LayerMicro, App: "VA", Kernel: "K1", Structure: gpu.L2}
+	fn, err := ref.PointExperiment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := campaign.RunRange(campaign.Options{Runs: runs, Seed: PointSeed(ref.Seed, spec)}, 0, tl.N, fn)
+	if prefix != tl {
+		t.Fatalf("adaptive tally %+v is not a prefix of the fixed campaign (want %+v)", tl, prefix)
+	}
+	if tl.N < want.N && s.Counters.Saved.Load() == 0 {
+		t.Error("early stop saved runs but Counters.Saved was not credited")
+	}
+}

@@ -32,12 +32,21 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gpurel"
+	"gpurel/internal/adaptive"
+	"gpurel/internal/campaign"
 	"gpurel/internal/gpu"
 	"gpurel/internal/service/client"
 )
+
+// emitJSON writes one NDJSON figure record with the campaign sizing fields
+// (n, margin99) alongside the data payload.
+func emitJSON(w io.Writer, name string, n int, data any) error {
+	return json.NewEncoder(w).Encode(gpurel.NewRecord(name, n, data))
+}
 
 func main() {
 	var (
@@ -48,12 +57,23 @@ func main() {
 		speed   = flag.Bool("speed", false, "measure the AVF vs SVF assessment speed gap")
 		jsonOut = flag.Bool("json", false, "emit machine-readable NDJSON figure results")
 		daemon  = flag.String("daemon", "", "submit campaigns to a running gpureld at this base URL instead of computing locally")
+		adapt   = flag.Bool("adaptive", false, "adaptive sampling: stop each campaign point early once its Wilson 99% CI half-width reaches the target margin")
+		margin  = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the worst-case margin of -n); implies -adaptive")
+		prune   = flag.Bool("prune", false, "liveness-guided pruning of RF injections (bit-identical to brute force)")
 	)
 	flag.Parse()
 
 	s := gpurel.NewStudy(*n, *seed)
 	if *daemon != "" {
 		s.RunPoint = client.New(*daemon).RunPoint(context.Background())
+	}
+	if *adapt || *margin > 0 || *prune {
+		target := *margin
+		if *adapt && target == 0 {
+			target = campaign.WorstCaseMargin99(*n)
+		}
+		s.Sampling = &gpurel.SamplingPolicy{Margin: target, Prune: *prune}
+		s.Counters = &adaptive.Counters{}
 	}
 	all := *fig == 0 && *table == 0 && !*speed
 
@@ -63,16 +83,12 @@ func main() {
 	}
 	// emit prints one figure either as the paper-style table or as one
 	// NDJSON line carrying the library result structs.
-	enc := json.NewEncoder(os.Stdout)
 	emit := func(name string, data any, text string, err error) {
 		if err != nil {
 			fail(err)
 		}
 		if *jsonOut {
-			if err := enc.Encode(struct {
-				Figure string `json:"figure"`
-				Data   any    `json:"data"`
-			}{name, data}); err != nil {
+			if err := emitJSON(os.Stdout, name, *n, data); err != nil {
 				fail(err)
 			}
 			return

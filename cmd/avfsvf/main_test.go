@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+)
+
+// TestEmitJSONRecord decodes one NDJSON line produced by the -json path and
+// checks the campaign sizing fields (n, margin99) ride alongside the payload.
+func TestEmitJSONRecord(t *testing.T) {
+	var tl campaign.Tally
+	tl.Add(faults.Result{Outcome: faults.Masked})
+	tl.Add(faults.Result{Outcome: faults.SDC})
+
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, "fig1", 300, tl); err != nil {
+		t.Fatalf("emitJSON: %v", err)
+	}
+	if err := emitJSON(&buf, "fig2", 300, tl); err != nil {
+		t.Fatalf("emitJSON: %v", err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no NDJSON line emitted")
+	}
+	var rec struct {
+		Figure   string         `json:"figure"`
+		N        int            `json:"n"`
+		Margin99 float64        `json:"margin99"`
+		Data     campaign.Tally `json:"data"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatalf("decoding NDJSON record: %v\nline: %s", err, sc.Bytes())
+	}
+	if rec.Figure != "fig1" {
+		t.Errorf("figure = %q, want fig1", rec.Figure)
+	}
+	if rec.N != 300 {
+		t.Errorf("n = %d, want 300", rec.N)
+	}
+	want := campaign.WorstCaseMargin99(300)
+	if math.Abs(rec.Margin99-want) > 1e-12 {
+		t.Errorf("margin99 = %v, want %v", rec.Margin99, want)
+	}
+	if rec.Data.N != 2 || rec.Data.Counts[faults.SDC] != 1 {
+		t.Errorf("data payload did not round-trip: %+v", rec.Data)
+	}
+
+	// NDJSON means exactly one record per line.
+	if !sc.Scan() {
+		t.Fatal("second NDJSON line missing")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatalf("decoding second record: %v", err)
+	}
+	if rec.Figure != "fig2" {
+		t.Errorf("second figure = %q, want fig2", rec.Figure)
+	}
+	if sc.Scan() {
+		t.Errorf("unexpected extra line: %s", sc.Bytes())
+	}
+}

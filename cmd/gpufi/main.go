@@ -7,6 +7,9 @@
 //
 //	gpufi -app SRADv1 -kernel K4 -structure RF -n 3000 [-seed 1] [-tmr] [-burst 1]
 //	gpufi -app VA -structure all -n 1000
+//	gpufi -app VA -structure all -n 3000 -adaptive -prune
+//	                        # adaptive sampling: stop each campaign at ±2.35%,
+//	                        # skip provably-dead RF sites via the liveness map
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"os"
 	"strings"
 
+	"gpurel/internal/ace"
+	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
@@ -28,15 +33,18 @@ import (
 
 func main() {
 	var (
-		appName   = flag.String("app", "VA", "benchmark application (see -list)")
-		kernel    = flag.String("kernel", "", "kernel name (K1..Kn); empty = whole application")
-		structure = flag.String("structure", "RF", "RF, SMEM, L1D, L1T, L2 or all")
-		n         = flag.Int("n", 3000, "injections per campaign (paper: 3000 → ±2.35% at 99% confidence)")
-		seed      = flag.Int64("seed", 1, "campaign seed")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		tmr       = flag.Bool("tmr", false, "harden the application with thread-level TMR first")
-		burst     = flag.Int("burst", 1, "adjacent multi-bit burst width (1 = single-bit)")
-		list      = flag.Bool("list", false, "list benchmarks and kernels")
+		appName    = flag.String("app", "VA", "benchmark application (see -list)")
+		kernel     = flag.String("kernel", "", "kernel name (K1..Kn); empty = whole application")
+		structure  = flag.String("structure", "RF", "RF, SMEM, L1D, L1T, L2 or all")
+		n          = flag.Int("n", 3000, "injections per campaign (paper: 3000 → ±2.35% at 99% confidence)")
+		seed       = flag.Int64("seed", 1, "campaign seed")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		tmr        = flag.Bool("tmr", false, "harden the application with thread-level TMR first")
+		burst      = flag.Int("burst", 1, "adjacent multi-bit burst width (1 = single-bit)")
+		adaptiveOn = flag.Bool("adaptive", false, "stop each campaign early once the Wilson-score 99% CI half-width reaches the target margin")
+		margin     = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the paper's ±2.35%); implies -adaptive")
+		prune      = flag.Bool("prune", false, "classify provably-dead RF injection sites as Masked from the golden run's liveness map, without simulating")
+		list       = flag.Bool("list", false, "list benchmarks and kernels")
 	)
 	flag.Parse()
 
@@ -45,6 +53,11 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, strings.Join(a.Kernels, " "))
 		}
 		return
+	}
+
+	target := *margin
+	if *adaptiveOn && target == 0 {
+		target = campaign.WorstCaseMargin99(3000) // the paper's ±2.35%
 	}
 
 	app, err := kernels.ByName(*appName)
@@ -61,6 +74,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("golden run: %d cycles, %d launches\n", g.Res.Cycles, len(g.Res.Spans))
+
+	var lv *ace.Liveness
+	if *prune {
+		if lv, err = ace.TraceRF(job, cfg); err != nil {
+			fatal(err)
+		}
+	}
 
 	var structures []gpu.Structure
 	if *structure == "all" {
@@ -80,28 +100,49 @@ func main() {
 
 	tbl := report.Table{
 		Title:  fmt.Sprintf("gpuFI campaign: %s %s (n=%d, seed=%d, tmr=%v)", *appName, *kernel, *n, *seed, *tmr),
-		Header: []string{"Structure", "Masked", "SDC", "Timeout", "DUE", "FR", "±99%", "DF", "AVF"},
+		Header: []string{"Structure", "n", "Masked", "SDC", "Timeout", "DUE", "FR", "±99%", "DF", "AVF"},
 	}
+	counters := &adaptive.Counters{}
 	var structAVFs []metrics.StructAVF
 	for _, st := range structures {
 		tgt := microfi.Target{Structure: st, Kernel: *kernel, IncludeVote: *tmr, Burst: *burst}
-		tl := campaign.Run(campaign.Options{Runs: *n, Seed: *seed, Workers: *workers},
-			func(run int, rng *rand.Rand) faults.Result {
+		var exp campaign.Experiment
+		if lv != nil && st == gpu.RF {
+			exp = counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
+				return microfi.InjectPruned(job, g, lv, tgt, rng)
+			})
+		} else {
+			exp = counters.Count(func(run int, rng *rand.Rand) faults.Result {
 				return microfi.Inject(job, g, tgt, rng)
 			})
+		}
+		opts := campaign.Options{Runs: *n, Seed: *seed, Workers: *workers}
+		var tl campaign.Tally
+		if target > 0 {
+			res := adaptive.Run(opts, adaptive.Policy{Margin: target}, exp)
+			tl = res.Tally
+			counters.Saved.Add(int64(res.Saved))
+		} else {
+			tl = campaign.Run(opts, exp)
+		}
 		df := tgt.DF(g)
 		sa := metrics.NewStructAVF(st, tl, df)
 		structAVFs = append(structAVFs, sa)
-		tbl.AddRow(st.String(),
+		lo, hi := tl.CI99()
+		tbl.AddRow(st.String(), fmt.Sprintf("%d", tl.N),
 			report.Pct(tl.Pct(faults.Masked)), report.Pct(tl.Pct(faults.SDC)),
 			report.Pct(tl.Pct(faults.Timeout)), report.Pct(tl.Pct(faults.DUE)),
-			report.Pct(tl.FR()), report.Pct(tl.ErrMargin99()),
+			report.Pct(tl.FR()), report.CI(lo, hi),
 			fmt.Sprintf("%.4f", df), report.Pct(sa.AVF.Total()))
 	}
 	if len(structAVFs) == int(gpu.NumStructures) {
 		chip := metrics.ChipAVF(cfg, structAVFs)
 		tbl.AddFooter("full-chip AVF (size-weighted): %s  [SDC %s, Timeout %s, DUE %s]",
 			report.Pct(chip.Total()), report.Pct(chip.SDC), report.Pct(chip.Timeout), report.Pct(chip.DUE))
+	}
+	if target > 0 || *prune {
+		tbl.AddFooter("adaptive sampling: %d simulated, %d pruned (liveness), %d saved (early stop, target ±%.2f%%)",
+			counters.Simulated.Load(), counters.Pruned.Load(), counters.Saved.Load(), 100*target)
 	}
 	fmt.Print(tbl.String())
 }

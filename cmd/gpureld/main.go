@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"gpurel"
+	"gpurel/internal/adaptive"
 	"gpurel/internal/service"
 )
 
@@ -50,8 +51,12 @@ func main() {
 	flag.Parse()
 
 	// The daemon's study exists for its golden-run memoisation; campaign
-	// sizing and seeds come from each job spec.
+	// sizing and seeds come from each job spec. The adaptive counters are
+	// shared between the study (which increments them as experiments run)
+	// and the scheduler's /metrics exporter.
+	counters := &adaptive.Counters{}
 	study := gpurel.NewStudy(0, *seed)
+	study.Counters = counters
 	sched, err := service.NewScheduler(service.Config{
 		Source:             service.NewStudySource(study),
 		Shards:             *shards,
@@ -59,6 +64,7 @@ func main() {
 		ChunkSize:          *chunk,
 		CheckpointPath:     *ckpt,
 		CheckpointInterval: *interval,
+		Counters:           counters,
 	})
 	if err != nil {
 		log.Fatalf("gpureld: %v", err)

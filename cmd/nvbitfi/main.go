@@ -7,6 +7,7 @@
 // Usage:
 //
 //	nvbitfi -app HotSpot -kernel K1 -n 3000 [-mode svf|svf-ld|svf-use] [-tmr]
+//	nvbitfi -app HotSpot -n 3000 -adaptive    # stop early at the ±2.35% target
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/faults"
 	"gpurel/internal/harden"
@@ -33,6 +35,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "campaign seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		tmr     = flag.Bool("tmr", false, "harden the application with thread-level TMR first")
+		adapt   = flag.Bool("adaptive", false, "stop the campaign early once the Wilson-score 99% CI half-width reaches the target margin")
+		margin  = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the paper's ±2.35%); implies -adaptive")
 		list    = flag.Bool("list", false, "list benchmarks and kernels")
 	)
 	flag.Parse()
@@ -73,19 +77,35 @@ func main() {
 	fmt.Printf("golden run: %d dynamic instructions, %d injection candidates\n",
 		g.Res.DynInstrs, tgt.Candidates(g))
 
-	tl := campaign.Run(campaign.Options{Runs: *n, Seed: *seed, Workers: *workers},
-		func(run int, rng *rand.Rand) faults.Result {
-			return softfi.Inject(job, g, tgt, rng)
-		})
+	target := *margin
+	if *adapt && target == 0 {
+		target = campaign.WorstCaseMargin99(3000) // the paper's ±2.35%
+	}
+	exp := func(run int, rng *rand.Rand) faults.Result {
+		return softfi.Inject(job, g, tgt, rng)
+	}
+	opts := campaign.Options{Runs: *n, Seed: *seed, Workers: *workers}
+	var tl campaign.Tally
+	saved := 0
+	if target > 0 {
+		res := adaptive.Run(opts, adaptive.Policy{Margin: target}, exp)
+		tl, saved = res.Tally, res.Saved
+	} else {
+		tl = campaign.Run(opts, exp)
+	}
 
 	tbl := report.Table{
 		Title:  fmt.Sprintf("NVBitFI campaign: %s %s, mode %s (n=%d, seed=%d, tmr=%v)", *appName, *kernel, m, *n, *seed, *tmr),
-		Header: []string{"Masked", "SDC", "Timeout", "DUE", m.String(), "±99%"},
+		Header: []string{"n", "Masked", "SDC", "Timeout", "DUE", m.String(), "±99%"},
 	}
-	tbl.AddRow(
+	lo, hi := tl.CI99()
+	tbl.AddRow(fmt.Sprintf("%d", tl.N),
 		report.Pct(tl.Pct(faults.Masked)), report.Pct(tl.Pct(faults.SDC)),
 		report.Pct(tl.Pct(faults.Timeout)), report.Pct(tl.Pct(faults.DUE)),
-		report.Pct(tl.FR()), report.Pct(tl.ErrMargin99()))
+		report.Pct(tl.FR()), report.CI(lo, hi))
+	if target > 0 {
+		tbl.AddFooter("adaptive sampling: %d runs saved (early stop, target ±%.2f%%)", saved, 100*target)
+	}
 	fmt.Print(tbl.String())
 }
 

@@ -33,6 +33,30 @@ func campaignRun(s *Study, e *AppEval, tgt microfi.Target, seed int64) campaign.
 		})
 }
 
+// Record is one NDJSON line of machine-readable figure output (avfsvf
+// -json): the figure name, the campaign sizing behind it, and the figure's
+// data payload (the same result structs the gpureld service API serves).
+type Record struct {
+	Figure string `json:"figure"`
+	// N is the per-point run budget the figure's campaigns were sized with.
+	N int `json:"n"`
+	// Margin99 is the a-priori worst-case (p=0.5) Wilson/normal 99% CI
+	// half-width at N — ±2.35% at the paper's n=3000. Omitted when the
+	// record carries no campaign data (N == 0).
+	Margin99 float64 `json:"margin99,omitempty"`
+	Data     any     `json:"data"`
+}
+
+// NewRecord builds a Record, deriving Margin99 from n (0 runs → no margin,
+// not the +Inf sentinel WorstCaseMargin99 reports).
+func NewRecord(figure string, n int, data any) Record {
+	r := Record{Figure: figure, N: n, Data: data}
+	if n > 0 {
+		r.Margin99 = campaign.WorstCaseMargin99(n)
+	}
+	return r
+}
+
 // AppPoint is one application's AVF and SVF breakdowns (one bar pair of
 // Figure 1 / 4 / 5).
 type AppPoint struct {

@@ -1,0 +1,151 @@
+package ace
+
+import (
+	"testing"
+
+	"gpurel/internal/gpu"
+	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
+)
+
+func tinyCfg() gpu.Config {
+	cfg := gpu.Volta()
+	cfg.NumSMs = 1
+	cfg.RFRegsPerSM = 128
+	return cfg
+}
+
+// TestLivenessIntervals drives the tracer with hand-built event sequences
+// and checks the injection-visibility semantics: a flip at cycle c is live
+// iff the first register event at cycle >= c is a read.
+func TestLivenessIntervals(t *testing.T) {
+	l := NewLiveness(tinyCfg())
+	l.OnRegAlloc(0, 0, 4, 2)
+	l.OnRegWrite(0, 0, 5)
+	l.OnRegRead(0, 0, 7)
+	l.OnRegRead(0, 0, 9)
+	l.OnRegWrite(0, 0, 12)
+	l.OnRegRelease(0, 0, 4, 20)
+
+	cases := []struct {
+		cycle int64
+		live  bool
+	}{
+		{3, false},  // allocated, unwritten, never read before the write at 5
+		{5, false},  // the write at 5 overwrites the flip before any read
+		{6, true},   // consumed by the read at 7
+		{7, true},   // hook fires before cycle-7 execution: read sees the flip
+		{9, true},   // last read of the value
+		{10, false}, // overwritten at 12 before any read
+		{12, false},
+		{15, false}, // value written at 12 is never read: dead until release
+		{20, false},
+	}
+	for _, c := range cases {
+		if got := l.Live(0, 0, c.cycle); got != c.live {
+			t.Errorf("Live(cycle=%d) = %v, want %v", c.cycle, got, c.live)
+		}
+	}
+}
+
+// TestLivenessSameCycleOrder: event order within a cycle decides — a read
+// recorded after a same-cycle write consumes the new value, not the flip; a
+// read of the stale value before a same-cycle overwrite still exposes it.
+func TestLivenessSameCycleOrder(t *testing.T) {
+	l := NewLiveness(tinyCfg())
+	l.OnRegAlloc(0, 0, 2, 0)
+	// reg 0: W(5) then R(5) — the read sees the freshly written value.
+	l.OnRegWrite(0, 0, 5)
+	l.OnRegRead(0, 0, 5)
+	if l.Live(0, 0, 5) {
+		t.Error("flip at 5 is overwritten by the same-cycle write before the read")
+	}
+	// reg 1: W(3), R(5), W(5) — the read consumes the old value first.
+	l.OnRegWrite(0, 1, 3)
+	l.OnRegRead(0, 1, 5)
+	l.OnRegWrite(0, 1, 5)
+	if !l.Live(0, 1, 5) {
+		t.Error("flip at 5 reaches the read of the pre-overwrite value")
+	}
+	if l.Live(0, 1, 6) {
+		t.Error("value written at 5 is never read")
+	}
+}
+
+// TestLivenessUninitializedRead: a register read before ever being written
+// (garbage read) still exposes flips — liveness may not assume a write.
+func TestLivenessUninitializedRead(t *testing.T) {
+	l := NewLiveness(tinyCfg())
+	l.OnRegAlloc(0, 0, 1, 2)
+	l.OnRegRead(0, 0, 6)
+	if !l.Live(0, 0, 4) {
+		t.Error("flip before an uninitialized read must be live")
+	}
+	if l.Live(0, 0, 2) {
+		t.Error("flip at the allocation cycle predates the block's visibility")
+	}
+}
+
+// TestRFBlocksAt reconstructs the allocated-block list the injector would
+// enumerate, in CTA placement order, across alloc/release/realloc.
+func TestRFBlocksAt(t *testing.T) {
+	l := NewLiveness(tinyCfg())
+	l.OnRegAlloc(0, 0, 64, 2)
+	l.OnRegAlloc(0, 64, 32, 4)
+	l.OnRegRelease(0, 0, 64, 9)
+	l.OnRegAlloc(0, 0, 16, 12) // base 0 reused by a later CTA
+
+	at := func(c int64) []sim.RFBlock { return l.RFBlocksAt(0, c, nil) }
+	if got := at(2); len(got) != 0 {
+		t.Errorf("blocks at alloc cycle = %v, want none (visible from the next cycle)", got)
+	}
+	if got := at(3); len(got) != 1 || got[0] != (sim.RFBlock{Base: 0, Size: 64}) {
+		t.Errorf("blocks at 3 = %v", got)
+	}
+	if got := at(9); len(got) != 2 {
+		t.Errorf("blocks at release cycle = %v, want both (hook fires before retire)", got)
+	}
+	if got := at(10); len(got) != 1 || got[0] != (sim.RFBlock{Base: 64, Size: 32}) {
+		t.Errorf("blocks at 10 = %v", got)
+	}
+	if got := at(13); len(got) != 2 || got[0].Base != 64 || got[1] != (sim.RFBlock{Base: 0, Size: 16}) {
+		t.Errorf("blocks after realloc = %v, want placement order [64, 0]", got)
+	}
+}
+
+// TestTraceRFSmoke: tracing a real benchmark terminates, observes activity,
+// and its summed live cycles upper-bound the written-value ACE cycles of the
+// classical tracker (garbage reads count as live but not as ACE).
+func TestTraceRFSmoke(t *testing.T) {
+	app, err := kernels.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gpu.Volta()
+	job := app.Build()
+	l, err := TraceRF(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cycles <= 0 {
+		t.Fatalf("traced run reported %d cycles", l.Cycles)
+	}
+	var liveCycles int64
+	for sm := range l.regs {
+		for phys := range l.regs[sm] {
+			for _, iv := range l.regs[sm][phys].ivs {
+				liveCycles += iv.Hi - iv.Lo
+			}
+		}
+	}
+	if liveCycles <= 0 {
+		t.Fatal("no live intervals recorded")
+	}
+	res, err := AnalyzeRF(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveCycles < res.ACECycles {
+		t.Errorf("live cycles %d < ACE cycles %d: liveness must cover every ACE interval", liveCycles, res.ACECycles)
+	}
+}

@@ -1,0 +1,234 @@
+package adaptive
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+)
+
+// bernoulli builds a deterministic synthetic experiment with failure
+// probability p (SDC on failure), driven only by the per-run RNG.
+func bernoulli(p float64) campaign.Experiment {
+	return func(run int, rng *rand.Rand) faults.Result {
+		if rng.Float64() < p {
+			return faults.Result{Outcome: faults.SDC}
+		}
+		return faults.Result{Outcome: faults.Masked}
+	}
+}
+
+func TestRunStopsOnlyWhenMarginMet(t *testing.T) {
+	opts := campaign.Options{Runs: 3000, Seed: 42, Workers: 4}
+	pol := Policy{Margin: 0.05, Batch: 100, MinRuns: 100}
+	res := Run(opts, pol, bernoulli(0.02))
+
+	if res.Tally.N%pol.Batch != 0 && res.Tally.N != opts.Runs {
+		t.Fatalf("stopped at n=%d, not a batch boundary", res.Tally.N)
+	}
+	if res.EarlyStopped && res.Tally.Margin99() > pol.Margin {
+		t.Fatalf("claimed early stop at margin %.4f > target %.4f", res.Tally.Margin99(), pol.Margin)
+	}
+	if !res.EarlyStopped {
+		t.Fatalf("p=0.02 with 5%% target should stop well before %d runs (got n=%d)", opts.Runs, res.Tally.N)
+	}
+	if res.Saved != opts.Runs-res.Tally.N {
+		t.Fatalf("Saved = %d, want %d", res.Saved, opts.Runs-res.Tally.N)
+	}
+
+	// Replay every earlier batch boundary: none may already satisfy the stop
+	// rule, or Run stopped later than the sequential procedure allows.
+	for n := pol.Batch; n < res.Tally.N; n += pol.Batch {
+		prefix := campaign.RunRange(opts, 0, n, bernoulli(0.02))
+		if pol.StopSatisfied(prefix) {
+			t.Fatalf("prefix n=%d already met the margin but Run continued to n=%d", n, res.Tally.N)
+		}
+	}
+	// And the stopping prefix must itself satisfy the rule.
+	final := campaign.RunRange(opts, 0, res.Tally.N, bernoulli(0.02))
+	if !pol.StopSatisfied(final) {
+		t.Fatalf("stopping prefix n=%d does not satisfy the stop rule", res.Tally.N)
+	}
+	if final != res.Tally {
+		t.Fatalf("adaptive tally %+v != plain prefix tally %+v", res.Tally, final)
+	}
+}
+
+func TestRunNeverStopsBeforeMinRuns(t *testing.T) {
+	opts := campaign.Options{Runs: 2000, Seed: 7}
+	// p=0 meets any margin quickly under Wilson once n is large enough; the
+	// floor must still hold.
+	res := Run(opts, Policy{Margin: 0.2, Batch: 50, MinRuns: 400}, bernoulli(0))
+	if res.Tally.N < 400 {
+		t.Fatalf("stopped at n=%d before MinRuns=400", res.Tally.N)
+	}
+}
+
+func TestRunDisabledMarginExhaustsBudget(t *testing.T) {
+	opts := campaign.Options{Runs: 777, Seed: 3}
+	res := Run(opts, Policy{Batch: 100}, bernoulli(0.5))
+	if res.Tally.N != 777 || res.EarlyStopped || res.Saved != 0 {
+		t.Fatalf("margin<=0 must run everything: %+v", res)
+	}
+	// The final partial batch must still be executed.
+	if res.Batches != 8 {
+		t.Fatalf("Batches = %d, want 8 (7 full + 1 partial)", res.Batches)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	opts := campaign.Options{Runs: 1500, Seed: 99, Workers: 8}
+	pol := Policy{Margin: 0.04}
+	a := Run(opts, pol, bernoulli(0.03))
+	b := Run(opts, pol, bernoulli(0.03))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical adaptive campaigns diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunBatchesResumeIdentity: splitting the batch loop at an arbitrary
+// point and resuming produces the same tally and stop decision — the
+// invariant the service checkpoint path relies on.
+func TestRunBatchesResumeIdentity(t *testing.T) {
+	opts := campaign.Options{Runs: 2000, Seed: 11}
+	pol := Policy{Margin: 0.05, Batch: 100, MinRuns: 100}
+	whole := Run(opts, pol, bernoulli(0.02))
+
+	for _, cut := range []int{100, 300, 50, 275} {
+		if cut >= whole.Tally.N {
+			continue
+		}
+		var resumed campaign.Tally
+		resumed.Merge(campaign.RunRange(opts, 0, cut, bernoulli(0.02)))
+		// Resume from the cut, honoring absolute batch boundaries.
+		_, stopped := runBatches(opts, pol.withDefaults(), bernoulli(0.02), &resumed, cut, opts.Runs)
+		if resumed != whole.Tally || stopped != whole.EarlyStopped {
+			t.Fatalf("resume from %d: tally %+v stopped=%v, want %+v stopped=%v",
+				cut, resumed, stopped, whole.Tally, whole.EarlyStopped)
+		}
+	}
+}
+
+func TestCountersInstrument(t *testing.T) {
+	var c Counters
+	fn := c.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
+		if run%3 == 0 {
+			return faults.Result{Outcome: faults.Masked}, true
+		}
+		return faults.Result{Outcome: faults.SDC}, false
+	})
+	tl := campaign.Run(campaign.Options{Runs: 30, Seed: 1}, fn)
+	if tl.N != 30 {
+		t.Fatalf("N = %d", tl.N)
+	}
+	if got := c.Pruned.Load(); got != 10 {
+		t.Fatalf("Pruned = %d, want 10", got)
+	}
+	if got := c.Simulated.Load(); got != 20 {
+		t.Fatalf("Simulated = %d, want 20", got)
+	}
+	// nil receiver must be safe and count nothing.
+	var nilc *Counters
+	nilfn := nilc.Count(bernoulli(0.5))
+	nilfn(0, rand.New(rand.NewSource(1)))
+}
+
+func TestNeymanShares(t *testing.T) {
+	// Proportional split with largest-remainder rounding sums exactly.
+	shares := neymanShares(100, []float64{1, 1, 2}, []int{1000, 1000, 1000})
+	if shares[0]+shares[1]+shares[2] != 100 {
+		t.Fatalf("shares %v do not sum to the budget", shares)
+	}
+	if shares[2] != 50 {
+		t.Fatalf("score-2 stratum got %d of 100, want 50", shares[2])
+	}
+	// Caps bind: excess waterfills to the remaining strata.
+	shares = neymanShares(100, []float64{10, 1}, []int{5, 1000})
+	if shares[0] != 5 || shares[1] != 95 {
+		t.Fatalf("capped waterfill gave %v, want [5 95]", shares)
+	}
+	// All-zero scores spend nothing.
+	shares = neymanShares(100, []float64{0, 0}, []int{10, 10})
+	if shares[0] != 0 || shares[1] != 0 {
+		t.Fatalf("zero-score strata must get nothing: %v", shares)
+	}
+	// Budget larger than total capacity stops at the caps.
+	shares = neymanShares(1000, []float64{1, 1}, []int{3, 4})
+	if shares[0] != 3 || shares[1] != 4 {
+		t.Fatalf("caps must bound shares: %v", shares)
+	}
+}
+
+func TestStratifiedAllocatesToVariance(t *testing.T) {
+	mk := func(p float64, seed int64) Stratum {
+		return Stratum{
+			Name:   "s",
+			Weight: 1,
+			Opts:   campaign.Options{Runs: 2000, Seed: seed},
+			Fn:     bernoulli(p),
+		}
+	}
+	strata := []Stratum{mk(0.5, 1), mk(0, 2)} // max variance vs none observed
+	pol := StratifiedPolicy{Policy: Policy{Margin: 0.001, Batch: 100}, Pilot: 200, Budget: 1200}
+	res := Stratified(strata, pol)
+
+	if res[0].Tally.N < 200 || res[1].Tally.N < 200 {
+		t.Fatalf("every stratum must get its pilot: %d, %d", res[0].Tally.N, res[1].Tally.N)
+	}
+	total := res[0].Tally.N + res[1].Tally.N
+	if total > pol.Budget {
+		t.Fatalf("spent %d > budget %d", total, pol.Budget)
+	}
+	if res[0].Allocated <= res[1].Allocated {
+		t.Fatalf("high-variance stratum got %d extension runs, zero-FR got %d",
+			res[0].Allocated, res[1].Allocated)
+	}
+
+	// Each stratum's tally is a bit-identical prefix of its own plain
+	// campaign — the recombination-vs-brute-force guarantee.
+	for i, s := range strata {
+		want := campaign.RunRange(s.Opts, 0, res[i].Tally.N, s.Fn)
+		if want != res[i].Tally {
+			t.Fatalf("stratum %d tally %+v != plain prefix %+v", i, res[i].Tally, want)
+		}
+	}
+}
+
+func TestStratifiedStopsSatisfiedStrata(t *testing.T) {
+	strata := []Stratum{
+		{Name: "dead", Weight: 1, Opts: campaign.Options{Runs: 3000, Seed: 5}, Fn: bernoulli(0)},
+		{Name: "live", Weight: 1, Opts: campaign.Options{Runs: 3000, Seed: 6}, Fn: bernoulli(0.3)},
+	}
+	// Margin generous enough that the zero-FR pilot already satisfies it
+	// under Wilson (0 failures in 400 → margin ≈ 0.011).
+	pol := StratifiedPolicy{Policy: Policy{Margin: 0.05, Batch: 100}, Pilot: 400, Budget: 6000}
+	res := Stratified(strata, pol)
+	if res[0].Allocated != 0 {
+		t.Fatalf("pilot-satisfied stratum still got %d extension runs", res[0].Allocated)
+	}
+	if res[0].Tally.N != 400 {
+		t.Fatalf("dead stratum ran %d, want pilot only", res[0].Tally.N)
+	}
+	if res[1].Tally.N <= 400 {
+		t.Fatal("live stratum received no extension")
+	}
+	if res[1].Tally.Margin99() > pol.Margin && res[1].Tally.N < strata[1].Opts.Runs {
+		t.Fatalf("live stratum stopped at margin %.4f > %.4f with budget left",
+			res[1].Tally.Margin99(), pol.Margin)
+	}
+}
+
+func TestStratifiedDeterminism(t *testing.T) {
+	strata := []Stratum{
+		{Name: "a", Weight: 3, Opts: campaign.Options{Runs: 1000, Seed: 21, Workers: 4}, Fn: bernoulli(0.1)},
+		{Name: "b", Weight: 1, Opts: campaign.Options{Runs: 1000, Seed: 22, Workers: 4}, Fn: bernoulli(0.4)},
+	}
+	pol := StratifiedPolicy{Policy: Policy{Margin: 0.03}, Budget: 1500}
+	a := Stratified(strata, pol)
+	b := Stratified(strata, pol)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("stratified campaigns diverged:\n%+v\n%+v", a, b)
+	}
+}

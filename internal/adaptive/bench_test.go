@@ -1,0 +1,62 @@
+package adaptive
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"gpurel/internal/campaign"
+)
+
+// BenchmarkAdaptive_RunsSaved is the headline acceptance benchmark: on a
+// low-FR point (p ≈ 0.01, typical of protected structures and high-masking
+// kernels in the paper's Fig. 5), sequential stopping reaches the paper's
+// ±2.35% @99% precision target with at least 3× fewer runs than the fixed
+// n=3000 design. With GPUREL_BENCH_JSON set, a machine-readable summary is
+// written there for the CI artifact.
+func BenchmarkAdaptive_RunsSaved(b *testing.B) {
+	const fixedRuns = 3000
+	opts := campaign.Options{Runs: fixedRuns, Seed: 1234}
+	target := campaign.WorstCaseMargin99(fixedRuns) // the paper's ±2.35%
+	pol := Policy{Margin: target, Batch: 100}
+	fn := bernoulli(0.01)
+
+	var res Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Run(opts, pol, fn)
+	}
+	b.StopTimer()
+
+	if res.Tally.Margin99() > target {
+		b.Fatalf("adaptive stopped at margin %.4f, looser than the fixed design's %.4f",
+			res.Tally.Margin99(), target)
+	}
+	factor := float64(fixedRuns) / float64(res.Tally.N)
+	if factor < 3 {
+		b.Fatalf("adaptive used %d runs — only %.2f× fewer than %d, want >= 3×",
+			res.Tally.N, factor, fixedRuns)
+	}
+	b.ReportMetric(float64(res.Tally.N), "adaptive-runs")
+	b.ReportMetric(factor, "x-fewer-runs")
+	b.ReportMetric(res.Tally.Margin99(), "margin99")
+
+	if path := os.Getenv("GPUREL_BENCH_JSON"); path != "" {
+		out, err := json.MarshalIndent(map[string]any{
+			"benchmark":      "Adaptive_RunsSaved",
+			"fixed_runs":     fixedRuns,
+			"adaptive_runs":  res.Tally.N,
+			"runs_saved":     res.Saved,
+			"savings_factor": factor,
+			"target_margin":  target,
+			"margin99":       res.Tally.Margin99(),
+			"failure_rate":   res.Tally.FR(),
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package adaptive
+
+import (
+	"math"
+
+	"gpurel/internal/campaign"
+)
+
+// Stratum is one partition of the fault space — in the AVF study, one
+// storage structure (RF, SMEM, L1D, L1T, L2) whose weight is its share of
+// the chip's storage bits, so per-stratum failure rates recombine into the
+// size-weighted chip AVF exactly as metrics.ChipAVF does.
+type Stratum struct {
+	Name string
+	// Weight is the stratum's share of the sampled population (need not be
+	// normalised); Neyman allocation is proportional to Weight × σ̂.
+	Weight float64
+	// Opts seeds the stratum's own deterministic run-index space. Opts.Runs
+	// caps how many runs the stratum may ever execute.
+	Opts campaign.Options
+	Fn   campaign.Experiment
+}
+
+// StratifiedPolicy configures a stratified adaptive campaign.
+type StratifiedPolicy struct {
+	Policy
+	// Pilot is the per-stratum pilot size used to estimate σ̂ before
+	// allocating the remaining budget (default Batch). The pilot always
+	// covers run indices [0, Pilot), so results are reproducible regardless
+	// of how much budget a stratum later receives.
+	Pilot int
+	// Budget caps total runs across all strata, pilots included
+	// (0 = Σ Opts.Runs, i.e. only the per-stratum caps bind).
+	Budget int
+}
+
+func (p StratifiedPolicy) withDefaults() StratifiedPolicy {
+	p.Policy = p.Policy.withDefaults()
+	if p.Pilot <= 0 {
+		p.Pilot = p.Policy.Batch
+	}
+	return p
+}
+
+// StratumResult reports one stratum of a stratified campaign.
+type StratumResult struct {
+	Name         string
+	Tally        campaign.Tally
+	Allocated    int  // extension runs granted by Neyman allocation
+	EarlyStopped bool // stopped by margin inside its extension
+}
+
+// Saved returns the runs the stratum left unexecuted relative to its cap.
+func (r StratumResult) Saved(s Stratum) int { return s.Opts.Runs - r.Tally.N }
+
+// Stratified runs a pilot over every stratum, Neyman-allocates the remaining
+// budget to the strata with the highest weighted binomial variance, and
+// extends each stratum with sequential early stopping. Every stratum's tally
+// is a deterministic prefix of its own run-index space: stratum h with final
+// size n_h tallies bit-identically to campaign.RunRange(h.Opts, 0, n_h, h.Fn),
+// which is what lets the recombined chip AVF be compared against brute force.
+func Stratified(strata []Stratum, pol StratifiedPolicy) []StratumResult {
+	pol = pol.withDefaults()
+	out := make([]StratumResult, len(strata))
+
+	// Pilot phase: a fixed prefix per stratum, clamped to its cap and to an
+	// even split of the budget (so tiny budgets still pilot every stratum).
+	budget := pol.Budget
+	if budget <= 0 {
+		for _, s := range strata {
+			budget += s.Opts.Runs
+		}
+	}
+	maxPilot := pol.Pilot
+	if len(strata) > 0 {
+		if even := budget / len(strata); even < maxPilot {
+			maxPilot = even
+		}
+	}
+	spent := 0
+	for i, s := range strata {
+		pilot := maxPilot
+		if pilot > s.Opts.Runs {
+			pilot = s.Opts.Runs
+		}
+		out[i] = StratumResult{Name: s.Name, Tally: campaign.RunRange(s.Opts, 0, pilot, s.Fn)}
+		spent += out[i].Tally.N
+	}
+
+	// Neyman scores from the pilot: W_h · √(p̂_h(1−p̂_h)). A stratum that
+	// already meets the margin target needs no extension; one whose pilot
+	// showed zero variance gets the Wilson-honest σ̂ floor (p̂ pulled toward
+	// the interval centre) rather than a hard 0, so a 0/100 pilot with a wide
+	// Wilson interval can still earn budget when nothing else demands it.
+	scores := make([]float64, len(strata))
+	caps := make([]int, len(strata))
+	for i, s := range strata {
+		caps[i] = s.Opts.Runs - out[i].Tally.N
+		if pol.StopSatisfied(out[i].Tally) {
+			caps[i] = 0
+			continue
+		}
+		p := out[i].Tally.FR()
+		if sd := math.Sqrt(p * (1 - p)); sd > 0 {
+			scores[i] = s.Weight * sd
+		} else {
+			lo, hi := out[i].Tally.CI99()
+			c := (lo + hi) / 2
+			scores[i] = s.Weight * math.Sqrt(c*(1-c))
+		}
+	}
+
+	// Extension phase: allocate what remains, then run each stratum's share
+	// with the sequential stop rule still active.
+	for i, share := range neymanShares(budget-spent, scores, caps) {
+		out[i].Allocated = share
+		if share <= 0 {
+			continue
+		}
+		from := out[i].Tally.N
+		_, stopped := runBatches(strata[i].Opts, pol.Policy, strata[i].Fn, &out[i].Tally, from, from+share)
+		out[i].EarlyStopped = stopped
+	}
+	return out
+}

@@ -65,8 +65,12 @@ func (t Tally) CtrlAffectedPct() float64 {
 // z99 is the normal quantile for 99% two-sided confidence.
 const z99 = 2.5758293
 
-// ErrMargin99 returns the half-width of the 99% confidence interval around
-// the failure rate. At n=3000 and p=0.5 this is the paper's ±2.35%.
+// ErrMargin99 returns the normal-approximation half-width of the 99%
+// confidence interval around the failure rate. At n=3000 and p=0.5 this is
+// the paper's ±2.35%. The approximation degenerates at p=0 and p=1, where it
+// collapses to a 0 half-width no matter how small n is — callers that make
+// decisions from the margin (sequential stopping, report output) should use
+// the Wilson-score Margin99/CI99 instead, which stay honest at the extremes.
 func (t Tally) ErrMargin99() float64 {
 	if t.N == 0 {
 		return 0
@@ -75,11 +79,51 @@ func (t Tally) ErrMargin99() float64 {
 	return z99 * math.Sqrt(p*(1-p)/float64(t.N))
 }
 
+// CI99 returns the Wilson-score 99% confidence interval [lo, hi] for the
+// failure rate. Unlike the normal approximation it never collapses to a
+// point at p=0 or p=1 (10 clean runs still leave hi ≈ 0.40), which is what
+// makes it safe as a sequential stopping criterion. With no observations the
+// interval is the vacuous [0, 1].
+func (t Tally) CI99() (lo, hi float64) {
+	return WilsonCI99(t.Counts[faults.SDC]+t.Counts[faults.Timeout]+t.Counts[faults.DUE], t.N)
+}
+
+// Margin99 is the half-width of the Wilson-score 99% interval — 0.5 for an
+// empty tally rather than the false certainty of a 0 margin.
+func (t Tally) Margin99() float64 {
+	lo, hi := t.CI99()
+	return (hi - lo) / 2
+}
+
+// WilsonCI99 computes the Wilson-score 99% interval for k successes in n
+// trials. n <= 0 returns the vacuous [0, 1].
+func WilsonCI99(k, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z99 * z99
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z99 * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // WorstCaseMargin99 returns the margin at p=0.5, the a-priori bound quoted
-// by the paper for its sample size.
+// by the paper for its sample size. A sample of zero runs constrains nothing,
+// so n <= 0 returns +Inf rather than a silent 0 (which read as perfect
+// confidence); the campaign service rejects Runs <= 0 at submission instead.
 func WorstCaseMargin99(n int) float64 {
-	if n == 0 {
-		return 0
+	if n <= 0 {
+		return math.Inf(1)
 	}
 	return z99 * math.Sqrt(0.25/float64(n))
 }

@@ -131,6 +131,82 @@ func TestErrMargin(t *testing.T) {
 	}
 }
 
+// TestWilsonCI99: the Wilson interval covers the point estimate, stays in
+// [0,1], and — unlike the normal approximation — does not collapse to a
+// point at p=0 or p=1.
+func TestWilsonCI99(t *testing.T) {
+	// p=0 over 10 runs: normal margin lies (0), Wilson still spans ~40%.
+	var clean Tally
+	for i := 0; i < 10; i++ {
+		clean.Add(faults.Result{Outcome: faults.Masked})
+	}
+	if clean.ErrMargin99() != 0 {
+		t.Fatalf("normal margin at p=0 = %v (test premise)", clean.ErrMargin99())
+	}
+	lo, hi := clean.CI99()
+	if lo != 0 || hi < 0.3 || hi > 0.5 {
+		t.Errorf("Wilson CI at 0/10 = [%v, %v], want [0, ~0.40]", lo, hi)
+	}
+	if clean.Margin99() <= 0 {
+		t.Errorf("Wilson margin at p=0 must stay positive, got %v", clean.Margin99())
+	}
+
+	// p=1 is symmetric.
+	var dirty Tally
+	for i := 0; i < 10; i++ {
+		dirty.Add(faults.Result{Outcome: faults.SDC})
+	}
+	dlo, dhi := dirty.CI99()
+	if math.Abs(dlo-(1-hi)) > 1e-12 || dhi != 1 {
+		t.Errorf("Wilson CI at 10/10 = [%v, %v], want symmetric to [%v, %v]", dlo, dhi, lo, hi)
+	}
+
+	// Empty tally: vacuous interval, honest half-width.
+	var empty Tally
+	elo, ehi := empty.CI99()
+	if elo != 0 || ehi != 1 || empty.Margin99() != 0.5 {
+		t.Errorf("empty CI = [%v, %v], margin %v; want [0,1], 0.5", elo, ehi, empty.Margin99())
+	}
+
+	// Large-n, mid-p: Wilson converges to the normal approximation.
+	var mid Tally
+	for i := 0; i < 3000; i++ {
+		o := faults.Masked
+		if i < 1500 {
+			o = faults.SDC
+		}
+		mid.Add(faults.Result{Outcome: o})
+	}
+	if d := math.Abs(mid.Margin99() - mid.ErrMargin99()); d > 1e-4 {
+		t.Errorf("Wilson and normal margins diverge at n=3000, p=0.5: %v", d)
+	}
+
+	// Interval always contains the point estimate and is ordered.
+	f := func(k8, n8 uint8) bool {
+		n := int(n8)
+		k := int(k8) % (n + 1)
+		lo, hi := WilsonCI99(k, n)
+		if lo > hi || lo < 0 || hi > 1 {
+			return false
+		}
+		if n == 0 {
+			return lo == 0 && hi == 1
+		}
+		p := float64(k) / float64(n)
+		return lo <= p && p <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorstCaseMarginDegenerate: a zero-size sample constrains nothing.
+func TestWorstCaseMarginDegenerate(t *testing.T) {
+	if !math.IsInf(WorstCaseMargin99(0), 1) || !math.IsInf(WorstCaseMargin99(-5), 1) {
+		t.Errorf("WorstCaseMargin99(<=0) = %v, %v, want +Inf", WorstCaseMargin99(0), WorstCaseMargin99(-5))
+	}
+}
+
 // TestMergeProperty: FR of a merged tally is the weighted mean.
 func TestMergeProperty(t *testing.T) {
 	f := func(sdc1, n1, sdc2, n2 uint8) bool {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"gpurel/internal/ace"
 	"gpurel/internal/device"
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
@@ -116,12 +117,25 @@ func (t Target) pickCycle(g *GoldenRun, rng *rand.Rand) (int64, bool) {
 
 // Inject performs one injection experiment and classifies the outcome.
 func Inject(job *device.Job, g *GoldenRun, t Target, rng *rand.Rand) faults.Result {
+	cycle, width, r, done := t.preflight(g, rng)
+	if done {
+		return r
+	}
+	return injectRun(job, g, cycle, func(m *sim.Machine) bool {
+		return flip(m, t.Structure, width, rng)
+	})
+}
+
+// preflight runs the simulation-free prefix shared by Inject and
+// InjectPruned: cycle selection within the target windows and the ECC
+// screen. done=true means the experiment classifies without a faulty run.
+func (t Target) preflight(g *GoldenRun, rng *rand.Rand) (cycle int64, width int, r faults.Result, done bool) {
 	cycle, ok := t.pickCycle(g, rng)
 	if !ok {
 		// kernel never ran (e.g. zero shared memory usage): nothing to hit
-		return faults.Result{Outcome: faults.Masked, Detail: "empty injection window"}
+		return 0, 0, faults.Result{Outcome: faults.Masked, Detail: "empty injection window"}, true
 	}
-	width := t.Burst
+	width = t.Burst
 	if width < 1 {
 		width = 1
 	}
@@ -131,21 +145,96 @@ func Inject(job *device.Job, g *GoldenRun, t Target, rng *rand.Rand) faults.Resu
 	if g.Cfg.ECC[t.Structure] {
 		switch width {
 		case 1:
-			return faults.Result{Outcome: faults.Masked, Detail: "corrected by ECC"}
+			return 0, 0, faults.Result{Outcome: faults.Masked, Detail: "corrected by ECC"}, true
 		case 2:
-			return faults.Result{Outcome: faults.DUE, Detail: "detected uncorrectable (ECC)"}
+			return 0, 0, faults.Result{Outcome: faults.DUE, Detail: "detected uncorrectable (ECC)"}, true
 		}
 	}
+	return cycle, width, faults.Result{}, false
+}
+
+// injectRun executes the faulty simulation with the given corruption hook
+// and classifies it against golden.
+func injectRun(job *device.Job, g *GoldenRun, cycle int64, corrupt func(*sim.Machine) bool) faults.Result {
 	hit := false
 	opts := sim.Options{
 		MaxCycles: g.Res.Cycles * int64(g.Cfg.TimeoutFactor),
 		AtCycle:   cycle,
 		OnCycle: func(m *sim.Machine) {
-			hit = flip(m, t.Structure, width, rng)
+			hit = corrupt(m)
 		},
 	}
 	res := sim.Run(job, g.Cfg, opts)
 	return Classify(g, res, hit)
+}
+
+// InjectPruned performs the same experiment as Inject — bit-identically for
+// any (seed, run) pair — but classifies provably-dead register-file sites as
+// Masked without simulating them, using the liveness map of the golden run.
+// The second return value reports whether the run was pruned (classified
+// analytically). Structures other than RF, and ECC-screened or empty-window
+// runs, fall through to the exact Inject behaviour with pruned=false.
+//
+// The equivalence argument: the faulty run is deterministic and identical to
+// golden up to the injection cycle, so the allocated-block list the injector
+// would enumerate at that cycle is exactly the liveness map's reconstruction,
+// and the RNG draws (cycle, entry, bit) replay in the same order with the
+// same bounds. A flip confined to one register whose stored value is never
+// read again before overwrite/deallocation cannot change any future
+// architectural event — output and cycle count match golden, which is
+// precisely the Masked/not-control-affected classification the brute-force
+// run would produce.
+func InjectPruned(job *device.Job, g *GoldenRun, lv *ace.Liveness, t Target, rng *rand.Rand) (faults.Result, bool) {
+	if t.Structure != gpu.RF || lv == nil {
+		return Inject(job, g, t, rng), false
+	}
+	cycle, width, r, done := t.preflight(g, rng)
+	if done {
+		return r, false
+	}
+	// Replay flip's site selection from the recorded allocation timeline:
+	// SMs in index order, blocks in CTA placement order.
+	var (
+		scratch [8]sim.RFBlock
+		smOf    []int
+		total   int
+	)
+	blocks := scratch[:0]
+	for sm := 0; sm < lv.NumSMs(); sm++ {
+		n := len(blocks)
+		blocks = lv.RFBlocksAt(sm, cycle, blocks)
+		for range blocks[n:] {
+			smOf = append(smOf, sm)
+		}
+	}
+	for _, b := range blocks {
+		total += b.Size
+	}
+	if total == 0 {
+		// The brute-force run would simulate, find nothing allocated, and
+		// classify the unperturbed (hence golden-identical) run as Masked.
+		return faults.Result{Outcome: faults.Masked, Detail: "no allocated entry at injection cycle"}, true
+	}
+	k := rng.Intn(total)
+	bit := uint(rng.Intn(32))
+	for i, b := range blocks {
+		if k < b.Size {
+			sm, phys := smOf[i], b.Base+k
+			if !lv.Live(sm, phys, cycle) {
+				// Provably dead: the corrupted value is never consumed.
+				return faults.Result{Outcome: faults.Masked}, true
+			}
+			return injectRun(job, g, cycle, func(m *sim.Machine) bool {
+				for w := 0; w < width; w++ {
+					m.SMs[sm].RF[phys] ^= 1 << ((bit + uint(w)) % 32)
+				}
+				return true
+			}), false
+		}
+		k -= b.Size
+	}
+	// Unreachable: k < total = Σ sizes.
+	panic("microfi: site selection overran the allocation timeline")
 }
 
 // Classify compares a (possibly faulty) run against the golden run.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"gpurel/internal/ace"
 	"gpurel/internal/device"
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
@@ -195,6 +196,84 @@ func TestSDCByteFlipInOutputCache(t *testing.T) {
 	}
 	if sdc == 0 {
 		t.Error("late L2 flips never corrupted the output — writeback path broken")
+	}
+}
+
+// TestInjectPrunedEquivalence is the load-bearing property behind
+// liveness-guided pruning: for every seed, InjectPruned must classify
+// bit-identically to the brute-force Inject — same outcome, same detail,
+// same control-affected flag — while skipping the simulation on provably
+// dead sites. Run over enough seeds to exercise live, dead, and
+// empty-window paths.
+func TestInjectPrunedEquivalence(t *testing.T) {
+	job := saxpyJob(256)
+	cfg := gpu.Volta()
+	g, err := Golden(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := ace.TraceRF(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, burst := range []int{1, 2} {
+		tgt := Target{Structure: gpu.RF, Kernel: "K1", Burst: burst}
+		pruned, simulated := 0, 0
+		for seed := int64(0); seed < 150; seed++ {
+			want := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
+			got, wasPruned := InjectPruned(job, g, lv, tgt, rand.New(rand.NewSource(seed)))
+			if got != want {
+				t.Fatalf("burst %d seed %d: pruned %+v != brute-force %+v (pruned=%v)",
+					burst, seed, got, want, wasPruned)
+			}
+			if wasPruned {
+				pruned++
+				if got.Outcome != faults.Masked {
+					t.Fatalf("burst %d seed %d: pruned a non-masked outcome %+v", burst, seed, got)
+				}
+			} else {
+				simulated++
+			}
+		}
+		t.Logf("burst %d: %d pruned, %d simulated", burst, pruned, simulated)
+		if pruned == 0 {
+			t.Errorf("burst %d: no runs pruned — liveness map finds no dead sites", burst)
+		}
+		if simulated == 0 {
+			t.Errorf("burst %d: all runs pruned — suspiciously aggressive", burst)
+		}
+	}
+}
+
+// TestInjectPrunedNonRF: other structures fall through to Inject verbatim.
+func TestInjectPrunedNonRF(t *testing.T) {
+	job := saxpyJob(128)
+	cfg := gpu.Volta()
+	g, _ := Golden(job, cfg)
+	lv, err := ace.TraceRF(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []gpu.Structure{gpu.SMEM, gpu.L1D, gpu.L2} {
+		tgt := Target{Structure: st, Kernel: "K1"}
+		for seed := int64(0); seed < 25; seed++ {
+			want := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
+			got, wasPruned := InjectPruned(job, g, lv, tgt, rand.New(rand.NewSource(seed)))
+			if wasPruned {
+				t.Fatalf("%s: non-RF run must never be pruned", st)
+			}
+			if got != want {
+				t.Fatalf("%s seed %d: %+v != %+v", st, seed, got, want)
+			}
+		}
+	}
+	// ECC-screened runs classify without simulation on both paths.
+	eccCfg := gpu.Volta().WithECC(gpu.RF)
+	gECC, _ := Golden(job, eccCfg)
+	lvECC, _ := ace.TraceRF(job, eccCfg)
+	r, wasPruned := InjectPruned(job, gECC, lvECC, Target{Structure: gpu.RF, Kernel: "K1"}, rand.New(rand.NewSource(1)))
+	if wasPruned || r.Outcome != faults.Masked || r.Detail != "corrected by ECC" {
+		t.Errorf("ECC screen must not count as pruning: %+v pruned=%v", r, wasPruned)
 	}
 }
 

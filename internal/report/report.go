@@ -73,6 +73,11 @@ func (t *Table) String() string {
 // Pct formats a [0,1] fraction as a percentage cell.
 func Pct(v float64) string { return fmt.Sprintf("%6.2f%%", 100*v) }
 
+// CI formats a confidence interval by its half-width, "±x.xx%". Feed it a
+// Wilson-score interval (campaign.Tally.CI99) rather than the normal
+// approximation: at p=0 or p=1 the latter renders a misleading ±0.00%.
+func CI(lo, hi float64) string { return fmt.Sprintf("±%.2f%%", 100*(hi-lo)/2) }
+
 // PctShort formats with one decimal.
 func PctShort(v float64) string { return fmt.Sprintf("%5.1f%%", 100*v) }
 

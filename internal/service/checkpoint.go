@@ -18,13 +18,14 @@ const checkpointVersion = 1
 // Because run i's seed depends only on (Spec.Seed, i), this is everything a
 // fresh process needs to finish the job bit-identically.
 type jobCheckpoint struct {
-	ID      string         `json:"id"`
-	Spec    JobSpec        `json:"spec"`
-	State   JobState       `json:"state"`
-	Done    []Range        `json:"done_ranges,omitempty"`
-	Tally   campaign.Tally `json:"tally"`
-	Error   string         `json:"error,omitempty"`
-	Created int64          `json:"created_unix"`
+	ID           string         `json:"id"`
+	Spec         JobSpec        `json:"spec"`
+	State        JobState       `json:"state"`
+	Done         []Range        `json:"done_ranges,omitempty"`
+	Tally        campaign.Tally `json:"tally"`
+	EarlyStopped bool           `json:"early_stopped,omitempty"`
+	Error        string         `json:"error,omitempty"`
+	Created      int64          `json:"created_unix"`
 }
 
 type checkpointFile struct {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gpurel"
+	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/gpu"
 	"gpurel/internal/softfi"
@@ -35,6 +36,25 @@ type JobSpec struct {
 	Runs      int     `json:"runs"`                // injections (paper: 3000 per point)
 	Seed      int64   `json:"seed"`                // campaign seed; run i uses Seed+i
 	Deadline  float64 `json:"deadline_sec,omitempty"`
+
+	// Margin99 enables adaptive sequential stopping: the job finishes early
+	// at the first batch boundary where the Wilson-score 99% CI half-width
+	// of the failure rate is at or under this target (0 = fixed-n). Runs
+	// stays the hard budget cap.
+	Margin99 float64 `json:"margin99,omitempty"`
+	// Batch is the stop-rule granularity in runs (0 = 100). Chunk ends are
+	// clamped to batch boundaries so a checkpointed-and-resumed adaptive job
+	// evaluates the stop rule on the same prefixes and tallies bit-identically.
+	Batch int `json:"batch,omitempty"`
+	// Prune enables liveness-guided pruning of RF injections (micro layer):
+	// provably-dead sites are classified from the golden run's liveness map
+	// without simulation, bit-identically to brute force.
+	Prune bool `json:"prune,omitempty"`
+}
+
+// policy resolves the spec's adaptive knobs to the engine's stopping policy.
+func (sp JobSpec) policy() adaptive.Policy {
+	return adaptive.Policy{Margin: sp.Margin99, Batch: sp.Batch}
 }
 
 // Point resolves the spec to the study-level campaign point, validating the
@@ -59,6 +79,9 @@ func (sp JobSpec) Point() (gpurel.PointSpec, error) {
 	default:
 		return p, fmt.Errorf("layer must be %q or %q, got %q", gpurel.LayerMicro, gpurel.LayerSoft, sp.Layer)
 	}
+	if sp.Margin99 > 0 || sp.Prune {
+		p.Sampling = &gpurel.SamplingPolicy{Margin: sp.Margin99, Batch: sp.Batch, Prune: sp.Prune}
+	}
 	return p, nil
 }
 
@@ -73,6 +96,12 @@ func (sp JobSpec) Validate() error {
 	}
 	if sp.Deadline < 0 {
 		return fmt.Errorf("deadline_sec must be non-negative")
+	}
+	if sp.Margin99 < 0 || sp.Margin99 >= 1 {
+		return fmt.Errorf("margin99 must be in [0, 1), got %g", sp.Margin99)
+	}
+	if sp.Batch < 0 {
+		return fmt.Errorf("batch must be non-negative, got %d", sp.Batch)
 	}
 	_, err := sp.Point()
 	return err
@@ -132,8 +161,13 @@ type JobStatus struct {
 	DoneRanges  []Range        `json:"done_ranges,omitempty"`
 	Tally       campaign.Tally `json:"tally"`
 	FR          float64        `json:"fr"`           // failure rate of the partial tally
-	ErrMargin99 float64        `json:"err_margin99"` // ±CI half-width at current n
-	Error       string         `json:"error,omitempty"`
+	ErrMargin99 float64        `json:"err_margin99"` // normal-approx ±CI half-width at current n
+	Margin99    float64        `json:"margin99"`     // Wilson-score ±CI half-width (honest at p=0/1)
+	// EarlyStopped marks an adaptive job that met its margin target before
+	// exhausting the run budget; RunsSaved is the unexecuted remainder.
+	EarlyStopped bool   `json:"early_stopped,omitempty"`
+	RunsSaved    int    `json:"runs_saved,omitempty"`
+	Error        string `json:"error,omitempty"`
 	Created     int64          `json:"created_unix"`
 	Started     int64          `json:"started_unix,omitempty"`
 	Finished    int64          `json:"finished_unix,omitempty"`
@@ -157,6 +191,7 @@ type job struct {
 	state    JobState
 	done     []Range // normalized completed run-ranges
 	tally    campaign.Tally
+	early    bool // adaptive stop rule fired before the budget ran out
 	errmsg   string
 	started  time.Time
 	finished time.Time
@@ -176,8 +211,13 @@ func (j *job) snapshotLocked() JobStatus {
 		Tally:       j.tally,
 		FR:          j.tally.FR(),
 		ErrMargin99: j.tally.ErrMargin99(),
+		Margin99:    j.tally.Margin99(),
 		Error:       j.errmsg,
 		Created:     j.created.Unix(),
+	}
+	if j.early {
+		st.EarlyStopped = true
+		st.RunsSaved = st.Total - st.Done
 	}
 	if !j.started.IsZero() {
 		st.Started = j.started.Unix()

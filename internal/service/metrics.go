@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/faults"
 )
@@ -25,10 +26,15 @@ type Metrics struct {
 	outcomes      [faults.NumOutcomes]atomic.Int64
 	ctrlAffected  atomic.Int64
 	chunks        atomic.Int64
+	runsSaved     atomic.Int64
+
+	// counters is the study-side sampling aggregate (prune hits, simulated
+	// runs) shared via Config.Counters; nil when the source doesn't count.
+	counters *adaptive.Counters
 }
 
-func newMetrics() *Metrics {
-	return &Metrics{start: time.Now()}
+func newMetrics(counters *adaptive.Counters) *Metrics {
+	return &Metrics{start: time.Now(), counters: counters}
 }
 
 // addTally folds one completed chunk into the injection counters.
@@ -80,6 +86,23 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int) {
 	fmt.Fprintln(w, "# HELP gpureld_chunks_total Checkpointable run-range chunks completed.")
 	fmt.Fprintln(w, "# TYPE gpureld_chunks_total counter")
 	fmt.Fprintf(w, "gpureld_chunks_total %d\n", m.chunks.Load())
+
+	fmt.Fprintln(w, "# HELP gpureld_adaptive_runs_saved_total Runs skipped by adaptive early stopping.")
+	fmt.Fprintln(w, "# TYPE gpureld_adaptive_runs_saved_total counter")
+	fmt.Fprintf(w, "gpureld_adaptive_runs_saved_total %d\n", m.runsSaved.Load())
+
+	var pruneHits, simulated int64
+	if m.counters != nil {
+		pruneHits = m.counters.Pruned.Load()
+		simulated = m.counters.Simulated.Load()
+	}
+	fmt.Fprintln(w, "# HELP gpureld_prune_hits_total Injections classified analytically from the liveness map.")
+	fmt.Fprintln(w, "# TYPE gpureld_prune_hits_total counter")
+	fmt.Fprintf(w, "gpureld_prune_hits_total %d\n", pruneHits)
+
+	fmt.Fprintln(w, "# HELP gpureld_simulated_runs_total Injections that went through the simulator.")
+	fmt.Fprintln(w, "# TYPE gpureld_simulated_runs_total counter")
+	fmt.Fprintf(w, "gpureld_simulated_runs_total %d\n", simulated)
 
 	fmt.Fprintln(w, "# HELP gpureld_injections_per_second Mean injection throughput since start.")
 	fmt.Fprintln(w, "# TYPE gpureld_injections_per_second gauge")

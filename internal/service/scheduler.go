@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	CheckpointPath string
 	// CheckpointInterval is the periodic flush cadence (default 2s).
 	CheckpointInterval time.Duration
+	// Counters, when set, is the study-side sampling-efficiency aggregate
+	// (simulated runs, liveness prune hits) shared with the experiment
+	// source; /metrics exports it alongside the scheduler's own counters.
+	Counters *adaptive.Counters
 }
 
 func (c Config) withDefaults() Config {
@@ -91,7 +96,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		cfg:     cfg,
-		metrics: newMetrics(),
+		metrics: newMetrics(cfg.Counters),
 		jobs:    map[string]*job{},
 		queues:  make([]chan *job, cfg.Shards),
 		ctx:     ctx,
@@ -115,6 +120,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 				state:   jc.State,
 				done:    normalizeRanges(jc.Done),
 				tally:   jc.Tally,
+				early:   jc.EarlyStopped,
 				errmsg:  jc.Error,
 			}
 			// A job that was mid-flight when the previous process stopped
@@ -309,6 +315,16 @@ func (s *Scheduler) runJob(j *job) {
 	}
 	opts := campaign.Options{Runs: spec.Runs, Seed: spec.Seed, Workers: s.cfg.WorkersPerShard}
 
+	// Adaptive jobs evaluate the stop rule only on contiguous prefixes
+	// [0, k·batch) — chunk ends are clamped to batch boundaries so the
+	// evaluated prefixes are the same whether the job runs straight through
+	// or is checkpointed, restarted and resumed at any point.
+	pol := spec.policy()
+	batch := spec.Batch
+	if batch <= 0 {
+		batch = adaptive.DefaultBatch
+	}
+
 	for _, r := range pending {
 		for from := r.From; from < r.To; {
 			// Drain: stop between chunks, park the job for resume.
@@ -341,15 +357,40 @@ func (s *Scheduler) runJob(j *job) {
 			if to > r.To {
 				to = r.To
 			}
+			if spec.Margin99 > 0 {
+				if end := (from/batch + 1) * batch; end < to {
+					to = end
+				}
+			}
 			tl := campaign.RunRange(opts, from, to, fn)
 
 			j.mu.Lock()
 			j.done = addRange(j.done, Range{From: from, To: to})
 			j.tally.Merge(tl)
-			j.publishLocked("progress")
+			// The stop rule fires only at batch boundaries with the prefix
+			// [0, to) fully covered — then j.tally is exactly that prefix's
+			// tally and the decision is deterministic.
+			stop := spec.Margin99 > 0 && to < spec.Runs && to%batch == 0 &&
+				len(j.done) == 1 && j.done[0] == (Range{From: 0, To: to}) &&
+				pol.StopSatisfied(j.tally)
+			saved := 0
+			if stop {
+				j.early = true
+				saved = spec.Runs - to
+				s.finishLocked(j, StateDone, "")
+			} else {
+				j.publishLocked("progress")
+			}
 			j.mu.Unlock()
 			s.metrics.addTally(tl)
 			s.dirty.Store(true)
+			if stop {
+				s.metrics.runsSaved.Add(int64(saved))
+				if s.cfg.Counters != nil {
+					s.cfg.Counters.Saved.Add(int64(saved))
+				}
+				return
+			}
 			from = to
 		}
 	}
@@ -412,13 +453,14 @@ func (s *Scheduler) Flush() error {
 	for _, j := range jobs {
 		j.mu.Lock()
 		cps = append(cps, jobCheckpoint{
-			ID:      j.id,
-			Spec:    j.spec,
-			State:   j.state,
-			Done:    append([]Range(nil), j.done...),
-			Tally:   j.tally,
-			Error:   j.errmsg,
-			Created: j.created.Unix(),
+			ID:           j.id,
+			Spec:         j.spec,
+			State:        j.state,
+			Done:         append([]Range(nil), j.done...),
+			Tally:        j.tally,
+			EarlyStopped: j.early,
+			Error:        j.errmsg,
+			Created:      j.created.Unix(),
 		})
 		j.mu.Unlock()
 	}

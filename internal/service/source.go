@@ -39,5 +39,10 @@ func SpecForPoint(p gpurel.PointSpec, opts campaign.Options) JobSpec {
 	case gpurel.LayerSoft:
 		sp.Mode = p.Mode.String()
 	}
+	if pol := p.Sampling; pol != nil {
+		sp.Margin99 = pol.Margin
+		sp.Batch = pol.Batch
+		sp.Prune = pol.Prune
+	}
 	return sp
 }

@@ -17,6 +17,8 @@ import (
 
 	"sync"
 
+	"gpurel/internal/ace"
+	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/device"
 	"gpurel/internal/faults"
@@ -44,6 +46,16 @@ type Study struct {
 	// bit for bit. Memoisation still applies on top.
 	RunPoint func(spec PointSpec, opts campaign.Options) (campaign.Tally, error)
 
+	// Sampling, when non-nil, is the default adaptive sampling policy applied
+	// to every campaign point that does not carry its own (PointSpec.Sampling
+	// overrides it). nil keeps the paper's fixed-n methodology.
+	Sampling *SamplingPolicy
+
+	// Counters, when non-nil, accumulates sampling-efficiency statistics
+	// (simulated runs, liveness prune hits, runs saved by early stopping)
+	// across every campaign the study executes.
+	Counters *adaptive.Counters
+
 	mu    sync.Mutex
 	apps  map[string]*AppEval
 	micro map[microKey]campaign.Tally
@@ -66,7 +78,8 @@ func NewStudy(runs int, seed int64) *Study {
 func (s *Study) Apps() []kernels.App { return kernels.All() }
 
 // AppEval is the cached per-application state: plain and hardened jobs with
-// their golden runs on both simulators.
+// their golden runs on both simulators, plus (built on first pruned campaign)
+// the register-file liveness maps of the golden runs.
 type AppEval struct {
 	App kernels.App
 
@@ -76,6 +89,23 @@ type AppEval struct {
 	JobTMR    *device.Job
 	MicroGTMR *microfi.GoldenRun
 	SoftGTMR  *softfi.GoldenRun
+
+	liveOnce [2]sync.Once // [plain, hardened]
+	live     [2]*ace.Liveness
+	liveErr  [2]error
+}
+
+// liveness returns (tracing on first use) the RF liveness map of the plain or
+// hardened golden run.
+func (e *AppEval) liveness(cfg gpu.Config, hardened bool) (*ace.Liveness, error) {
+	i, job := 0, e.Job
+	if hardened {
+		i, job = 1, e.JobTMR
+	}
+	e.liveOnce[i].Do(func() {
+		e.live[i], e.liveErr[i] = ace.TraceRF(job, cfg)
+	})
+	return e.live[i], e.liveErr[i]
 }
 
 type microKey struct {
@@ -102,9 +132,37 @@ const (
 	LayerSoft Layer = "soft"
 )
 
+// SamplingPolicy selects the adaptive sampling strategy of a campaign point.
+// The zero value (and a nil pointer) is the paper's fixed-n design.
+type SamplingPolicy struct {
+	// Margin enables sequential early stopping at the given target
+	// Wilson-score 99% CI half-width on the failure rate (<= 0 disables it).
+	Margin float64
+	// Batch is the run-index granularity of the stop rule
+	// (0 = adaptive.DefaultBatch).
+	Batch int
+	// Prune enables liveness-guided pruning of register-file injections:
+	// provably-dead sites classify as Masked from the golden run's liveness
+	// map instead of being simulated. Classifications are bit-identical to
+	// brute force (microfi.InjectPruned).
+	Prune bool
+}
+
+// Policy converts the point-level knobs to the engine's stopping policy.
+func (p *SamplingPolicy) Policy() adaptive.Policy {
+	if p == nil {
+		return adaptive.Policy{}
+	}
+	return adaptive.Policy{Margin: p.Margin, Batch: p.Batch}
+}
+
 // PointSpec identifies one campaign point — the unit of work the campaign
 // scheduler (internal/service) accepts, checkpoints and resumes. Structure
 // is meaningful only for LayerMicro, Mode only for LayerSoft.
+//
+// Sampling tunes how the point is sampled, not what it measures: it is
+// deliberately excluded from PointSeed, so an adaptive campaign draws the
+// exact same per-run experiments as the fixed-n campaign it truncates.
 type PointSpec struct {
 	Layer     Layer
 	App       string
@@ -112,6 +170,7 @@ type PointSpec struct {
 	Structure gpu.Structure
 	Mode      softfi.Mode
 	Hardened  bool
+	Sampling  *SamplingPolicy
 }
 
 // PointSeed derives the campaign seed of a point from a base seed, exactly
@@ -143,26 +202,39 @@ func (s *Study) PointExperiment(spec PointSpec) (campaign.Experiment, error) {
 			job, g = e.JobTMR, e.MicroGTMR
 		}
 		t := microfi.Target{Structure: spec.Structure, Kernel: spec.Kernel, IncludeVote: spec.Hardened}
-		return func(run int, rng *rand.Rand) faults.Result {
+		if spec.Sampling != nil && spec.Sampling.Prune && spec.Structure == gpu.RF {
+			lv, err := e.liveness(s.Cfg, spec.Hardened)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", spec.App, err)
+			}
+			return s.Counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
+				return microfi.InjectPruned(job, g, lv, t, rng)
+			}), nil
+		}
+		return s.Counters.Count(func(run int, rng *rand.Rand) faults.Result {
 			return microfi.Inject(job, g, t, rng)
-		}, nil
+		}), nil
 	case LayerSoft:
 		job, g := e.Job, e.SoftG
 		if spec.Hardened {
 			job, g = e.JobTMR, e.SoftGTMR
 		}
 		t := softfi.Target{Kernel: spec.Kernel, Mode: spec.Mode, IncludeVote: spec.Hardened}
-		return func(run int, rng *rand.Rand) faults.Result {
+		return s.Counters.Count(func(run int, rng *rand.Rand) faults.Result {
 			return softfi.Inject(job, g, t, rng)
-		}, nil
+		}), nil
 	default:
 		return nil, fmt.Errorf("unknown campaign layer %q", spec.Layer)
 	}
 }
 
 // runPoint executes (locally or through the RunPoint hook) one campaign
-// point with the study's sizing and the point's derived seed.
+// point with the study's sizing, the point's derived seed and the effective
+// sampling policy (the point's own, else the study default).
 func (s *Study) runPoint(spec PointSpec) (campaign.Tally, error) {
+	if spec.Sampling == nil {
+		spec.Sampling = s.Sampling
+	}
 	opts := campaign.Options{Runs: s.Runs, Seed: PointSeed(s.Seed, spec), Workers: s.Workers}
 	if s.RunPoint != nil {
 		return s.RunPoint(spec, opts)
@@ -170,6 +242,13 @@ func (s *Study) runPoint(spec PointSpec) (campaign.Tally, error) {
 	fn, err := s.PointExperiment(spec)
 	if err != nil {
 		return campaign.Tally{}, err
+	}
+	if pol := spec.Sampling.Policy(); pol.Margin > 0 {
+		res := adaptive.Run(opts, pol, fn)
+		if s.Counters != nil {
+			s.Counters.Saved.Add(int64(res.Saved))
+		}
+		return res.Tally, nil
 	}
 	return campaign.Run(opts, fn), nil
 }
@@ -284,6 +363,60 @@ func (s *Study) KernelAVF(appName, kernel string, hardened bool) (metrics.Breakd
 		structs = append(structs, metrics.NewStructAVF(st, tl, df))
 	}
 	return metrics.ChipAVF(s.Cfg, structs), structs, nil
+}
+
+// KernelAVFStratified measures the same full-chip AVF as KernelAVF but
+// treats the five hardware structures as strata of one sampling budget:
+// after a pilot, Neyman allocation concentrates the remaining runs on the
+// structures with the highest weighted failure-rate variance (weights are
+// the structures' shares of the chip's storage bits — the same weights
+// metrics.ChipAVF recombines with, so precision is spent where it moves the
+// chip AVF most). Per-structure tallies are deterministic prefixes of the
+// corresponding fixed-n campaigns and are cached, so later MicroTally calls
+// for these points reuse them. Liveness pruning of RF runs follows the
+// study's Sampling policy.
+func (s *Study) KernelAVFStratified(appName, kernel string, hardened bool, pol adaptive.StratifiedPolicy) (metrics.Breakdown, []metrics.StructAVF, []adaptive.StratumResult, error) {
+	e, err := s.Eval(appName)
+	if err != nil {
+		return metrics.Breakdown{}, nil, nil, err
+	}
+	g := e.MicroG
+	if hardened {
+		g = e.MicroGTMR
+	}
+	sampling := &SamplingPolicy{Margin: pol.Margin, Batch: pol.Batch}
+	if s.Sampling != nil {
+		sampling.Prune = s.Sampling.Prune
+	}
+	var strata []adaptive.Stratum
+	for _, st := range gpu.Structures {
+		spec := PointSpec{Layer: LayerMicro, App: appName, Kernel: kernel, Structure: st, Hardened: hardened, Sampling: sampling}
+		fn, err := s.PointExperiment(spec)
+		if err != nil {
+			return metrics.Breakdown{}, nil, nil, err
+		}
+		strata = append(strata, adaptive.Stratum{
+			Name:   st.String(),
+			Weight: float64(s.Cfg.StructBits(st)),
+			Opts:   campaign.Options{Runs: s.Runs, Seed: PointSeed(s.Seed, spec), Workers: s.Workers},
+			Fn:     fn,
+		})
+	}
+	results := adaptive.Stratified(strata, pol)
+
+	var structs []metrics.StructAVF
+	s.mu.Lock()
+	for i, st := range gpu.Structures {
+		tl := results[i].Tally
+		s.micro[microKey{appName, kernel, st, hardened}] = tl
+		t := microfi.Target{Structure: st, Kernel: kernel, IncludeVote: hardened}
+		structs = append(structs, metrics.NewStructAVF(st, tl, t.DF(g)))
+		if s.Counters != nil {
+			s.Counters.Saved.Add(int64(s.Runs - tl.N))
+		}
+	}
+	s.mu.Unlock()
+	return metrics.ChipAVF(s.Cfg, structs), structs, results, nil
 }
 
 // KernelSVF measures the SVF of one kernel.
