@@ -8,6 +8,12 @@
 //	gpudis -app SRADv1 -kernel K4      # disassemble one kernel
 //	gpudis -app VA -kernel K1 -reuse   # annotate destination-register fanout
 //	gpudis -app HotSpot -kernel K1 -mix  # static instruction mix
+//	gpudis -app LUD -kernel K2 -cfg    # basic-block CFG with dominators
+//	gpudis -app LUD -kernel K2 -dot    # CFG in Graphviz dot syntax
+//	gpudis -app BFS -lint              # lint every kernel of the app
+//
+// -lint exits 2 when any kernel has error-severity findings, 1 when only
+// warnings, 0 when clean.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"sort"
 
 	"gpurel/internal/device"
+	"gpurel/internal/flow"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
 	"gpurel/internal/reuse"
@@ -28,6 +35,9 @@ func main() {
 		kernel  = flag.String("kernel", "", "kernel name (K1..Kn)")
 		fanout  = flag.Bool("reuse", false, "annotate destination-register reuse fanout")
 		mix     = flag.Bool("mix", false, "print the static instruction mix instead of the listing")
+		lint    = flag.Bool("lint", false, "run the static kernel linter (all kernels when -kernel is empty)")
+		cfg     = flag.Bool("cfg", false, "print the basic-block CFG with dominators")
+		dot     = flag.Bool("dot", false, "print the CFG in Graphviz dot syntax")
 		list    = flag.Bool("list", false, "list benchmarks")
 	)
 	flag.Parse()
@@ -57,6 +67,35 @@ func main() {
 		}
 	}
 
+	if *lint {
+		exit := 0
+		names := order
+		if *kernel != "" {
+			if _, ok := progs[*kernel]; !ok {
+				fatal(fmt.Errorf("%s has no kernel %q", app.Name, *kernel))
+			}
+			names = []string{*kernel}
+		}
+		for _, name := range names {
+			p := progs[name]
+			diags := flow.Lint(p)
+			if len(diags) == 0 {
+				fmt.Printf("%s %s (%s): clean\n", app.Name, name, p.Name)
+				continue
+			}
+			fmt.Printf("%s %s (%s): %d finding(s)\n", app.Name, name, p.Name, len(diags))
+			for _, d := range diags {
+				fmt.Printf("  %s\n", d)
+				if d.Sev == flow.Error {
+					exit = 2
+				} else if exit == 0 {
+					exit = 1
+				}
+			}
+		}
+		os.Exit(exit)
+	}
+
 	if *kernel == "" {
 		fmt.Printf("%s: %d kernels\n", app.Name, len(order))
 		for _, name := range order {
@@ -75,6 +114,15 @@ func main() {
 		app.Name, *kernel, p.Name, len(p.Code), p.NumRegs)
 	if *mix {
 		printMix(p)
+		return
+	}
+	if *cfg || *dot {
+		g := flow.Build(p)
+		if *dot {
+			fmt.Print(g.Dot())
+		} else {
+			fmt.Print(g.String())
+		}
 		return
 	}
 	if !*fanout {

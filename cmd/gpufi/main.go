@@ -10,6 +10,9 @@
 //	gpufi -app VA -structure all -n 3000 -adaptive -prune
 //	                        # adaptive sampling: stop each campaign at ±2.35%,
 //	                        # skip provably-dead RF sites via the liveness map
+//	gpufi -app VA -structure RF -n 3000 -static-prune
+//	                        # like -prune, but the dead set comes from static
+//	                        # dataflow analysis — no golden liveness trace
 package main
 
 import (
@@ -33,18 +36,19 @@ import (
 
 func main() {
 	var (
-		appName    = flag.String("app", "VA", "benchmark application (see -list)")
-		kernel     = flag.String("kernel", "", "kernel name (K1..Kn); empty = whole application")
-		structure  = flag.String("structure", "RF", "RF, SMEM, L1D, L1T, L2 or all")
-		n          = flag.Int("n", 3000, "injections per campaign (paper: 3000 → ±2.35% at 99% confidence)")
-		seed       = flag.Int64("seed", 1, "campaign seed")
-		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		tmr        = flag.Bool("tmr", false, "harden the application with thread-level TMR first")
-		burst      = flag.Int("burst", 1, "adjacent multi-bit burst width (1 = single-bit)")
-		adaptiveOn = flag.Bool("adaptive", false, "stop each campaign early once the Wilson-score 99% CI half-width reaches the target margin")
-		margin     = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the paper's ±2.35%); implies -adaptive")
-		prune      = flag.Bool("prune", false, "classify provably-dead RF injection sites as Masked from the golden run's liveness map, without simulating")
-		list       = flag.Bool("list", false, "list benchmarks and kernels")
+		appName     = flag.String("app", "VA", "benchmark application (see -list)")
+		kernel      = flag.String("kernel", "", "kernel name (K1..Kn); empty = whole application")
+		structure   = flag.String("structure", "RF", "RF, SMEM, L1D, L1T, L2 or all")
+		n           = flag.Int("n", 3000, "injections per campaign (paper: 3000 → ±2.35% at 99% confidence)")
+		seed        = flag.Int64("seed", 1, "campaign seed")
+		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		tmr         = flag.Bool("tmr", false, "harden the application with thread-level TMR first")
+		burst       = flag.Int("burst", 1, "adjacent multi-bit burst width (1 = single-bit)")
+		adaptiveOn  = flag.Bool("adaptive", false, "stop each campaign early once the Wilson-score 99% CI half-width reaches the target margin")
+		margin      = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the paper's ±2.35%); implies -adaptive")
+		prune       = flag.Bool("prune", false, "classify provably-dead RF injection sites as Masked from the golden run's liveness map, without simulating")
+		staticPrune = flag.Bool("static-prune", false, "classify statically-dead RF injection sites as Masked via dataflow analysis (no liveness trace needed); ignored when -prune is set")
+		list        = flag.Bool("list", false, "list benchmarks and kernels")
 	)
 	flag.Parse()
 
@@ -81,6 +85,10 @@ func main() {
 			fatal(err)
 		}
 	}
+	var dead microfi.StaticDead
+	if *staticPrune && lv == nil {
+		dead = microfi.StaticDeadRegs(job)
+	}
 
 	var structures []gpu.Structure
 	if *structure == "all" {
@@ -111,6 +119,10 @@ func main() {
 			exp = counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
 				return microfi.InjectPruned(job, g, lv, tgt, rng)
 			})
+		} else if dead != nil && st == gpu.RF {
+			exp = counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
+				return microfi.InjectStatic(job, g, dead, tgt, rng)
+			})
 		} else {
 			exp = counters.Count(func(run int, rng *rand.Rand) faults.Result {
 				return microfi.Inject(job, g, tgt, rng)
@@ -140,9 +152,13 @@ func main() {
 		tbl.AddFooter("full-chip AVF (size-weighted): %s  [SDC %s, Timeout %s, DUE %s]",
 			report.Pct(chip.Total()), report.Pct(chip.SDC), report.Pct(chip.Timeout), report.Pct(chip.DUE))
 	}
-	if target > 0 || *prune {
-		tbl.AddFooter("adaptive sampling: %d simulated, %d pruned (liveness), %d saved (early stop, target ±%.2f%%)",
-			counters.Simulated.Load(), counters.Pruned.Load(), counters.Saved.Load(), 100*target)
+	if target > 0 || *prune || dead != nil {
+		how := "liveness"
+		if dead != nil {
+			how = "static"
+		}
+		tbl.AddFooter("adaptive sampling: %d simulated, %d pruned (%s), %d saved (early stop, target ±%.2f%%)",
+			counters.Simulated.Load(), counters.Pruned.Load(), how, counters.Saved.Load(), 100*target)
 	}
 	fmt.Print(tbl.String())
 }

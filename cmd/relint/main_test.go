@@ -1,0 +1,84 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func parseAndCheck(t *testing.T, path string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, f)
+}
+
+// TestFixtureFindings: the fixture exercises each rule once; the allowed
+// forms (seeded rand, counting iteration, //relint:allow) produce nothing.
+func TestFixtureFindings(t *testing.T) {
+	got := parseAndCheck(t, filepath.Join("testdata", "fixture", "internal", "sim", "bad.go"))
+	wantRules := []string{"wallclock", "wallclock", "global-rand", "map-order", "map-order"}
+	if len(got) != len(wantRules) {
+		for _, fd := range got {
+			t.Logf("finding: %s: %s: %s", fd.pos, fd.rule, fd.msg)
+		}
+		t.Fatalf("got %d findings, want %d", len(got), len(wantRules))
+	}
+	for i, rule := range wantRules {
+		if got[i].rule != rule {
+			t.Errorf("finding %d: rule %q, want %q (%s)", i, got[i].rule, rule, got[i].msg)
+		}
+	}
+}
+
+// TestDeterministicCoreClean runs every rule over the real deterministic
+// packages — the same set CI enforces. A finding here is a regression.
+func TestDeterministicCoreClean(t *testing.T) {
+	_, self, _, _ := runtime.Caller(0)
+	root := filepath.Join(filepath.Dir(self), "..", "..")
+	for _, pkg := range strings.Split(defaultPkgs, ",") {
+		dir := filepath.Join(root, pkg)
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) == 0 {
+			t.Fatalf("%s: no Go files — defaultPkgs is stale", pkg)
+		}
+		for _, path := range matches {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			for _, fd := range parseAndCheck(t, path) {
+				t.Errorf("%s: %s: %s", fd.pos, fd.rule, fd.msg)
+			}
+		}
+	}
+}
+
+// TestInPkgs pins the directory-matching rules used to scope enforcement.
+func TestInPkgs(t *testing.T) {
+	pkgs := []string{"internal/sim", "internal/exec"}
+	cases := []struct {
+		root, path string
+		want       bool
+	}{
+		{".", "internal/sim/sim.go", true},
+		{".", "internal/sim/sub/deep.go", true},
+		{".", "internal/exec/exec.go", true},
+		{".", "internal/isa/isa.go", false},
+		{".", "cmd/relint/main.go", false},
+		{"testdata/fixture", "testdata/fixture/internal/sim/bad.go", true},
+	}
+	for _, c := range cases {
+		if got := inPkgs(c.root, c.path, pkgs); got != c.want {
+			t.Errorf("inPkgs(%q, %q) = %v, want %v", c.root, c.path, got, c.want)
+		}
+	}
+}

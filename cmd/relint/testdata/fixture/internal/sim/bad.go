@@ -1,0 +1,67 @@
+// Package sim is a relint test fixture: every banned construct appears once,
+// plus allowed forms that must NOT be flagged.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock — banned.
+func Stamp() int64 {
+	return time.Now().UnixNano() // finding: wallclock
+}
+
+// Elapsed uses time.Since — banned.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // finding: wallclock
+}
+
+// Draw pulls from the global source — banned.
+func Draw() int {
+	return rand.Intn(10) // finding: global-rand
+}
+
+// DrawSeeded derives an explicit source — allowed.
+func DrawSeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// Tally iterates a map into an append — banned (order leaks into the slice).
+func Tally(counts map[string]int) []string {
+	var out []string
+	for k := range counts { // finding: map-order
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump prints while ranging a map literal — banned.
+func Dump() {
+	for k, v := range map[string]int{"a": 1} { // finding: map-order
+		fmt.Println(k, v)
+	}
+}
+
+// Count is order-insensitive map iteration — allowed.
+func Count(counts map[string]int) int {
+	n := 0
+	for range counts {
+		n++
+	}
+	return n
+}
+
+// Allowed is suppressed by the escape-hatch comment.
+func Allowed(counts map[string]int) []string {
+	var out []string
+	//relint:allow — order does not matter here, the caller sorts
+	for k := range counts {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Ticker only names the time package in a type — allowed (no clock read).
+var Ticker time.Duration

@@ -70,9 +70,17 @@ func TestACEGrowsWithLiveRange(t *testing.T) {
 // ACE interval.
 func TestACEDeadValueNotCounted(t *testing.T) {
 	b := kasm.New("dead")
-	b.MovI(42) // dead write
+	// x's first write is dynamically dead: the guarded overwrite below fires
+	// for every lane (tid >= 0 always holds) before any read. Statically the
+	// overwrite is only a may-write, so the program passes the build-time
+	// linter — exactly the gap between static and dynamic liveness.
+	x := b.MovI(42)
 	tid := b.S2R(isa.SRTidX)
-	b.Stg(b.IScAdd(tid, b.Param(0), 2), 0, tid)
+	p := b.P()
+	b.ISetpI(p, isa.CmpGE, tid, 0)
+	b.Guarded(p, false, func() { b.MovITo(x, 7) })
+	b.FreeP(p)
+	b.Stg(b.IScAdd(tid, b.Param(0), 2), 0, x)
 	prog := b.MustBuild()
 	m := device.NewMemory(1 << 16)
 	out := m.Alloc("out", 4*32)

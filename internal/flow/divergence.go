@@ -1,0 +1,215 @@
+package flow
+
+import "gpurel/internal/isa"
+
+// Variance is a thread-variance ("divergence") analysis: which values may
+// differ between lanes of one warp. Sources of variance are the
+// lane-distinguishing special registers (SR_TID.*, SR_LANEID); everything
+// derived from them — including values merged under a variant guard and loads
+// through variant addresses — is variant. A branch guarded by a variant
+// predicate may split the warp; one guarded by a uniform predicate cannot.
+//
+// Register variance is flow-insensitive (one bit per register for the whole
+// program): kernels allocate result registers SSA-style, so reuse-induced
+// imprecision is rare. Predicate variance is per-definition, joined through
+// reaching pred-defs — the seven predicate registers are recycled constantly
+// (a uniform loop guard and a variant bounds check often share a name), so a
+// flow-insensitive bit would poison every loop head. Both directions
+// over-approximate, which is the safe side: the linter only *excuses* a
+// barrier when the enclosing branches are provably uniform.
+type Variance struct {
+	g   *Graph
+	reg [isa.MaxRegs + 1]bool
+
+	defPC      []int // pred-def id -> pc
+	defIDAt    []int // pc -> pred-def id, -1 when no predicate is defined
+	defVariant []bool
+	reachIn    []blockSet // per pc: pred-def ids reaching just before it
+}
+
+// predDef returns the predicate the instruction defines, if any. PT writes
+// are discarded by the hardware and define nothing.
+func predDef(ins *isa.Instr) (isa.Pred, bool) {
+	switch ins.Op {
+	case isa.OpISETP, isa.OpFSETP:
+		if !neverExec(ins) && ins.PDst != isa.PT && int(ins.PDst) <= isa.NumPreds {
+			return ins.PDst, true
+		}
+	}
+	return isa.PT, false
+}
+
+// VariantReg reports whether the register may differ across lanes.
+func (v *Variance) VariantReg(r isa.Reg) bool {
+	if r == isa.RZ || int(r) > isa.MaxRegs {
+		return false
+	}
+	return v.reg[r]
+}
+
+// VariantPredAt reports whether predicate p, read just before pc, may differ
+// across lanes: some reaching definition of it is variant. PT is always
+// uniform, as is a predicate with no reaching definition (predicate registers
+// power on uniformly zero).
+func (v *Variance) VariantPredAt(pc int, p isa.Pred) bool {
+	if p == isa.PT || int(p) > isa.NumPreds {
+		return false
+	}
+	for _, id := range v.defsOf(pc, p) {
+		if v.defVariant[id] {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *Variance) defsOf(pc int, p isa.Pred) []int {
+	var out []int
+	for id, dpc := range v.defPC {
+		if v.g.Prog.Code[dpc].PDst == p && v.reachIn[pc].has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Divergent reports whether the guarded branch at pc may make lanes of one
+// warp disagree on the direction.
+func (v *Variance) Divergent(pc int) bool {
+	ins := &v.g.Prog.Code[pc]
+	if ins.Op != isa.OpBRA || neverExec(ins) || alwaysExec(ins) {
+		return false
+	}
+	return v.VariantPredAt(pc, ins.Pred)
+}
+
+// Variance computes the analysis to fixpoint over the CFG.
+func (g *Graph) Variance() *Variance {
+	n := len(g.Prog.Code)
+	v := &Variance{g: g, defIDAt: make([]int, n), reachIn: make([]blockSet, n)}
+
+	for pc := range g.Prog.Code {
+		v.defIDAt[pc] = -1
+		if _, ok := predDef(&g.Prog.Code[pc]); ok {
+			v.defIDAt[pc] = len(v.defPC)
+			v.defPC = append(v.defPC, pc)
+		}
+	}
+	nd := len(v.defPC)
+	v.defVariant = make([]bool, nd)
+	nb := len(g.Blocks)
+	for pc := range v.reachIn {
+		v.reachIn[pc] = newBlockSet(nd)
+	}
+	if nb == 0 {
+		return v
+	}
+
+	// Forward reaching pred-defs. An unguarded pred write kills the other
+	// defs of the same predicate; a guarded one may leave the old value on
+	// some lanes, so it only generates.
+	transfer := func(b *Block, in blockSet) blockSet {
+		out := newBlockSet(nd)
+		copy(out, in)
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := &g.Prog.Code[pc]
+			if p, ok := predDef(ins); ok {
+				if alwaysExec(ins) {
+					for id, dpc := range v.defPC {
+						if g.Prog.Code[dpc].PDst == p {
+							out[id>>6] &^= 1 << (id & 63)
+						}
+					}
+				}
+				out.add(v.defIDAt[pc])
+			}
+		}
+		return out
+	}
+	blockIn := make([]blockSet, nb)
+	for i := range blockIn {
+		blockIn[i] = newBlockSet(nd)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < nb; i++ {
+			in := newBlockSet(nd)
+			for _, p := range g.Blocks[i].Preds {
+				po := transfer(&g.Blocks[p], blockIn[p])
+				for w := range in {
+					in[w] |= po[w]
+				}
+			}
+			for w := range blockIn[i] {
+				if blockIn[i][w]|in[w] != blockIn[i][w] {
+					blockIn[i][w] |= in[w]
+					changed = true
+				}
+			}
+		}
+	}
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		cur := newBlockSet(nd)
+		copy(cur, blockIn[i])
+		for pc := b.Start; pc < b.End; pc++ {
+			copy(v.reachIn[pc], cur)
+			ins := &g.Prog.Code[pc]
+			if p, ok := predDef(ins); ok {
+				if alwaysExec(ins) {
+					for id, dpc := range v.defPC {
+						if g.Prog.Code[dpc].PDst == p {
+							cur[id>>6] &^= 1 << (id & 63)
+						}
+					}
+				}
+				cur.add(v.defIDAt[pc])
+			}
+		}
+	}
+
+	// Joint fixpoint on register variance and per-definition predicate
+	// variance.
+	var srcs []isa.Reg
+	for changed := true; changed; {
+		changed = false
+		for pc := range g.Prog.Code {
+			ins := &g.Prog.Code[pc]
+			if neverExec(ins) {
+				continue
+			}
+			// A write under a variant guard lands on some lanes and not
+			// others, so the destination is variant even when the value
+			// written is uniform.
+			in := v.VariantPredAt(pc, ins.Pred)
+			srcs = ins.SrcRegs(srcs[:0])
+			for _, r := range srcs {
+				in = in || v.VariantReg(r)
+			}
+			switch ins.Op {
+			case isa.OpS2R:
+				switch ins.Special {
+				case isa.SRTidX, isa.SRTidY, isa.SRLaneID:
+					in = true
+				}
+			case isa.OpSEL:
+				in = in || v.VariantPredAt(pc, ins.SelPred)
+			case isa.OpISETP, isa.OpFSETP:
+				in = in || v.VariantPredAt(pc, ins.CPred)
+				if id := v.defIDAt[pc]; id >= 0 && in && !v.defVariant[id] {
+					v.defVariant[id] = true
+					changed = true
+				}
+				continue
+			}
+			if ins.Writing() {
+				r := ins.Dst
+				if r != isa.RZ && int(r) <= isa.MaxRegs && in && !v.reg[r] {
+					v.reg[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return v
+}

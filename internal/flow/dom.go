@@ -1,0 +1,188 @@
+package flow
+
+// Dominator and post-dominator trees, computed with the iterative bitset
+// algorithm — programs are tens to a few hundred instructions, so the O(n²)
+// worst case is irrelevant and the implementation stays obviously correct.
+
+// bitset over block IDs.
+type blockSet []uint64
+
+func newBlockSet(n int) blockSet { return make(blockSet, (n+63)/64) }
+
+func (s blockSet) has(i int) bool { return s[i>>6]&(1<<(i&63)) != 0 }
+func (s blockSet) add(i int)      { s[i>>6] |= 1 << (i & 63) }
+
+func (s blockSet) fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// intersect sets s = s ∩ t.
+func (s blockSet) intersect(t blockSet) {
+	for i := range s {
+		s[i] &= t[i]
+	}
+}
+
+func (s blockSet) equal(t blockSet) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s blockSet) count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// domSets runs the iterative dataflow dom(b) = {b} ∪ ∩_{p ∈ edges(b)} dom(p)
+// where edges are preds (forward dominators) or succs (post-dominators).
+// roots are the nodes whose set is initialised to {root}. Nodes with no
+// in-edges and not a root keep the full set (unreachable: dominated by all).
+func domSets(n int, roots []int, edges func(int) []int) []blockSet {
+	sets := make([]blockSet, n)
+	isRoot := make([]bool, n)
+	for i := range sets {
+		sets[i] = newBlockSet(n)
+		sets[i].fill()
+	}
+	for _, r := range roots {
+		isRoot[r] = true
+		for i := range sets[r] {
+			sets[r][i] = 0
+		}
+		sets[r].add(r)
+	}
+	tmp := newBlockSet(n)
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < n; b++ {
+			if isRoot[b] {
+				continue
+			}
+			tmp.fill()
+			for _, p := range edges(b) {
+				tmp.intersect(sets[p])
+			}
+			tmp.add(b)
+			if !tmp.equal(sets[b]) {
+				copy(sets[b], tmp)
+				changed = true
+			}
+		}
+	}
+	return sets
+}
+
+// extractIdom picks, for every node, the strictly-dominating node with the
+// largest dominator set — the immediate dominator. Roots and nodes not
+// reachable from any root (reach[b] == false) get -1.
+func extractIdom(sets []blockSet, roots, reach []bool) []int {
+	n := len(sets)
+	idom := make([]int, n)
+	for b := range idom {
+		idom[b] = -1
+		if roots[b] || !reach[b] {
+			continue
+		}
+		best, bestSize := -1, -1
+		for d := 0; d < n; d++ {
+			if d == b || !reach[d] || !sets[b].has(d) {
+				continue
+			}
+			if sz := sets[d].count(); sz > bestSize {
+				best, bestSize = d, sz
+			}
+		}
+		idom[b] = best
+	}
+	return idom
+}
+
+// reachFrom marks nodes reachable from the roots along edges.
+func reachFrom(n int, roots []int, edges func(int) []int) []bool {
+	seen := make([]bool, n)
+	stack := append([]int(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range edges(b) {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Dominators returns the immediate dominator of every block (-1 for the
+// entry block and for blocks unreachable from the entry).
+func (g *Graph) Dominators() []int {
+	n := len(g.Blocks)
+	if n == 0 {
+		return nil
+	}
+	sets := domSets(n, []int{0}, func(b int) []int { return g.Blocks[b].Preds })
+	isRoot := make([]bool, n)
+	isRoot[0] = true
+	return extractIdom(sets, isRoot, g.Reachable())
+}
+
+// PostDominators returns the immediate post-dominator of every block. Blocks
+// that terminate the program (no successors) and blocks that cannot reach an
+// exit get -1 (their post-dominator is the virtual exit).
+func (g *Graph) PostDominators() []int {
+	n := len(g.Blocks)
+	if n == 0 {
+		return nil
+	}
+	var roots []int
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 0 {
+			roots = append(roots, b.ID)
+		}
+	}
+	if len(roots) == 0 {
+		// No exit at all (e.g. a single infinite loop): everything is its
+		// own post-dominator frontier; report none.
+		out := make([]int, n)
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	sets := domSets(n, roots, func(b int) []int { return g.Blocks[b].Succs })
+	isRoot := make([]bool, n)
+	for _, r := range roots {
+		isRoot[r] = true
+	}
+	// "reachable" in the post-dominance direction = can reach an exit.
+	reach := reachFrom(n, roots, func(b int) []int { return g.Blocks[b].Preds })
+	return extractIdom(sets, isRoot, reach)
+}
+
+// Dominates reports whether block a dominates block b under the immediate
+// dominator tree idom (as returned by Dominators or PostDominators). Every
+// block dominates itself.
+func Dominates(idom []int, a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = idom[b]
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package flow
+
+import "gpurel/internal/isa"
+
+// DefUse holds reaching-definition results: which writes can supply the
+// value read by each use, and the dual def→uses chains. It also tracks the
+// synthetic "entry" definition, whose reach at a use means the register may
+// still hold its undefined power-on value there.
+type DefUse struct {
+	g *Graph
+
+	defPC  []int   // def id -> pc
+	defOf  []int   // pc -> def id, -1 when the instruction defines nothing
+	uses   [][]int // def id -> sorted use pcs
+	defsAt [][]int // pc -> reaching def ids for each source reg read there
+
+	undefIn []RegSet // per pc: regs with a def-free path from entry
+}
+
+// defSet is a bitset over definition IDs.
+type defSet = blockSet
+
+// DefUse computes reaching definitions and def-use chains to fixpoint.
+func (g *Graph) DefUse() *DefUse {
+	n := len(g.Prog.Code)
+	du := &DefUse{
+		g:       g,
+		defOf:   make([]int, n),
+		defsAt:  make([][]int, n),
+		undefIn: make([]RegSet, n),
+	}
+
+	// Number the definitions.
+	for pc := range g.Prog.Code {
+		du.defOf[pc] = -1
+		if r, ok, _ := def(&g.Prog.Code[pc]); ok {
+			if _, inRange := regIndex(r); inRange {
+				du.defOf[pc] = len(du.defPC)
+				du.defPC = append(du.defPC, pc)
+			}
+		}
+	}
+	nd := len(du.defPC)
+	du.uses = make([][]int, nd)
+	nb := len(g.Blocks)
+	if nb == 0 {
+		return du
+	}
+
+	// defsOfReg[r] lists def ids writing register r, for kill sets.
+	defsOfReg := map[isa.Reg][]int{}
+	for id, pc := range du.defPC {
+		defsOfReg[g.Prog.Code[pc].Dst] = append(defsOfReg[g.Prog.Code[pc].Dst], id)
+	}
+
+	// Forward fixpoint on block-in sets. undef tracks registers that still
+	// have a def-free path from the entry; a textual write (guarded or not)
+	// removes the register from undef — path-sensitivity on guards is out of
+	// scope, so guarded writes count as initialisation.
+	blockIn := make([]defSet, nb)
+	undefBlockIn := make([]RegSet, nb)
+	for i := range blockIn {
+		blockIn[i] = newBlockSet(nd)
+	}
+	var allRegs RegSet
+	for r := 0; r < g.Prog.NumRegs && r <= isa.MaxRegs; r++ {
+		allRegs.add(isa.Reg(r))
+	}
+	undefBlockIn[0] = allRegs
+
+	transfer := func(b *Block, in defSet, undef RegSet) (defSet, RegSet) {
+		out := newBlockSet(nd)
+		copy(out, in)
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := &g.Prog.Code[pc]
+			if r, ok, must := def(ins); ok {
+				if must {
+					for _, k := range defsOfReg[r] {
+						out[k>>6] &^= 1 << (k & 63)
+					}
+				}
+				if id := du.defOf[pc]; id >= 0 {
+					out.add(id)
+				}
+				undef.remove(r)
+			}
+		}
+		return out, undef
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < nb; i++ {
+			b := &g.Blocks[i]
+			in := newBlockSet(nd)
+			var undef RegSet
+			if i == 0 {
+				undef = allRegs
+			}
+			for _, p := range b.Preds {
+				po, pu := transfer(&g.Blocks[p], blockIn[p], undefBlockIn[p])
+				for w := range in {
+					in[w] |= po[w]
+				}
+				undef.union(pu)
+			}
+			for w := range blockIn[i] {
+				if blockIn[i][w]|in[w] != blockIn[i][w] {
+					blockIn[i][w] |= in[w]
+					changed = true
+				}
+			}
+			if undefBlockIn[i].union(undef) {
+				changed = true
+			}
+		}
+	}
+
+	// Per-PC pass: record undef-in, reaching defs per use, and def→uses.
+	var scratch []isa.Reg
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		cur := newBlockSet(nd)
+		copy(cur, blockIn[i])
+		undef := undefBlockIn[i]
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := &g.Prog.Code[pc]
+			du.undefIn[pc] = undef
+			scratch = uses(ins, scratch[:0])
+			for _, r := range scratch {
+				for _, id := range defsOfReg[r] {
+					if cur.has(id) {
+						du.defsAt[pc] = append(du.defsAt[pc], id)
+						du.uses[id] = appendUnique(du.uses[id], pc)
+					}
+				}
+			}
+			if r, ok, must := def(ins); ok {
+				if must {
+					for _, k := range defsOfReg[r] {
+						cur[k>>6] &^= 1 << (k & 63)
+					}
+				}
+				if id := du.defOf[pc]; id >= 0 {
+					cur.add(id)
+				}
+				undef.remove(r)
+			}
+		}
+	}
+	return du
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Uses returns the PCs whose reads the definition at defPC can reach, or nil
+// when the instruction defines nothing or the value is never read.
+func (d *DefUse) Uses(defPC int) []int {
+	id := d.defOf[defPC]
+	if id < 0 {
+		return nil
+	}
+	return d.uses[id]
+}
+
+// Defs returns the PCs of the definitions of r that reach the use at usePC.
+func (d *DefUse) Defs(usePC int, r isa.Reg) []int {
+	var out []int
+	for _, id := range d.defsAt[usePC] {
+		pc := d.defPC[id]
+		if d.g.Prog.Code[pc].Dst == r {
+			out = appendUnique(out, pc)
+		}
+	}
+	return out
+}
+
+// MaybeUndef returns the registers that, just before pc, may still hold
+// their undefined initial value: some path from the entry reaches pc without
+// any textual write to the register.
+func (d *DefUse) MaybeUndef(pc int) RegSet { return d.undefIn[pc] }

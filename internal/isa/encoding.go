@@ -143,7 +143,9 @@ func UnmarshalProgram(data []byte) (*Program, error) {
 	numRegs := binary.LittleEndian.Uint32(data[4:])
 	nameLen := binary.LittleEndian.Uint32(data[8:])
 	rest := data[12:]
-	if uint32(len(rest)) < nameLen+4 {
+	// Widen before adding: nameLen+4 wraps around in uint32 for hostile
+	// lengths near 2^32, sneaking past the bound into a slice panic.
+	if uint64(len(rest)) < uint64(nameLen)+4 {
 		return nil, fmt.Errorf("isa: truncated kernel blob")
 	}
 	name := string(rest[:nameLen])
@@ -155,7 +157,7 @@ func UnmarshalProgram(data []byte) (*Program, error) {
 	}
 	p := &Program{Name: name, NumRegs: int(numRegs), Code: make([]Instr, n)}
 	for k := uint32(0); k < n; k++ {
-		ins, err := DecodeInstr(rest[k*EncodedSize:])
+		ins, err := DecodeInstr(rest[int(k)*EncodedSize:])
 		if err != nil {
 			return nil, fmt.Errorf("isa: instruction %d: %w", k, err)
 		}

@@ -1,0 +1,89 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeInstr feeds arbitrary 28-byte words to the instruction decoder.
+// Whatever decodes successfully must re-encode and decode back to the same
+// instruction: the encoding is the canonical bit-level form, so decode must
+// be a retraction of encode (decode∘encode = id on decode's image).
+func FuzzDecodeInstr(f *testing.F) {
+	var w [EncodedSize]byte
+	for _, ins := range []Instr{
+		{Op: OpEXIT},
+		{Op: OpIADD, Dst: 1, SrcA: 2, SrcB: 3},
+		{Op: OpBRA, Pred: P0, PredNeg: true, Target: 7, Reconv: 9},
+		{Op: OpMUFU, Mufu: MufuLG2, Dst: 4, SrcA: 5},
+		{Op: OpISETP, PDst: P1, CPred: P2, Cmp: CmpNE, SrcA: 1, SrcB: 2, BImm: true},
+	} {
+		ins.Encode(w[:])
+		f.Add(w[:])
+	}
+	f.Add([]byte{0xFF}) // short buffer
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, err := DecodeInstr(data)
+		if err != nil {
+			return
+		}
+		var buf, buf2 [EncodedSize]byte
+		ins.Encode(buf[:])
+		back, err := DecodeInstr(buf[:])
+		if err != nil {
+			t.Fatalf("re-decode of encoded instruction failed: %v\ninstr: %s", err, ins.String())
+		}
+		if back != ins {
+			t.Fatalf("decode(encode(x)) != x\n in: %#v\nout: %#v", ins, back)
+		}
+		back.Encode(buf2[:])
+		if buf != buf2 {
+			t.Fatalf("encode not stable: %x vs %x", buf, buf2)
+		}
+		_ = ins.String() // must not panic on any decodable instruction
+	})
+}
+
+// FuzzUnmarshalProgram throws arbitrary blobs at the program loader. It must
+// never panic (hostile lengths, truncated streams), and anything it accepts
+// must survive a Marshal/Unmarshal round trip unchanged.
+func FuzzUnmarshalProgram(f *testing.F) {
+	valid := &Program{Name: "seed", NumRegs: 4, Code: []Instr{
+		{Op: OpMOVI, Dst: 1, Imm: 42},
+		{Op: OpIADD, Dst: 2, SrcA: 1, SrcB: 1},
+		{Op: OpEXIT},
+	}}
+	f.Add(valid.Marshal())
+	// Hostile name length near 2^32: nameLen+4 wraps in uint32 arithmetic,
+	// which is exactly the overflow UnmarshalProgram widens to dodge.
+	hostile := []byte{'G', 'K', 'B', '1'}
+	hostile = binary.LittleEndian.AppendUint32(hostile, 4)          // NumRegs
+	hostile = binary.LittleEndian.AppendUint32(hostile, 0xFFFFFFFD) // nameLen
+	hostile = append(hostile, 0, 0, 0, 0)
+	f.Add(hostile)
+	f.Add([]byte("GKB1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalProgram(data)
+		if err != nil {
+			return
+		}
+		blob := p.Marshal()
+		q, err := UnmarshalProgram(blob)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if q.Name != p.Name || q.NumRegs != p.NumRegs || len(q.Code) != len(p.Code) {
+			t.Fatalf("round trip changed header: %q/%d/%d vs %q/%d/%d",
+				p.Name, p.NumRegs, len(p.Code), q.Name, q.NumRegs, len(q.Code))
+		}
+		for k := range p.Code {
+			if p.Code[k] != q.Code[k] {
+				t.Fatalf("round trip changed instruction %d: %#v vs %#v", k, p.Code[k], q.Code[k])
+			}
+		}
+		if !bytes.Equal(blob, q.Marshal()) {
+			t.Fatal("Marshal not stable across a round trip")
+		}
+	})
+}

@@ -245,6 +245,14 @@ func (i *Instr) SrcRegs(dst []Reg) []Reg {
 	return dst
 }
 
+// Known reports whether the opcode is one the ISA defines.
+func (o Op) Known() bool { return o < opCount }
+
+// NumOps is the number of defined opcodes. Metadata tables (disassembly,
+// source/destination maps, exhaustiveness tests) must have exactly this many
+// entries.
+const NumOps = int(opCount)
+
 func (o Op) String() string {
 	if int(o) < len(opNames) {
 		return opNames[o]
@@ -412,11 +420,36 @@ func (p *Program) Validate() error {
 		}
 		return nil
 	}
+	checkPred := func(pc int, pr Pred) error {
+		if int(pr) > NumPreds {
+			return fmt.Errorf("%s: pc %d: predicate %d out of range", p.Name, pc, pr)
+		}
+		return nil
+	}
 	var srcs []Reg
 	for pc := range p.Code {
 		ins := &p.Code[pc]
 		if ins.Op >= opCount {
 			return fmt.Errorf("%s: pc %d: bad opcode %d", p.Name, pc, ins.Op)
+		}
+		for _, pr := range [...]Pred{ins.Pred, ins.PDst, ins.CPred, ins.SelPred} {
+			if err := checkPred(pc, pr); err != nil {
+				return err
+			}
+		}
+		switch ins.Op {
+		case OpISETP, OpFSETP:
+			if ins.Cmp > CmpNE {
+				return fmt.Errorf("%s: pc %d: bad comparison %d", p.Name, pc, ins.Cmp)
+			}
+		case OpMUFU:
+			if ins.Mufu > MufuLG2 {
+				return fmt.Errorf("%s: pc %d: bad MUFU op %d", p.Name, pc, ins.Mufu)
+			}
+		case OpS2R:
+			if ins.Special > SRLaneID {
+				return fmt.Errorf("%s: pc %d: bad special register %d", p.Name, pc, ins.Special)
+			}
 		}
 		if ins.Op == OpBRA {
 			if ins.Target < 0 || ins.Target > len(p.Code) {

@@ -1,0 +1,114 @@
+package isa
+
+import "testing"
+
+// opMeta pins the per-opcode metadata contract: mnemonic, whether the op
+// writes a GPR destination, and how many GPR sources it reads (with BImm
+// clear). Adding an opcode without extending this table — or without teaching
+// SrcRegs/Writing/String about it — fails TestOpMetadataExhaustive, which is
+// the point: every consumer of the ISA (linter, liveness, fault classifier)
+// trusts these three methods to cover the full opcode space.
+var opMeta = map[Op]struct {
+	name   string
+	writes bool
+	nsrc   int
+}{
+	OpNOP:    {"NOP", false, 0},
+	OpEXIT:   {"EXIT", false, 0},
+	OpBRA:    {"BRA", false, 0},
+	OpBAR:    {"BAR", false, 0},
+	OpS2R:    {"S2R", true, 0},
+	OpMOV:    {"MOV", true, 1},
+	OpMOVI:   {"MOVI", true, 0},
+	OpLDC:    {"LDC", true, 0},
+	OpIADD:   {"IADD", true, 2},
+	OpISUB:   {"ISUB", true, 2},
+	OpIMUL:   {"IMUL", true, 2},
+	OpIMAD:   {"IMAD", true, 3},
+	OpISCADD: {"ISCADD", true, 2},
+	OpIMIN:   {"IMIN", true, 2},
+	OpIMAX:   {"IMAX", true, 2},
+	OpSHL:    {"SHL", true, 2},
+	OpSHR:    {"SHR", true, 2},
+	OpAND:    {"AND", true, 2},
+	OpOR:     {"OR", true, 2},
+	OpXOR:    {"XOR", true, 2},
+	OpFADD:   {"FADD", true, 2},
+	OpFSUB:   {"FSUB", true, 2},
+	OpFMUL:   {"FMUL", true, 2},
+	OpFFMA:   {"FFMA", true, 3},
+	OpFMIN:   {"FMIN", true, 2},
+	OpFMAX:   {"FMAX", true, 2},
+	OpMUFU:   {"MUFU", true, 1},
+	OpI2F:    {"I2F", true, 1},
+	OpF2I:    {"F2I", true, 1},
+	OpISETP:  {"ISETP", false, 2},
+	OpFSETP:  {"FSETP", false, 2},
+	OpSEL:    {"SEL", true, 2},
+	OpLDG:    {"LDG", true, 1},
+	OpSTG:    {"STG", false, 2},
+	OpLDS:    {"LDS", true, 1},
+	OpSTS:    {"STS", false, 2},
+	OpLDT:    {"LDT", true, 1},
+}
+
+func TestOpMetadataExhaustive(t *testing.T) {
+	if len(opMeta) != NumOps {
+		t.Fatalf("opMeta covers %d opcodes, ISA defines %d — extend the table and the metadata methods together", len(opMeta), NumOps)
+	}
+	if len(opNames) != NumOps {
+		t.Fatalf("opNames has %d entries, ISA defines %d opcodes", len(opNames), NumOps)
+	}
+	var srcs []Reg
+	for op := Op(0); op.Known(); op++ {
+		m, ok := opMeta[op]
+		if !ok {
+			t.Errorf("opcode %d has no opMeta entry", op)
+			continue
+		}
+		if got := op.String(); got != m.name {
+			t.Errorf("%s: String() = %q, want %q", m.name, got, m.name)
+		}
+		ins := Instr{Op: op, Dst: 1, SrcA: 2, SrcB: 3, SrcC: 4}
+		if got := ins.Writing(); got != m.writes {
+			t.Errorf("%s: Writing() = %v, want %v", m.name, got, m.writes)
+		}
+		srcs = ins.SrcRegs(srcs[:0])
+		if len(srcs) != m.nsrc {
+			t.Errorf("%s: SrcRegs() returned %d registers %v, want %d", m.name, len(srcs), srcs, m.nsrc)
+		}
+	}
+	// Past the end of the opcode space nothing is Known, and String degrades
+	// to the numeric fallback instead of indexing out of range.
+	if Op(NumOps).Known() {
+		t.Error("Op(NumOps) must not be Known")
+	}
+	if got := Op(255).String(); got != "OP(255)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+// TestWritingRZ: a write to RZ is architecturally a no-op, and Writing must
+// say so — liveness and dead-write analysis rely on it.
+func TestWritingRZ(t *testing.T) {
+	ins := Instr{Op: OpIADD, Dst: RZ, SrcA: 1, SrcB: 2}
+	if ins.Writing() {
+		t.Error("write to RZ reported as Writing")
+	}
+}
+
+// TestSrcRegsBImm: with BImm set, SrcB is an immediate and must not be
+// reported as a register source.
+func TestSrcRegsBImm(t *testing.T) {
+	ins := Instr{Op: OpIADD, Dst: 1, SrcA: 2, SrcB: 3, BImm: true}
+	srcs := ins.SrcRegs(nil)
+	if len(srcs) != 1 || srcs[0] != 2 {
+		t.Errorf("SrcRegs with BImm = %v, want [R2]", srcs)
+	}
+	// IMAD's SrcC stays a register even in immediate form.
+	ins = Instr{Op: OpIMAD, Dst: 1, SrcA: 2, SrcB: 3, SrcC: 4, BImm: true}
+	srcs = ins.SrcRegs(nil)
+	if len(srcs) != 2 || srcs[0] != 2 || srcs[1] != 4 {
+		t.Errorf("IMAD SrcRegs with BImm = %v, want [R2 R4]", srcs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"gpurel/internal/flow"
 	"gpurel/internal/isa"
 )
 
@@ -486,6 +487,20 @@ func (b *Builder) Build() (*isa.Program, error) {
 	p := &isa.Program{Name: b.name, Code: b.code, NumRegs: b.nextReg}
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	// Error-severity lint findings (dead writes, reads of never-written
+	// registers, unreachable code) are build failures: kernels are static, so
+	// any of these is a bug in the emitting Go code, and rejecting them here
+	// keeps Build and `gpudis -lint` in agreement. Warnings (e.g. a barrier
+	// under a dynamically-uniform guard) are allowed through.
+	if diags := flow.Lint(p); flow.HasErrors(diags) {
+		msg := fmt.Sprintf("kasm: %s fails static checks:", p.Name)
+		for _, d := range diags {
+			if d.Sev == flow.Error {
+				msg += "\n\t" + d.String()
+			}
+		}
+		return nil, fmt.Errorf("%s", msg)
 	}
 	return p, nil
 }

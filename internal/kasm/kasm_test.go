@@ -4,17 +4,21 @@ import (
 	"strings"
 	"testing"
 
+	"gpurel/internal/flow"
 	"gpurel/internal/isa"
 )
 
 func TestIfLowering(t *testing.T) {
 	b := New("if")
+	addr := b.MovI(0)
+	v := b.MovI(0)
 	p := b.P()
 	b.ISetpI(p, isa.CmpLT, b.S2R(isa.SRTidX), 4)
 	b.If(p, false, func() {
-		b.MovI(1)
+		b.MovITo(v, 1)
 	})
 	b.FreeP(p)
+	b.Stg(addr, 0, v)
 	prog := b.MustBuild()
 
 	var br *isa.Instr
@@ -40,10 +44,13 @@ func TestIfLowering(t *testing.T) {
 
 func TestIfElseLowering(t *testing.T) {
 	b := New("ifelse")
+	addr := b.MovI(0)
+	v := b.R()
 	p := b.P()
 	b.ISetpI(p, isa.CmpEQ, b.S2R(isa.SRTidX), 0)
-	b.IfElse(p, false, func() { b.MovI(1) }, func() { b.MovI(2) })
+	b.IfElse(p, false, func() { b.MovITo(v, 1) }, func() { b.MovITo(v, 2) })
 	b.FreeP(p)
+	b.Stg(addr, 0, v)
 	prog := b.MustBuild()
 
 	var brs []*isa.Instr
@@ -109,9 +116,10 @@ func TestWhileLowering(t *testing.T) {
 func TestForCountsCorrectly(t *testing.T) {
 	// structural check: For body plus increment and bound test exist
 	b := New("for")
+	addr := b.MovI(0)
 	i := b.MovI(0)
 	n := 0
-	b.ForI(i, 5, 1, func() { n++; b.MovI(9) })
+	b.ForI(i, 5, 1, func() { n++; b.Stg(addr, 0, i) })
 	prog := b.MustBuild()
 	if n != 1 {
 		t.Errorf("loop body closure must run exactly once at build time, ran %d", n)
@@ -127,7 +135,8 @@ func TestPredLIFO(t *testing.T) {
 	p2 := b.P()
 	b.FreeP(p2)
 	b.FreeP(p1)
-	b.MovI(0)
+	a := b.MovI(0)
+	b.Stg(a, 0, a)
 	if _, err := b.Build(); err != nil {
 		t.Errorf("LIFO pred usage must build: %v", err)
 	}
@@ -166,14 +175,17 @@ func TestRegisterExhaustion(t *testing.T) {
 
 func TestGuarded(t *testing.T) {
 	b := New("guard")
+	addr := b.MovI(0)
+	v := b.MovI(0)
 	p := b.P()
 	b.ISetpI(p, isa.CmpEQ, b.S2R(isa.SRTidX), 0)
 	var idx int
 	b.Guarded(p, true, func() {
 		idx = len(b.code)
-		b.MovI(5)
+		b.MovITo(v, 5)
 	})
 	b.FreeP(p)
+	b.Stg(addr, 0, v)
 	prog := b.MustBuild()
 	ins := prog.Code[idx]
 	if ins.Pred != p || !ins.PredNeg {
@@ -186,13 +198,15 @@ func TestGuarded(t *testing.T) {
 
 func TestAutoExit(t *testing.T) {
 	b := New("exit")
-	b.MovI(0)
+	a := b.MovI(0)
+	b.Stg(a, 0, a)
 	prog := b.MustBuild()
 	if prog.Code[len(prog.Code)-1].Op != isa.OpEXIT {
 		t.Error("Build must append EXIT")
 	}
 	b2 := New("exit2")
-	b2.MovI(0)
+	a2 := b2.MovI(0)
+	b2.Stg(a2, 0, a2)
 	b2.Exit()
 	prog2 := b2.MustBuild()
 	count := 0
@@ -208,10 +222,10 @@ func TestAutoExit(t *testing.T) {
 
 func TestNumRegsTracksAllocations(t *testing.T) {
 	b := New("nr")
-	b.MovI(1)
-	b.MovI(2)
-	r := b.IAdd(0, 1)
-	_ = r
+	x := b.MovI(1)
+	y := b.MovI(2)
+	r := b.IAdd(x, y)
+	b.Stg(x, 0, r)
 	prog := b.MustBuild()
 	if prog.NumRegs != 3 {
 		t.Errorf("NumRegs = %d, want 3", prog.NumRegs)
@@ -221,9 +235,12 @@ func TestNumRegsTracksAllocations(t *testing.T) {
 func TestFDivAndExpfEmitMufu(t *testing.T) {
 	b := New("mufu")
 	x := b.MovF(2)
-	b.FDiv(x, x)
-	b.Expf(x)
-	b.Logf(x)
+	d := b.FDiv(x, x)
+	e := b.Expf(x)
+	l := b.Logf(x)
+	b.Stg(x, 0, d)
+	b.Stg(x, 4, e)
+	b.Stg(x, 8, l)
 	prog := b.MustBuild()
 	var mufus []isa.MufuOp
 	for _, ins := range prog.Code {
@@ -233,5 +250,90 @@ func TestFDivAndExpfEmitMufu(t *testing.T) {
 	}
 	if len(mufus) != 3 || mufus[0] != isa.MufuRCP || mufus[1] != isa.MufuEX2 || mufus[2] != isa.MufuLG2 {
 		t.Errorf("expected RCP, EX2, LG2; got %v", mufus)
+	}
+}
+
+// TestBuildRejectsDeadWrite: Build runs the flow linter, so a program whose
+// emitted code contains an unread definition fails exactly where `gpudis
+// -lint` would flag it — the two tools must agree.
+func TestBuildRejectsDeadWrite(t *testing.T) {
+	b := New("deadwrite")
+	a := b.MovI(0)
+	b.MovI(7) // never read
+	b.Stg(a, 0, a)
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "dead-write") {
+		t.Fatalf("dead write must fail the build with a dead-write diagnostic, got: %v", err)
+	}
+}
+
+// TestBuildRejectsUndefinedRead: reading a register no path has written is a
+// build failure, matching the linter's uninit-read rule.
+func TestBuildRejectsUndefinedRead(t *testing.T) {
+	b := New("undef")
+	a := b.MovI(0)
+	v := b.R() // allocated, never written
+	b.Stg(a, 0, v)
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "uninit-read") {
+		t.Fatalf("undefined read must fail the build with an uninit-read diagnostic, got: %v", err)
+	}
+}
+
+// TestBuildRejectsPartiallyDefinedRead: a register written only on one arm of
+// an If is maybe-undefined at a use after the join.
+func TestBuildRejectsPartiallyDefinedRead(t *testing.T) {
+	b := New("partial")
+	a := b.MovI(0)
+	v := b.R()
+	p := b.P()
+	b.ISetpI(p, isa.CmpEQ, b.S2R(isa.SRTidX), 0)
+	b.If(p, false, func() { b.MovITo(v, 1) })
+	b.FreeP(p)
+	b.Stg(a, 0, v) // undefined when the If is not taken
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "uninit-read") {
+		t.Fatalf("partially-defined read must fail the build, got: %v", err)
+	}
+}
+
+// TestBuildAgreesWithLinter: any program Build accepts is lint-clean of
+// errors, and Build's rejection message carries the same diagnostics the
+// linter reports directly.
+func TestBuildAgreesWithLinter(t *testing.T) {
+	b := New("agree")
+	a := b.MovI(0)
+	b.MovI(3) // dead
+	b.Stg(a, 0, a)
+	b.Exit()
+	p := &isa.Program{Name: "agree", Code: append([]isa.Instr(nil), b.code...), NumRegs: b.nextReg}
+	diags := flow.Lint(p)
+	if !flow.HasErrors(diags) {
+		t.Fatal("fixture must carry a lint error")
+	}
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("Build accepted a program the linter flags")
+	}
+	for _, d := range diags {
+		if d.Sev == flow.Error && !strings.Contains(err.Error(), d.String()) {
+			t.Errorf("Build error does not carry linter diagnostic %q:\n%v", d, err)
+		}
+	}
+}
+
+// TestBuildAllowsDivergentBarrier: bar-divergence is warning-severity (it is
+// only conditionally unsafe), so Build must not reject it — microfi's
+// deliberately-divergent fixtures depend on this.
+func TestBuildAllowsDivergentBarrier(t *testing.T) {
+	b := New("divbar")
+	a := b.MovI(0)
+	p := b.P()
+	b.ISetpI(p, isa.CmpLT, b.S2R(isa.SRTidX), 4)
+	b.If(p, false, func() { b.Barrier() })
+	b.FreeP(p)
+	b.Stg(a, 0, a)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("warning-severity findings must not fail the build: %v", err)
 	}
 }

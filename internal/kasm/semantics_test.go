@@ -134,7 +134,7 @@ func TestPredicateHelpers(t *testing.T) {
 		b.Stg(slot, 0, b.Sel(p, b.MovI(1), b.MovI(0)))
 		// q = float compare
 		b.FSetp(q, isa.CmpGT, b.I2F(tid), b.MovF(15.5))
-		v := b.MovI(0)
+		v := b.R() // SelTo writes it unconditionally
 		b.SelTo(v, q, b.MovI(1), b.MovI(0))
 		b.Stg(slot, 4*32, v)
 		// guarded store: only lanes with p write the third region

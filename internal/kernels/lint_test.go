@@ -1,0 +1,70 @@
+package kernels
+
+import (
+	"testing"
+
+	"gpurel/internal/flow"
+	"gpurel/internal/isa"
+)
+
+// TestAllKernelsLintClean runs the static linter over every built-in kernel
+// of all 11 applications (the `gpudis -lint` path). Shipped kernels must be
+// free of both errors and warnings: a finding here means either a genuine
+// kernel defect or a linter precision regression — both are bugs.
+func TestAllKernelsLintClean(t *testing.T) {
+	for _, app := range All() {
+		job := app.Build()
+		seen := map[*isa.Program]bool{}
+		for i := range job.Steps {
+			l := job.Steps[i].Launch
+			if l == nil || seen[l.Kernel] {
+				continue
+			}
+			seen[l.Kernel] = true
+			if diags := flow.Lint(l.Kernel); len(diags) != 0 {
+				for _, d := range diags {
+					t.Errorf("%s %s (%s): %s", app.Name, l.Name(), l.Kernel.Name, d)
+				}
+			}
+		}
+		if len(seen) == 0 {
+			t.Errorf("%s: no kernels found", app.Name)
+		}
+	}
+}
+
+// TestMalformedKernelDiagnostics pins the linter's output on a deliberately
+// broken kernel: the exact diagnostics (rule, PC, message) are part of the
+// tool's contract — scripts grep them.
+func TestMalformedKernelDiagnostics(t *testing.T) {
+	p := &isa.Program{
+		Name:    "broken",
+		NumRegs: 4,
+		Code: []isa.Instr{
+			{Op: isa.OpMOVI, Dst: 1, Imm: 1},  // #0 dead write (R1 never read)
+			{Op: isa.OpLDG, Dst: 2, SrcA: 3},  // #1 R3 never defined
+			{Op: isa.OpMOVI, Dst: 1, Imm: 7},  // #2 dead write (overwritten at #3)
+			{Op: isa.OpMOVI, Dst: 1, Imm: 9},  // #3 dead write (never read)
+			{Op: isa.OpSTG, SrcA: 2, SrcB: 2}, // #4
+			{Op: isa.OpEXIT},                  // #5
+		},
+	}
+	want := []string{
+		"#0 error dead-write: R1 is written here but the value is never read",
+		"#1 error uninit-read: LDG address register R3 may be read before any definition",
+		"#2 error dead-write: R1 is written here but the value is never read",
+		"#3 error dead-write: R1 is written here but the value is never read",
+	}
+	diags := flow.Lint(p)
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if got := diags[i].String(); got != w {
+			t.Errorf("diag %d:\n got %q\nwant %q", i, got, w)
+		}
+	}
+	if !flow.HasErrors(diags) {
+		t.Error("malformed kernel must report errors")
+	}
+}

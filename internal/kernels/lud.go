@@ -234,7 +234,7 @@ func ludPerimeter(n, blk int) *isa.Program {
 	idx := b.R()
 	strip := b.IAddI(bx, 1) // strip index
 	diagBase := b.IScAdd(b.IMad(off, nReg, off), mBase, 2)
-	i := b.MovI(0)
+	i := b.R() // loop counter; every branch initialises it before use
 	b.IfElse(half, false, func() {
 		b.MovTo(idx, tid)
 		// load lower half of dia plus the row strip

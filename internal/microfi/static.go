@@ -1,0 +1,107 @@
+package microfi
+
+import (
+	"math/rand"
+
+	"gpurel/internal/device"
+	"gpurel/internal/faults"
+	"gpurel/internal/flow"
+	"gpurel/internal/gpu"
+	"gpurel/internal/isa"
+	"gpurel/internal/sim"
+)
+
+// StaticDead maps each kernel program to its statically-dead register map
+// (per architectural register, true when flow analysis proves no execution
+// can ever read a value stored there). Unlike the ace.Liveness map it needs
+// no golden-run trace — it is a pure function of the instruction stream.
+type StaticDead map[*isa.Program][]bool
+
+// StaticDeadRegs computes flow.AlwaysDead for every kernel the job launches.
+func StaticDeadRegs(job *device.Job) StaticDead {
+	dead := StaticDead{}
+	for i := range job.Steps {
+		if l := job.Steps[i].Launch; l != nil && l.Kernel != nil {
+			if _, done := dead[l.Kernel]; !done {
+				dead[l.Kernel] = flow.AlwaysDead(l.Kernel)
+			}
+		}
+	}
+	return dead
+}
+
+// ctaBlock pairs an allocated RF region with its SM, like regBlock but
+// carrying the owning program.
+type ctaBlock struct {
+	sm  *sim.SM
+	blk sim.CTABlock
+}
+
+// InjectStatic performs the same experiment as Inject — bit-identically for
+// any (seed, run) pair — but classifies hits on statically-dead architectural
+// registers as Masked without finishing the faulty simulation. The second
+// return value reports whether the run was pruned.
+//
+// Unlike InjectPruned it needs no golden-run liveness trace: the simulation
+// runs up to the injection cycle (that prefix is fault-free, hence identical
+// to golden), the injector replays flip's RNG draws against the machine's
+// resident CTA blocks, and maps the chosen physical register back to its
+// architectural index (offset % NumRegs within the owning CTA's per-thread
+// frame). If flow analysis proved that register can never be read, the value
+// is unobservable: the rest of the run would replay golden exactly, so the
+// brute-force outcome is Masked with no control-flow effect, and the
+// simulation is abandoned via Machine.StopRun. Otherwise the bit flips and
+// the run completes and classifies as usual.
+func InjectStatic(job *device.Job, g *GoldenRun, dead StaticDead, t Target, rng *rand.Rand) (faults.Result, bool) {
+	if t.Structure != gpu.RF || dead == nil {
+		return Inject(job, g, t, rng), false
+	}
+	cycle, width, r, done := t.preflight(g, rng)
+	if done {
+		return r, false
+	}
+	hit := false
+	pruned := false
+	opts := sim.Options{
+		MaxCycles: g.Res.Cycles * int64(g.Cfg.TimeoutFactor),
+		AtCycle:   cycle,
+		OnCycle: func(m *sim.Machine) {
+			// Replay flip's site selection exactly: SMs in index order,
+			// blocks in CTA placement order, then (entry, bit) draws.
+			var blocks []ctaBlock
+			total := 0
+			for _, sm := range m.SMs {
+				for _, b := range sm.ResidentRF() {
+					blocks = append(blocks, ctaBlock{sm, b})
+					total += b.Size
+				}
+			}
+			if total == 0 {
+				return // flip would return false having drawn nothing
+			}
+			k := rng.Intn(total)
+			bit := uint(rng.Intn(32))
+			for _, cb := range blocks {
+				if k < cb.blk.Size {
+					arch := k % cb.blk.Prog.NumRegs
+					if d := dead[cb.blk.Prog]; arch < len(d) && d[arch] {
+						pruned = true
+						m.StopRun()
+						return
+					}
+					for w := 0; w < width; w++ {
+						cb.sm.RF[cb.blk.Base+k] ^= 1 << ((bit + uint(w)) % 32)
+					}
+					hit = true
+					return
+				}
+				k -= cb.blk.Size
+			}
+		},
+	}
+	res := sim.Run(job, g.Cfg, opts)
+	if pruned {
+		return faults.Result{Outcome: faults.Masked}, true
+	}
+	return Classify(g, res, hit), false
+}

@@ -1,0 +1,199 @@
+package microfi
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpurel/internal/ace"
+	"gpurel/internal/device"
+	"gpurel/internal/faults"
+	"gpurel/internal/gpu"
+	"gpurel/internal/kernels"
+)
+
+// overAllocJob is saxpy with four padding registers per thread: allocated in
+// the RF but never touched by any instruction, so statically provably dead.
+// Real kernels carry such over-allocation too (allocation granularity), which
+// is exactly what static pruning harvests without a trace.
+func overAllocJob(n int) *device.Job {
+	job := saxpyJob(n)
+	job.Steps[0].Launch.Kernel.NumRegs += 4
+	return job
+}
+
+func TestStaticDeadRegs(t *testing.T) {
+	job := overAllocJob(256)
+	dead := StaticDeadRegs(job)
+	prog := job.Steps[0].Launch.Kernel
+	d := dead[prog]
+	if len(d) != prog.NumRegs {
+		t.Fatalf("dead map has %d entries, want %d", len(d), prog.NumRegs)
+	}
+	for r := prog.NumRegs - 4; r < prog.NumRegs; r++ {
+		if !d[r] {
+			t.Errorf("padding register R%d must be statically dead", r)
+		}
+	}
+	nDead := 0
+	for _, v := range d {
+		if v {
+			nDead++
+		}
+	}
+	if nDead == prog.NumRegs {
+		t.Error("every register statically dead — analysis is broken")
+	}
+}
+
+// TestInjectStaticEquivalence is the central property behind static pruning:
+// for every seed, InjectStatic classifies bit-identically to the brute-force
+// Inject, with provably-dead hits short-circuited.
+func TestInjectStaticEquivalence(t *testing.T) {
+	job := overAllocJob(256)
+	cfg := gpu.Volta()
+	g, err := Golden(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := StaticDeadRegs(job)
+	for _, burst := range []int{1, 3} {
+		tgt := Target{Structure: gpu.RF, Kernel: "K1", Burst: burst}
+		pruned, simulated := 0, 0
+		for seed := int64(0); seed < 120; seed++ {
+			want := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
+			got, wasPruned := InjectStatic(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
+			if got != want {
+				t.Fatalf("burst %d seed %d: static %+v != brute-force %+v (pruned=%v)",
+					burst, seed, got, want, wasPruned)
+			}
+			if wasPruned {
+				pruned++
+				if got.Outcome != faults.Masked {
+					t.Fatalf("burst %d seed %d: pruned a non-masked outcome %+v", burst, seed, got)
+				}
+			} else {
+				simulated++
+			}
+		}
+		t.Logf("burst %d: %d pruned, %d simulated", burst, pruned, simulated)
+		if pruned == 0 {
+			t.Errorf("burst %d: no runs pruned — static dead set finds no sites", burst)
+		}
+		if simulated == 0 {
+			t.Errorf("burst %d: all runs pruned — suspiciously aggressive", burst)
+		}
+	}
+}
+
+// TestInjectStaticCampaignTally: aggregated campaign tallies are bit-identical
+// between brute force and static pruning (same seeds → same per-run results →
+// same counts).
+func TestInjectStaticCampaignTally(t *testing.T) {
+	job := overAllocJob(128)
+	cfg := gpu.Volta()
+	g, err := Golden(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := StaticDeadRegs(job)
+	tgt := Target{Structure: gpu.RF, Kernel: "K1"}
+	var brute, static [faults.NumOutcomes]int
+	for seed := int64(0); seed < 80; seed++ {
+		brute[Inject(job, g, tgt, rand.New(rand.NewSource(seed))).Outcome]++
+		r, _ := InjectStatic(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
+		static[r.Outcome]++
+	}
+	if brute != static {
+		t.Fatalf("campaign tallies differ: brute=%v static=%v", brute, static)
+	}
+}
+
+// TestInjectStaticNonRF: other structures and a nil dead set fall through to
+// Inject verbatim.
+func TestInjectStaticNonRF(t *testing.T) {
+	job := overAllocJob(128)
+	cfg := gpu.Volta()
+	g, _ := Golden(job, cfg)
+	dead := StaticDeadRegs(job)
+	for _, st := range []gpu.Structure{gpu.SMEM, gpu.L2} {
+		tgt := Target{Structure: st, Kernel: "K1"}
+		for seed := int64(0); seed < 15; seed++ {
+			want := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
+			got, wasPruned := InjectStatic(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
+			if wasPruned {
+				t.Fatalf("%s: non-RF run must never be statically pruned", st)
+			}
+			if got != want {
+				t.Fatalf("%s seed %d: %+v != %+v", st, seed, got, want)
+			}
+		}
+	}
+	want := Inject(job, g, Target{Structure: gpu.RF, Kernel: "K1"}, rand.New(rand.NewSource(7)))
+	got, wasPruned := InjectStatic(job, g, nil, Target{Structure: gpu.RF, Kernel: "K1"}, rand.New(rand.NewSource(7)))
+	if wasPruned || got != want {
+		t.Errorf("nil dead set must behave as Inject: %+v vs %+v", got, want)
+	}
+}
+
+// TestStaticSubsetOfDynamic proves the soundness property on every built-in
+// kernel of all 11 apps: a statically-dead architectural register is
+// dynamically dead at every allocated site and cycle of the traced run
+// (static-dead ⊆ ace-dead). The converse is of course false — the dynamic
+// map also knows about last-read-to-overwrite windows.
+func TestStaticSubsetOfDynamic(t *testing.T) {
+	cfg := gpu.Volta()
+	for _, app := range kernels.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			job := app.Build()
+			dead := StaticDeadRegs(job)
+			progByName := map[string]*deadProg{}
+			for i := range job.Steps {
+				if l := job.Steps[i].Launch; l != nil {
+					progByName[l.Name()] = &deadProg{numRegs: l.Kernel.NumRegs, dead: dead[l.Kernel]}
+				}
+			}
+			g, err := Golden(job, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lv, err := ace.TraceRF(job, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked, deadSites := 0, 0
+			for _, span := range g.Res.Spans {
+				dp := progByName[span.Kernel]
+				if dp == nil {
+					t.Fatalf("span kernel %q has no launch", span.Kernel)
+				}
+				// Sample cycles across the span; launches are sequential, so
+				// every block allocated in this window belongs to this kernel.
+				for s := 0; s < 8; s++ {
+					cycle := span.Start + 1 + (span.End-span.Start-1)*int64(s)/8
+					for sm := 0; sm < lv.NumSMs(); sm++ {
+						for _, blk := range lv.RFBlocksAt(sm, cycle, nil) {
+							for k := 0; k < blk.Size; k++ {
+								if !dp.dead[k%dp.numRegs] {
+									continue
+								}
+								deadSites++
+								if lv.Live(sm, blk.Base+k, cycle) {
+									t.Fatalf("kernel %s: statically-dead R%d live at sm=%d phys=%d cycle=%d",
+										span.Kernel, k%dp.numRegs, sm, blk.Base+k, cycle)
+								}
+							}
+							checked += blk.Size
+						}
+					}
+				}
+			}
+			t.Logf("%s: %d sites checked, %d statically dead", app.Name, checked, deadSites)
+		})
+	}
+}
+
+type deadProg struct {
+	numRegs int
+	dead    []bool
+}

@@ -10,8 +10,8 @@ import (
 	"gpurel/internal/kernels"
 )
 
-// chainedJob: out[i] = (in[i]*3 + 7); a dead value is also computed so some
-// seeds must not propagate.
+// chainedJob: out[i] = (in[i]*3 + 7); a side value lands only in a scratch
+// buffer outside the declared outputs, so taint seeded on it must die.
 func chainedJob(n int) *device.Job {
 	b := kasm.New("chain")
 	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
@@ -19,7 +19,7 @@ func chainedJob(n int) *device.Job {
 	b.ISetpI(p, isa.CmpLT, i, int32(n))
 	b.If(p, false, func() {
 		v := b.Ldg(b.IScAdd(i, b.Param(0), 2), 0)
-		b.MovI(99) // dead value: taint seeded here must die
+		b.Stg(b.IScAdd(i, b.Param(2), 2), 0, b.MovI(99)) // scratch-only value
 		r := b.IAddI(b.IMulI(v, 3), 7)
 		b.Stg(b.IScAdd(i, b.Param(1), 2), 0, r)
 	})
@@ -28,6 +28,7 @@ func chainedJob(n int) *device.Job {
 	m := device.NewMemory(1 << 18)
 	in := m.Alloc("in", 4*n)
 	out := m.Alloc("out", 4*n)
+	scratch := m.Alloc("scratch", 4*n)
 	vals := make([]uint32, n)
 	for k := range vals {
 		vals[k] = uint32(k)
@@ -37,7 +38,7 @@ func chainedJob(n int) *device.Job {
 		Name: "chain", Mem: m,
 		Steps: []device.Step{{Launch: &device.Launch{
 			Kernel: prog, KernelName: "K1", GridX: 1, GridY: 1, BlockX: n, BlockY: 1,
-			Params: []uint32{in, out}, ParamIsPtr: []bool{true, true},
+			Params: []uint32{in, out, scratch}, ParamIsPtr: []bool{true, true, true},
 		}}},
 		Outputs: []device.Output{{Name: "out", Addr: out, Size: uint32(4 * n)}},
 	}
@@ -71,15 +72,16 @@ func TestSeedReachesOutput(t *testing.T) {
 
 // TestDeadValueDoesNotPropagate builds a single-thread kernel whose write
 // sequence is fully known and asserts exactly which seeds reach the output:
-// writes on the dataflow path to the store do, the dead constant does not.
+// writes on the dataflow path to the out-word store do; the constant that
+// only ever lands in a non-output scratch word does not.
 func TestDeadValueDoesNotPropagate(t *testing.T) {
 	b := kasm.New("onethread")
-	dead := b.MovI(123) // write 0: dead
-	_ = dead
-	addr := b.Param(0)  // write 1: base pointer (feeds both stores)
-	v := b.Ldg(addr, 0) // write 2: loaded value
-	r := b.IAddI(v, 1)  // write 3: on the path
-	b.Stg(addr, 4, r)   // store to out word 1
+	dead := b.MovI(123)  // write 0: stored only outside the output
+	addr := b.Param(0)   // write 1: base pointer (feeds all stores)
+	v := b.Ldg(addr, 0)  // write 2: loaded value
+	r := b.IAddI(v, 1)   // write 3: on the path
+	b.Stg(addr, 4, r)    // store to out word 1
+	b.Stg(addr, 8, dead) // store to word 2, outside Outputs
 	prog := b.MustBuild()
 
 	m := device.NewMemory(1 << 14)

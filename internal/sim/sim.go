@@ -123,12 +123,46 @@ func (s *SM) AllocatedSmem() []RFBlock {
 // RFBlock is a contiguous allocated region of a storage array.
 type RFBlock struct{ Base, Size int }
 
+// CTABlock is an allocated register-file region annotated with the program
+// of the CTA that owns it, letting injectors map a physical offset back to
+// the architectural register it holds (offset % Prog.NumRegs).
+type CTABlock struct {
+	Base, Size int
+	Prog       *isa.Program
+}
+
+// ResidentRF returns the allocated register blocks with their owning
+// programs. The enumeration order and rfSize>0 filter match AllocatedRF
+// exactly, so an injector drawing the k-th register sees the same site
+// through either view.
+func (s *SM) ResidentRF() []CTABlock {
+	var out []CTABlock
+	for _, c := range s.ctas {
+		if c.rfSize > 0 {
+			out = append(out, CTABlock{Base: c.rfBase, Size: c.rfSize, Prog: c.prog})
+		}
+	}
+	return out
+}
+
 // Machine is the injectable hardware state handed to the OnCycle hook.
 type Machine struct {
 	Cfg gpu.Config
 	SMs []*SM
 	L2  *mem.Cache
 	Mem *device.Memory
+
+	stop *bool
+}
+
+// StopRun asks the simulator to abandon the run as soon as the hook returns.
+// The Result comes back with Aborted set and no output. Injectors use it
+// when static analysis already proves the outcome, making the remaining
+// simulation pure waste.
+func (m *Machine) StopRun() {
+	if m.stop != nil {
+		*m.stop = true
+	}
 }
 
 // warpMeta is the scoreboard state of one warp.
@@ -208,6 +242,7 @@ func (s LaunchSpan) SmemDeratingFactor(cfg gpu.Config) float64 {
 type Result struct {
 	Err       error // non-nil = DUE
 	TimedOut  bool
+	Aborted   bool // run abandoned via Machine.StopRun
 	Output    []byte
 	Cycles    int64
 	Spans     []LaunchSpan
@@ -249,11 +284,12 @@ type runner struct {
 	cfg  gpu.Config
 	opts Options
 
-	mem   *device.Memory
-	sms   []*SM
-	l2    *mem.Cache
-	cycle int64
-	fired bool
+	mem     *device.Memory
+	sms     []*SM
+	l2      *mem.Cache
+	cycle   int64
+	fired   bool
+	stopped bool
 
 	dramRead, dramWrite int64
 
@@ -292,7 +328,7 @@ func newRunner(job *device.Job, cfg gpu.Config, opts Options) *runner {
 }
 
 func (r *runner) machine() *Machine {
-	return &Machine{Cfg: r.cfg, SMs: r.sms, L2: r.l2, Mem: r.mem}
+	return &Machine{Cfg: r.cfg, SMs: r.sms, L2: r.l2, Mem: r.mem, stop: &r.stopped}
 }
 
 func (r *runner) kernelStats(name string) *KernelStats {
@@ -304,7 +340,10 @@ func (r *runner) kernelStats(name string) *KernelStats {
 	return ks
 }
 
-var errSimTimeout = fmt.Errorf("cycle budget exceeded")
+var (
+	errSimTimeout = fmt.Errorf("cycle budget exceeded")
+	errSimAborted = fmt.Errorf("run aborted by injector")
+)
 
 func (r *runner) run() *Result {
 	maxSteps := r.job.MaxScheduleSteps()
@@ -329,9 +368,12 @@ func (r *runner) run() *Result {
 			continue
 		}
 		if err := r.runLaunch(st.Launch); err != nil {
-			if err == errSimTimeout {
+			switch err {
+			case errSimTimeout:
 				r.res.TimedOut = true
-			} else {
+			case errSimAborted:
+				r.res.Aborted = true
+			default:
 				r.res.Err = err
 			}
 			return r.res
@@ -430,6 +472,9 @@ func (r *runner) runLaunch(l *device.Launch) error {
 			r.fired = true
 			if r.opts.OnCycle != nil {
 				r.opts.OnCycle(r.machine())
+			}
+			if r.stopped {
+				return errSimAborted
 			}
 		}
 		if r.opts.MaxCycles > 0 && r.cycle > r.opts.MaxCycles {
