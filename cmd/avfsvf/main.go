@@ -39,6 +39,7 @@ import (
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/gpu"
+	"gpurel/internal/microfi"
 	"gpurel/internal/service/client"
 )
 
@@ -60,6 +61,9 @@ func main() {
 		adapt   = flag.Bool("adaptive", false, "adaptive sampling: stop each campaign point early once its Wilson 99% CI half-width reaches the target margin")
 		margin  = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the worst-case margin of -n); implies -adaptive")
 		prune   = flag.Bool("prune", false, "liveness-guided pruning of RF injections (bit-identical to brute force)")
+		ckpt    = flag.Int64("checkpoint", 0, "golden-run snapshot stride in cycles for fork-and-join injection (0 = off, -1 = auto)")
+		ckMB    = flag.Int64("checkpoint-mb", 0, "snapshot memory budget in MiB per golden run (0 = default 256, negative = unlimited)")
+		conv    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -checkpoint -1 if unset")
 	)
 	flag.Parse()
 
@@ -74,6 +78,12 @@ func main() {
 		}
 		s.Sampling = &gpurel.SamplingPolicy{Margin: target, Prune: *prune}
 		s.Counters = &adaptive.Counters{}
+	}
+	if *conv && *ckpt == 0 {
+		*ckpt = microfi.AutoStride
+	}
+	if *ckpt != 0 {
+		s.Checkpoint = microfi.CheckpointSpec{Stride: *ckpt, BudgetBytes: *ckMB << 20, Converge: *conv}
 	}
 	all := *fig == 0 && *table == 0 && !*speed
 

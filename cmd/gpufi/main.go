@@ -13,6 +13,10 @@
 //	gpufi -app VA -structure RF -n 3000 -static-prune
 //	                        # like -prune, but the dead set comes from static
 //	                        # dataflow analysis — no golden liveness trace
+//	gpufi -app VA -structure RF -n 3000 -checkpoint -1 -converge
+//	                        # checkpointed fork-and-join: faulty runs resume
+//	                        # from golden snapshots and rejoin golden early,
+//	                        # bit-identically to brute force
 package main
 
 import (
@@ -48,6 +52,9 @@ func main() {
 		margin      = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the paper's ±2.35%); implies -adaptive")
 		prune       = flag.Bool("prune", false, "classify provably-dead RF injection sites as Masked from the golden run's liveness map, without simulating")
 		staticPrune = flag.Bool("static-prune", false, "classify statically-dead RF injection sites as Masked via dataflow analysis (no liveness trace needed); ignored when -prune is set")
+		ckStride    = flag.Int64("checkpoint", 0, "golden-run snapshot stride in cycles for fork-and-join injection (0 = off, -1 = auto)")
+		ckMB        = flag.Int64("checkpoint-mb", 0, "snapshot memory budget in MiB (0 = default 256, negative = unlimited)")
+		converge    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -checkpoint -1 if unset")
 		list        = flag.Bool("list", false, "list benchmarks and kernels")
 	)
 	flag.Parse()
@@ -73,7 +80,11 @@ func main() {
 		job = harden.TMR(job)
 	}
 	cfg := gpu.Volta()
-	g, err := microfi.Golden(job, cfg)
+	if *converge && *ckStride == 0 {
+		*ckStride = microfi.AutoStride
+	}
+	ckSpec := microfi.CheckpointSpec{Stride: *ckStride, BudgetBytes: *ckMB << 20, Converge: *converge}
+	g, err := microfi.GoldenCheckpointed(job, cfg, ckSpec)
 	if err != nil {
 		fatal(err)
 	}
@@ -159,6 +170,12 @@ func main() {
 		}
 		tbl.AddFooter("adaptive sampling: %d simulated, %d pruned (%s), %d saved (early stop, target ±%.2f%%)",
 			counters.Simulated.Load(), counters.Pruned.Load(), how, counters.Saved.Load(), 100*target)
+	}
+	if ckSpec.Enabled() {
+		ck := g.CheckpointCounts()
+		tbl.AddFooter("checkpointing: %d snapshots (%.1f MiB, %d evicted), %d fork resumes (%d cycles skipped), %d converge joins (%d cycles skipped)",
+			ck.Snapshots, float64(ck.SnapshotBytes)/(1<<20), ck.Evictions,
+			ck.ForkResumes, ck.ForkCyclesSaved, ck.ConvergeHits, ck.ConvergeCyclesSaved)
 	}
 	fmt.Print(tbl.String())
 }

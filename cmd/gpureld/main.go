@@ -35,6 +35,7 @@ import (
 
 	"gpurel"
 	"gpurel/internal/adaptive"
+	"gpurel/internal/microfi"
 	"gpurel/internal/service"
 )
 
@@ -47,6 +48,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "campaign workers per lane (0 = GOMAXPROCS)")
 		chunk    = flag.Int("chunk", 100, "runs per checkpointable chunk")
 		seed     = flag.Int64("seed", 1, "base seed of the shared study (golden-run cache)")
+		// Machine-snapshot knobs (fork-and-join injection); named snap-* to
+		// stay clear of -checkpoint, the job-journal path above.
+		snapStride = flag.Int64("snap-stride", 0, "default golden-run snapshot stride in cycles for jobs that don't set snap_stride (0 = off, -1 = auto)")
+		snapMB     = flag.Int64("snap-mb", 0, "snapshot memory budget in MiB per golden run (0 = default 256, negative = unlimited)")
+		converge   = flag.Bool("converge", false, "default convergence joining for jobs that don't set converge; implies -snap-stride -1 if unset")
 	)
 	flag.Parse()
 
@@ -57,6 +63,12 @@ func main() {
 	counters := &adaptive.Counters{}
 	study := gpurel.NewStudy(0, *seed)
 	study.Counters = counters
+	if *converge && *snapStride == 0 {
+		*snapStride = microfi.AutoStride
+	}
+	if *snapStride != 0 {
+		study.Checkpoint = microfi.CheckpointSpec{Stride: *snapStride, BudgetBytes: *snapMB << 20, Converge: *converge}
+	}
 	sched, err := service.NewScheduler(service.Config{
 		Source:             service.NewStudySource(study),
 		Shards:             *shards,
@@ -65,6 +77,7 @@ func main() {
 		CheckpointPath:     *ckpt,
 		CheckpointInterval: *interval,
 		Counters:           counters,
+		CheckpointStats:    study.CheckpointCounts,
 	})
 	if err != nil {
 		log.Fatalf("gpureld: %v", err)

@@ -43,9 +43,12 @@ import (
 	"strings"
 )
 
-// defaultPkgs is the deterministic core: every package whose behaviour must
-// be a pure function of (job, seed).
-const defaultPkgs = "internal/sim,internal/exec,internal/microfi,internal/adaptive,internal/campaign"
+// defaultPkgs is the deterministic core — every package whose behaviour must
+// be a pure function of (job, seed) — plus the layers above it whose output
+// must replay bit-identically (static dataflow analysis, the job service,
+// which journals and resumes campaigns; its clock is injected via
+// Config.Now).
+const defaultPkgs = "internal/sim,internal/exec,internal/microfi,internal/adaptive,internal/campaign,internal/flow,internal/service"
 
 func main() {
 	pkgsFlag := flag.String("pkgs", defaultPkgs,

@@ -2,7 +2,10 @@
 // implementation handed out run indices under a mutex; Run now uses a
 // single atomic claim counter. runMutexQueue below preserves the old
 // dispatch verbatim so the two can be compared at high worker counts with
-// a deliberately cheap experiment (queue overhead dominates).
+// a deliberately cheap experiment (queue overhead dominates). The atomic
+// side benchmarks through RunRange — the production entry point every
+// dispatch path (Run, the service's chunked jobs) funnels into — with a
+// nonzero start index so the range arithmetic is exercised too.
 //
 //	go test ./internal/campaign -bench=Queue -benchtime=10x
 package campaign
@@ -26,8 +29,10 @@ func cheapExperiment(run int, rng *rand.Rand) faults.Result {
 	return faults.Result{Outcome: faults.Masked}
 }
 
-// runMutexQueue is the pre-optimisation Run: a mutex-guarded next counter.
-// Kept test-only as the "before" side of the benchmark.
+// runMutexQueue is the pre-optimisation dispatcher over [0, opts.Runs): a
+// mutex-guarded next counter. Kept test-only as the "before" side of the
+// benchmark; it intentionally does NOT reuse the production pool, that is
+// the point of the comparison.
 func runMutexQueue(opts Options, fn Experiment) Tally {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -94,8 +99,12 @@ func BenchmarkQueueAtomic(b *testing.B) {
 	for _, w := range benchWorkers() {
 		b.Run(workersLabel(w), func(b *testing.B) {
 			b.ReportAllocs()
+			// A window [benchRuns, 2·benchRuns) of a larger campaign:
+			// same workload size as the mutex side, but through the
+			// range-clamping production path the service drives.
+			opts := Options{Runs: 2 * benchRuns, Seed: 1, Workers: w}
 			for i := 0; i < b.N; i++ {
-				tl := Run(Options{Runs: benchRuns, Seed: 1, Workers: w}, cheapExperiment)
+				tl := RunRange(opts, benchRuns, 2*benchRuns, cheapExperiment)
 				if tl.N != benchRuns {
 					b.Fatalf("lost runs: %d", tl.N)
 				}
@@ -106,11 +115,22 @@ func BenchmarkQueueAtomic(b *testing.B) {
 
 func workersLabel(w int) string { return "workers=" + strconv.Itoa(w) }
 
-// TestQueueEquivalence pins the two dispatchers to the same tally so the
-// benchmark comparison stays apples-to-apples.
+// TestQueueEquivalence pins the three dispatch paths — the old mutex
+// queue, the atomic Run, and RunRange split at an arbitrary boundary and
+// merged — to the same tally, so the benchmark comparison stays
+// apples-to-apples and the service's chunked resume invariant holds.
 func TestQueueEquivalence(t *testing.T) {
 	opts := Options{Runs: 5000, Seed: 7, Workers: 8}
-	if a, b := runMutexQueue(opts, cheapExperiment), Run(opts, cheapExperiment); a != b {
-		t.Errorf("mutex and atomic dispatch disagree:\n%+v\n%+v", a, b)
+	want := runMutexQueue(opts, cheapExperiment)
+	if got := Run(opts, cheapExperiment); got != want {
+		t.Errorf("mutex and atomic dispatch disagree:\n%+v\n%+v", want, got)
+	}
+	for _, split := range []int{0, 1, 1234, 4999, 5000} {
+		head := RunRange(opts, 0, split, cheapExperiment)
+		tail := RunRange(opts, split, opts.Runs, cheapExperiment)
+		head.Merge(tail)
+		if head != want {
+			t.Errorf("RunRange split at %d disagrees:\n%+v\n%+v", split, want, head)
+		}
 	}
 }

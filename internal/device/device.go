@@ -5,6 +5,7 @@
 package device
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -66,6 +67,66 @@ func (m *Memory) Clone() *Memory {
 	copy(c.data, m.data)
 	c.allocs = append([]Alloc(nil), m.allocs...)
 	return c
+}
+
+// CloneInto deep-copies m into dst, reusing dst's backing array when the
+// capacities match (the run pool recycles memories this way to avoid a
+// large allocation per injection run). Returns dst, or a fresh Clone when
+// the capacities differ.
+func (m *Memory) CloneInto(dst *Memory) *Memory {
+	if dst == nil || len(dst.data) != len(m.data) {
+		return m.Clone()
+	}
+	copy(dst.data, m.data)
+	dst.next = m.next
+	dst.allocs = append(dst.allocs[:0], m.allocs...)
+	return dst
+}
+
+// MemState is a deep copy of a Memory's mutable state, used by the
+// checkpoint engine in internal/sim.
+type MemState struct {
+	data   []byte
+	next   uint32
+	allocs []Alloc
+}
+
+// SaveState deep-copies the memory's state into st, reusing st's buffers.
+func (m *Memory) SaveState(st *MemState) {
+	if len(st.data) != len(m.data) {
+		st.data = make([]byte, len(m.data))
+	}
+	copy(st.data, m.data)
+	st.next = m.next
+	st.allocs = append(st.allocs[:0], m.allocs...)
+}
+
+// LoadState restores state saved from a memory of the same capacity.
+func (m *Memory) LoadState(st *MemState) {
+	if len(st.data) != len(m.data) {
+		panic(fmt.Sprintf("device: LoadState capacity mismatch: %d bytes, snapshot has %d", len(m.data), len(st.data)))
+	}
+	copy(m.data, st.data)
+	m.next = st.next
+	m.allocs = append(m.allocs[:0], st.allocs...)
+}
+
+// StateEqual reports whether the memory's current state is identical to st.
+func (m *Memory) StateEqual(st *MemState) bool {
+	if len(m.data) != len(st.data) || m.next != st.next || len(m.allocs) != len(st.allocs) {
+		return false
+	}
+	for i := range m.allocs {
+		if m.allocs[i] != st.allocs[i] {
+			return false
+		}
+	}
+	return bytes.Equal(m.data, st.data)
+}
+
+// StateBytes returns the retained size of a saved state.
+func (st *MemState) StateBytes() int64 {
+	return int64(len(st.data)) + int64(len(st.allocs))*24
 }
 
 // Replicate builds a new memory holding `copies` replicas of this memory's

@@ -164,6 +164,121 @@ func (c *Cache) trackFill(lineAddr uint32, now, fillLat int64) (int64, bool) {
 	return fillLat, false
 }
 
+// CacheState is a deep copy of a cache's mutable state — lines (tags,
+// valid/dirty bits, LRU stamps, data bytes), in-flight fills, the LRU clock
+// and the event counters. The checkpoint engine in internal/sim embeds one
+// per cache in its machine snapshots.
+type CacheState struct {
+	lines   []Line
+	fills   []inflight
+	lruTick int64
+	stats   Stats
+}
+
+// SaveState deep-copies the cache's mutable state into st, reusing st's
+// buffers when they have the right shape (snapshot sets hold many of these,
+// so avoiding reallocation matters on the golden run's capture path).
+func (c *Cache) SaveState(st *CacheState) {
+	if len(st.lines) != len(c.lines) {
+		st.lines = make([]Line, len(c.lines))
+		for i := range st.lines {
+			st.lines[i].Data = make([]byte, c.lineSize)
+		}
+	}
+	for i := range c.lines {
+		src, dst := &c.lines[i], &st.lines[i]
+		data := dst.Data
+		copy(data, src.Data)
+		*dst = *src
+		dst.Data = data
+	}
+	st.fills = append(st.fills[:0], c.fills...)
+	st.lruTick = c.lruTick
+	st.stats = c.Stats
+}
+
+// LoadState restores state saved from a geometrically identical cache,
+// overwriting every line, the fill tracker, the LRU clock and the counters.
+func (c *Cache) LoadState(st *CacheState) {
+	if len(st.lines) != len(c.lines) {
+		panic(fmt.Sprintf("mem: LoadState geometry mismatch on %s: %d lines, snapshot has %d", c.Name, len(c.lines), len(st.lines)))
+	}
+	for i := range c.lines {
+		src, dst := &st.lines[i], &c.lines[i]
+		data := dst.Data
+		copy(data, src.Data)
+		*dst = *src
+		dst.Data = data
+	}
+	c.fills = append(c.fills[:0], st.fills...)
+	c.lruTick = st.lruTick
+	c.Stats = st.stats
+}
+
+// StateEqual reports whether the cache's current state is identical to st.
+// Data bytes of invalid lines are excluded from the comparison: they are
+// architecturally unobservable (lookup and dirty writeback both require
+// Valid, and a fill overwrites the whole line), so two states differing only
+// there have identical continuations.
+func (c *Cache) StateEqual(st *CacheState) bool {
+	if len(st.lines) != len(c.lines) || c.lruTick != st.lruTick || c.Stats != st.stats {
+		return false
+	}
+	if len(c.fills) != len(st.fills) {
+		return false
+	}
+	for i := range c.fills {
+		if c.fills[i] != st.fills[i] {
+			return false
+		}
+	}
+	for i := range c.lines {
+		a, b := &c.lines[i], &st.lines[i]
+		if a.Valid != b.Valid {
+			return false
+		}
+		if !a.Valid {
+			continue
+		}
+		if a.Addr != b.Addr || a.Dirty != b.Dirty || a.LRU != b.LRU {
+			return false
+		}
+		for j := range a.Data {
+			if a.Data[j] != b.Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StateBytes returns the retained size of a saved state (data array plus
+// per-line metadata), used for snapshot memory budgeting.
+func (st *CacheState) StateBytes() int64 {
+	var n int64
+	for i := range st.lines {
+		n += int64(len(st.lines[i].Data)) + 24
+	}
+	return n + int64(len(st.fills))*16
+}
+
+// Reset returns the cache to its post-NewCache state: every line invalid
+// with zeroed data, no in-flight fills, LRU clock and counters at zero. The
+// run pool uses it so a recycled cache is indistinguishable from a fresh one.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		data := ln.Data
+		for j := range data {
+			data[j] = 0
+		}
+		*ln = Line{Data: data}
+	}
+	c.fills = c.fills[:0]
+	c.lruTick = 0
+	c.Stats = Stats{}
+}
+
 // InvalidateAll drops every line. Dirty data is lost, so only call it on
 // write-through caches or after FlushTo.
 func (c *Cache) InvalidateAll() {

@@ -7,8 +7,8 @@
 package microfi
 
 import (
-	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"gpurel/internal/ace"
 	"gpurel/internal/device"
@@ -21,19 +21,29 @@ import (
 type GoldenRun struct {
 	Res *sim.Result
 	Cfg gpu.Config
+
+	// Snaps holds the golden run's machine snapshots when built with
+	// GoldenCheckpointed (nil otherwise); Ckpt is the spec it was built
+	// with. Read-only once the golden run completes.
+	Snaps *sim.SnapshotSet
+	Ckpt  CheckpointSpec
+
+	pool *sim.RunPool
+
+	// Fork/converge tallies, updated atomically by concurrent injections.
+	forkResumes, forkCyclesSaved      atomic.Int64
+	convergeHits, convergeCyclesSaved atomic.Int64
 }
 
-// Golden runs the job fault-free.
+// Golden runs the job fault-free. The run gets a generous cycle budget
+// derived from the job's schedule-step budget so a pathological job (e.g. a
+// kernel that spins forever) errors out instead of hanging: faulty runs are
+// bounded by TimeoutFactor × golden cycles, but the golden run itself has no
+// reference to bound against.
 func Golden(job *device.Job, cfg gpu.Config) (*GoldenRun, error) {
-	res := sim.Run(job, cfg, sim.Options{})
-	if res.Err != nil {
-		return nil, fmt.Errorf("golden run failed: %w", res.Err)
-	}
-	if res.TimedOut {
-		return nil, fmt.Errorf("golden run timed out")
-	}
-	if res.DUEFlag {
-		return nil, fmt.Errorf("golden run raised the DUE flag")
+	res := sim.Run(job, cfg, sim.Options{MaxCycles: goldenCycleBudget(job)})
+	if err := vetGolden(res); err != nil {
+		return nil, err
 	}
 	return &GoldenRun{Res: res, Cfg: cfg}, nil
 }
@@ -154,7 +164,10 @@ func (t Target) preflight(g *GoldenRun, rng *rand.Rand) (cycle int64, width int,
 }
 
 // injectRun executes the faulty simulation with the given corruption hook
-// and classifies it against golden.
+// and classifies it against golden. On a checkpointed golden run the faulty
+// simulation forks from the nearest snapshot below the injection cycle and
+// may join back to golden early — both bit-identical to simulating from
+// cycle 0 (see checkpoint.go).
 func injectRun(job *device.Job, g *GoldenRun, cycle int64, corrupt func(*sim.Machine) bool) faults.Result {
 	hit := false
 	opts := sim.Options{
@@ -164,7 +177,11 @@ func injectRun(job *device.Job, g *GoldenRun, cycle int64, corrupt func(*sim.Mac
 			hit = corrupt(m)
 		},
 	}
+	g.accelerate(&opts, cycle)
 	res := sim.Run(job, g.Cfg, opts)
+	if res.Converged {
+		return g.classifyConverged(res, hit)
+	}
 	return Classify(g, res, hit)
 }
 

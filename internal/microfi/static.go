@@ -99,9 +99,13 @@ func InjectStatic(job *device.Job, g *GoldenRun, dead StaticDead, t Target, rng 
 			}
 		},
 	}
+	g.accelerate(&opts, cycle)
 	res := sim.Run(job, g.Cfg, opts)
 	if pruned {
 		return faults.Result{Outcome: faults.Masked}, true
+	}
+	if res.Converged {
+		return g.classifyConverged(res, hit), false
 	}
 	return Classify(g, res, hit), false
 }

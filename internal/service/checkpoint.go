@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"time"
 
 	"gpurel/internal/campaign"
 )
@@ -36,9 +35,9 @@ type checkpointFile struct {
 
 // saveCheckpoint writes the journal atomically (temp file + rename in the
 // same directory), so a crash mid-write never corrupts the previous
-// checkpoint.
-func saveCheckpoint(path string, jobs []jobCheckpoint) error {
-	cf := checkpointFile{Version: checkpointVersion, SavedUnix: time.Now().Unix(), Jobs: jobs}
+// checkpoint. savedUnix is the caller's clock reading (Config.Now).
+func saveCheckpoint(path string, jobs []jobCheckpoint, savedUnix int64) error {
+	cf := checkpointFile{Version: checkpointVersion, SavedUnix: savedUnix, Jobs: jobs}
 	data, err := json.MarshalIndent(cf, "", " ")
 	if err != nil {
 		return err

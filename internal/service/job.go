@@ -19,6 +19,7 @@ import (
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/gpu"
+	"gpurel/internal/microfi"
 	"gpurel/internal/softfi"
 )
 
@@ -50,6 +51,22 @@ type JobSpec struct {
 	// provably-dead sites are classified from the golden run's liveness map
 	// without simulation, bit-identically to brute force.
 	Prune bool `json:"prune,omitempty"`
+
+	// SnapStride enables checkpointed fork-and-join injection (micro layer):
+	// the app's golden run snapshots machine state every SnapStride cycles
+	// and faulty runs resume from the nearest snapshot below their injection
+	// cycle, bit-identically to brute force. Negative = auto (about
+	// microfi.DefaultSnapshots checkpoints); 0 = off unless Converge is set.
+	// Golden runs are built once per (app, daemon): the first job to evaluate
+	// an app fixes its checkpoint configuration.
+	SnapStride int64 `json:"snap_stride,omitempty"`
+	// SnapMB bounds retained snapshot memory in MiB; the stride auto-widens
+	// to fit. 0 = microfi.DefaultCheckpointBudget, negative = unlimited.
+	SnapMB int `json:"snap_mb,omitempty"`
+	// Converge additionally joins faulty runs back to the golden run at the
+	// first checkpoint where their machine state matches it exactly. Implies
+	// auto-stride checkpointing when SnapStride is 0.
+	Converge bool `json:"converge,omitempty"`
 }
 
 // policy resolves the spec's adaptive knobs to the engine's stopping policy.
@@ -81,6 +98,17 @@ func (sp JobSpec) Point() (gpurel.PointSpec, error) {
 	}
 	if sp.Margin99 > 0 || sp.Prune {
 		p.Sampling = &gpurel.SamplingPolicy{Margin: sp.Margin99, Batch: sp.Batch, Prune: sp.Prune}
+	}
+	if sp.SnapStride != 0 || sp.Converge {
+		stride := sp.SnapStride
+		if stride == 0 {
+			stride = microfi.AutoStride
+		}
+		p.Checkpoint = &microfi.CheckpointSpec{
+			Stride:      stride,
+			BudgetBytes: int64(sp.SnapMB) << 20,
+			Converge:    sp.Converge,
+		}
 	}
 	return p, nil
 }
@@ -165,12 +193,19 @@ type JobStatus struct {
 	Margin99    float64        `json:"margin99"`     // Wilson-score ±CI half-width (honest at p=0/1)
 	// EarlyStopped marks an adaptive job that met its margin target before
 	// exhausting the run budget; RunsSaved is the unexecuted remainder.
-	EarlyStopped bool   `json:"early_stopped,omitempty"`
-	RunsSaved    int    `json:"runs_saved,omitempty"`
+	EarlyStopped bool `json:"early_stopped,omitempty"`
+	RunsSaved    int  `json:"runs_saved,omitempty"`
+	// ForkResumes/ConvergeHits count the job's checkpoint-accelerated runs
+	// (resumed from a golden snapshot / joined back to golden early).
+	// Process-local and exact with one shard; with several shards,
+	// concurrent jobs sharing an app's golden run may attribute each other's
+	// hits. Not journaled: a restart restarts them at zero.
+	ForkResumes  int64  `json:"fork_resumes,omitempty"`
+	ConvergeHits int64  `json:"converge_hits,omitempty"`
 	Error        string `json:"error,omitempty"`
-	Created     int64          `json:"created_unix"`
-	Started     int64          `json:"started_unix,omitempty"`
-	Finished    int64          `json:"finished_unix,omitempty"`
+	Created      int64  `json:"created_unix"`
+	Started      int64  `json:"started_unix,omitempty"`
+	Finished     int64  `json:"finished_unix,omitempty"`
 }
 
 // Event is one NDJSON line of a job's progress stream.
@@ -187,17 +222,19 @@ type job struct {
 	spec    JobSpec
 	created time.Time
 
-	mu       sync.Mutex
-	state    JobState
-	done     []Range // normalized completed run-ranges
-	tally    campaign.Tally
-	early    bool // adaptive stop rule fired before the budget ran out
-	errmsg   string
-	started  time.Time
-	finished time.Time
-	canceled bool
-	subs     map[int]chan Event
-	nextSub  int
+	mu        sync.Mutex
+	state     JobState
+	done      []Range // normalized completed run-ranges
+	tally     campaign.Tally
+	early     bool // adaptive stop rule fired before the budget ran out
+	forks     int64
+	converges int64
+	errmsg    string
+	started   time.Time
+	finished  time.Time
+	canceled  bool
+	subs      map[int]chan Event
+	nextSub   int
 }
 
 func (j *job) snapshotLocked() JobStatus {
@@ -219,6 +256,8 @@ func (j *job) snapshotLocked() JobStatus {
 		st.EarlyStopped = true
 		st.RunsSaved = st.Total - st.Done
 	}
+	st.ForkResumes = j.forks
+	st.ConvergeHits = j.converges
 	if !j.started.IsZero() {
 		st.Started = j.started.Unix()
 	}

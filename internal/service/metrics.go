@@ -10,6 +10,7 @@ import (
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/faults"
+	"gpurel/internal/microfi"
 )
 
 // Metrics holds the daemon's counters, exported in Prometheus text format
@@ -31,10 +32,18 @@ type Metrics struct {
 	// counters is the study-side sampling aggregate (prune hits, simulated
 	// runs) shared via Config.Counters; nil when the source doesn't count.
 	counters *adaptive.Counters
+	// ckStats reads the study-side checkpoint fork-and-join aggregate via
+	// Config.CheckpointStats; nil when the source doesn't checkpoint.
+	ckStats func() microfi.CheckpointCounts
+	// now is the injected clock (Config.Now), for uptime.
+	now func() time.Time
 }
 
-func newMetrics(counters *adaptive.Counters) *Metrics {
-	return &Metrics{start: time.Now(), counters: counters}
+func newMetrics(counters *adaptive.Counters, now func() time.Time, ckStats func() microfi.CheckpointCounts) *Metrics {
+	if now == nil {
+		now = time.Now
+	}
+	return &Metrics{start: now(), counters: counters, ckStats: ckStats, now: now}
 }
 
 // addTally folds one completed chunk into the injection counters.
@@ -50,7 +59,7 @@ func (m *Metrics) addTally(t campaign.Tally) {
 // WritePrometheus renders the exposition text. gauges carries point-in-time
 // values owned by the scheduler (current queue depths).
 func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int) {
-	up := time.Since(m.start).Seconds()
+	up := m.now().Sub(m.start).Seconds()
 	inj := m.injections.Load()
 	var rate float64
 	if up > 0 {
@@ -103,6 +112,38 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int) {
 	fmt.Fprintln(w, "# HELP gpureld_simulated_runs_total Injections that went through the simulator.")
 	fmt.Fprintln(w, "# TYPE gpureld_simulated_runs_total counter")
 	fmt.Fprintf(w, "gpureld_simulated_runs_total %d\n", simulated)
+
+	var ck microfi.CheckpointCounts
+	if m.ckStats != nil {
+		ck = m.ckStats()
+	}
+	fmt.Fprintln(w, "# HELP gpureld_fork_resumes_total Faulty runs resumed from a golden checkpoint.")
+	fmt.Fprintln(w, "# TYPE gpureld_fork_resumes_total counter")
+	fmt.Fprintf(w, "gpureld_fork_resumes_total %d\n", ck.ForkResumes)
+
+	fmt.Fprintln(w, "# HELP gpureld_fork_cycles_saved_total Golden-prefix cycles skipped by checkpoint resumes.")
+	fmt.Fprintln(w, "# TYPE gpureld_fork_cycles_saved_total counter")
+	fmt.Fprintf(w, "gpureld_fork_cycles_saved_total %d\n", ck.ForkCyclesSaved)
+
+	fmt.Fprintln(w, "# HELP gpureld_converge_hits_total Faulty runs that joined back to the golden run early.")
+	fmt.Fprintln(w, "# TYPE gpureld_converge_hits_total counter")
+	fmt.Fprintf(w, "gpureld_converge_hits_total %d\n", ck.ConvergeHits)
+
+	fmt.Fprintln(w, "# HELP gpureld_converge_cycles_saved_total Golden-suffix cycles skipped by convergence joins.")
+	fmt.Fprintln(w, "# TYPE gpureld_converge_cycles_saved_total counter")
+	fmt.Fprintf(w, "gpureld_converge_cycles_saved_total %d\n", ck.ConvergeCyclesSaved)
+
+	fmt.Fprintln(w, "# HELP gpureld_checkpoint_snapshots Machine snapshots retained across golden runs.")
+	fmt.Fprintln(w, "# TYPE gpureld_checkpoint_snapshots gauge")
+	fmt.Fprintf(w, "gpureld_checkpoint_snapshots %d\n", ck.Snapshots)
+
+	fmt.Fprintln(w, "# HELP gpureld_checkpoint_bytes Memory retained by machine snapshots.")
+	fmt.Fprintln(w, "# TYPE gpureld_checkpoint_bytes gauge")
+	fmt.Fprintf(w, "gpureld_checkpoint_bytes %d\n", ck.SnapshotBytes)
+
+	fmt.Fprintln(w, "# HELP gpureld_checkpoint_evictions_total Snapshots evicted by budget-driven stride widening.")
+	fmt.Fprintln(w, "# TYPE gpureld_checkpoint_evictions_total counter")
+	fmt.Fprintf(w, "gpureld_checkpoint_evictions_total %d\n", ck.Evictions)
 
 	fmt.Fprintln(w, "# HELP gpureld_injections_per_second Mean injection throughput since start.")
 	fmt.Fprintln(w, "# TYPE gpureld_injections_per_second gauge")

@@ -13,6 +13,7 @@ import (
 
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
+	"gpurel/internal/microfi"
 )
 
 // SourceFunc resolves a job spec to its injection experiment. The
@@ -48,6 +49,13 @@ type Config struct {
 	// (simulated runs, liveness prune hits) shared with the experiment
 	// source; /metrics exports it alongside the scheduler's own counters.
 	Counters *adaptive.Counters
+	// CheckpointStats, when set, reads the study-side fork-and-join
+	// aggregate (checkpoint resumes, convergence joins); /metrics exports
+	// it and runJob attributes per-chunk deltas to the running job.
+	CheckpointStats func() microfi.CheckpointCounts
+	// Now is the scheduler's clock (default time.Now); tests inject a fake
+	// for deterministic timestamps and deadline behavior.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -96,7 +107,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		cfg:     cfg,
-		metrics: newMetrics(cfg.Counters),
+		metrics: newMetrics(cfg.Counters, cfg.Now, cfg.CheckpointStats),
 		jobs:    map[string]*job{},
 		queues:  make([]chan *job, cfg.Shards),
 		ctx:     ctx,
@@ -174,7 +185,7 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
-	j := &job{id: newJobID(), spec: spec, created: time.Now(), state: StateQueued}
+	j := &job{id: newJobID(), spec: spec, created: s.cfg.Now(), state: StateQueued}
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -206,13 +217,13 @@ func (s *Scheduler) Get(id string) (JobStatus, bool) {
 func (s *Scheduler) List() []JobStatus {
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
-	jobs := make([]*job, 0, len(ids))
+	js := make([]*job, 0, len(ids))
 	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
+		js = append(js, s.jobs[id])
 	}
 	s.mu.Unlock()
-	out := make([]JobStatus, 0, len(jobs))
-	for _, j := range jobs {
+	out := make([]JobStatus, 0, len(js))
+	for _, j := range js {
 		out = append(out, j.snapshot())
 	}
 	return out
@@ -232,7 +243,7 @@ func (s *Scheduler) Cancel(id string) (JobStatus, bool) {
 		j.canceled = true
 		if j.state == StateQueued {
 			j.state = StateCanceled
-			j.finished = time.Now()
+			j.finished = s.cfg.Now()
 			s.metrics.jobsCanceled.Add(1)
 			j.publishLocked(string(StateCanceled))
 		}
@@ -293,7 +304,7 @@ func (s *Scheduler) runJob(j *job) {
 		return
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = s.cfg.Now()
 	pending := complementRanges(j.done, j.spec.Runs)
 	spec := j.spec
 	j.publishLocked(string(StateRunning))
@@ -311,7 +322,7 @@ func (s *Scheduler) runJob(j *job) {
 
 	var deadline time.Time
 	if spec.Deadline > 0 {
-		deadline = time.Now().Add(time.Duration(spec.Deadline * float64(time.Second)))
+		deadline = s.cfg.Now().Add(time.Duration(spec.Deadline * float64(time.Second)))
 	}
 	opts := campaign.Options{Runs: spec.Runs, Seed: spec.Seed, Workers: s.cfg.WorkersPerShard}
 
@@ -345,7 +356,7 @@ func (s *Scheduler) runJob(j *job) {
 				s.dirty.Store(true)
 				return
 			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
+			if !deadline.IsZero() && s.cfg.Now().After(deadline) {
 				j.mu.Lock()
 				s.finishLocked(j, StateFailed, fmt.Sprintf("deadline exceeded (%gs)", spec.Deadline))
 				j.mu.Unlock()
@@ -362,11 +373,28 @@ func (s *Scheduler) runJob(j *job) {
 					to = end
 				}
 			}
+			// Attribute checkpoint fork/converge activity to this job by
+			// differencing the study-side aggregate around the chunk. Exact
+			// with one shard; with several, a concurrent job against the
+			// same app may be credited here instead — acceptable for an
+			// efficiency indicator (the process totals stay exact).
+			var ckBefore microfi.CheckpointCounts
+			if s.cfg.CheckpointStats != nil {
+				ckBefore = s.cfg.CheckpointStats()
+			}
 			tl := campaign.RunRange(opts, from, to, fn)
+			var dForks, dConverges int64
+			if s.cfg.CheckpointStats != nil {
+				ckAfter := s.cfg.CheckpointStats()
+				dForks = ckAfter.ForkResumes - ckBefore.ForkResumes
+				dConverges = ckAfter.ConvergeHits - ckBefore.ConvergeHits
+			}
 
 			j.mu.Lock()
 			j.done = addRange(j.done, Range{From: from, To: to})
 			j.tally.Merge(tl)
+			j.forks += dForks
+			j.converges += dConverges
 			// The stop rule fires only at batch boundaries with the prefix
 			// [0, to) fully covered — then j.tally is exactly that prefix's
 			// tally and the decision is deterministic.
@@ -405,7 +433,7 @@ func (s *Scheduler) runJob(j *job) {
 func (s *Scheduler) finishLocked(j *job, st JobState, errmsg string) {
 	j.state = st
 	j.errmsg = errmsg
-	j.finished = time.Now()
+	j.finished = s.cfg.Now()
 	switch st {
 	case StateDone:
 		s.metrics.jobsDone.Add(1)
@@ -444,13 +472,13 @@ func (s *Scheduler) Flush() error {
 	}
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
-	jobs := make([]*job, 0, len(ids))
+	js := make([]*job, 0, len(ids))
 	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
+		js = append(js, s.jobs[id])
 	}
 	s.mu.Unlock()
-	cps := make([]jobCheckpoint, 0, len(jobs))
-	for _, j := range jobs {
+	cps := make([]jobCheckpoint, 0, len(js))
+	for _, j := range js {
 		j.mu.Lock()
 		cps = append(cps, jobCheckpoint{
 			ID:           j.id,
@@ -464,7 +492,7 @@ func (s *Scheduler) Flush() error {
 		})
 		j.mu.Unlock()
 	}
-	return saveCheckpoint(s.cfg.CheckpointPath, cps)
+	return saveCheckpoint(s.cfg.CheckpointPath, cps, s.cfg.Now().Unix())
 }
 
 // Close drains the scheduler: no new submissions, in-flight chunks finish,

@@ -44,5 +44,10 @@ func SpecForPoint(p gpurel.PointSpec, opts campaign.Options) JobSpec {
 		sp.Batch = pol.Batch
 		sp.Prune = pol.Prune
 	}
+	if ck := p.Checkpoint; ck != nil {
+		sp.SnapStride = ck.Stride
+		sp.SnapMB = int(ck.BudgetBytes >> 20)
+		sp.Converge = ck.Converge
+	}
 	return sp
 }

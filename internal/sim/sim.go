@@ -248,6 +248,12 @@ type Result struct {
 	Spans     []LaunchSpan
 	PerKernel map[string]*KernelStats
 	DUEFlag   bool
+	// Converged reports that the run's complete machine state became
+	// bit-identical to the reference snapshot at cycle ConvergedAt (see
+	// Options.Converge); the remaining simulation was skipped because its
+	// outcome equals the reference run's suffix.
+	Converged   bool
+	ConvergedAt int64
 }
 
 // RFTracer observes register-file activity for analytical (ACE-style)
@@ -271,12 +277,33 @@ type Options struct {
 	// RFTrace, when set, receives register-file liveness events (used by
 	// the ACE analyzer).
 	RFTrace RFTracer
+
+	// Checkpoint, when set, captures a machine snapshot into the set at
+	// every cycle divisible by its stride (reference/golden runs).
+	Checkpoint *SnapshotSet
+	// Resume, when set, restores the snapshot and continues from its cycle
+	// instead of simulating from cycle 0. The snapshot must have been taken
+	// from a run of the same job on the same configuration, and AtCycle (if
+	// armed) must be strictly greater than the snapshot's cycle.
+	Resume *Snapshot
+	// Converge, when set, compares live machine state against the set's
+	// snapshot at each checkpoint cycle once the injection hook has fired;
+	// on exact match the run stops with Converged set, since its remaining
+	// trajectory is bit-identical to the reference run's.
+	Converge *SnapshotSet
+	// Pool, when set, recycles machine storage arrays across runs to keep
+	// per-run allocation off the injection hot path.
+	Pool *RunPool
 }
 
 // Run simulates the job on a chip with configuration cfg.
 func Run(job *device.Job, cfg gpu.Config, opts Options) *Result {
 	r := newRunner(job, cfg, opts)
-	return r.run()
+	res := r.run()
+	if opts.Pool != nil {
+		opts.Pool.put(r)
+	}
+	return res
 }
 
 type runner struct {
@@ -291,10 +318,27 @@ type runner struct {
 	fired   bool
 	stopped bool
 
+	// Schedule position: step index, steps consumed against the budget, and
+	// the in-flight launch (nil between steps). Held as fields rather than
+	// run() locals so snapshots can capture and restore them.
+	si    int
+	steps int
+	cur   *launchState
+
 	dramRead, dramWrite int64
 
 	res *Result
 	env simEnv
+}
+
+// launchState is the progress of one in-flight kernel launch.
+type launchState struct {
+	l         *device.Launch
+	pending   []pendingCTA
+	resident  int
+	nextSM    int
+	span      LaunchSpan
+	statsBase statsSnapshot
 }
 
 func newRunner(job *device.Job, cfg gpu.Config, opts Options) *runner {
@@ -302,29 +346,65 @@ func newRunner(job *device.Job, cfg gpu.Config, opts Options) *runner {
 		job:  job,
 		cfg:  cfg,
 		opts: opts,
-		mem:  job.Mem.Clone(),
 		res:  &Result{PerKernel: map[string]*KernelStats{}},
 	}
-	r.l2 = mem.NewCache("L2", cfg.L2Bytes, cfg.LineSize, cfg.L2Ways, cfg.L2MSHRs)
-	for i := 0; i < cfg.NumSMs; i++ {
-		sm := &SM{
-			ID:      i,
-			RF:      make([]uint32, cfg.RFRegsPerSM),
-			Smem:    make([]byte, cfg.SmemPerSM),
-			rfAlloc: newAllocator(cfg.RFRegsPerSM),
-			smAlloc: newAllocator(cfg.SmemPerSM),
-			L1D:     mem.NewCache(fmt.Sprintf("L1D%d", i), cfg.L1DBytes, cfg.LineSize, cfg.L1Ways, cfg.L1MSHRs),
-			L1T:     mem.NewCache(fmt.Sprintf("L1T%d", i), cfg.L1TBytes, cfg.LineSize, cfg.L1Ways, cfg.L1MSHRs),
+	var pm *pooledMachine
+	if opts.Pool != nil {
+		pm = opts.Pool.get(cfg, job.Mem.Size())
+	}
+	if pm != nil {
+		r.sms, r.l2, r.mem = pm.sms, pm.l2, pm.mem
+		if opts.Resume == nil {
+			// A fresh run must start from pristine state; a recycled machine
+			// carries the previous run's residue, which corrupted control
+			// flow could observe (e.g. reading a register it never wrote).
+			// Resumed runs skip this: restore overwrites every array.
+			for _, sm := range r.sms {
+				resetSM(sm, cfg)
+			}
+			r.l2.Reset()
+			r.mem = job.Mem.CloneInto(r.mem)
 		}
+	} else {
+		r.mem = job.Mem.Clone()
+		r.l2 = mem.NewCache("L2", cfg.L2Bytes, cfg.LineSize, cfg.L2Ways, cfg.L2MSHRs)
+		for i := 0; i < cfg.NumSMs; i++ {
+			sm := &SM{
+				ID:      i,
+				RF:      make([]uint32, cfg.RFRegsPerSM),
+				Smem:    make([]byte, cfg.SmemPerSM),
+				rfAlloc: newAllocator(cfg.RFRegsPerSM),
+				smAlloc: newAllocator(cfg.SmemPerSM),
+				L1D:     mem.NewCache(fmt.Sprintf("L1D%d", i), cfg.L1DBytes, cfg.LineSize, cfg.L1Ways, cfg.L1MSHRs),
+				L1T:     mem.NewCache(fmt.Sprintf("L1T%d", i), cfg.L1TBytes, cfg.LineSize, cfg.L1Ways, cfg.L1MSHRs),
+			}
+			r.sms = append(r.sms, sm)
+		}
+	}
+	// The hierarchy holds pointers to this runner's DRAM counters, so it is
+	// rewired even when the SM arrays come from the pool.
+	for _, sm := range r.sms {
 		sm.hier = mem.Hierarchy{
 			L1D: sm.L1D, L1T: sm.L1T, L2: r.l2,
 			DRAMRead: &r.dramRead, DRAMWrite: &r.dramWrite,
 			L1Lat: int64(cfg.L1Lat), L2Lat: int64(cfg.L2Lat), DRAMLat: int64(cfg.DRAMLat),
 		}
-		r.sms = append(r.sms, sm)
 	}
 	r.env.r = r
 	return r
+}
+
+// resetSM returns a pooled SM to its post-construction state.
+func resetSM(sm *SM, cfg gpu.Config) {
+	clear(sm.RF)
+	clear(sm.Smem)
+	sm.rfAlloc.free = append(sm.rfAlloc.free[:0], block{0, cfg.RFRegsPerSM})
+	sm.smAlloc.free = append(sm.smAlloc.free[:0], block{0, cfg.SmemPerSM})
+	sm.L1D.Reset()
+	sm.L1T.Reset()
+	sm.ctas = sm.ctas[:0]
+	sm.threadsUsed = 0
+	sm.issuePtr = 0
 }
 
 func (r *runner) machine() *Machine {
@@ -341,44 +421,56 @@ func (r *runner) kernelStats(name string) *KernelStats {
 }
 
 var (
-	errSimTimeout = fmt.Errorf("cycle budget exceeded")
-	errSimAborted = fmt.Errorf("run aborted by injector")
+	errSimTimeout   = fmt.Errorf("cycle budget exceeded")
+	errSimAborted   = fmt.Errorf("run aborted by injector")
+	errSimConverged = fmt.Errorf("state converged with reference run")
 )
 
 func (r *runner) run() *Result {
 	maxSteps := r.job.MaxScheduleSteps()
-	steps := 0
-	for si := 0; si < len(r.job.Steps); {
-		if steps >= maxSteps {
-			r.res.TimedOut = true
-			return r.res
-		}
-		steps++
-		st := &r.job.Steps[si]
-		if st.Host != nil {
-			// Host access goes through cudaMemcpy, which is coherent with
-			// L2: flush and invalidate before the host touches memory.
-			r.flushCaches(true)
-			next := st.Host(r.mem, 0)
-			if next >= 0 {
-				si = next
-			} else {
-				si++
+	if r.opts.Resume != nil {
+		r.restore(r.opts.Resume)
+	}
+	for r.cur != nil || r.si < len(r.job.Steps) {
+		if r.cur == nil {
+			if r.steps >= maxSteps {
+				r.res.TimedOut = true
+				return r.res
 			}
-			continue
+			r.steps++
+			st := &r.job.Steps[r.si]
+			if st.Host != nil {
+				// Host access goes through cudaMemcpy, which is coherent with
+				// L2: flush and invalidate before the host touches memory.
+				r.flushCaches(true)
+				next := st.Host(r.mem, 0)
+				if next >= 0 {
+					r.si = next
+				} else {
+					r.si++
+				}
+				continue
+			}
+			if err := r.beginLaunch(st.Launch); err != nil {
+				r.res.Err = err
+				return r.res
+			}
 		}
-		if err := r.runLaunch(st.Launch); err != nil {
+		if err := r.runLaunch(); err != nil {
 			switch err {
 			case errSimTimeout:
 				r.res.TimedOut = true
 			case errSimAborted:
 				r.res.Aborted = true
+			case errSimConverged:
+				r.res.Converged = true
+				r.res.ConvergedAt = r.cycle
 			default:
 				r.res.Err = err
 			}
 			return r.res
 		}
-		si++
+		r.si++
 	}
 	r.flushCaches(false)
 	r.res.Cycles = r.cycle
@@ -404,7 +496,9 @@ func (r *runner) flushCaches(invalidate bool) {
 
 type pendingCTA struct{ rep, cy, cx int }
 
-func (r *runner) runLaunch(l *device.Launch) error {
+// beginLaunch validates the launch and installs it as the in-flight launch
+// state; runLaunch then advances it to completion.
+func (r *runner) beginLaunch(l *device.Launch) error {
 	prog := l.Kernel
 	threads := l.ThreadsPerCTA()
 	if threads == 0 || threads > r.cfg.MaxThreadsPerSM {
@@ -415,18 +509,18 @@ func (r *runner) runLaunch(l *device.Launch) error {
 		return fmt.Errorf("launch %s: CTA does not fit on an SM", l.Name())
 	}
 
-	var pending []pendingCTA
+	cur := &launchState{l: l}
 	for rep := 0; rep < l.NumReplicas(); rep++ {
 		for cy := 0; cy < l.GridY; cy++ {
 			for cx := 0; cx < l.GridX; cx++ {
-				pending = append(pending, pendingCTA{rep, cy, cx})
+				cur.pending = append(cur.pending, pendingCTA{rep, cy, cx})
 			}
 		}
 	}
 
 	ks := r.kernelStats(l.Name())
 	ks.Launches++
-	span := LaunchSpan{
+	cur.span = LaunchSpan{
 		Kernel:        l.Name(),
 		Start:         r.cycle,
 		Threads:       int64(threads) * int64(l.NumCTAs()),
@@ -434,26 +528,35 @@ func (r *runner) runLaunch(l *device.Launch) error {
 		SmemPerCTA:    l.SmemBytes,
 		CTAs:          int64(l.NumCTAs()),
 	}
-	statsBase := r.snapshotStats()
+	cur.statsBase = r.snapshotStats()
 
 	// Per-kernel-launch L1 state: Volta flushes L1s between kernels.
 	for _, sm := range r.sms {
 		sm.L1D.InvalidateAll()
 		sm.L1T.InvalidateAll()
 	}
+	r.cur = cur
+	return nil
+}
 
-	resident := 0
-	nextSM := 0
-	for len(pending) > 0 || resident > 0 {
+func (r *runner) runLaunch() error {
+	cur := r.cur
+	l := cur.l
+	prog := l.Kernel
+	// Looked up fresh (not cached in launchState): after a restore the stats
+	// live in the rebuilt PerKernel map.
+	ks := r.kernelStats(l.Name())
+
+	for len(cur.pending) > 0 || cur.resident > 0 {
 		// Place pending CTAs.
-		for len(pending) > 0 {
+		for len(cur.pending) > 0 {
 			placed := false
 			for try := 0; try < len(r.sms); try++ {
-				sm := r.sms[(nextSM+try)%len(r.sms)]
-				if r.tryPlace(sm, l, prog, &pending[0]) {
-					nextSM = (nextSM + try + 1) % len(r.sms)
-					pending = pending[1:]
-					resident++
+				sm := r.sms[(cur.nextSM+try)%len(r.sms)]
+				if r.tryPlace(sm, l, prog, &cur.pending[0]) {
+					cur.nextSM = (cur.nextSM + try + 1) % len(r.sms)
+					cur.pending = cur.pending[1:]
+					cur.resident++
 					placed = true
 					break
 				}
@@ -462,7 +565,7 @@ func (r *runner) runLaunch(l *device.Launch) error {
 				break
 			}
 		}
-		if resident == 0 {
+		if cur.resident == 0 {
 			return fmt.Errorf("launch %s: CTA cannot be placed on any SM", l.Name())
 		}
 
@@ -490,14 +593,27 @@ func (r *runner) runLaunch(l *device.Launch) error {
 			if err != nil {
 				return err
 			}
-			resident -= finished
+			cur.resident -= finished
+		}
+
+		// End-of-cycle checkpoint hooks. Capture sees the state a resumed run
+		// starts from; the convergence probe compares against it only after
+		// the fault has been injected (before that the states match trivially).
+		if ck := r.opts.Checkpoint; ck != nil {
+			ck.offer(r)
+		}
+		if cv := r.opts.Converge; cv != nil && r.fired {
+			if s := cv.at(r.cycle); s != nil && r.matches(s) {
+				return errSimConverged
+			}
 		}
 	}
 
-	span.End = r.cycle
-	r.res.Spans = append(r.res.Spans, span)
-	ks.Cycles += span.End - span.Start
-	r.accumulateStats(ks, statsBase)
+	cur.span.End = r.cycle
+	r.res.Spans = append(r.res.Spans, cur.span)
+	ks.Cycles += cur.span.End - cur.span.Start
+	r.accumulateStats(ks, cur.statsBase)
+	r.cur = nil
 	return nil
 }
 

@@ -1,0 +1,518 @@
+// Checkpointed fork-and-join support: deep snapshots of complete machine
+// state taken during a reference (golden) run, used by injectors to (a)
+// resume faulty runs from the nearest checkpoint below the injection cycle
+// instead of replaying the fault-free prefix, and (b) detect that a faulty
+// run's state has become bit-identical to the reference at a later
+// checkpoint, at which point its remaining trajectory — and therefore its
+// outcome — equals the reference suffix and need not be simulated.
+//
+// The equivalence argument rests on the simulator being a deterministic
+// function of its state: two runners with identical (cycle, schedule
+// position, launch progress, SM arrays, allocator free lists, warp stacks,
+// caches, device memory, DRAM counters, accumulated stats) execute identical
+// continuations. Snapshots capture exactly that closure, nothing less.
+package sim
+
+import (
+	"slices"
+	"sync"
+
+	"gpurel/internal/device"
+	"gpurel/internal/exec"
+	"gpurel/internal/gpu"
+	"gpurel/internal/isa"
+	"gpurel/internal/mem"
+)
+
+// Snapshot is a deep copy of complete machine state at the end of one cycle.
+// Immutable once captured; safe for concurrent read-only use by many
+// resumed/probed runs.
+type Snapshot struct {
+	cycle int64
+	si    int
+	steps int
+
+	dramRead, dramWrite int64
+
+	dmem device.MemState
+	l2   mem.CacheState
+	sms  []smSnap
+
+	launch    launchSnap
+	spans     []LaunchSpan
+	perKernel map[string]KernelStats
+
+	bytes int64
+}
+
+// Cycle returns the cycle the snapshot was taken at.
+func (s *Snapshot) Cycle() int64 { return s.cycle }
+
+// Bytes returns the approximate retained size of the snapshot.
+func (s *Snapshot) Bytes() int64 { return s.bytes }
+
+type smSnap struct {
+	rf             []uint32
+	smem           []byte
+	rfFree, smFree []block
+	l1d, l1t       mem.CacheState
+	threadsUsed    int
+	issuePtr       int
+	ctas           []ctaSnap
+}
+
+type ctaSnap struct {
+	launch *device.Launch
+	prog   *isa.Program
+	params []uint32 // read-only during a run: shared, not copied
+	cx, cy int
+
+	warps []warpSnap
+	meta  []warpMeta
+	preds []uint8
+	live  int
+
+	rfBase, rfSize int
+	smBase, smSize int
+	threads        int
+}
+
+type warpSnap struct {
+	fullMask, exited uint32
+	stack            []exec.Ent
+}
+
+type launchSnap struct {
+	l         *device.Launch
+	pending   []pendingCTA
+	resident  int
+	nextSM    int
+	span      LaunchSpan
+	statsBase statsSnapshot
+}
+
+// capture deep-copies the runner's state. Only called from inside the
+// runLaunch cycle loop, so r.cur is always non-nil: every checkpoint lies
+// within some kernel launch (the cycle counter only advances there).
+func (r *runner) capture() *Snapshot {
+	s := &Snapshot{
+		cycle:     r.cycle,
+		si:        r.si,
+		steps:     r.steps,
+		dramRead:  r.dramRead,
+		dramWrite: r.dramWrite,
+	}
+	r.mem.SaveState(&s.dmem)
+	r.l2.SaveState(&s.l2)
+	s.sms = make([]smSnap, len(r.sms))
+	for i, sm := range r.sms {
+		captureSM(sm, &s.sms[i])
+	}
+	cur := r.cur
+	s.launch = launchSnap{
+		l:         cur.l,
+		pending:   slices.Clone(cur.pending),
+		resident:  cur.resident,
+		nextSM:    cur.nextSM,
+		span:      cur.span,
+		statsBase: cur.statsBase,
+	}
+	s.spans = slices.Clone(r.res.Spans)
+	s.perKernel = make(map[string]KernelStats, len(r.res.PerKernel))
+	for name, ks := range r.res.PerKernel {
+		s.perKernel[name] = *ks
+	}
+	s.bytes = s.footprint()
+	return s
+}
+
+func captureSM(sm *SM, dst *smSnap) {
+	dst.rf = slices.Clone(sm.RF)
+	dst.smem = slices.Clone(sm.Smem)
+	dst.rfFree = slices.Clone(sm.rfAlloc.free)
+	dst.smFree = slices.Clone(sm.smAlloc.free)
+	sm.L1D.SaveState(&dst.l1d)
+	sm.L1T.SaveState(&dst.l1t)
+	dst.threadsUsed = sm.threadsUsed
+	dst.issuePtr = sm.issuePtr
+	dst.ctas = make([]ctaSnap, len(sm.ctas))
+	for i, c := range sm.ctas {
+		captureCTA(c, &dst.ctas[i])
+	}
+}
+
+func captureCTA(c *ctaRT, dst *ctaSnap) {
+	dst.launch = c.launch
+	dst.prog = c.prog
+	dst.params = c.params
+	dst.cx, dst.cy = c.cx, c.cy
+	dst.warps = make([]warpSnap, len(c.warps))
+	for i, w := range c.warps {
+		dst.warps[i] = warpSnap{fullMask: w.FullMask, exited: w.Exited, stack: slices.Clone(w.Stack)}
+	}
+	dst.meta = slices.Clone(c.meta)
+	dst.preds = slices.Clone(c.preds)
+	dst.live = c.live
+	dst.rfBase, dst.rfSize = c.rfBase, c.rfSize
+	dst.smBase, dst.smSize = c.smBase, c.smSize
+	dst.threads = c.threads
+}
+
+// restore overwrites the runner's state from the snapshot. The runner must
+// have been built for the same job and configuration; the injection hook is
+// re-armed (snapshots are taken on fault-free reference runs, strictly
+// before any resumed run's injection cycle).
+func (r *runner) restore(s *Snapshot) {
+	if len(r.sms) != len(s.sms) {
+		panic("sim: restore onto a machine with a different SM count")
+	}
+	r.cycle = s.cycle
+	r.si = s.si
+	r.steps = s.steps
+	r.fired = false
+	r.stopped = false
+	r.dramRead = s.dramRead
+	r.dramWrite = s.dramWrite
+	r.mem.LoadState(&s.dmem)
+	r.l2.LoadState(&s.l2)
+	for i, sm := range r.sms {
+		restoreSM(sm, &s.sms[i])
+	}
+	r.cur = &launchState{
+		l:         s.launch.l,
+		pending:   slices.Clone(s.launch.pending),
+		resident:  s.launch.resident,
+		nextSM:    s.launch.nextSM,
+		span:      s.launch.span,
+		statsBase: s.launch.statsBase,
+	}
+	r.res.Spans = append(r.res.Spans[:0], s.spans...)
+	clear(r.res.PerKernel)
+	for name, ks := range s.perKernel {
+		c := ks
+		r.res.PerKernel[name] = &c
+	}
+}
+
+func restoreSM(sm *SM, src *smSnap) {
+	if len(sm.RF) != len(src.rf) || len(sm.Smem) != len(src.smem) {
+		panic("sim: restore onto a machine with different SM geometry")
+	}
+	copy(sm.RF, src.rf)
+	copy(sm.Smem, src.smem)
+	sm.rfAlloc.free = append(sm.rfAlloc.free[:0], src.rfFree...)
+	sm.smAlloc.free = append(sm.smAlloc.free[:0], src.smFree...)
+	sm.L1D.LoadState(&src.l1d)
+	sm.L1T.LoadState(&src.l1t)
+	sm.threadsUsed = src.threadsUsed
+	sm.issuePtr = src.issuePtr
+	sm.ctas = sm.ctas[:0]
+	for i := range src.ctas {
+		sm.ctas = append(sm.ctas, restoreCTA(&src.ctas[i]))
+	}
+}
+
+func restoreCTA(src *ctaSnap) *ctaRT {
+	c := &ctaRT{
+		launch:  src.launch,
+		prog:    src.prog,
+		params:  src.params,
+		cx:      src.cx,
+		cy:      src.cy,
+		meta:    slices.Clone(src.meta),
+		preds:   slices.Clone(src.preds),
+		live:    src.live,
+		rfBase:  src.rfBase,
+		rfSize:  src.rfSize,
+		smBase:  src.smBase,
+		smSize:  src.smSize,
+		threads: src.threads,
+	}
+	for i := range src.warps {
+		ws := &src.warps[i]
+		c.warps = append(c.warps, &exec.Warp{FullMask: ws.fullMask, Exited: ws.exited, Stack: slices.Clone(ws.stack)})
+	}
+	return c
+}
+
+// matches reports whether the runner's live state is bit-identical to the
+// snapshot. It compares the full deterministic closure — schedule position,
+// launch progress, accumulated spans/stats, storage arrays, allocator free
+// lists, warp contexts, caches, device memory and DRAM counters — so a
+// match guarantees the continuation (and thus the final Result) equals the
+// reference run's.
+func (r *runner) matches(s *Snapshot) bool {
+	if r.cycle != s.cycle || r.si != s.si || r.steps != s.steps {
+		return false
+	}
+	if r.dramRead != s.dramRead || r.dramWrite != s.dramWrite {
+		return false
+	}
+	cur := r.cur
+	ls := &s.launch
+	if cur.l != ls.l || cur.resident != ls.resident || cur.nextSM != ls.nextSM ||
+		cur.span != ls.span || cur.statsBase != ls.statsBase {
+		return false
+	}
+	if !slices.Equal(cur.pending, ls.pending) {
+		return false
+	}
+	if !slices.Equal(r.res.Spans, s.spans) {
+		return false
+	}
+	if len(r.res.PerKernel) != len(s.perKernel) {
+		return false
+	}
+	for name, ks := range r.res.PerKernel {
+		ref, ok := s.perKernel[name]
+		if !ok || *ks != ref {
+			return false
+		}
+	}
+	if len(r.sms) != len(s.sms) {
+		return false
+	}
+	for i, sm := range r.sms {
+		if !smEqual(sm, &s.sms[i]) {
+			return false
+		}
+	}
+	if !r.l2.StateEqual(&s.l2) {
+		return false
+	}
+	return r.mem.StateEqual(&s.dmem)
+}
+
+func smEqual(sm *SM, src *smSnap) bool {
+	if sm.threadsUsed != src.threadsUsed || sm.issuePtr != src.issuePtr {
+		return false
+	}
+	if len(sm.ctas) != len(src.ctas) {
+		return false
+	}
+	for i, c := range sm.ctas {
+		if !ctaEqual(c, &src.ctas[i]) {
+			return false
+		}
+	}
+	if !slices.Equal(sm.rfAlloc.free, src.rfFree) || !slices.Equal(sm.smAlloc.free, src.smFree) {
+		return false
+	}
+	if !sm.L1D.StateEqual(&src.l1d) || !sm.L1T.StateEqual(&src.l1t) {
+		return false
+	}
+	return slices.Equal(sm.RF, src.rf) && slices.Equal(sm.Smem, src.smem)
+}
+
+func ctaEqual(c *ctaRT, src *ctaSnap) bool {
+	if c.launch != src.launch || c.prog != src.prog {
+		return false
+	}
+	if c.cx != src.cx || c.cy != src.cy || c.live != src.live || c.threads != src.threads {
+		return false
+	}
+	if c.rfBase != src.rfBase || c.rfSize != src.rfSize || c.smBase != src.smBase || c.smSize != src.smSize {
+		return false
+	}
+	if !slices.Equal(c.params, src.params) {
+		return false
+	}
+	if !slices.Equal(c.meta, src.meta) || !slices.Equal(c.preds, src.preds) {
+		return false
+	}
+	if len(c.warps) != len(src.warps) {
+		return false
+	}
+	for i, w := range c.warps {
+		ws := &src.warps[i]
+		if w.FullMask != ws.fullMask || w.Exited != ws.exited || !slices.Equal(w.Stack, ws.stack) {
+			return false
+		}
+	}
+	return true
+}
+
+// footprint approximates the retained size of the snapshot for budgeting.
+func (s *Snapshot) footprint() int64 {
+	n := s.dmem.StateBytes() + s.l2.StateBytes()
+	for i := range s.sms {
+		sm := &s.sms[i]
+		n += int64(len(sm.rf))*4 + int64(len(sm.smem))
+		n += int64(len(sm.rfFree)+len(sm.smFree)) * 16
+		n += sm.l1d.StateBytes() + sm.l1t.StateBytes()
+		for j := range sm.ctas {
+			c := &sm.ctas[j]
+			n += int64(len(c.meta))*10 + int64(len(c.preds)) + 96
+			for k := range c.warps {
+				n += int64(len(c.warps[k].stack))*12 + 16
+			}
+		}
+	}
+	n += int64(len(s.launch.pending)) * 24
+	n += int64(len(s.spans)) * 64
+	n += int64(len(s.perKernel)) * 160
+	return n + 256
+}
+
+// SnapshotSet holds the checkpoints of one reference run, ordered by cycle.
+// It is written single-threaded during the reference run and read-only
+// afterwards, so concurrent resumed runs may share it without locking.
+//
+// A memory budget bounds the retained bytes: when an appended snapshot
+// pushes the set over budget, the stride doubles and snapshots that fall
+// off the widened grid are evicted, preserving the invariant that every
+// retained cycle is a multiple of the current stride.
+type SnapshotSet struct {
+	stride  int64
+	budget  int64
+	snaps   []*Snapshot
+	bytes   int64
+	evicted int64
+}
+
+// NewSnapshotSet creates a set capturing every stride-th cycle, retaining at
+// most budgetBytes of snapshot state (<= 0 means unlimited). A stride <= 0
+// disables capture.
+func NewSnapshotSet(stride, budgetBytes int64) *SnapshotSet {
+	return &SnapshotSet{stride: stride, budget: budgetBytes}
+}
+
+// Len returns the number of retained snapshots.
+func (s *SnapshotSet) Len() int { return len(s.snaps) }
+
+// Snap returns the i-th retained snapshot in cycle order.
+func (s *SnapshotSet) Snap(i int) *Snapshot { return s.snaps[i] }
+
+// Bytes returns the approximate retained size of all snapshots.
+func (s *SnapshotSet) Bytes() int64 { return s.bytes }
+
+// Stride returns the current capture stride in cycles (0 when capture has
+// been disabled by budget pressure).
+func (s *SnapshotSet) Stride() int64 { return s.stride }
+
+// Evicted returns the number of snapshots dropped to fit the budget.
+func (s *SnapshotSet) Evicted() int64 { return s.evicted }
+
+// offer captures a snapshot if the runner's cycle is on the stride grid,
+// then enforces the budget.
+func (s *SnapshotSet) offer(r *runner) {
+	if s.stride <= 0 || r.cycle%s.stride != 0 {
+		return
+	}
+	snap := r.capture()
+	s.snaps = append(s.snaps, snap)
+	s.bytes += snap.bytes
+	for s.budget > 0 && s.bytes > s.budget {
+		if !s.widen() {
+			break
+		}
+	}
+}
+
+// widen doubles the stride and evicts snapshots off the widened grid. When
+// no further widening can help (a single snapshot already exceeds the
+// budget), the set is emptied and capture disabled; it returns false.
+func (s *SnapshotSet) widen() bool {
+	if len(s.snaps) <= 1 {
+		s.evicted += int64(len(s.snaps))
+		s.snaps = s.snaps[:0]
+		s.bytes = 0
+		s.stride = 0
+		return false
+	}
+	s.stride *= 2
+	kept := s.snaps[:0]
+	for _, snap := range s.snaps {
+		if snap.cycle%s.stride == 0 {
+			kept = append(kept, snap)
+		} else {
+			s.evicted++
+			s.bytes -= snap.bytes
+		}
+	}
+	for i := len(kept); i < len(s.snaps); i++ {
+		s.snaps[i] = nil
+	}
+	s.snaps = kept
+	return true
+}
+
+// Before returns the latest snapshot taken strictly before cycle c, or nil.
+// Strictness matters for resume: the injection hook fires at the top of the
+// cycle body while snapshots capture its end, so a resumed run whose hook
+// must fire at cycle c has to start from a cycle below it.
+func (s *SnapshotSet) Before(c int64) *Snapshot {
+	lo, hi := 0, len(s.snaps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.snaps[mid].cycle < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return s.snaps[lo-1]
+}
+
+// at returns the snapshot taken exactly at cycle c, or nil. The stride
+// modulo gate keeps the common (non-checkpoint) cycle to a single test.
+func (s *SnapshotSet) at(c int64) *Snapshot {
+	if s.stride <= 0 || c%s.stride != 0 {
+		return nil
+	}
+	lo, hi := 0, len(s.snaps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.snaps[mid].cycle < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.snaps) && s.snaps[lo].cycle == c {
+		return s.snaps[lo]
+	}
+	return nil
+}
+
+// RunPool recycles the large machine-state arrays (register files, shared
+// memories, caches, device memory image) across runs so a campaign's
+// per-run cost is simulation, not allocation. Safe for concurrent use. A
+// pooled machine is only reused for an identical configuration and device
+// memory capacity; fresh runs reset it to pristine state first, resumed
+// runs are overwritten wholesale by the snapshot restore.
+type RunPool struct {
+	pool sync.Pool
+}
+
+// NewRunPool creates an empty pool.
+func NewRunPool() *RunPool { return &RunPool{} }
+
+type pooledMachine struct {
+	cfg    gpu.Config
+	memCap int
+	sms    []*SM
+	l2     *mem.Cache
+	mem    *device.Memory
+}
+
+func (p *RunPool) get(cfg gpu.Config, memCap int) *pooledMachine {
+	v := p.pool.Get()
+	if v == nil {
+		return nil
+	}
+	pm := v.(*pooledMachine)
+	if pm.cfg != cfg || pm.memCap != memCap {
+		// Wrong geometry: drop it; the next put replaces it with a matching
+		// machine.
+		return nil
+	}
+	return pm
+}
+
+func (p *RunPool) put(r *runner) {
+	p.pool.Put(&pooledMachine{cfg: r.cfg, memCap: r.mem.Size(), sms: r.sms, l2: r.l2, mem: r.mem})
+}

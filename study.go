@@ -56,6 +56,14 @@ type Study struct {
 	// across every campaign the study executes.
 	Counters *adaptive.Counters
 
+	// Checkpoint is the default checkpointed-injection spec applied when an
+	// application's golden runs are first built (PointSpec.Checkpoint
+	// overrides it for points evaluated before then). The zero value keeps
+	// plain brute-force goldens. Like Sampling it tunes how points are
+	// simulated, not what they measure: campaign tallies are bit-identical
+	// either way (microfi.GoldenCheckpointed).
+	Checkpoint microfi.CheckpointSpec
+
 	mu    sync.Mutex
 	apps  map[string]*AppEval
 	micro map[microKey]campaign.Tally
@@ -171,6 +179,12 @@ type PointSpec struct {
 	Mode      softfi.Mode
 	Hardened  bool
 	Sampling  *SamplingPolicy
+	// Checkpoint, when non-nil, overrides the study's default checkpointed
+	// injection spec for the golden runs backing this point. Like Sampling
+	// it is excluded from PointSeed — it accelerates the point without
+	// changing what it measures. Golden runs are built once per app, so the
+	// spec in effect at the first evaluation of an app wins.
+	Checkpoint *microfi.CheckpointSpec
 }
 
 // PointSeed derives the campaign seed of a point from a base seed, exactly
@@ -191,7 +205,11 @@ func PointSeed(base int64, spec PointSpec) int64 {
 // concurrent calls and deterministic per (run, rng) — the entry point the
 // campaign service schedules run-ranges against.
 func (s *Study) PointExperiment(spec PointSpec) (campaign.Experiment, error) {
-	e, err := s.Eval(spec.App)
+	ck := s.Checkpoint
+	if spec.Checkpoint != nil {
+		ck = *spec.Checkpoint
+	}
+	e, err := s.evalWith(spec.App, ck)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +253,12 @@ func (s *Study) runPoint(spec PointSpec) (campaign.Tally, error) {
 	if spec.Sampling == nil {
 		spec.Sampling = s.Sampling
 	}
+	if spec.Checkpoint == nil && s.Checkpoint.Enabled() {
+		// Propagate the study default into the spec so a RunPoint hook
+		// (e.g. the gpureld daemon) accelerates the point the same way.
+		ck := s.Checkpoint
+		spec.Checkpoint = &ck
+	}
 	opts := campaign.Options{Runs: s.Runs, Seed: PointSeed(s.Seed, spec), Workers: s.Workers}
 	if s.RunPoint != nil {
 		return s.RunPoint(spec, opts)
@@ -254,8 +278,15 @@ func (s *Study) runPoint(spec PointSpec) (campaign.Tally, error) {
 }
 
 // Eval returns (building and caching on first use) the evaluation state of
-// the named application.
+// the named application, using the study's default checkpoint spec.
 func (s *Study) Eval(appName string) (*AppEval, error) {
+	return s.evalWith(appName, s.Checkpoint)
+}
+
+// evalWith is Eval with an explicit checkpoint spec for the micro-level
+// golden runs. Evaluations are cached per app, so the spec only matters the
+// first time an app is evaluated.
+func (s *Study) evalWith(appName string, ck microfi.CheckpointSpec) (*AppEval, error) {
 	s.mu.Lock()
 	if e, ok := s.apps[appName]; ok {
 		s.mu.Unlock()
@@ -268,14 +299,14 @@ func (s *Study) Eval(appName string) (*AppEval, error) {
 		return nil, err
 	}
 	e := &AppEval{App: app, Job: app.Build()}
-	if e.MicroG, err = microfi.Golden(e.Job, s.Cfg); err != nil {
+	if e.MicroG, err = microfi.GoldenCheckpointed(e.Job, s.Cfg, ck); err != nil {
 		return nil, fmt.Errorf("%s: %w", appName, err)
 	}
 	if e.SoftG, err = softfi.Golden(e.Job); err != nil {
 		return nil, fmt.Errorf("%s: %w", appName, err)
 	}
 	e.JobTMR = harden.TMR(e.Job)
-	if e.MicroGTMR, err = microfi.Golden(e.JobTMR, s.Cfg); err != nil {
+	if e.MicroGTMR, err = microfi.GoldenCheckpointed(e.JobTMR, s.Cfg, ck); err != nil {
 		return nil, fmt.Errorf("%s+TMR: %w", appName, err)
 	}
 	if e.SoftGTMR, err = softfi.Golden(e.JobTMR); err != nil {
@@ -286,6 +317,24 @@ func (s *Study) Eval(appName string) (*AppEval, error) {
 	s.apps[appName] = e
 	s.mu.Unlock()
 	return e, nil
+}
+
+// CheckpointCounts aggregates fork/converge statistics and the snapshot
+// inventory across every cached golden run (plain and TMR-hardened). Safe to
+// call concurrently with running campaigns.
+func (s *Study) CheckpointCounts() microfi.CheckpointCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var c microfi.CheckpointCounts
+	for _, e := range s.apps {
+		if e.MicroG != nil {
+			c.Add(e.MicroG.CheckpointCounts())
+		}
+		if e.MicroGTMR != nil {
+			c.Add(e.MicroGTMR.CheckpointCounts())
+		}
+	}
+	return c
 }
 
 // MicroTally runs (or recalls) the microarchitecture-level campaign for one
