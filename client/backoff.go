@@ -1,0 +1,74 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff is a jittered exponential retry schedule: attempt k sleeps a
+// uniformly random duration in (0, min(Max, Base·2^k)] ("full jitter"), so a
+// fleet of workers that lost their coordinator at the same instant does not
+// reconnect in lockstep.
+type Backoff struct {
+	// Base is the cap of the first sleep (default 100ms).
+	Base time.Duration
+	// Max caps every sleep (default 5s).
+	Max time.Duration
+	// Tries bounds the attempts Retry makes (default 5; negative =
+	// unlimited, until ctx ends).
+	Tries int
+	// rng, when set, replaces the global jitter source (tests).
+	rng *rand.Rand
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Tries == 0 {
+		b.Tries = 5
+	}
+	return b
+}
+
+// Delay returns the jittered sleep before retry attempt k (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	cap := b.Base << uint(attempt)
+	if cap > b.Max || cap <= 0 { // <= 0: shift overflow
+		cap = b.Max
+	}
+	var f float64
+	if b.rng != nil {
+		f = b.rng.Float64()
+	} else {
+		f = rand.Float64() //relint:allow — client jitter, not simulation state
+	}
+	return time.Duration(f * float64(cap))
+}
+
+// Retry runs fn until it succeeds, the attempt budget is spent, or ctx
+// ends; between failures it sleeps per the jittered schedule. The last
+// error is returned.
+func Retry(ctx context.Context, b Backoff, fn func() error) error {
+	b = b.withDefaults()
+	var err error
+	for attempt := 0; b.Tries < 0 || attempt < b.Tries; attempt++ {
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(b.Delay(attempt)):
+		}
+	}
+	return err
+}

@@ -1,7 +1,8 @@
-// Package client is the thin HTTP client for a gpureld campaign daemon.
-// cmd/avfsvf uses it (flag -daemon) to submit the study's campaign points
-// to a running server instead of computing them locally; anything else that
-// speaks the internal/service API can reuse it.
+// Package client is the importable HTTP client for the gpureld v1 API:
+// campaign-job submission and streaming for CLIs (avfsvf -daemon), and the
+// lease protocol for fleet workers (gpureld -worker). Every method takes a
+// context; none retries by itself — workers wrap calls with Retry and a
+// jittered exponential Backoff.
 package client
 
 import (
@@ -9,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,14 +22,18 @@ import (
 	"gpurel/internal/service"
 )
 
-// Client talks to one daemon.
+// ErrGone marks a lease the coordinator no longer tracks (expired and
+// requeued, or returned): the worker must abandon it and request a new one.
+var ErrGone = errors.New("lease gone")
+
+// Client talks to one coordinator daemon.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8080".
 	BaseURL string
 	// HTTP is the underlying client (default http.DefaultClient). Do not
 	// set a global timeout on it: event streams are long-lived.
 	HTTP *http.Client
-	// PollInterval is the status-poll fallback cadence used by Wait when
+	// PollInterval is the status-poll fallback cadence used by WaitJob when
 	// the event stream is unavailable (default 500ms).
 	PollInterval time.Duration
 }
@@ -44,25 +50,27 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+// do issues one JSON request and decodes the response into out (skipped when
+// out is nil or the response has no content). Returns the status code.
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) (int, error) {
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -71,42 +79,42 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 		}
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+			return resp.StatusCode, fmt.Errorf("%s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		return resp.StatusCode, fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
 	}
-	if out == nil {
+	if out == nil || resp.StatusCode == http.StatusNoContent {
 		io.Copy(io.Discard, resp.Body)
-		return nil
+		return resp.StatusCode, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit enqueues a campaign job.
-func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+// SubmitJob enqueues a campaign job.
+func (c *Client) SubmitJob(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	_, err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
 	return st, err
 }
 
-// Get fetches a job's status.
-func (c *Client) Get(ctx context.Context, id string) (service.JobStatus, error) {
+// GetJob fetches a job's status.
+func (c *Client) GetJob(ctx context.Context, id string) (service.JobStatus, error) {
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 
-// List fetches all jobs.
-func (c *Client) List(ctx context.Context) ([]service.JobStatus, error) {
+// ListJobs fetches all jobs.
+func (c *Client) ListJobs(ctx context.Context) ([]service.JobStatus, error) {
 	var out []service.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
 	return out, err
 }
 
-// Cancel asks the daemon to stop a job at its next chunk boundary.
-func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+// CancelJob asks the daemon to stop a job at its next chunk boundary.
+func (c *Client) CancelJob(ctx context.Context, id string) (service.JobStatus, error) {
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 
@@ -125,9 +133,9 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(data), err
 }
 
-// Stream consumes a job's NDJSON event stream, invoking fn per event until
-// the job reaches a terminal state, fn returns an error, or ctx ends.
-func (c *Client) Stream(ctx context.Context, id string, fn func(service.Event) error) error {
+// WatchEvents consumes a job's NDJSON event stream, invoking fn per event
+// until the job reaches a terminal state, fn returns an error, or ctx ends.
+func (c *Client) WatchEvents(ctx context.Context, id string, fn func(service.Event) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
@@ -164,17 +172,17 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(service.Event) e
 	return fmt.Errorf("events %s: stream ended before job finished", id)
 }
 
-// Wait blocks until the job is terminal, preferring the event stream and
+// WaitJob blocks until the job is terminal, preferring the event stream and
 // falling back to polling if streaming fails (e.g. across a daemon
 // restart).
-func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+func (c *Client) WaitJob(ctx context.Context, id string) (service.JobStatus, error) {
 	poll := c.PollInterval
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
 	for {
 		var last service.JobStatus
-		err := c.Stream(ctx, id, func(ev service.Event) error {
+		err := c.WatchEvents(ctx, id, func(ev service.Event) error {
 			last = ev.Job
 			return nil
 		})
@@ -190,7 +198,7 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 			return last, ctx.Err()
 		case <-time.After(poll):
 		}
-		st, gerr := c.Get(ctx, id)
+		st, gerr := c.GetJob(ctx, id)
 		if gerr == nil && st.State.Terminal() {
 			return st, nil
 		}
@@ -200,11 +208,11 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 // RunJob submits a spec and waits for its final tally — the one-call remote
 // analogue of campaign.Run.
 func (c *Client) RunJob(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
-	st, err := c.Submit(ctx, spec)
+	st, err := c.SubmitJob(ctx, spec)
 	if err != nil {
 		return st, err
 	}
-	return c.Wait(ctx, st.ID)
+	return c.WaitJob(ctx, st.ID)
 }
 
 // RunPoint returns a Study.RunPoint hook that executes campaign points on
@@ -226,4 +234,47 @@ func (c *Client) RunPoint(ctx context.Context) func(gpurel.PointSpec, campaign.O
 		}
 		return st.Tally, nil
 	}
+}
+
+// Lease requests a run-range lease from the coordinator. ok is false when
+// the coordinator has no pending work (HTTP 204) — the worker sleeps and
+// polls again.
+func (c *Client) Lease(ctx context.Context, req service.LeaseRequest) (ls service.Lease, ok bool, err error) {
+	code, err := c.do(ctx, http.MethodPost, "/v1/leases", req, &ls)
+	if err != nil {
+		return service.Lease{}, false, err
+	}
+	return ls, code == http.StatusOK, nil
+}
+
+// ReportLease streams one completed sub-range's tally back (doubling as a
+// heartbeat). Returns ErrGone when the coordinator no longer tracks the
+// lease.
+func (c *Client) ReportLease(ctx context.Context, id string, rep service.LeaseReport) (service.LeaseAck, error) {
+	var ack service.LeaseAck
+	code, err := c.do(ctx, http.MethodPost, "/v1/leases/"+id+"/report", rep, &ack)
+	if code == http.StatusGone {
+		return ack, ErrGone
+	}
+	return ack, err
+}
+
+// HeartbeatLease extends the lease deadline without reporting progress.
+// Returns ErrGone when the coordinator no longer tracks the lease.
+func (c *Client) HeartbeatLease(ctx context.Context, id string) error {
+	code, err := c.do(ctx, http.MethodPost, "/v1/leases/"+id+"/heartbeat", nil, nil)
+	if code == http.StatusGone {
+		return ErrGone
+	}
+	return err
+}
+
+// ReturnLease hands the unexecuted remainder of a lease back to the
+// coordinator — the drain path of a worker shutting down.
+func (c *Client) ReturnLease(ctx context.Context, id string) error {
+	code, err := c.do(ctx, http.MethodDelete, "/v1/leases/"+id, nil, nil)
+	if code == http.StatusGone {
+		return nil // already expired and requeued: same outcome
+	}
+	return err
 }

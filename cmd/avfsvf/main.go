@@ -36,11 +36,12 @@ import (
 	"os"
 
 	"gpurel"
+	"gpurel/client"
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
+	"gpurel/internal/cliutil"
 	"gpurel/internal/gpu"
 	"gpurel/internal/microfi"
-	"gpurel/internal/service/client"
 )
 
 // emitJSON writes one NDJSON figure record with the campaign sizing fields
@@ -61,10 +62,13 @@ func main() {
 		adapt   = flag.Bool("adaptive", false, "adaptive sampling: stop each campaign point early once its Wilson 99% CI half-width reaches the target margin")
 		margin  = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the worst-case margin of -n); implies -adaptive")
 		prune   = flag.Bool("prune", false, "liveness-guided pruning of RF injections (bit-identical to brute force)")
-		ckpt    = flag.Int64("checkpoint", 0, "golden-run snapshot stride in cycles for fork-and-join injection (0 = off, -1 = auto)")
-		ckMB    = flag.Int64("checkpoint-mb", 0, "snapshot memory budget in MiB per golden run (0 = default 256, negative = unlimited)")
-		conv    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -checkpoint -1 if unset")
+		ckpt    = flag.Int64("snap-stride", 0, "golden-run snapshot stride in cycles for fork-and-join injection (0 = off, -1 = auto)")
+		ckMB    = flag.Int64("snap-mb", 0, "snapshot memory budget in MiB per golden run (0 = default 256, negative = unlimited)")
+		conv    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -snap-stride -1 if unset")
 	)
+	cliutil.Alias(flag.CommandLine, "snap-stride", "checkpoint")
+	cliutil.Alias(flag.CommandLine, "snap-mb", "checkpoint-mb")
+	cliutil.HideDeprecated(flag.CommandLine)
 	flag.Parse()
 
 	s := gpurel.NewStudy(*n, *seed)

@@ -13,7 +13,7 @@
 //	gpufi -app VA -structure RF -n 3000 -static-prune
 //	                        # like -prune, but the dead set comes from static
 //	                        # dataflow analysis — no golden liveness trace
-//	gpufi -app VA -structure RF -n 3000 -checkpoint -1 -converge
+//	gpufi -app VA -structure RF -n 3000 -snap-stride -1 -converge
 //	                        # checkpointed fork-and-join: faulty runs resume
 //	                        # from golden snapshots and rejoin golden early,
 //	                        # bit-identically to brute force
@@ -29,6 +29,7 @@ import (
 	"gpurel/internal/ace"
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
+	"gpurel/internal/cliutil"
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
 	"gpurel/internal/harden"
@@ -52,11 +53,14 @@ func main() {
 		margin      = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the paper's ±2.35%); implies -adaptive")
 		prune       = flag.Bool("prune", false, "classify provably-dead RF injection sites as Masked from the golden run's liveness map, without simulating")
 		staticPrune = flag.Bool("static-prune", false, "classify statically-dead RF injection sites as Masked via dataflow analysis (no liveness trace needed); ignored when -prune is set")
-		ckStride    = flag.Int64("checkpoint", 0, "golden-run snapshot stride in cycles for fork-and-join injection (0 = off, -1 = auto)")
-		ckMB        = flag.Int64("checkpoint-mb", 0, "snapshot memory budget in MiB (0 = default 256, negative = unlimited)")
-		converge    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -checkpoint -1 if unset")
+		ckStride    = flag.Int64("snap-stride", 0, "golden-run snapshot stride in cycles for fork-and-join injection (0 = off, -1 = auto)")
+		ckMB        = flag.Int64("snap-mb", 0, "snapshot memory budget in MiB (0 = default 256, negative = unlimited)")
+		converge    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -snap-stride -1 if unset")
 		list        = flag.Bool("list", false, "list benchmarks and kernels")
 	)
+	cliutil.Alias(flag.CommandLine, "snap-stride", "checkpoint")
+	cliutil.Alias(flag.CommandLine, "snap-mb", "checkpoint-mb")
+	cliutil.HideDeprecated(flag.CommandLine)
 	flag.Parse()
 
 	if *list {

@@ -4,9 +4,15 @@
 // shared golden-run memoisation, journals progress to a checkpoint file,
 // and resumes incomplete jobs bit-identically after a restart.
 //
-// Usage:
+// The same binary is both halves of a worker fleet. As a coordinator it
+// additionally serves run-range leases (POST /v1/leases) that remote
+// workers pull and execute; with no workers joined it simply executes
+// everything in-process. As a worker it joins a coordinator and executes
+// leases through the identical deterministic campaign path:
 //
-//	gpureld -addr :8080 -checkpoint gpureld.ckpt.json
+//	gpureld -addr :8080 -checkpoint gpureld.ckpt.json   # coordinator (and local executor)
+//	gpureld -addr :8080 -no-local                       # coordinator only: fleet does the work
+//	gpureld -worker -join http://coord:8080             # worker: pull leases until SIGTERM
 //
 // API (see docs/service.md):
 //
@@ -14,11 +20,14 @@
 //	GET    /v1/jobs/{id}        status + partial tally + live ErrMargin99
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /metrics             Prometheus text format
+//	POST   /v1/leases           worker lease grant (coordinator)
+//	GET    /metrics             Prometheus text format (incl. per-worker fleet counters)
 //
-// On SIGINT/SIGTERM the daemon drains: in-flight run-range chunks finish,
-// incomplete jobs are parked and checkpointed, and the HTTP listener shuts
-// down gracefully.
+// On SIGINT/SIGTERM a coordinator drains: in-flight run-range chunks
+// finish, incomplete jobs are parked and checkpointed, and the HTTP
+// listener shuts down gracefully. A worker drains by returning the
+// unexecuted remainder of its open lease to the coordinator, which requeues
+// it immediately.
 package main
 
 import (
@@ -34,14 +43,16 @@ import (
 	"time"
 
 	"gpurel"
+	"gpurel/client"
 	"gpurel/internal/adaptive"
+	"gpurel/internal/fleet"
 	"gpurel/internal/microfi"
 	"gpurel/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
+		addr     = flag.String("addr", ":8080", "listen address (coordinator mode)")
 		ckpt     = flag.String("checkpoint", "gpureld.ckpt.json", "checkpoint journal path ('' disables persistence)")
 		interval = flag.Duration("checkpoint-interval", 2*time.Second, "periodic checkpoint flush cadence")
 		shards   = flag.Int("shards", 1, "concurrent job lanes")
@@ -50,9 +61,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed of the shared study (golden-run cache)")
 		// Machine-snapshot knobs (fork-and-join injection); named snap-* to
 		// stay clear of -checkpoint, the job-journal path above.
-		snapStride = flag.Int64("snap-stride", 0, "default golden-run snapshot stride in cycles for jobs that don't set snap_stride (0 = off, -1 = auto)")
+		snapStride = flag.Int64("snap-stride", 0, "default golden-run snapshot stride in cycles for jobs that don't set checkpoint.stride (0 = off, -1 = auto)")
 		snapMB     = flag.Int64("snap-mb", 0, "snapshot memory budget in MiB per golden run (0 = default 256, negative = unlimited)")
-		converge   = flag.Bool("converge", false, "default convergence joining for jobs that don't set converge; implies -snap-stride -1 if unset")
+		converge   = flag.Bool("converge", false, "default convergence joining for jobs that don't set checkpoint.converge; implies -snap-stride -1 if unset")
+		// Fleet knobs.
+		workerMode = flag.Bool("worker", false, "run as a fleet worker: pull run-range leases from -join instead of serving HTTP")
+		join       = flag.String("join", "", "coordinator base URL for -worker, e.g. http://coord:8080")
+		workerID   = flag.String("worker-id", "", "worker name in coordinator metrics (default random)")
+		noLocal    = flag.Bool("no-local", false, "coordinator only: disable in-process execution, jobs progress solely through worker leases")
+		leaseRuns  = flag.Int("lease-runs", 500, "max runs granted per worker lease")
+		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "lease heartbeat deadline; expired leases are requeued")
 	)
 	flag.Parse()
 
@@ -69,11 +87,19 @@ func main() {
 	if *snapStride != 0 {
 		study.Checkpoint = microfi.CheckpointSpec{Stride: *snapStride, BudgetBytes: *snapMB << 20, Converge: *converge}
 	}
+	source := service.NewStudySource(study)
+
+	if *workerMode {
+		runWorker(source, *join, *workerID, *chunk, *workers, *leaseRuns)
+		return
+	}
+
 	sched, err := service.NewScheduler(service.Config{
-		Source:             service.NewStudySource(study),
+		Source:             source,
 		Shards:             *shards,
 		WorkersPerShard:    *workers,
 		ChunkSize:          *chunk,
+		DisableLocalExec:   *noLocal,
 		CheckpointPath:     *ckpt,
 		CheckpointInterval: *interval,
 		Counters:           counters,
@@ -82,22 +108,32 @@ func main() {
 	if err != nil {
 		log.Fatalf("gpureld: %v", err)
 	}
+	coord := fleet.NewCoordinator(sched, fleet.CoordinatorConfig{
+		LeaseRuns: *leaseRuns,
+		LeaseTTL:  *leaseTTL,
+	})
+	sched.Metrics().AddCollector(coord.WriteMetrics)
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler()}
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler(coord.Mount)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("gpureld: listening on %s (checkpoint %q, %d lane(s) × %d worker(s), chunk %d)",
-			*addr, *ckpt, *shards, *workers, *chunk)
+		mode := "local+fleet"
+		if *noLocal {
+			mode = "fleet-only"
+		}
+		log.Printf("gpureld: listening on %s (checkpoint %q, %d lane(s) × %d worker(s), chunk %d, exec %s)",
+			*addr, *ckpt, *shards, *workers, *chunk, mode)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
+			coord.Close()
 			sched.Close()
 			log.Fatalf("gpureld: %v", err)
 		}
@@ -105,9 +141,11 @@ func main() {
 		log.Printf("gpureld: signal received, draining (in-flight chunks finish, then checkpoint flush)")
 	}
 
-	// Drain the scheduler first (finishes in-flight chunks, parks the
-	// rest, flushes the checkpoint, and unblocks open event streams), then
-	// shut the listener down gracefully.
+	// Drain order: stop granting leases and requeue outstanding ones, drain
+	// the scheduler (finishes in-flight chunks, parks the rest, flushes the
+	// checkpoint, unblocks open event streams), then shut the listener down
+	// gracefully.
+	coord.Close()
 	closeErr := sched.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -119,4 +157,31 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("gpureld: drained and checkpointed, bye")
+}
+
+// runWorker joins a coordinator and executes leases until SIGINT/SIGTERM;
+// the drain path returns the open lease's unexecuted remainder so the
+// coordinator requeues it without waiting out the TTL.
+func runWorker(source service.SourceFunc, join, id string, chunk, campaignWorkers, maxRuns int) {
+	if join == "" {
+		log.Fatal("gpureld: -worker requires -join <coordinator URL>")
+	}
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		ID:      id,
+		Client:  client.New(join),
+		Source:  source,
+		Chunk:   chunk,
+		Workers: campaignWorkers,
+		MaxRuns: maxRuns,
+	})
+	if err != nil {
+		log.Fatalf("gpureld: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("gpureld: worker %s joined %s (chunk %d)", w.ID(), join, chunk)
+	if err := w.Run(ctx); err != nil {
+		log.Fatalf("gpureld: %v", err)
+	}
+	log.Printf("gpureld: worker %s drained after %d runs, bye", w.ID(), w.Runs())
 }

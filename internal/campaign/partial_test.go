@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpurel/internal/faults"
+)
+
+func partialOutcome(rng *rand.Rand) faults.Result {
+	switch rng.Intn(10) {
+	case 0:
+		return faults.Result{Outcome: faults.SDC}
+	case 1:
+		return faults.Result{Outcome: faults.DUE}
+	default:
+		return faults.Result{Outcome: faults.Masked}
+	}
+}
+
+// TestPrefixMergerOutOfOrder: partials merged in any arrival order produce
+// the same prefix tallies, at every boundary, as sequential execution.
+func TestPrefixMergerOutOfOrder(t *testing.T) {
+	const runs, seed, chunk = 240, 9, 30
+	opts := Options{Runs: runs, Seed: seed, Workers: 1}
+	fn := func(run int, rng *rand.Rand) faults.Result { return partialOutcome(rng) }
+
+	var parts []Partial
+	for from := 0; from < runs; from += chunk {
+		parts = append(parts, Partial{From: from, To: from + chunk, Tally: RunRange(opts, from, from+chunk, fn)})
+	}
+	// Adversarial arrival order: reversed.
+	m := NewPrefixMerger()
+	for i := len(parts) - 1; i >= 0; i-- {
+		if !m.Offer(parts[i]) {
+			t.Fatalf("partial %+v rejected", parts[i])
+		}
+	}
+	if m.To() != 0 || m.StashedRuns() != runs {
+		t.Fatalf("before advance: prefix %d, stashed %d", m.To(), m.StashedRuns())
+	}
+	// Each Advance step must land on the next chunk boundary with the tally
+	// of exactly that prefix.
+	for want := chunk; want <= runs; want += chunk {
+		to, tally, ok := m.Advance()
+		if !ok || to != want {
+			t.Fatalf("advance -> (%d, %v), want prefix %d", to, ok, want)
+		}
+		if seq := RunRange(opts, 0, want, fn); tally != seq {
+			t.Fatalf("prefix [0,%d) tally %+v != sequential %+v", want, tally, seq)
+		}
+	}
+	if _, _, ok := m.Advance(); ok {
+		t.Fatal("advance past the full campaign")
+	}
+}
+
+// TestPrefixMergerIdempotent: duplicate and overlapping partials are dropped,
+// so double-reported work (expired-lease re-runs) merges exactly once.
+func TestPrefixMergerIdempotent(t *testing.T) {
+	m := NewPrefixMerger()
+	one := Tally{N: 10}
+	if !m.Offer(Partial{From: 0, To: 10, Tally: one}) {
+		t.Fatal("fresh partial rejected")
+	}
+	if m.Offer(Partial{From: 0, To: 10, Tally: one}) {
+		t.Fatal("duplicate stashed partial accepted")
+	}
+	if m.Offer(Partial{From: 5, To: 15, Tally: one}) {
+		t.Fatal("overlapping partial accepted")
+	}
+	if to, _, ok := m.Advance(); !ok || to != 10 {
+		t.Fatalf("advance -> %d, %v", to, ok)
+	}
+	if m.Offer(Partial{From: 0, To: 10, Tally: one}) {
+		t.Fatal("late duplicate of merged work accepted")
+	}
+	if m.Tally().N != 10 {
+		t.Fatalf("tally N = %d after duplicates, want 10", m.Tally().N)
+	}
+	// Disjoint later work is still welcome.
+	if !m.Offer(Partial{From: 20, To: 30, Tally: one}) {
+		t.Fatal("disjoint partial rejected")
+	}
+	if _, _, ok := m.Advance(); ok {
+		t.Fatal("advanced across the [10,20) gap")
+	}
+	if got := m.StashRanges(); len(got) != 1 || got[0] != [2]int{20, 30} {
+		t.Fatalf("stash ranges = %v", got)
+	}
+	m.DropStash()
+	if m.StashedRuns() != 0 {
+		t.Fatal("DropStash left runs behind")
+	}
+}
+
+// TestPrefixMergerSeed: a merger seeded from a checkpoint continues exactly
+// where the journal left off.
+func TestPrefixMergerSeed(t *testing.T) {
+	m := NewPrefixMerger()
+	m.Seed(100, Tally{N: 100})
+	if m.Offer(Partial{From: 90, To: 110, Tally: Tally{N: 20}}) {
+		t.Fatal("partial overlapping the seeded prefix accepted")
+	}
+	if !m.Offer(Partial{From: 100, To: 110, Tally: Tally{N: 10}}) {
+		t.Fatal("contiguous partial rejected")
+	}
+	if to, tally, ok := m.Advance(); !ok || to != 110 || tally.N != 110 {
+		t.Fatalf("advance -> (%d, %+v, %v)", to, tally, ok)
+	}
+}

@@ -1,0 +1,55 @@
+// Package cliutil carries the small shared pieces of the command-line
+// tools. Its one job today: flag aliasing, so the CLIs can converge on one
+// canonical flag set (-snap-stride / -snap-mb / -converge across gpufi,
+// avfsvf and gpureld) while the old spellings keep working, hidden from
+// -help.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// deprecatedPrefix marks alias flags; HideDeprecated filters on it.
+const deprecatedPrefix = "deprecated alias for -"
+
+// Alias registers old names for an already-defined flag, sharing its
+// backing value — setting either spelling sets both. The alias is tagged
+// deprecated so HideDeprecated can keep it out of -help.
+func Alias(fs *flag.FlagSet, canonical string, oldNames ...string) {
+	f := fs.Lookup(canonical)
+	if f == nil {
+		panic(fmt.Sprintf("cliutil: Alias of undefined flag -%s", canonical))
+	}
+	for _, old := range oldNames {
+		fs.Var(f.Value, old, deprecatedPrefix+canonical)
+	}
+}
+
+// HideDeprecated swaps the flag set's usage function for one that omits
+// Alias-registered spellings, so -help shows only the canonical set.
+func HideDeprecated(fs *flag.FlagSet) {
+	fs.Usage = func() {
+		if name := fs.Name(); name == "" {
+			fmt.Fprint(fs.Output(), "Usage:\n")
+		} else {
+			fmt.Fprintf(fs.Output(), "Usage of %s:\n", name)
+		}
+		fs.VisitAll(func(f *flag.Flag) {
+			if strings.HasPrefix(f.Usage, deprecatedPrefix) {
+				return
+			}
+			name, usage := flag.UnquoteUsage(f)
+			line := "  -" + f.Name
+			if name != "" {
+				line += " " + name
+			}
+			line += "\n    \t" + strings.ReplaceAll(usage, "\n", "\n    \t")
+			if f.DefValue != "" && f.DefValue != "false" {
+				line += fmt.Sprintf(" (default %v)", f.DefValue)
+			}
+			fmt.Fprintln(fs.Output(), line)
+		})
+	}
+}

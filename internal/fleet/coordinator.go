@@ -1,0 +1,374 @@
+// Package fleet turns a single-node gpureld daemon into a coordinator +
+// worker fleet. The coordinator packages the scheduler's work ledger into
+// HTTP leases — run-ranges with heartbeat deadlines — that workers pull,
+// execute through the same deterministic campaign path, and report back
+// chunk by chunk. Because run i always draws from rand.NewSource(Seed+i)
+// and the scheduler's merge is idempotent by run-range, any interleaving of
+// local lanes, live workers, and re-runs of expired leases tallies
+// bit-identically to one uninterrupted single-node campaign.
+package fleet
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/service"
+)
+
+// Backlog is the coordinator's view of the scheduler work ledger.
+// *service.Scheduler implements it.
+type Backlog interface {
+	ClaimWork(max int) (service.WorkAssignment, bool)
+	ReportWork(jobID string, from, to int, tl campaign.Tally) (service.JobStatus, bool, error)
+	ReturnWork(jobID string, from, to int)
+}
+
+// CoordinatorConfig sizes the lease protocol.
+type CoordinatorConfig struct {
+	// LeaseRuns caps the runs granted per lease (default 500). Adaptive
+	// jobs are additionally clamped to batch boundaries by the ledger.
+	LeaseRuns int
+	// LeaseTTL is the heartbeat deadline: a lease with no report or
+	// heartbeat for this long is expired and its remainder requeued
+	// (default 15s).
+	LeaseTTL time.Duration
+	// Sweep is the expiry-scan cadence (default LeaseTTL/4).
+	Sweep time.Duration
+	// Now is the lease clock (default time.Now); tests inject a fake to
+	// drive expiry deterministically.
+	Now func() time.Time
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.LeaseRuns <= 0 {
+		c.LeaseRuns = 500
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.Sweep <= 0 {
+		c.Sweep = c.LeaseTTL / 4
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// lease is one outstanding grant. from advances as prefix reports land, so
+// [from, to) is always the unexecuted (or unreported) remainder.
+type lease struct {
+	id       string
+	jobID    string
+	worker   string
+	from, to int
+	deadline time.Time
+}
+
+// Stats are the coordinator's lifetime lease counters.
+type Stats struct {
+	// Granted counts leases handed out; Reported counts accepted report
+	// sub-ranges; DupReports counts reports dropped as idempotent
+	// duplicates (late arrivals for work an expired lease already re-ran).
+	Granted    int64 `json:"granted"`
+	Reported   int64 `json:"reported"`
+	DupReports int64 `json:"dup_reports"`
+	// Expired counts leases whose heartbeat deadline passed — each one
+	// requeued its remainder exactly once. Returned counts leases handed
+	// back whole or partial by draining workers.
+	Expired  int64 `json:"expired"`
+	Returned int64 `json:"returned"`
+}
+
+// Coordinator tracks leases against a scheduler backlog and serves the
+// /v1/leases endpoints.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	backlog Backlog
+
+	mu     sync.Mutex
+	leases map[string]*lease
+	// workerRuns counts runs accepted per reporting worker, for /metrics.
+	workerRuns map[string]int64
+	stats      Stats
+
+	done   chan struct{}
+	closed sync.Once
+}
+
+// NewCoordinator starts a coordinator (and its expiry sweeper) over a
+// backlog. Close it to stop the sweeper.
+func NewCoordinator(b Backlog, cfg CoordinatorConfig) *Coordinator {
+	c := &Coordinator{
+		cfg:        cfg.withDefaults(),
+		backlog:    b,
+		leases:     map[string]*lease{},
+		workerRuns: map[string]int64{},
+		done:       make(chan struct{}),
+	}
+	go c.sweepLoop()
+	return c
+}
+
+// Close stops the expiry sweeper and requeues every outstanding lease so a
+// coordinator shutting down strands no work.
+func (c *Coordinator) Close() {
+	c.closed.Do(func() {
+		close(c.done)
+		c.mu.Lock()
+		ls := make([]*lease, 0, len(c.leases))
+		for _, l := range c.leases {
+			ls = append(ls, l)
+		}
+		c.leases = map[string]*lease{}
+		c.stats.Returned += int64(len(ls))
+		c.mu.Unlock()
+		for _, l := range ls {
+			c.backlog.ReturnWork(l.jobID, l.from, l.to)
+		}
+	})
+}
+
+// Stats returns the lifetime lease counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// sweepLoop expires leases whose heartbeat deadline passed. Deleting the
+// lease before requeueing makes the requeue exactly-once: a second sweep —
+// or a late report from the presumed-dead worker — finds no lease, and the
+// ledger's idempotent merge absorbs any double execution.
+func (c *Coordinator) sweepLoop() {
+	t := time.NewTicker(c.cfg.Sweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Sweep runs one expiry scan now (the sweeper calls it periodically; tests
+// call it directly against an injected clock).
+func (c *Coordinator) Sweep() {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	var expired []*lease
+	for id, l := range c.leases {
+		if now.After(l.deadline) {
+			delete(c.leases, id)
+			expired = append(expired, l)
+		}
+	}
+	c.stats.Expired += int64(len(expired))
+	c.mu.Unlock()
+	for _, l := range expired {
+		c.backlog.ReturnWork(l.jobID, l.from, l.to)
+	}
+}
+
+// Mount registers the lease endpoints on a v1 mux — passed to
+// service.Server.Handler so the coordinator shares the daemon's listener.
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/leases", c.handleLease)
+	mux.HandleFunc("POST /v1/leases/{id}/report", c.handleReport)
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("DELETE /v1/leases/{id}", c.handleReturn)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// handleLease: POST /v1/leases — claim a run-range for the requesting
+// worker; 204 when the backlog has nothing pending.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req service.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad lease request: " + err.Error()})
+		return
+	}
+	max := c.cfg.LeaseRuns
+	if req.MaxRuns > 0 && req.MaxRuns < max {
+		max = req.MaxRuns
+	}
+	wa, ok := c.backlog.ClaimWork(max)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	l := &lease{
+		id:       newLeaseID(),
+		jobID:    wa.JobID,
+		worker:   req.Worker,
+		from:     wa.From,
+		to:       wa.To,
+		deadline: c.cfg.Now().Add(c.cfg.LeaseTTL),
+	}
+	c.mu.Lock()
+	c.leases[l.id] = l
+	c.stats.Granted++
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, service.Lease{
+		ID: l.id, JobID: wa.JobID, Spec: wa.Spec,
+		From: wa.From, To: wa.To, TTLSec: c.cfg.LeaseTTL.Seconds(),
+	})
+}
+
+// handleReport: POST /v1/leases/{id}/report — merge one completed
+// sub-range (doubling as a heartbeat). 410 when the lease is unknown: it
+// expired and its remainder was already requeued, so the worker abandons.
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var rep service.LeaseReport
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad lease report: " + err.Error()})
+		return
+	}
+	id := r.PathValue("id")
+	c.mu.Lock()
+	l, ok := c.leases[id]
+	if !ok {
+		c.mu.Unlock()
+		writeJSON(w, http.StatusGone, apiError{Error: "no such lease (expired and requeued?)"})
+		return
+	}
+	if rep.From < l.from || rep.To > l.to || rep.To <= rep.From {
+		c.mu.Unlock()
+		writeJSON(w, http.StatusBadRequest, apiError{
+			Error: fmt.Sprintf("report [%d,%d) outside lease remainder [%d,%d)", rep.From, rep.To, l.from, l.to),
+		})
+		return
+	}
+	jobID := l.jobID
+	c.mu.Unlock()
+
+	st, merged, err := c.backlog.ReportWork(jobID, rep.From, rep.To, rep.Tally)
+	if err != nil {
+		writeJSON(w, http.StatusGone, apiError{Error: err.Error()})
+		return
+	}
+
+	c.mu.Lock()
+	if merged {
+		c.stats.Reported++
+		c.workerRuns[rep.Worker] += int64(rep.To - rep.From)
+	} else {
+		c.stats.DupReports++
+	}
+	ack := service.LeaseAck{Accepted: merged, TTLSec: c.cfg.LeaseTTL.Seconds()}
+	if l, ok := c.leases[id]; ok {
+		if rep.To > l.from {
+			l.from = rep.To
+		}
+		l.deadline = c.cfg.Now().Add(c.cfg.LeaseTTL)
+		if rep.Done || l.from >= l.to || st.State.Terminal() {
+			delete(c.leases, id)
+		}
+	}
+	if st.State.Terminal() {
+		// Canceled, failed, or adaptively early-stopped: the worker should
+		// abandon whatever is left of the lease.
+		ack.Canceled = true
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, ack)
+}
+
+// handleHeartbeat: POST /v1/leases/{id}/heartbeat — extend the deadline.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	l, ok := c.leases[id]
+	if ok {
+		l.deadline = c.cfg.Now().Add(c.cfg.LeaseTTL)
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusGone, apiError{Error: "no such lease"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReturn: DELETE /v1/leases/{id} — a draining worker hands back the
+// unexecuted remainder.
+func (c *Coordinator) handleReturn(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	l, ok := c.leases[id]
+	if ok {
+		delete(c.leases, id)
+		c.stats.Returned++
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusGone, apiError{Error: "no such lease"})
+		return
+	}
+	c.backlog.ReturnWork(l.jobID, l.from, l.to)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// WriteMetrics renders the coordinator's exposition section — registered
+// with service.Metrics.AddCollector so it rides the daemon's /metrics.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	c.mu.Lock()
+	st := c.stats
+	open := len(c.leases)
+	workers := make([]string, 0, len(c.workerRuns))
+	for name := range c.workerRuns {
+		workers = append(workers, name)
+	}
+	sort.Strings(workers)
+	runs := make([]int64, len(workers))
+	for i, name := range workers {
+		runs[i] = c.workerRuns[name]
+	}
+	c.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP gpureld_fleet_leases_total Lease lifecycle events.")
+	fmt.Fprintln(w, "# TYPE gpureld_fleet_leases_total counter")
+	fmt.Fprintf(w, "gpureld_fleet_leases_total{event=\"granted\"} %d\n", st.Granted)
+	fmt.Fprintf(w, "gpureld_fleet_leases_total{event=\"reported\"} %d\n", st.Reported)
+	fmt.Fprintf(w, "gpureld_fleet_leases_total{event=\"dup_report\"} %d\n", st.DupReports)
+	fmt.Fprintf(w, "gpureld_fleet_leases_total{event=\"expired\"} %d\n", st.Expired)
+	fmt.Fprintf(w, "gpureld_fleet_leases_total{event=\"returned\"} %d\n", st.Returned)
+
+	fmt.Fprintln(w, "# HELP gpureld_fleet_leases_open Leases currently outstanding.")
+	fmt.Fprintln(w, "# TYPE gpureld_fleet_leases_open gauge")
+	fmt.Fprintf(w, "gpureld_fleet_leases_open %d\n", open)
+
+	fmt.Fprintln(w, "# HELP gpureld_fleet_worker_runs_total Runs accepted per reporting worker.")
+	fmt.Fprintln(w, "# TYPE gpureld_fleet_worker_runs_total counter")
+	for i, name := range workers {
+		fmt.Fprintf(w, "gpureld_fleet_worker_runs_total{worker=%q} %d\n", name, runs[i])
+	}
+}
+
+// newLeaseID returns a random 12-hex-char lease ID.
+func newLeaseID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("fleet: rand.Read: %v", err))
+	}
+	return "l" + hex.EncodeToString(b[:])
+}

@@ -6,6 +6,7 @@ package service_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -16,11 +17,11 @@ import (
 	"testing"
 	"time"
 
+	"gpurel/client"
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/faults"
 	"gpurel/internal/service"
-	"gpurel/internal/service/client"
 )
 
 // lowFR is a synthetic low-failure-rate experiment (p = 0.02), the regime
@@ -56,14 +57,14 @@ func TestAdaptiveJobEarlyStops(t *testing.T) {
 	c := client.New(srv.URL)
 	ctx := context.Background()
 
-	st, err := c.Submit(ctx, service.JobSpec{
+	st, err := c.SubmitJob(ctx, service.JobSpec{
 		Layer: "micro", App: "fake", Kernel: "K1",
-		Runs: runs, Seed: seed, Margin99: margin,
+		Runs: runs, Seed: seed, Sampling: &service.SamplingSpec{Margin99: margin},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	final, err := c.Wait(ctx, st.ID)
+	final, err := c.WaitJob(ctx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,15 +129,15 @@ func TestAdaptiveKillAndResumeBitIdentity(t *testing.T) {
 
 	spec := service.JobSpec{
 		Layer: "soft", App: "fake", Kernel: "K2", Mode: "SVF",
-		Runs: runs, Seed: seed, Margin99: margin,
+		Runs: runs, Seed: seed, Sampling: &service.SamplingSpec{Margin99: margin},
 	}
-	st, err := c1.Submit(ctx, spec)
+	st, err := c1.SubmitJob(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	errEnough := errors.New("enough progress")
-	err = c1.Stream(ctx, st.ID, func(ev service.Event) error {
+	err = c1.WatchEvents(ctx, st.ID, func(ev service.Event) error {
 		if ev.Type == "progress" && ev.Job.Done >= 150 {
 			return errEnough
 		}
@@ -162,7 +163,7 @@ func TestAdaptiveKillAndResumeBitIdentity(t *testing.T) {
 
 	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	final, err := c2.Wait(waitCtx, st.ID)
+	final, err := c2.WaitJob(waitCtx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,14 +211,58 @@ func TestSubmitHTTPValidation(t *testing.T) {
 		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"margin99":-0.1}`,
 		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"batch":-2}`,
 		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"bogus_field":1}`,
+		// The same validation applies through the nested v1 groups…
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"sampling":{"margin99":1.5}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"sampling":{"batch":-2}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"sampling":{"bogus":1}}`,
+		// …and mixing flat and nested spellings of one group is an error,
+		// never a silent pick.
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"margin99":0.05,"sampling":{"margin99":0.05}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"converge":true,"checkpoint":{"converge":true}}`,
 	}
 	for _, body := range bad {
 		if code := post(body); code != http.StatusBadRequest {
 			t.Errorf("POST %s -> %d, want 400", body, code)
 		}
 	}
+	// The deprecated flat spelling still submits fine (with a deprecation
+	// note in the response); the nested spelling is the clean path.
 	if code := post(`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"margin99":0.05,"batch":5,"prune":true}`); code != http.StatusAccepted {
-		t.Errorf("valid adaptive spec -> %d, want 202", code)
+		t.Errorf("valid legacy-flat adaptive spec -> %d, want 202", code)
+	}
+	if code := post(`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"sampling":{"margin99":0.05,"batch":5,"prune":true},"checkpoint":{"stride":-1,"converge":true}}`); code != http.StatusAccepted {
+		t.Errorf("valid nested adaptive spec -> %d, want 202", code)
+	}
+}
+
+// TestSubmitDeprecationNote: flat-spec submissions are flagged in the
+// response; nested submissions are not.
+func TestSubmitDeprecationNote(t *testing.T) {
+	_, srv := newTestServer(t, service.Config{Source: fakeSource(0)})
+
+	submit := func(body string) service.JobStatus {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %s -> %d", body, resp.StatusCode)
+		}
+		var st service.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	flat := submit(`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"margin99":0.05}`)
+	if !strings.Contains(flat.Deprecation, "deprecated") {
+		t.Errorf("flat submission missing deprecation note: %+v", flat)
+	}
+	nested := submit(`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"sampling":{"margin99":0.05}}`)
+	if nested.Deprecation != "" {
+		t.Errorf("nested submission carries deprecation note: %q", nested.Deprecation)
 	}
 }
 

@@ -22,7 +22,7 @@ func TestCheckpointSpecWire(t *testing.T) {
 	sp := service.JobSpec{
 		Layer: "micro", App: "VA", Kernel: "K1", Structure: "RF",
 		Runs: 10, Seed: 1,
-		SnapStride: 500, SnapMB: 64, Converge: true,
+		Checkpoint: &service.SnapshotSpec{Stride: 500, BudgetMB: 64, Converge: true},
 	}
 	if err := sp.Validate(); err != nil {
 		t.Fatal(err)
@@ -38,12 +38,12 @@ func TestCheckpointSpecWire(t *testing.T) {
 
 	// SpecForPoint is the inverse mapping.
 	back := service.SpecForPoint(p, campaign.Options{Runs: 10, Seed: 1})
-	if back.SnapStride != 500 || back.SnapMB != 64 || !back.Converge {
+	if ck := back.Checkpoint; ck == nil || ck.Stride != 500 || ck.BudgetMB != 64 || !ck.Converge {
 		t.Fatalf("SpecForPoint lost checkpoint fields: %+v", back)
 	}
 
 	// Converge alone implies auto-stride checkpointing.
-	sp.SnapStride, sp.SnapMB = 0, 0
+	sp.Checkpoint = &service.SnapshotSpec{Converge: true}
 	p, err = sp.Point()
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestCheckpointSpecWire(t *testing.T) {
 	}
 
 	// Neither set: no checkpointing requested.
-	sp.Converge = false
+	sp.Checkpoint = nil
 	if p, _ = sp.Point(); p.Checkpoint != nil {
 		t.Fatalf("plain spec grew a checkpoint: %+v", p.Checkpoint)
 	}
@@ -90,7 +90,8 @@ func TestCheckpointCountersAndClock(t *testing.T) {
 
 	const runs = 30
 	st, err := sched.Submit(service.JobSpec{
-		Layer: "micro", App: "VA", Kernel: "K1", Runs: runs, Seed: 1, SnapStride: -1,
+		Layer: "micro", App: "VA", Kernel: "K1", Runs: runs, Seed: 1,
+		Checkpoint: &service.SnapshotSpec{Stride: -1},
 	})
 	if err != nil {
 		t.Fatal(err)

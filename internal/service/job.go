@@ -1,16 +1,20 @@
 // Package service is the campaign job server behind cmd/gpureld: a
 // long-running daemon that accepts AVF/SVF campaign-point specs over HTTP,
-// schedules them on a bounded sharded worker pool, journals completed
-// run-ranges to a JSON checkpoint so interrupted jobs resume exactly where
-// they stopped, streams NDJSON progress, and exports Prometheus metrics.
+// schedules them on a bounded sharded worker pool, leases run-ranges to
+// remote fleet workers (internal/fleet), journals completed run-ranges to a
+// JSON checkpoint so interrupted jobs resume exactly where they stopped,
+// streams NDJSON progress, and exports Prometheus metrics.
 //
 // Determinism is the load-bearing property: campaign run i always uses
 // rand.NewSource(Seed+i) (campaign.RunRange), so a job executed in chunks,
-// interrupted, checkpointed and resumed in a new process tallies bit for
-// bit the same as one uninterrupted campaign.Run with the same seed.
+// interrupted, checkpointed and resumed in a new process — or fanned out
+// across a fleet of workers — tallies bit for bit the same as one
+// uninterrupted campaign.Run with the same seed.
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -23,10 +27,54 @@ import (
 	"gpurel/internal/softfi"
 )
 
+// SamplingSpec is the adaptive-sampling group of the v1 job spec: knobs that
+// tune how many runs a campaign point executes, never what each run measures.
+type SamplingSpec struct {
+	// Margin99 enables adaptive sequential stopping: the job finishes early
+	// at the first batch boundary where the Wilson-score 99% CI half-width
+	// of the failure rate is at or under this target (0 = fixed-n). Runs
+	// stays the hard budget cap.
+	Margin99 float64 `json:"margin99,omitempty"`
+	// Batch is the stop-rule granularity in runs (0 = 100). Chunk and lease
+	// ends are clamped to batch boundaries so a checkpointed, resumed or
+	// fleet-distributed adaptive job evaluates the stop rule on the same
+	// prefixes and tallies bit-identically to a sequential run.
+	Batch int `json:"batch,omitempty"`
+	// Prune enables liveness-guided pruning of RF injections (micro layer):
+	// provably-dead sites are classified from the golden run's liveness map
+	// without simulation, bit-identically to brute force.
+	Prune bool `json:"prune,omitempty"`
+}
+
+// SnapshotSpec is the checkpointed fork-and-join group of the v1 job spec
+// (micro layer): the app's golden run snapshots machine state so faulty runs
+// resume from the nearest snapshot below their injection cycle,
+// bit-identically to brute force. Golden runs are built once per
+// (app, process): the first job to evaluate an app fixes its configuration.
+type SnapshotSpec struct {
+	// Stride is the snapshot interval in cycles. Negative = auto (about
+	// microfi.DefaultSnapshots checkpoints); 0 = off unless Converge is set.
+	Stride int64 `json:"stride,omitempty"`
+	// BudgetMB bounds retained snapshot memory in MiB; the stride
+	// auto-widens to fit. 0 = microfi.DefaultCheckpointBudget, negative =
+	// unlimited.
+	BudgetMB int `json:"budget_mb,omitempty"`
+	// Converge additionally joins faulty runs back to the golden run at the
+	// first checkpoint where their machine state matches it exactly. Implies
+	// auto-stride checkpointing when Stride is 0.
+	Converge bool `json:"converge,omitempty"`
+}
+
 // JobSpec is one campaign point as submitted over the wire. Seed is the
 // campaign seed used directly by campaign.RunRange (run i uses Seed+i);
 // clients that want parity with a local Study derive it with
 // gpurel.PointSeed(baseSeed, point).
+//
+// The v1 schema groups execution knobs into the nested "sampling" and
+// "checkpoint" objects. The flat spellings that predated the grouping
+// (margin99, batch, prune, snap_stride, snap_mb, converge at the top level)
+// are still accepted on decode — see UnmarshalJSON — but are deprecated and
+// never emitted.
 type JobSpec struct {
 	Layer     string  `json:"layer"`               // "micro" | "soft"
 	App       string  `json:"app"`                 // benchmark name, e.g. "VA"
@@ -38,41 +86,144 @@ type JobSpec struct {
 	Seed      int64   `json:"seed"`                // campaign seed; run i uses Seed+i
 	Deadline  float64 `json:"deadline_sec,omitempty"`
 
-	// Margin99 enables adaptive sequential stopping: the job finishes early
-	// at the first batch boundary where the Wilson-score 99% CI half-width
-	// of the failure rate is at or under this target (0 = fixed-n). Runs
-	// stays the hard budget cap.
-	Margin99 float64 `json:"margin99,omitempty"`
-	// Batch is the stop-rule granularity in runs (0 = 100). Chunk ends are
-	// clamped to batch boundaries so a checkpointed-and-resumed adaptive job
-	// evaluates the stop rule on the same prefixes and tallies bit-identically.
-	Batch int `json:"batch,omitempty"`
-	// Prune enables liveness-guided pruning of RF injections (micro layer):
-	// provably-dead sites are classified from the golden run's liveness map
-	// without simulation, bit-identically to brute force.
-	Prune bool `json:"prune,omitempty"`
+	// Sampling is the adaptive-sampling group (nil = the paper's fixed-n
+	// methodology).
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
+	// Checkpoint is the fork-and-join snapshot group (nil = brute force).
+	Checkpoint *SnapshotSpec `json:"checkpoint,omitempty"`
 
-	// SnapStride enables checkpointed fork-and-join injection (micro layer):
-	// the app's golden run snapshots machine state every SnapStride cycles
-	// and faulty runs resume from the nearest snapshot below their injection
-	// cycle, bit-identically to brute force. Negative = auto (about
-	// microfi.DefaultSnapshots checkpoints); 0 = off unless Converge is set.
-	// Golden runs are built once per (app, daemon): the first job to evaluate
-	// an app fixes its checkpoint configuration.
-	SnapStride int64 `json:"snap_stride,omitempty"`
-	// SnapMB bounds retained snapshot memory in MiB; the stride auto-widens
-	// to fit. 0 = microfi.DefaultCheckpointBudget, negative = unlimited.
-	SnapMB int `json:"snap_mb,omitempty"`
-	// Converge additionally joins faulty runs back to the golden run at the
-	// first checkpoint where their machine state matches it exactly. Implies
-	// auto-stride checkpointing when SnapStride is 0.
-	Converge bool `json:"converge,omitempty"`
+	// legacyFlat records that the spec was decoded from the deprecated flat
+	// fields; Submit surfaces a deprecation note in the response.
+	legacyFlat bool
+}
+
+// jobSpecWire is the superset decode target: the v1 nested groups plus every
+// deprecated flat spelling.
+type jobSpecWire struct {
+	Layer     string  `json:"layer"`
+	App       string  `json:"app"`
+	Kernel    string  `json:"kernel"`
+	Structure string  `json:"structure"`
+	Mode      string  `json:"mode"`
+	Hardened  bool    `json:"hardened"`
+	Runs      int     `json:"runs"`
+	Seed      int64   `json:"seed"`
+	Deadline  float64 `json:"deadline_sec"`
+
+	Sampling   *SamplingSpec `json:"sampling"`
+	Checkpoint *SnapshotSpec `json:"checkpoint"`
+
+	// Deprecated flat spellings (pre-v1 bolt-ons). Pointers distinguish
+	// "absent" from zero so mixing flat and nested forms of the same group
+	// can be rejected instead of silently resolved.
+	Margin99   *float64 `json:"margin99"`
+	Batch      *int     `json:"batch"`
+	Prune      *bool    `json:"prune"`
+	SnapStride *int64   `json:"snap_stride"`
+	SnapMB     *int     `json:"snap_mb"`
+	Converge   *bool    `json:"converge"`
+}
+
+// UnmarshalJSON decodes both the v1 nested schema and the deprecated flat
+// one. Unknown fields are rejected; mixing the flat and nested spellings of
+// the same group is an error rather than a guess.
+func (sp *JobSpec) UnmarshalJSON(data []byte) error {
+	var w jobSpecWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	*sp = JobSpec{
+		Layer: w.Layer, App: w.App, Kernel: w.Kernel,
+		Structure: w.Structure, Mode: w.Mode, Hardened: w.Hardened,
+		Runs: w.Runs, Seed: w.Seed, Deadline: w.Deadline,
+		Sampling: w.Sampling, Checkpoint: w.Checkpoint,
+	}
+	flatSampling := w.Margin99 != nil || w.Batch != nil || w.Prune != nil
+	flatSnapshot := w.SnapStride != nil || w.SnapMB != nil || w.Converge != nil
+	if flatSampling {
+		if w.Sampling != nil {
+			return fmt.Errorf("job spec mixes the nested \"sampling\" object with deprecated flat fields (margin99/batch/prune)")
+		}
+		s := SamplingSpec{}
+		if w.Margin99 != nil {
+			s.Margin99 = *w.Margin99
+		}
+		if w.Batch != nil {
+			s.Batch = *w.Batch
+		}
+		if w.Prune != nil {
+			s.Prune = *w.Prune
+		}
+		if s != (SamplingSpec{}) {
+			sp.Sampling = &s
+		}
+		sp.legacyFlat = true
+	}
+	if flatSnapshot {
+		if w.Checkpoint != nil {
+			return fmt.Errorf("job spec mixes the nested \"checkpoint\" object with deprecated flat fields (snap_stride/snap_mb/converge)")
+		}
+		c := SnapshotSpec{}
+		if w.SnapStride != nil {
+			c.Stride = *w.SnapStride
+		}
+		if w.SnapMB != nil {
+			c.BudgetMB = *w.SnapMB
+		}
+		if w.Converge != nil {
+			c.Converge = *w.Converge
+		}
+		if c != (SnapshotSpec{}) {
+			sp.Checkpoint = &c
+		}
+		sp.legacyFlat = true
+	}
+	return nil
+}
+
+// LegacyFlat reports whether the spec was decoded from the deprecated flat
+// wire fields (the pre-v1 schema).
+func (sp JobSpec) LegacyFlat() bool { return sp.legacyFlat }
+
+// DeprecationNote is the response annotation attached to jobs submitted with
+// the deprecated flat spec fields.
+const DeprecationNote = "flat spec fields (margin99/batch/prune/snap_stride/snap_mb/converge) are deprecated; " +
+	"use the nested \"sampling\" and \"checkpoint\" objects (docs/service.md)"
+
+// sampling returns the adaptive group, nil-safe.
+func (sp JobSpec) sampling() SamplingSpec {
+	if sp.Sampling == nil {
+		return SamplingSpec{}
+	}
+	return *sp.Sampling
+}
+
+// snapshot returns the checkpoint group, nil-safe.
+func (sp JobSpec) snapshot() SnapshotSpec {
+	if sp.Checkpoint == nil {
+		return SnapshotSpec{}
+	}
+	return *sp.Checkpoint
 }
 
 // policy resolves the spec's adaptive knobs to the engine's stopping policy.
 func (sp JobSpec) policy() adaptive.Policy {
-	return adaptive.Policy{Margin: sp.Margin99, Batch: sp.Batch}
+	s := sp.sampling()
+	return adaptive.Policy{Margin: s.Margin99, Batch: s.Batch}
 }
+
+// batchSize is the effective stop-rule granularity.
+func (sp JobSpec) batchSize() int {
+	if b := sp.sampling().Batch; b > 0 {
+		return b
+	}
+	return adaptive.DefaultBatch
+}
+
+// adaptive reports whether the spec requests sequential early stopping.
+func (sp JobSpec) adaptive() bool { return sp.sampling().Margin99 > 0 }
 
 // Point resolves the spec to the study-level campaign point, validating the
 // enum fields.
@@ -96,18 +247,18 @@ func (sp JobSpec) Point() (gpurel.PointSpec, error) {
 	default:
 		return p, fmt.Errorf("layer must be %q or %q, got %q", gpurel.LayerMicro, gpurel.LayerSoft, sp.Layer)
 	}
-	if sp.Margin99 > 0 || sp.Prune {
-		p.Sampling = &gpurel.SamplingPolicy{Margin: sp.Margin99, Batch: sp.Batch, Prune: sp.Prune}
+	if s := sp.sampling(); s.Margin99 > 0 || s.Prune {
+		p.Sampling = &gpurel.SamplingPolicy{Margin: s.Margin99, Batch: s.Batch, Prune: s.Prune}
 	}
-	if sp.SnapStride != 0 || sp.Converge {
-		stride := sp.SnapStride
+	if c := sp.snapshot(); c.Stride != 0 || c.Converge {
+		stride := c.Stride
 		if stride == 0 {
 			stride = microfi.AutoStride
 		}
 		p.Checkpoint = &microfi.CheckpointSpec{
 			Stride:      stride,
-			BudgetBytes: int64(sp.SnapMB) << 20,
-			Converge:    sp.Converge,
+			BudgetBytes: int64(c.BudgetMB) << 20,
+			Converge:    c.Converge,
 		}
 	}
 	return p, nil
@@ -125,11 +276,10 @@ func (sp JobSpec) Validate() error {
 	if sp.Deadline < 0 {
 		return fmt.Errorf("deadline_sec must be non-negative")
 	}
-	if sp.Margin99 < 0 || sp.Margin99 >= 1 {
-		return fmt.Errorf("margin99 must be in [0, 1), got %g", sp.Margin99)
-	}
-	if sp.Batch < 0 {
-		return fmt.Errorf("batch must be non-negative, got %d", sp.Batch)
+	if s := sp.sampling(); s.Margin99 < 0 || s.Margin99 >= 1 {
+		return fmt.Errorf("sampling.margin99 must be in [0, 1), got %g", s.Margin99)
+	} else if s.Batch < 0 {
+		return fmt.Errorf("sampling.batch must be non-negative, got %d", s.Batch)
 	}
 	_, err := sp.Point()
 	return err
@@ -184,13 +334,18 @@ type JobStatus struct {
 	ID          string         `json:"id"`
 	Spec        JobSpec        `json:"spec"`
 	State       JobState       `json:"state"`
-	Done        int            `json:"done"`  // completed runs
+	Done        int            `json:"done"`  // runs merged into the contiguous prefix
 	Total       int            `json:"total"` // == Spec.Runs
 	DoneRanges  []Range        `json:"done_ranges,omitempty"`
 	Tally       campaign.Tally `json:"tally"`
 	FR          float64        `json:"fr"`           // failure rate of the partial tally
 	ErrMargin99 float64        `json:"err_margin99"` // normal-approx ±CI half-width at current n
 	Margin99    float64        `json:"margin99"`     // Wilson-score ±CI half-width (honest at p=0/1)
+	// Stashed counts runs executed (locally or by fleet workers) whose
+	// tallies wait for an earlier gap to close before merging; InFlight
+	// counts runs currently claimed by a lane chunk or an open lease.
+	Stashed  int `json:"stashed,omitempty"`
+	InFlight int `json:"in_flight,omitempty"`
 	// EarlyStopped marks an adaptive job that met its margin target before
 	// exhausting the run budget; RunsSaved is the unexecuted remainder.
 	EarlyStopped bool `json:"early_stopped,omitempty"`
@@ -203,9 +358,12 @@ type JobStatus struct {
 	ForkResumes  int64  `json:"fork_resumes,omitempty"`
 	ConvergeHits int64  `json:"converge_hits,omitempty"`
 	Error        string `json:"error,omitempty"`
-	Created      int64  `json:"created_unix"`
-	Started      int64  `json:"started_unix,omitempty"`
-	Finished     int64  `json:"finished_unix,omitempty"`
+	// Deprecation carries a note when the job was submitted with the
+	// deprecated flat spec fields.
+	Deprecation string `json:"deprecation,omitempty"`
+	Created     int64  `json:"created_unix"`
+	Started     int64  `json:"started_unix,omitempty"`
+	Finished    int64  `json:"finished_unix,omitempty"`
 }
 
 // Event is one NDJSON line of a job's progress stream.
@@ -216,7 +374,9 @@ type Event struct {
 	Job  JobStatus `json:"job"`
 }
 
-// job is the scheduler-internal mutable state behind a JobStatus.
+// job is the scheduler-internal mutable state behind a JobStatus. Completed
+// work lives in the prefix merger; the work ledger (pending/claimed ranges)
+// is what local lanes and fleet leases claim from.
 type job struct {
 	id      string
 	spec    JobSpec
@@ -224,9 +384,10 @@ type job struct {
 
 	mu        sync.Mutex
 	state     JobState
-	done      []Range // normalized completed run-ranges
-	tally     campaign.Tally
-	early     bool // adaptive stop rule fired before the budget ran out
+	merger    *campaign.PrefixMerger // ordered tally of the merged prefix
+	pending   []Range                // normalized unclaimed run-ranges
+	claimed   []Range                // claimed by a lane chunk or open lease
+	early     bool                   // adaptive stop rule fired before the budget ran out
 	forks     int64
 	converges int64
 	errmsg    string
@@ -237,20 +398,39 @@ type job struct {
 	nextSub   int
 }
 
+// newJob builds a fresh job with its full run budget pending.
+func newJob(id string, spec JobSpec, created time.Time) *job {
+	return &job{
+		id: id, spec: spec, created: created,
+		state:   StateQueued,
+		merger:  campaign.NewPrefixMerger(),
+		pending: []Range{{From: 0, To: spec.Runs}},
+	}
+}
+
 func (j *job) snapshotLocked() JobStatus {
+	tally := j.merger.Tally()
+	done := j.merger.To()
 	st := JobStatus{
 		ID:          j.id,
 		Spec:        j.spec,
 		State:       j.state,
-		Done:        rangesLen(j.done),
+		Done:        done,
 		Total:       j.spec.Runs,
-		DoneRanges:  append([]Range(nil), j.done...),
-		Tally:       j.tally,
-		FR:          j.tally.FR(),
-		ErrMargin99: j.tally.ErrMargin99(),
-		Margin99:    j.tally.Margin99(),
+		Tally:       tally,
+		FR:          tally.FR(),
+		ErrMargin99: tally.ErrMargin99(),
+		Margin99:    tally.Margin99(),
+		Stashed:     j.merger.StashedRuns(),
+		InFlight:    rangesLen(j.claimed),
 		Error:       j.errmsg,
 		Created:     j.created.Unix(),
+	}
+	if done > 0 {
+		st.DoneRanges = []Range{{From: 0, To: done}}
+	}
+	if j.spec.legacyFlat {
+		st.Deprecation = DeprecationNote
 	}
 	if j.early {
 		st.EarlyStopped = true
@@ -282,8 +462,8 @@ func (j *job) publishLocked(typ string) {
 		select {
 		case ch <- ev:
 		default:
-			// Buffer full: drop the oldest event to make room. Only the
-			// owning shard publishes to a job, so the retry cannot race
+			// Buffer full: drop the oldest event to make room. Only the job
+			// owner's lock holder publishes, so the retry cannot race
 			// another producer and always succeeds.
 			select {
 			case <-ch:

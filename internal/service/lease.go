@@ -1,0 +1,66 @@
+package service
+
+import "gpurel/internal/campaign"
+
+// Lease-protocol wire types (v1). The types live here — not in
+// internal/fleet — so the client package and the fleet package share one
+// schema without an import cycle through the service.
+//
+// Protocol summary (served by fleet.Coordinator, mounted on the /v1 mux):
+//
+//	POST   /v1/leases                 LeaseRequest -> 200 Lease | 204 no work
+//	POST   /v1/leases/{id}/report     LeaseReport  -> 200 LeaseAck | 410 gone
+//	POST   /v1/leases/{id}/heartbeat  -> 204 | 410 gone
+//	DELETE /v1/leases/{id}            return unexecuted remainder -> 204
+//
+// A lease is a claimed run-range with a heartbeat deadline. Reports cover
+// prefix sub-ranges of the lease and double as heartbeats; the coordinator
+// shrinks the remainder as reports land. A lease whose deadline passes is
+// expired: its remainder is requeued exactly once (the lease is deleted, so
+// a second expiry cannot happen), and any late report from the original
+// worker merges idempotently by run-range — deterministic seeding makes the
+// re-run bit-identical, so double execution can never double-count.
+
+// LeaseRequest asks the coordinator for a run-range to execute.
+type LeaseRequest struct {
+	// Worker identifies the requester in metrics and logs.
+	Worker string `json:"worker"`
+	// MaxRuns caps the granted range (0 = coordinator default).
+	MaxRuns int `json:"max_runs,omitempty"`
+}
+
+// Lease is a granted run-range with everything a worker needs to execute it:
+// the job's full spec (the worker resolves its own experiment from it) and
+// the half-open run interval. The worker must report or heartbeat before
+// TTLSec elapses or the coordinator requeues the remainder.
+type Lease struct {
+	ID     string  `json:"id"`
+	JobID  string  `json:"job_id"`
+	Spec   JobSpec `json:"spec"`
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	TTLSec float64 `json:"ttl_sec"`
+}
+
+// LeaseReport carries the tally of one completed prefix sub-range of the
+// lease. Done marks the final report of the lease.
+type LeaseReport struct {
+	Worker string         `json:"worker"`
+	From   int            `json:"from"`
+	To     int            `json:"to"`
+	Tally  campaign.Tally `json:"tally"`
+	Done   bool           `json:"done,omitempty"`
+}
+
+// LeaseAck answers a report.
+type LeaseAck struct {
+	// Accepted is false when the runs were already covered (idempotent
+	// duplicate) — harmless, the worker continues.
+	Accepted bool `json:"accepted"`
+	// Canceled tells the worker to abandon the rest of this lease: the job
+	// reached a terminal state (canceled, failed, or adaptively
+	// early-stopped).
+	Canceled bool `json:"canceled,omitempty"`
+	// TTLSec refreshes the lease deadline.
+	TTLSec float64 `json:"ttl_sec,omitempty"`
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +38,20 @@ type Metrics struct {
 	ckStats func() microfi.CheckpointCounts
 	// now is the injected clock (Config.Now), for uptime.
 	now func() time.Time
+
+	// collectors are extra exposition sections appended by subsystems that
+	// ride on the same /metrics endpoint (the fleet coordinator's per-worker
+	// counters).
+	collMu     sync.Mutex
+	collectors []func(io.Writer)
+}
+
+// AddCollector registers an extra exposition section rendered at the end of
+// every /metrics scrape.
+func (m *Metrics) AddCollector(fn func(io.Writer)) {
+	m.collMu.Lock()
+	m.collectors = append(m.collectors, fn)
+	m.collMu.Unlock()
 }
 
 func newMetrics(counters *adaptive.Counters, now func() time.Time, ckStats func() microfi.CheckpointCounts) *Metrics {
@@ -152,4 +167,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int) {
 	fmt.Fprintln(w, "# HELP gpureld_uptime_seconds Process uptime.")
 	fmt.Fprintln(w, "# TYPE gpureld_uptime_seconds gauge")
 	fmt.Fprintf(w, "gpureld_uptime_seconds %.3f\n", up)
+
+	m.collMu.Lock()
+	colls := make([]func(io.Writer), len(m.collectors))
+	copy(colls, m.collectors)
+	m.collMu.Unlock()
+	for _, fn := range colls {
+		fn(w)
+	}
 }

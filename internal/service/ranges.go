@@ -65,6 +65,47 @@ func complementRanges(rs []Range, n int) []Range {
 	return out
 }
 
+// subtractRanges removes [r.From, r.To) from a normalized list, keeping it
+// normalized. Removing runs that are not in the list is a no-op.
+func subtractRanges(rs []Range, r Range) []Range {
+	if r.To <= r.From {
+		return rs
+	}
+	var out []Range
+	for _, q := range rs {
+		if q.To <= r.From || r.To <= q.From {
+			out = append(out, q)
+			continue
+		}
+		if q.From < r.From {
+			out = append(out, Range{From: q.From, To: r.From})
+		}
+		if r.To < q.To {
+			out = append(out, Range{From: r.To, To: q.To})
+		}
+	}
+	return out
+}
+
+// intersectRanges returns the portions of a normalized list that fall inside
+// [r.From, r.To).
+func intersectRanges(rs []Range, r Range) []Range {
+	var out []Range
+	for _, q := range rs {
+		from, to := q.From, q.To
+		if from < r.From {
+			from = r.From
+		}
+		if to > r.To {
+			to = r.To
+		}
+		if to > from {
+			out = append(out, Range{From: from, To: to})
+		}
+	}
+	return out
+}
+
 // rangesLen is the total number of runs covered by a normalized list.
 func rangesLen(rs []Range) int {
 	n := 0

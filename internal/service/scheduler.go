@@ -40,6 +40,11 @@ type Config struct {
 	// QueueDepth bounds each lane's backlog (default 256); Submit fails
 	// once a lane is full.
 	QueueDepth int
+	// DisableLocalExec turns the lanes off: jobs make progress only through
+	// ClaimWork/ReportWork — i.e. fleet workers. For dedicated coordinators
+	// and scaling benchmarks; the default (false) degrades gracefully to
+	// in-process execution when no workers are joined.
+	DisableLocalExec bool
 	// CheckpointPath, when set, enables the journal: jobs are persisted
 	// there and incomplete ones resume on the next New with the same path.
 	CheckpointPath string
@@ -51,7 +56,7 @@ type Config struct {
 	Counters *adaptive.Counters
 	// CheckpointStats, when set, reads the study-side fork-and-join
 	// aggregate (checkpoint resumes, convergence joins); /metrics exports
-	// it and runJob attributes per-chunk deltas to the running job.
+	// it and the lanes attribute per-chunk deltas to the running job.
 	CheckpointStats func() microfi.CheckpointCounts
 	// Now is the scheduler's clock (default time.Now); tests inject a fake
 	// for deterministic timestamps and deadline behavior.
@@ -80,14 +85,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Scheduler owns the job table and the sharded worker lanes.
+// starvedPoll is how often a lane re-checks a job whose pending list is
+// empty but whose claimed/stashed work (held by fleet leases) is still
+// outstanding.
+const starvedPoll = 25 * time.Millisecond
+
+// Scheduler owns the job table, the work ledger, and the sharded lanes.
 type Scheduler struct {
 	cfg     Config
 	metrics *Metrics
 
 	mu    sync.Mutex
 	jobs  map[string]*job
-	order []string // submission order, for listing
+	order []string // submission order, for listing and claim fairness
 
 	queues []chan *job
 	ctx    context.Context
@@ -124,15 +134,21 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 			return nil, err
 		}
 		for _, jc := range saved {
-			j := &job{
-				id:      jc.ID,
-				spec:    jc.Spec,
-				created: time.Unix(jc.Created, 0),
-				state:   jc.State,
-				done:    normalizeRanges(jc.Done),
-				tally:   jc.Tally,
-				early:   jc.EarlyStopped,
-				errmsg:  jc.Error,
+			j := newJob(jc.ID, jc.Spec, time.Unix(jc.Created, 0))
+			j.state = jc.State
+			j.early = jc.EarlyStopped
+			j.errmsg = jc.Error
+			// The journal always covers a single prefix [0, k): completed
+			// work only becomes durable once contiguous. (An older journal
+			// with disjoint ranges would restart the job from scratch —
+			// deterministic seeding makes that merely recomputation.)
+			if done := normalizeRanges(jc.Done); len(done) == 1 && done[0].From == 0 {
+				j.merger.Seed(done[0].To, jc.Tally)
+			}
+			if j.state.Terminal() {
+				j.pending = nil
+			} else {
+				j.pending = complementRanges([]Range{{From: 0, To: j.merger.To()}}, jc.Spec.Runs)
 			}
 			// A job that was mid-flight when the previous process stopped
 			// resumes from its first unexecuted run index.
@@ -185,7 +201,7 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
-	j := &job{id: newJobID(), spec: spec, created: s.cfg.Now(), state: StateQueued}
+	j := newJob(newJobID(), spec, s.cfg.Now())
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -242,10 +258,9 @@ func (s *Scheduler) Cancel(id string) (JobStatus, bool) {
 	if !j.state.Terminal() {
 		j.canceled = true
 		if j.state == StateQueued {
-			j.state = StateCanceled
-			j.finished = s.cfg.Now()
-			s.metrics.jobsCanceled.Add(1)
-			j.publishLocked(string(StateCanceled))
+			j.pending = nil
+			j.claimed = nil
+			s.finishLocked(j, StateCanceled, "")
 		}
 	}
 	st := j.snapshotLocked()
@@ -289,9 +304,11 @@ func (s *Scheduler) shardLoop(q chan *job) {
 	}
 }
 
-// runJob drives one job to a terminal state — or parks it back to queued if
-// the scheduler is draining, leaving its completed ranges journaled for the
-// next process.
+// runJob drives one job to a terminal state through the work ledger: claim
+// a chunk, execute it, report the tally — the same three operations remote
+// fleet workers use, so local lanes and leased workers interleave freely on
+// one job. On drain the job is parked back to queued, its merged prefix
+// journaled for the next process.
 func (s *Scheduler) runJob(j *job) {
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -299,21 +316,33 @@ func (s *Scheduler) runJob(j *job) {
 		return
 	}
 	if j.canceled {
+		j.pending = nil
+		j.claimed = nil
 		s.finishLocked(j, StateCanceled, "")
 		j.mu.Unlock()
+		s.dirty.Store(true)
 		return
 	}
-	j.state = StateRunning
-	j.started = s.cfg.Now()
-	pending := complementRanges(j.done, j.spec.Runs)
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = s.cfg.Now()
+		j.publishLocked(string(StateRunning))
+	}
 	spec := j.spec
-	j.publishLocked(string(StateRunning))
 	j.mu.Unlock()
 	s.dirty.Store(true)
+
+	if s.cfg.DisableLocalExec {
+		// Coordinator-only mode: fleet workers drive the job through
+		// ClaimWork/ReportWork; the lane has nothing to execute.
+		return
+	}
 
 	fn, err := s.cfg.Source(spec)
 	if err != nil {
 		j.mu.Lock()
+		j.pending = nil
+		j.claimed = nil
 		s.finishLocked(j, StateFailed, err.Error())
 		j.mu.Unlock()
 		s.dirty.Store(true)
@@ -326,107 +355,74 @@ func (s *Scheduler) runJob(j *job) {
 	}
 	opts := campaign.Options{Runs: spec.Runs, Seed: spec.Seed, Workers: s.cfg.WorkersPerShard}
 
-	// Adaptive jobs evaluate the stop rule only on contiguous prefixes
-	// [0, k·batch) — chunk ends are clamped to batch boundaries so the
-	// evaluated prefixes are the same whether the job runs straight through
-	// or is checkpointed, restarted and resumed at any point.
-	pol := spec.policy()
-	batch := spec.Batch
-	if batch <= 0 {
-		batch = adaptive.DefaultBatch
-	}
-
-	for _, r := range pending {
-		for from := r.From; from < r.To; {
-			// Drain: stop between chunks, park the job for resume.
-			if s.ctx.Err() != nil {
-				j.mu.Lock()
+	for {
+		// Drain: stop between chunks, park the job for resume.
+		if s.ctx.Err() != nil {
+			j.mu.Lock()
+			if !j.state.Terminal() {
 				j.state = StateQueued
-				j.mu.Unlock()
-				s.dirty.Store(true)
-				return
-			}
-			j.mu.Lock()
-			canceled := j.canceled
-			j.mu.Unlock()
-			if canceled {
-				j.mu.Lock()
-				s.finishLocked(j, StateCanceled, "")
-				j.mu.Unlock()
-				s.dirty.Store(true)
-				return
-			}
-			if !deadline.IsZero() && s.cfg.Now().After(deadline) {
-				j.mu.Lock()
-				s.finishLocked(j, StateFailed, fmt.Sprintf("deadline exceeded (%gs)", spec.Deadline))
-				j.mu.Unlock()
-				s.dirty.Store(true)
-				return
-			}
-
-			to := from + s.cfg.ChunkSize
-			if to > r.To {
-				to = r.To
-			}
-			if spec.Margin99 > 0 {
-				if end := (from/batch + 1) * batch; end < to {
-					to = end
-				}
-			}
-			// Attribute checkpoint fork/converge activity to this job by
-			// differencing the study-side aggregate around the chunk. Exact
-			// with one shard; with several, a concurrent job against the
-			// same app may be credited here instead — acceptable for an
-			// efficiency indicator (the process totals stay exact).
-			var ckBefore microfi.CheckpointCounts
-			if s.cfg.CheckpointStats != nil {
-				ckBefore = s.cfg.CheckpointStats()
-			}
-			tl := campaign.RunRange(opts, from, to, fn)
-			var dForks, dConverges int64
-			if s.cfg.CheckpointStats != nil {
-				ckAfter := s.cfg.CheckpointStats()
-				dForks = ckAfter.ForkResumes - ckBefore.ForkResumes
-				dConverges = ckAfter.ConvergeHits - ckBefore.ConvergeHits
-			}
-
-			j.mu.Lock()
-			j.done = addRange(j.done, Range{From: from, To: to})
-			j.tally.Merge(tl)
-			j.forks += dForks
-			j.converges += dConverges
-			// The stop rule fires only at batch boundaries with the prefix
-			// [0, to) fully covered — then j.tally is exactly that prefix's
-			// tally and the decision is deterministic.
-			stop := spec.Margin99 > 0 && to < spec.Runs && to%batch == 0 &&
-				len(j.done) == 1 && j.done[0] == (Range{From: 0, To: to}) &&
-				pol.StopSatisfied(j.tally)
-			saved := 0
-			if stop {
-				j.early = true
-				saved = spec.Runs - to
-				s.finishLocked(j, StateDone, "")
-			} else {
-				j.publishLocked("progress")
 			}
 			j.mu.Unlock()
-			s.metrics.addTally(tl)
 			s.dirty.Store(true)
-			if stop {
-				s.metrics.runsSaved.Add(int64(saved))
-				if s.cfg.Counters != nil {
-					s.cfg.Counters.Saved.Add(int64(saved))
-				}
-				return
+			return
+		}
+		j.mu.Lock()
+		if j.state.Terminal() {
+			j.mu.Unlock()
+			return
+		}
+		if j.canceled {
+			j.pending = nil
+			j.claimed = nil
+			s.finishLocked(j, StateCanceled, "")
+			j.mu.Unlock()
+			s.dirty.Store(true)
+			return
+		}
+		if !deadline.IsZero() && s.cfg.Now().After(deadline) {
+			j.pending = nil
+			j.claimed = nil
+			s.finishLocked(j, StateFailed, fmt.Sprintf("deadline exceeded (%gs)", spec.Deadline))
+			j.mu.Unlock()
+			s.dirty.Store(true)
+			return
+		}
+		r, ok := s.claimLocked(j, s.cfg.ChunkSize)
+		j.mu.Unlock()
+		if !ok {
+			// Nothing left to claim. Either the job is finishing (its last
+			// reports are in flight from fleet leases) or it is fully
+			// leased out — wait for reports or lease expiry to refill
+			// pending, then re-check.
+			select {
+			case <-s.ctx.Done():
+			case <-time.After(starvedPoll):
 			}
-			from = to
+			continue
+		}
+		s.dirty.Store(true)
+
+		// Attribute checkpoint fork/converge activity to this job by
+		// differencing the study-side aggregate around the chunk. Exact
+		// with one shard; with several, a concurrent job against the
+		// same app may be credited here instead — acceptable for an
+		// efficiency indicator (the process totals stay exact).
+		var ckBefore microfi.CheckpointCounts
+		if s.cfg.CheckpointStats != nil {
+			ckBefore = s.cfg.CheckpointStats()
+		}
+		tl := campaign.RunRange(opts, r.From, r.To, fn)
+		var dForks, dConverges int64
+		if s.cfg.CheckpointStats != nil {
+			ckAfter := s.cfg.CheckpointStats()
+			dForks = ckAfter.ForkResumes - ckBefore.ForkResumes
+			dConverges = ckAfter.ConvergeHits - ckBefore.ConvergeHits
+		}
+		st, _ := s.report(j, r.From, r.To, tl, dForks, dConverges)
+		if st.State.Terminal() {
+			return
 		}
 	}
-
-	j.mu.Lock()
-	s.finishLocked(j, StateDone, "")
-	j.mu.Unlock()
-	s.dirty.Store(true)
 }
 
 // finishLocked moves a job to a terminal state (j.mu held).
@@ -465,7 +461,9 @@ func (s *Scheduler) flushLoop() {
 	}
 }
 
-// Flush writes the checkpoint journal now.
+// Flush writes the checkpoint journal now. Only the merged contiguous
+// prefix is durable: stashed out-of-order partials and claimed-but-unproven
+// work are recomputed on resume (deterministic seeding makes that safe).
 func (s *Scheduler) Flush() error {
 	if s.cfg.CheckpointPath == "" {
 		return nil
@@ -480,12 +478,16 @@ func (s *Scheduler) Flush() error {
 	cps := make([]jobCheckpoint, 0, len(js))
 	for _, j := range js {
 		j.mu.Lock()
+		var done []Range
+		if to := j.merger.To(); to > 0 {
+			done = []Range{{From: 0, To: to}}
+		}
 		cps = append(cps, jobCheckpoint{
 			ID:           j.id,
 			Spec:         j.spec,
 			State:        j.state,
-			Done:         append([]Range(nil), j.done...),
-			Tally:        j.tally,
+			Done:         done,
+			Tally:        j.merger.Tally(),
 			EarlyStopped: j.early,
 			Error:        j.errmsg,
 			Created:      j.created.Unix(),

@@ -21,8 +21,10 @@ type Server struct {
 // NewServer wraps a scheduler.
 func NewServer(s *Scheduler) *Server { return &Server{sched: s} }
 
-// Handler builds the route table.
-func (s *Server) Handler() http.Handler {
+// Handler builds the route table. Extra subsystems that share the v1 mux —
+// the fleet coordinator's lease endpoints — mount themselves through the
+// variadic hooks.
+func (s *Server) Handler(mount ...func(*http.ServeMux)) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -33,6 +35,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	for _, m := range mount {
+		m(mux)
+	}
 	return mux
 }
 

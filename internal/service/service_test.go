@@ -21,7 +21,7 @@ import (
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
 	"gpurel/internal/service"
-	"gpurel/internal/service/client"
+	"gpurel/client"
 )
 
 // outcome is the synthetic experiment's deterministic classification — the
@@ -80,7 +80,7 @@ func TestSubmitStreamMetrics(t *testing.T) {
 	ctx := context.Background()
 
 	spec := service.JobSpec{Layer: "micro", App: "fake", Kernel: "K1", Runs: 500, Seed: 42}
-	st, err := c.Submit(ctx, spec)
+	st, err := c.SubmitJob(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestSubmitStreamMetrics(t *testing.T) {
 
 	var sawProgress bool
 	var last service.JobStatus
-	if err := c.Stream(ctx, st.ID, func(ev service.Event) error {
+	if err := c.WatchEvents(ctx, st.ID, func(ev service.Event) error {
 		switch ev.Type {
 		case "status", "progress", "done":
 		default:
@@ -165,7 +165,7 @@ func TestKillAndResume(t *testing.T) {
 	ctx := context.Background()
 
 	spec := service.JobSpec{Layer: "soft", App: "fake", Kernel: "K2", Mode: "SVF", Runs: runs, Seed: seed}
-	st, err := c1.Submit(ctx, spec)
+	st, err := c1.SubmitJob(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestKillAndResume(t *testing.T) {
 	// Stream until the job is solidly mid-flight, then kill the server.
 	errEnough := errors.New("enough progress")
 	var mid service.JobStatus
-	err = c1.Stream(ctx, st.ID, func(ev service.Event) error {
+	err = c1.WatchEvents(ctx, st.ID, func(ev service.Event) error {
 		if ev.Type == "progress" && ev.Job.Done >= 64 {
 			mid = ev.Job
 			return errEnough
@@ -233,7 +233,7 @@ func TestKillAndResume(t *testing.T) {
 
 	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	final, err := c2.Wait(waitCtx, st.ID)
+	final, err := c2.WaitJob(waitCtx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,15 +298,15 @@ func TestCancelAndDeadline(t *testing.T) {
 	ctx := context.Background()
 
 	// Cancel mid-flight.
-	st, err := c.Submit(ctx, service.JobSpec{Layer: "micro", App: "fake", Kernel: "K1", Runs: 2000, Seed: 1})
+	st, err := c.SubmitJob(ctx, service.JobSpec{Layer: "micro", App: "fake", Kernel: "K1", Runs: 2000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
-	if _, err := c.Cancel(ctx, st.ID); err != nil {
+	if _, err := c.CancelJob(ctx, st.ID); err != nil {
 		t.Fatal(err)
 	}
-	final, err := c.Wait(ctx, st.ID)
+	final, err := c.WaitJob(ctx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,13 +318,13 @@ func TestCancelAndDeadline(t *testing.T) {
 	}
 
 	// Deadline exceeded.
-	st2, err := c.Submit(ctx, service.JobSpec{
+	st2, err := c.SubmitJob(ctx, service.JobSpec{
 		Layer: "micro", App: "fake", Kernel: "K1", Runs: 100000, Seed: 1, Deadline: 0.05,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	final2, err := c.Wait(ctx, st2.ID)
+	final2, err := c.WaitJob(ctx, st2.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,11 +340,11 @@ func TestCancelAndDeadline(t *testing.T) {
 		{Layer: "micro", App: "fake", Kernel: "K1", Runs: 10, Structure: "L9"},
 		{Layer: "soft", App: "fake", Kernel: "K1", Runs: 10, Mode: "AVF"},
 	} {
-		if _, err := c.Submit(ctx, bad); err == nil {
+		if _, err := c.SubmitJob(ctx, bad); err == nil {
 			t.Errorf("spec %+v accepted, want rejection", bad)
 		}
 	}
-	if _, err := c.Get(ctx, "jdeadbeef0000"); err == nil {
+	if _, err := c.GetJob(ctx, "jdeadbeef0000"); err == nil {
 		t.Error("Get on unknown job succeeded")
 	}
 }

@@ -40,14 +40,10 @@ func SpecForPoint(p gpurel.PointSpec, opts campaign.Options) JobSpec {
 		sp.Mode = p.Mode.String()
 	}
 	if pol := p.Sampling; pol != nil {
-		sp.Margin99 = pol.Margin
-		sp.Batch = pol.Batch
-		sp.Prune = pol.Prune
+		sp.Sampling = &SamplingSpec{Margin99: pol.Margin, Batch: pol.Batch, Prune: pol.Prune}
 	}
 	if ck := p.Checkpoint; ck != nil {
-		sp.SnapStride = ck.Stride
-		sp.SnapMB = int(ck.BudgetBytes >> 20)
-		sp.Converge = ck.Converge
+		sp.Checkpoint = &SnapshotSpec{Stride: ck.Stride, BudgetMB: int(ck.BudgetBytes >> 20), Converge: ck.Converge}
 	}
 	return sp
 }

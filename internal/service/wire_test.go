@@ -1,0 +1,122 @@
+// Golden wire-format tests: the deprecated flat job spec and the nested v1
+// spec in testdata/ must decode to the same campaign point, and encoding
+// always emits the nested schema — the flat spelling exists only on the way
+// in.
+package service_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gpurel/internal/service"
+)
+
+func loadSpec(t *testing.T, name string) service.JobSpec {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp service.JobSpec
+	if err := json.Unmarshal(raw, &sp); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return sp
+}
+
+// TestGoldenWireFixtures: both fixture spellings validate, decode to the
+// same nested groups and bit-identical campaign points, and only the legacy
+// one is flagged deprecated.
+func TestGoldenWireFixtures(t *testing.T) {
+	legacy := loadSpec(t, "jobspec_legacy.json")
+	nested := loadSpec(t, "jobspec_nested.json")
+
+	if !legacy.LegacyFlat() {
+		t.Error("legacy fixture not flagged as flat")
+	}
+	if nested.LegacyFlat() {
+		t.Error("nested fixture flagged as flat")
+	}
+	for name, sp := range map[string]service.JobSpec{"legacy": legacy, "nested": nested} {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s fixture invalid: %v", name, err)
+		}
+	}
+
+	// The decoded groups are identical…
+	if !reflect.DeepEqual(legacy.Sampling, nested.Sampling) {
+		t.Errorf("sampling differs: legacy %+v, nested %+v", legacy.Sampling, nested.Sampling)
+	}
+	if !reflect.DeepEqual(legacy.Checkpoint, nested.Checkpoint) {
+		t.Errorf("checkpoint differs: legacy %+v, nested %+v", legacy.Checkpoint, nested.Checkpoint)
+	}
+
+	// …and so are the campaign points they resolve to.
+	lp, err := legacy.Point()
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := nested.Point()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lp, np) {
+		t.Errorf("points differ:\nlegacy %+v\nnested %+v", lp, np)
+	}
+	if lp.Sampling == nil || lp.Sampling.Margin != 0.025 || lp.Sampling.Batch != 250 || !lp.Sampling.Prune {
+		t.Errorf("sampling policy lost in decode: %+v", lp.Sampling)
+	}
+	if lp.Checkpoint == nil || lp.Checkpoint.Stride != 500 || lp.Checkpoint.BudgetBytes != 64<<20 || !lp.Checkpoint.Converge {
+		t.Errorf("checkpoint spec lost in decode: %+v", lp.Checkpoint)
+	}
+}
+
+// TestWireRoundTripEncodesNested: re-encoding any decoded spec — even one
+// that arrived flat — emits only the nested v1 schema, and the re-decoded
+// spec is no longer flagged deprecated.
+func TestWireRoundTripEncodesNested(t *testing.T) {
+	for _, name := range []string{"jobspec_legacy.json", "jobspec_nested.json"} {
+		sp := loadSpec(t, name)
+		out, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var top map[string]json.RawMessage
+		if err := json.Unmarshal(out, &top); err != nil {
+			t.Fatal(err)
+		}
+		for _, flat := range []string{"margin99", "batch", "prune", "snap_stride", "snap_mb", "converge"} {
+			if _, ok := top[flat]; ok {
+				t.Errorf("%s round-trip leaked flat key %q: %s", name, flat, out)
+			}
+		}
+		for _, group := range []string{"sampling", "checkpoint"} {
+			if _, ok := top[group]; !ok {
+				t.Errorf("%s round-trip missing nested group %q: %s", name, group, out)
+			}
+		}
+
+		var back service.JobSpec
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.LegacyFlat() {
+			t.Errorf("%s re-decoded round-trip still flagged flat", name)
+		}
+		bp, err := back.Point()
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := sp.Point()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bp, op) {
+			t.Errorf("%s round-trip changed the campaign point:\nbefore %+v\nafter  %+v", name, op, bp)
+		}
+	}
+}

@@ -40,10 +40,12 @@ type Study struct {
 	Workers int   // parallel injection workers (0 = GOMAXPROCS)
 
 	// RunPoint, when non-nil, executes campaign points instead of the local
-	// campaign.Run — e.g. by submitting them to a gpureld daemon
-	// (internal/service/client). The options carry the fully derived point
-	// seed (see PointSeed), so a remote executor reproduces the local tally
-	// bit for bit. Memoisation still applies on top.
+	// campaign.Run — e.g. by submitting them to a gpureld daemon via the
+	// client package's RunPoint hook. The options carry the fully derived
+	// point seed (see PointSeed), so a remote executor — or a whole worker
+	// fleet — reproduces the local tally bit for bit. Fleet sizing (lease
+	// length, worker count) is execution policy, not part of the point
+	// identity, and never feeds PointSeed. Memoisation still applies on top.
 	RunPoint func(spec PointSpec, opts campaign.Options) (campaign.Tally, error)
 
 	// Sampling, when non-nil, is the default adaptive sampling policy applied
