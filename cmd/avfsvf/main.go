@@ -8,6 +8,9 @@
 //	avfsvf -table 1
 //	avfsvf -fig 12                # no campaigns needed
 //	avfsvf -speed                 # the §I footnote-1 speed comparison
+//	avfsvf -faultmodels -n 100 -faultmodels-apps VA,BFS
+//	                              # cross-model outcome table: transient vs
+//	                              # stuck-at vs MBU vs control-state faults
 //	avfsvf -fig 1 -json           # machine-readable NDJSON instead of tables
 //	avfsvf -daemon http://host:8080 -fig 2
 //	                              # campaigns run on a gpureld daemon
@@ -34,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"gpurel"
 	"gpurel/client"
@@ -65,6 +69,8 @@ func main() {
 		ckpt    = flag.Int64("snap-stride", 0, "golden-run snapshot stride in cycles for fork-and-join injection (0 = off, -1 = auto)")
 		ckMB    = flag.Int64("snap-mb", 0, "snapshot memory budget in MiB per golden run (0 = default 256, negative = unlimited)")
 		conv    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -snap-stride -1 if unset")
+		fmodels = flag.Bool("faultmodels", false, "emit the cross-model outcome table: transient vs stuck-at vs MBU per storage structure, flip vs forced latch per control-state site (heavy: ~29 campaign sets; pair with a small -n)")
+		fmApps  = flag.String("faultmodels-apps", "", "comma-separated app subset for -faultmodels (empty = all 11 benchmarks)")
 	)
 	cliutil.Alias(flag.CommandLine, "snap-stride", "checkpoint")
 	cliutil.Alias(flag.CommandLine, "snap-mb", "checkpoint-mb")
@@ -89,7 +95,7 @@ func main() {
 	if *ckpt != 0 {
 		s.Checkpoint = microfi.CheckpointSpec{Stride: *ckpt, BudgetBytes: *ckMB << 20, Converge: *conv}
 	}
-	all := *fig == 0 && *table == 0 && !*speed
+	all := *fig == 0 && *table == 0 && !*speed && !*fmodels
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "avfsvf:", err)
@@ -161,6 +167,14 @@ func main() {
 	if all || *fig == 12 {
 		a, txt := gpurel.Figure12()
 		emit("fig12", a, txt, nil)
+	}
+	if *fmodels {
+		var apps []string
+		if *fmApps != "" {
+			apps = strings.Split(*fmApps, ",")
+		}
+		rows, txt, err := s.FaultModelFigure(apps)
+		emit("faultmodels", rows, txt, err)
 	}
 	if all || *speed {
 		micro, soft, err := s.SpeedComparison("SRADv1", 5)

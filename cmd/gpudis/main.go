@@ -11,6 +11,7 @@
 //	gpudis -app LUD -kernel K2 -cfg    # basic-block CFG with dominators
 //	gpudis -app LUD -kernel K2 -dot    # CFG in Graphviz dot syntax
 //	gpudis -app BFS -lint              # lint every kernel of the app
+//	gpudis -app LUD -sites             # injectable control-state sites per kernel
 //
 // -lint exits 2 when any kernel has error-severity findings, 1 when only
 // warnings, 0 when clean.
@@ -27,6 +28,7 @@ import (
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
 	"gpurel/internal/reuse"
+	"gpurel/internal/sim"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func main() {
 		lint    = flag.Bool("lint", false, "run the static kernel linter (all kernels when -kernel is empty)")
 		cfg     = flag.Bool("cfg", false, "print the basic-block CFG with dominators")
 		dot     = flag.Bool("dot", false, "print the CFG in Graphviz dot syntax")
+		sites   = flag.Bool("sites", false, "list injectable control-state sites (SCHED/STACK/BARRIER) per kernel launch")
 		list    = flag.Bool("list", false, "list benchmarks")
 	)
 	flag.Parse()
@@ -94,6 +97,11 @@ func main() {
 			}
 		}
 		os.Exit(exit)
+	}
+
+	if *sites {
+		printSites(app.Name, job, progs, *kernel)
+		return
 	}
 
 	if *kernel == "" {
@@ -163,6 +171,51 @@ func printMix(p *isa.Program) {
 	})
 	for _, r := range rows {
 		fmt.Printf("  %-8s %4d  (%4.1f%%)\n", r.op, r.n, 100*float64(r.n)/float64(len(p.Code)))
+	}
+}
+
+// printSites lists the control-state fault sites each kernel launch exposes
+// to the "control" fault model (internal/faultmodel): warp-scheduler entry
+// bits and barrier-arrival latches are fixed by the launch geometry, while
+// SIMT-stack sites exist only while warps are diverged, so the static view
+// reports the per-warp ceiling alongside the kernel's branch/barrier usage.
+func printSites(appName string, job *device.Job, progs map[string]*isa.Program, only string) {
+	warpsPerBlock := func(l *device.Launch) int {
+		return (l.BlockX*l.BlockY + 31) / 32
+	}
+	found := false
+	for _, st := range job.Steps {
+		if st.Launch == nil {
+			continue
+		}
+		l := st.Launch
+		name := l.Name()
+		if only != "" && name != only {
+			continue
+		}
+		found = true
+		p := progs[name]
+		warps := l.GridX * l.GridY * warpsPerBlock(l)
+		branches, bars := 0, 0
+		for _, ins := range p.Code {
+			switch ins.Op {
+			case isa.OpBRA:
+				branches++
+			case isa.OpBAR:
+				bars++
+			}
+		}
+		fmt.Printf("%s %s (%s): %d warps (%d blocks × %d warps/block)\n",
+			appName, name, p.Name, warps, l.GridX*l.GridY, warpsPerBlock(l))
+		fmt.Printf("  SCHED    %6d bits  (%d warp-scheduler entries × %d bits: ready timestamp + done latch)\n",
+			warps*sim.SchedEntryBits, warps, sim.SchedEntryBits)
+		fmt.Printf("  STACK    dynamic       (%d words × 32 bits per live divergence entry; %d static branches%s)\n",
+			sim.StackEntryWords, branches, map[bool]string{true: "", false: " — never diverges"}[branches > 0])
+		fmt.Printf("  BARRIER  %6d bits  (1 arrival latch per warp; %d static BAR instructions%s)\n",
+			warps, bars, map[bool]string{true: "", false: " — barrier faults cannot deadlock this kernel"}[bars > 0])
+	}
+	if only != "" && !found {
+		fatal(fmt.Errorf("%s has no kernel %q", appName, only))
 	}
 }
 

@@ -17,6 +17,15 @@
 //	                        # checkpointed fork-and-join: faulty runs resume
 //	                        # from golden snapshots and rejoin golden early,
 //	                        # bit-identically to brute force
+//	gpufi -app VA -structure RF -n 3000 -model stuck -stuck 0
+//	                        # permanent stuck-at-0 cell defects instead of
+//	                        # transient flips
+//	gpufi -app VA -structure SMEM -n 3000 -model mbu -burst 2 -lines 2
+//	                        # spatial multi-bit upsets: 2 adjacent bits in 2
+//	                        # adjacent rows
+//	gpufi -app VA -structure ctrl -n 1000
+//	                        # control-state faults: warp-scheduler entries,
+//	                        # the SIMT divergence stack, barrier state
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/cliutil"
+	"gpurel/internal/faultmodel"
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
 	"gpurel/internal/harden"
@@ -49,6 +59,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		tmr         = flag.Bool("tmr", false, "harden the application with thread-level TMR first")
 		burst       = flag.Int("burst", 1, "adjacent multi-bit burst width (1 = single-bit)")
+		model       = flag.String("model", "", "fault model: transient (default), stuck, mbu or control (implied by control structures)")
+		stuck       = flag.Int("stuck", -1, "stuck-at polarity 0 or 1 for -model stuck, or forced-latch polarity for control faults")
+		lines       = flag.Int("lines", 1, "adjacent rows/lines an MBU cluster spans (-model mbu)")
 		adaptiveOn  = flag.Bool("adaptive", false, "stop each campaign early once the Wilson-score 99% CI half-width reaches the target margin")
 		margin      = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the paper's ±2.35%); implies -adaptive")
 		prune       = flag.Bool("prune", false, "classify provably-dead RF injection sites as Masked from the golden run's liveness map, without simulating")
@@ -106,11 +119,20 @@ func main() {
 	}
 
 	var structures []gpu.Structure
-	if *structure == "all" {
+	switch *structure {
+	case "all":
 		structures = gpu.Structures[:]
-	} else {
+	case "ctrl":
+		structures = gpu.ControlStructures[:]
+	default:
 		found := false
 		for _, s := range gpu.Structures {
+			if s.String() == *structure {
+				structures = append(structures, s)
+				found = true
+			}
+		}
+		for _, s := range gpu.ControlStructures {
 			if s.String() == *structure {
 				structures = append(structures, s)
 				found = true
@@ -121,26 +143,47 @@ func main() {
 		}
 	}
 
+	fspec := faultmodel.Spec{Model: *model, Width: *burst, Lines: *lines}
+	if *stuck >= 0 {
+		fspec.Stuck = faultmodel.Ptr(*stuck)
+	}
+	// A structure selection is either all-storage or all-control, so the
+	// control model can be implied once rather than spelled out per flag.
+	if fspec.Model == "" && structures[0].IsControl() {
+		fspec.Model = faultmodel.ModelControl
+	}
+
+	faultNote := ""
+	if !fspec.IsDefault() {
+		faultNote = ", fault=" + fspec.Label()
+	}
 	tbl := report.Table{
-		Title:  fmt.Sprintf("gpuFI campaign: %s %s (n=%d, seed=%d, tmr=%v)", *appName, *kernel, *n, *seed, *tmr),
+		Title:  fmt.Sprintf("gpuFI campaign: %s %s (n=%d, seed=%d, tmr=%v%s)", *appName, *kernel, *n, *seed, *tmr, faultNote),
 		Header: []string{"Structure", "n", "Masked", "SDC", "Timeout", "DUE", "FR", "±99%", "DF", "AVF"},
 	}
 	counters := &adaptive.Counters{}
 	var structAVFs []metrics.StructAVF
 	for _, st := range structures {
-		tgt := microfi.Target{Structure: st, Kernel: *kernel, IncludeVote: *tmr, Burst: *burst}
+		if err := fspec.ValidateFor(st); err != nil {
+			fatal(err)
+		}
+		mdl, err := fspec.Build()
+		if err != nil {
+			fatal(err)
+		}
+		tgt := microfi.Target{Structure: st, Kernel: *kernel, IncludeVote: *tmr}
 		var exp campaign.Experiment
 		if lv != nil && st == gpu.RF {
 			exp = counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
-				return microfi.InjectPruned(job, g, lv, tgt, rng)
+				return microfi.InjectPrunedModel(job, g, lv, tgt, mdl, rng)
 			})
 		} else if dead != nil && st == gpu.RF {
 			exp = counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
-				return microfi.InjectStatic(job, g, dead, tgt, rng)
+				return microfi.InjectStaticModel(job, g, dead, tgt, mdl, rng)
 			})
 		} else {
 			exp = counters.Count(func(run int, rng *rand.Rand) faults.Result {
-				return microfi.Inject(job, g, tgt, rng)
+				return microfi.InjectModel(job, g, tgt, mdl, rng)
 			})
 		}
 		opts := campaign.Options{Runs: *n, Seed: *seed, Workers: *workers}

@@ -17,6 +17,9 @@
 // API (see docs/service.md):
 //
 //	POST   /v1/jobs             {"layer":"micro","app":"VA","kernel":"K1","structure":"RF","runs":3000,"seed":1}
+//	                            micro jobs take a nested "fault" group selecting
+//	                            the fault model (transient/stuck/mbu/control);
+//	                            absent = transient single-bit
 //	GET    /v1/jobs/{id}        status + partial tally + live ErrMargin99
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	DELETE /v1/jobs/{id}        cancel

@@ -48,7 +48,7 @@ import (
 // must replay bit-identically (static dataflow analysis, the job service,
 // which journals and resumes campaigns; its clock is injected via
 // Config.Now).
-const defaultPkgs = "internal/sim,internal/exec,internal/microfi,internal/adaptive,internal/campaign,internal/flow,internal/service"
+const defaultPkgs = "internal/sim,internal/exec,internal/microfi,internal/faultmodel,internal/adaptive,internal/campaign,internal/flow,internal/service"
 
 func main() {
 	pkgsFlag := flag.String("pkgs", defaultPkgs,

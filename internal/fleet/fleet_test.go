@@ -329,6 +329,42 @@ func TestFleetRealStudyParity(t *testing.T) {
 	}
 }
 
+// TestFleetFaultModelParity: the fleet path is model-agnostic — a two-worker
+// campaign under each non-default fault model (permanent stuck-at on RF,
+// forced control latch on the SIMT stack) tallies bit-identically to the
+// in-process campaign over the same study source. Both workers and the
+// comparison run share one Study, so golden-run memoisation mirrors a warm
+// coordinator.
+func TestFleetFaultModelParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulator campaign")
+	}
+	study := gpurel.NewStudy(0, 1)
+	source := service.NewStudySource(study)
+	specs := []service.JobSpec{
+		{Layer: "micro", App: "VA", Kernel: "K1", Structure: "RF",
+			Runs: 30, Seed: 7,
+			Fault: &service.FaultSpec{Model: "stuck", Stuck: intPtr(1)}},
+		{Layer: "micro", App: "VA", Kernel: "K1", Structure: "STACK",
+			Runs: 30, Seed: 7,
+			Fault: &service.FaultSpec{Model: "control", Stuck: intPtr(0)}},
+	}
+	for _, spec := range specs {
+		tally, _ := runFleet(t, source, spec, 2)
+		fn, err := source(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := campaign.Run(campaign.Options{Runs: spec.Runs, Seed: spec.Seed}, fn)
+		if tally != want {
+			t.Errorf("fleet %s/%s tally %+v != in-process %+v",
+				spec.Structure, spec.Fault.Label(), tally, want)
+		}
+	}
+}
+
+func intPtr(v int) *int { return &v }
+
 // TestFleetGracefulDegradation: a coordinator with lease endpoints mounted
 // but no workers joined executes everything in-process, exactly like the
 // pre-fleet daemon.

@@ -26,6 +26,25 @@ const (
 // Structures lists all injectable structures in canonical order.
 var Structures = [NumStructures]Structure{RF, SMEM, L1D, L1T, L2}
 
+// Control-state injection sites, beyond the paper's five storage arrays:
+// machine state held in flip-flops rather than SRAM data arrays. They are
+// injectable by the control-state fault model (internal/faultmodel) but
+// carry no storage-bit weight, so they stay out of Structures, chip-AVF
+// size weighting and the ECC configuration (flip-flop state is unprotected).
+const (
+	Sched   Structure = NumStructures + iota // warp-scheduler entries (ready/done)
+	Stack                                    // SIMT divergence stack entries (mask/PC/RPC)
+	Barrier                                  // CTA barrier arrival state
+)
+
+// ControlStructures lists the injectable control-state sites in canonical
+// order.
+var ControlStructures = [3]Structure{Sched, Stack, Barrier}
+
+// IsControl reports whether s is a control-state site rather than one of the
+// five storage arrays.
+func (s Structure) IsControl() bool { return s >= Sched && s <= Barrier }
+
 func (s Structure) String() string {
 	switch s {
 	case RF:
@@ -38,6 +57,12 @@ func (s Structure) String() string {
 		return "L1T"
 	case L2:
 		return "L2"
+	case Sched:
+		return "SCHED"
+	case Stack:
+		return "STACK"
+	case Barrier:
+		return "BARRIER"
 	}
 	return "?"
 }

@@ -91,6 +91,17 @@ func (c *Cache) FlipBit(i int, off uint32, b uint8) {
 	c.lines[i].Data[off] ^= 1 << (b & 7)
 }
 
+// SetBit forces one data-array bit to v, regardless of its current value.
+// Permanent stuck-at faults use it to re-assert the defective cell every
+// cycle; unlike FlipBit it is idempotent.
+func (c *Cache) SetBit(i int, off uint32, b uint8, v bool) {
+	if v {
+		c.lines[i].Data[off] |= 1 << (b & 7)
+	} else {
+		c.lines[i].Data[off] &^= 1 << (b & 7)
+	}
+}
+
 func (c *Cache) setOf(lineAddr uint32) int {
 	return int(lineAddr/c.lineSize) % c.sets
 }

@@ -58,6 +58,11 @@ type CheckpointCounts struct {
 	// ConvergeCyclesSaved sums the suffix cycles not simulated.
 	ConvergeHits        int64 `json:"converge_hits"`
 	ConvergeCyclesSaved int64 `json:"converge_cycles_saved"`
+	// ConvergeDisabled counts faulty runs where the spec requested converge
+	// joins but the armed fault model is persistent, so the join probe was
+	// withheld: state equality with a fault-free checkpoint does not imply
+	// an identical continuation while the defect keeps acting.
+	ConvergeDisabled int64 `json:"converge_disabled,omitempty"`
 	// Snapshot inventory: retained count and bytes, and snapshots evicted
 	// by budget-driven stride widening.
 	Snapshots     int64 `json:"snapshots"`
@@ -71,6 +76,7 @@ func (c *CheckpointCounts) Add(o CheckpointCounts) {
 	c.ForkCyclesSaved += o.ForkCyclesSaved
 	c.ConvergeHits += o.ConvergeHits
 	c.ConvergeCyclesSaved += o.ConvergeCyclesSaved
+	c.ConvergeDisabled += o.ConvergeDisabled
 	c.Snapshots += o.Snapshots
 	c.SnapshotBytes += o.SnapshotBytes
 	c.Evictions += o.Evictions
@@ -143,6 +149,20 @@ func goldenCycleBudget(job *device.Job) int64 {
 // capture its end), converge probing when enabled, and machine-state reuse
 // through the run pool. No-op on a plain Golden run.
 func (g *GoldenRun) accelerate(opts *sim.Options, cycle int64) {
+	g.accelerateModel(opts, cycle, false)
+}
+
+// accelerateModel is accelerate with the armed model's persistence made
+// explicit. Fork-resume stays sound for persistent faults (the skipped
+// prefix is fault-free in both runs), but convergence joins are not: the
+// probe compares post-fault state to fault-free golden checkpoints, and
+// while the fault remains armed an exact state match does not imply an
+// identical continuation — the defect corrupts the joined suffix too. The
+// join probe is therefore withheld for persistent models even when the spec
+// requests it, and each such auto-disable is counted in
+// CheckpointCounts.ConvergeDisabled so operators can see the spec was
+// overridden and why throughput dropped.
+func (g *GoldenRun) accelerateModel(opts *sim.Options, cycle int64, persistent bool) {
 	if g.Snaps == nil {
 		return
 	}
@@ -152,7 +172,11 @@ func (g *GoldenRun) accelerate(opts *sim.Options, cycle int64) {
 		g.forkCyclesSaved.Add(s.Cycle())
 	}
 	if g.Ckpt.Converge {
-		opts.Converge = g.Snaps
+		if persistent {
+			g.convergeDisabled.Add(1)
+		} else {
+			opts.Converge = g.Snaps
+		}
 	}
 	opts.Pool = g.pool
 }
@@ -177,6 +201,7 @@ func (g *GoldenRun) CheckpointCounts() CheckpointCounts {
 		ForkCyclesSaved:     g.forkCyclesSaved.Load(),
 		ConvergeHits:        g.convergeHits.Load(),
 		ConvergeCyclesSaved: g.convergeCyclesSaved.Load(),
+		ConvergeDisabled:    g.convergeDisabled.Load(),
 	}
 	if g.Snaps != nil {
 		// Read-only after the golden run, so these are stable.

@@ -1,9 +1,11 @@
 // Package microfi is the gpuFI-4 analogue: microarchitecture-level
 // statistical fault injection into the simulator's storage arrays (register
-// files, shared memory, L1 data/texture caches, L2 cache). Each experiment
-// flips one uniformly chosen bit at one uniformly chosen cycle of the target
-// kernel's execution window and classifies the run against the golden
-// output (§II-B of the paper).
+// files, shared memory, L1 data/texture caches, L2 cache) and control state
+// (warp-scheduler entries, divergence stacks, barrier latches). Each
+// experiment plants one fault — by default a transient single-bit flip, or
+// any internal/faultmodel family — at one uniformly chosen cycle of the
+// target kernel's execution window and classifies the run against the
+// golden output (§II-B of the paper).
 package microfi
 
 import (
@@ -12,6 +14,7 @@ import (
 
 	"gpurel/internal/ace"
 	"gpurel/internal/device"
+	"gpurel/internal/faultmodel"
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
 	"gpurel/internal/sim"
@@ -33,6 +36,7 @@ type GoldenRun struct {
 	// Fork/converge tallies, updated atomically by concurrent injections.
 	forkResumes, forkCyclesSaved      atomic.Int64
 	convergeHits, convergeCyclesSaved atomic.Int64
+	convergeDisabled                  atomic.Int64
 }
 
 // Golden runs the job fault-free. The run gets a generous cycle budget
@@ -125,15 +129,24 @@ func (t Target) pickCycle(g *GoldenRun, rng *rand.Rand) (int64, bool) {
 	return 0, false
 }
 
-// Inject performs one injection experiment and classifies the outcome.
+// Inject performs one transient single-bit (or Burst-wide) injection
+// experiment and classifies the outcome. It is exactly InjectModel with the
+// legacy transient model.
 func Inject(job *device.Job, g *GoldenRun, t Target, rng *rand.Rand) faults.Result {
-	cycle, width, r, done := t.preflight(g, rng)
+	return InjectModel(job, g, t, faultmodel.Transient{Width: t.Burst}, rng)
+}
+
+// InjectModel performs one injection experiment under an arbitrary fault
+// model and classifies the outcome. The rand stream is consumed in the same
+// order for every model (cycle draw, then the model's site draws), and for
+// the transient model the experiment is bit-identical to the historical
+// Inject for every (seed, run) pair.
+func InjectModel(job *device.Job, g *GoldenRun, t Target, mdl faultmodel.Model, rng *rand.Rand) faults.Result {
+	cycle, r, done := t.preflightModel(g, mdl, rng)
 	if done {
 		return r
 	}
-	return injectRun(job, g, cycle, func(m *sim.Machine) bool {
-		return flip(m, t.Structure, width, rng)
-	})
+	return injectRunModel(job, g, t, cycle, mdl, rng)
 }
 
 // preflight runs the simulation-free prefix shared by Inject and
@@ -161,6 +174,58 @@ func (t Target) preflight(g *GoldenRun, rng *rand.Rand) (cycle int64, width int,
 		}
 	}
 	return cycle, width, faults.Result{}, false
+}
+
+// preflightModel is preflight generalized over fault models: the ECC screen
+// keys on the model's per-word footprint, and control structures (which sit
+// outside the ECC-indexed storage arrays and carry no code word) bypass it.
+// For the transient model it is bit-identical to preflight.
+func (t Target) preflightModel(g *GoldenRun, mdl faultmodel.Model, rng *rand.Rand) (cycle int64, r faults.Result, done bool) {
+	cycle, ok := t.pickCycle(g, rng)
+	if !ok {
+		return 0, faults.Result{Outcome: faults.Masked, Detail: "empty injection window"}, true
+	}
+	if wb := mdl.WordBits(); wb > 0 && !t.Structure.IsControl() && g.Cfg.ECC[t.Structure] {
+		switch wb {
+		case 1:
+			// SEC-DED corrects a single defective bit per word on every read,
+			// whether the upset is transient or a permanent stuck cell.
+			return 0, faults.Result{Outcome: faults.Masked, Detail: "corrected by ECC"}, true
+		case 2:
+			return 0, faults.Result{Outcome: faults.DUE, Detail: "detected uncorrectable (ECC)"}, true
+		}
+	}
+	return cycle, faults.Result{}, false
+}
+
+// injectRunModel executes the faulty simulation under the model and
+// classifies it against golden. One-shot models corrupt state in the
+// AtCycle hook exactly like injectRun; persistent models additionally
+// re-assert their applier at the top of every subsequent cycle, and
+// convergence joins are withheld (see accelerateModel).
+func injectRunModel(job *device.Job, g *GoldenRun, t Target, cycle int64, mdl faultmodel.Model, rng *rand.Rand) faults.Result {
+	hit := false
+	var applier faultmodel.Applier
+	opts := sim.Options{
+		MaxCycles: g.Res.Cycles * int64(g.Cfg.TimeoutFactor),
+		AtCycle:   cycle,
+		OnCycle: func(m *sim.Machine) {
+			applier, hit = mdl.Arm(m, t.Structure, rng)
+		},
+	}
+	if mdl.Persistent() {
+		opts.EachCycle = func(m *sim.Machine) {
+			if applier != nil {
+				applier(m)
+			}
+		}
+	}
+	g.accelerateModel(&opts, cycle, mdl.Persistent())
+	res := sim.Run(job, g.Cfg, opts)
+	if res.Converged {
+		return g.classifyConverged(res, hit)
+	}
+	return Classify(g, res, hit)
 }
 
 // injectRun executes the faulty simulation with the given corruption hook
@@ -209,8 +274,9 @@ func InjectPruned(job *device.Job, g *GoldenRun, lv *ace.Liveness, t Target, rng
 	if done {
 		return r, false
 	}
-	// Replay flip's site selection from the recorded allocation timeline:
-	// SMs in index order, blocks in CTA placement order.
+	// Replay the transient model's site selection from the recorded
+	// allocation timeline: SMs in index order, blocks in CTA placement order
+	// (the faultmodel.pickAllocated enumeration).
 	var (
 		scratch [8]sim.RFBlock
 		smOf    []int
@@ -286,85 +352,29 @@ func bytesEqual(a, b []byte) bool {
 	return true
 }
 
-// flip corrupts one uniformly chosen entry of the structure. For RF and
-// shared memory only currently allocated entries are addressable (exactly
-// gpuFI-4's constraint, corrected by the derating factor); for caches any
-// data bit of the array is a target, valid or not. Returns false when the
-// structure has no allocated entries at this cycle.
-func flip(m *sim.Machine, s gpu.Structure, width int, rng *rand.Rand) bool {
-	switch s {
-	case gpu.RF:
-		var blocks []regBlock
-		total := 0
-		for _, sm := range m.SMs {
-			for _, b := range sm.AllocatedRF() {
-				blocks = append(blocks, regBlock{sm, b})
-				total += b.Size
-			}
-		}
-		if total == 0 {
-			return false
-		}
-		k := rng.Intn(total)
-		bit := uint(rng.Intn(32))
-		for _, rb := range blocks {
-			if k < rb.blk.Size {
-				for w := 0; w < width; w++ {
-					rb.sm.RF[rb.blk.Base+k] ^= 1 << ((bit + uint(w)) % 32)
-				}
-				return true
-			}
-			k -= rb.blk.Size
-		}
-	case gpu.SMEM:
-		var blocks []regBlock
-		total := 0
-		for _, sm := range m.SMs {
-			for _, b := range sm.AllocatedSmem() {
-				blocks = append(blocks, regBlock{sm, b})
-				total += b.Size
-			}
-		}
-		if total == 0 {
-			return false
-		}
-		k := rng.Intn(total)
-		bit := uint(rng.Intn(8))
-		for _, rb := range blocks {
-			if k < rb.blk.Size {
-				for w := 0; w < width; w++ {
-					rb.sm.Smem[rb.blk.Base+k] ^= 1 << ((bit + uint(w)) % 8)
-				}
-				return true
-			}
-			k -= rb.blk.Size
-		}
-	case gpu.L1D, gpu.L1T:
-		sm := m.SMs[rng.Intn(len(m.SMs))]
-		c := sm.L1D
-		if s == gpu.L1T {
-			c = sm.L1T
-		}
-		line := rng.Intn(c.NumLines())
-		off := uint32(rng.Intn(int(c.LineSize())))
-		bit := uint8(rng.Intn(8))
-		for w := 0; w < width; w++ {
-			c.FlipBit(line, off, bit+uint8(w))
-		}
-		return true
-	case gpu.L2:
-		line := rng.Intn(m.L2.NumLines())
-		off := uint32(rng.Intn(int(m.L2.LineSize())))
-		bit := uint8(rng.Intn(8))
-		for w := 0; w < width; w++ {
-			m.L2.FlipBit(line, off, bit+uint8(w))
-		}
-		return true
+// InjectPrunedModel is InjectPruned generalized over fault models. Liveness
+// pruning's equivalence argument — a flipped value never read again cannot
+// change any future architectural event — holds only for one-shot faults
+// confined to the drawn register, so every family except the plain
+// transient takes the exact unpruned InjectModel path with pruned=false.
+// The transient model delegates to InjectPruned (which replays its draws
+// against the liveness timeline) and remains bit-identical to brute force.
+func InjectPrunedModel(job *device.Job, g *GoldenRun, lv *ace.Liveness, t Target, mdl faultmodel.Model, rng *rand.Rand) (faults.Result, bool) {
+	if tr, ok := mdl.(faultmodel.Transient); ok {
+		t.Burst = tr.Width
+		return InjectPruned(job, g, lv, t, rng)
 	}
-	return false
+	return InjectModel(job, g, t, mdl, rng), false
 }
 
-type regBlock struct {
-	sm  *sim.SM
-	blk sim.RFBlock
+// InjectStaticModel is InjectStatic generalized over fault models, with the
+// same restriction as InjectPrunedModel: static dead-register pruning is
+// only sound for one-shot single-register faults, so non-transient models
+// run unpruned.
+func InjectStaticModel(job *device.Job, g *GoldenRun, dead StaticDead, t Target, mdl faultmodel.Model, rng *rand.Rand) (faults.Result, bool) {
+	if tr, ok := mdl.(faultmodel.Transient); ok {
+		t.Burst = tr.Width
+		return InjectStatic(job, g, dead, t, rng)
+	}
+	return InjectModel(job, g, t, mdl, rng), false
 }

@@ -30,8 +30,8 @@ func StaticDeadRegs(job *device.Job) StaticDead {
 	return dead
 }
 
-// ctaBlock pairs an allocated RF region with its SM, like regBlock but
-// carrying the owning program.
+// ctaBlock pairs an allocated RF region with its SM, additionally carrying
+// the owning program.
 type ctaBlock struct {
 	sm  *sim.SM
 	blk sim.CTABlock
@@ -44,8 +44,8 @@ type ctaBlock struct {
 //
 // Unlike InjectPruned it needs no golden-run liveness trace: the simulation
 // runs up to the injection cycle (that prefix is fault-free, hence identical
-// to golden), the injector replays flip's RNG draws against the machine's
-// resident CTA blocks, and maps the chosen physical register back to its
+// to golden), the injector replays the transient model's RNG draws against
+// the machine's resident CTA blocks, and maps the chosen physical register back to its
 // architectural index (offset % NumRegs within the owning CTA's per-thread
 // frame). If flow analysis proved that register can never be read, the value
 // is unobservable: the rest of the run would replay golden exactly, so the
@@ -66,8 +66,9 @@ func InjectStatic(job *device.Job, g *GoldenRun, dead StaticDead, t Target, rng 
 		MaxCycles: g.Res.Cycles * int64(g.Cfg.TimeoutFactor),
 		AtCycle:   cycle,
 		OnCycle: func(m *sim.Machine) {
-			// Replay flip's site selection exactly: SMs in index order,
-			// blocks in CTA placement order, then (entry, bit) draws.
+			// Replay the transient model's site selection exactly: SMs in
+			// index order, blocks in CTA placement order, then (entry, bit)
+			// draws (the faultmodel.pickAllocated enumeration).
 			var blocks []ctaBlock
 			total := 0
 			for _, sm := range m.SMs {

@@ -1,0 +1,172 @@
+// Golden wire-format tests for the nested fault{...} group of the v1 job
+// spec: the fixtures must decode to the exact faultmodel.Spec, round-trips
+// must stay nested and point-identical, and malformed or mispaired fault
+// groups must be 400s at submission time, never a silent fallback to the
+// transient default.
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/faultmodel"
+	"gpurel/internal/service"
+)
+
+// TestGoldenFaultFixtures: the storage-MBU and control-state fixtures
+// validate and resolve to campaign points carrying the decoded fault spec,
+// and SpecForPoint is the inverse mapping.
+func TestGoldenFaultFixtures(t *testing.T) {
+	mbu := loadSpec(t, "jobspec_fault.json")
+	if err := mbu.Validate(); err != nil {
+		t.Fatalf("mbu fixture invalid: %v", err)
+	}
+	want := faultmodel.Spec{Model: faultmodel.ModelMBU, Width: 2, Lines: 2}
+	if mbu.Fault == nil || !reflect.DeepEqual(*mbu.Fault, want) {
+		t.Errorf("mbu fixture fault = %+v, want %+v", mbu.Fault, want)
+	}
+	p, err := mbu.Point()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fault == nil || !reflect.DeepEqual(*p.Fault, want) {
+		t.Errorf("point fault = %+v, want %+v", p.Fault, want)
+	}
+	back := service.SpecForPoint(p, campaign.Options{Runs: 3000, Seed: 42})
+	if back.Fault == nil || !reflect.DeepEqual(*back.Fault, want) {
+		t.Errorf("SpecForPoint lost the fault group: %+v", back.Fault)
+	}
+
+	ctl := loadSpec(t, "jobspec_fault_control.json")
+	if err := ctl.Validate(); err != nil {
+		t.Fatalf("control fixture invalid: %v", err)
+	}
+	wantCtl := faultmodel.Spec{Model: faultmodel.ModelControl, Stuck: faultmodel.Ptr(1)}
+	if ctl.Fault == nil || !reflect.DeepEqual(*ctl.Fault, wantCtl) {
+		t.Errorf("control fixture fault = %+v, want %+v", ctl.Fault, wantCtl)
+	}
+	cp, err := ctl.Point()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Structure.String() != "STACK" {
+		t.Errorf("control fixture structure = %v, want STACK", cp.Structure)
+	}
+	if cp.Fault == nil || cp.Fault.Canonical() != "control:stuck1" {
+		t.Errorf("control point fault = %+v, want control:stuck1", cp.Fault)
+	}
+}
+
+// TestFaultWireRoundTrip: re-encoding a spec with a fault group keeps the
+// group nested (no model fields leak to the top level) and preserves the
+// campaign point; a spec without one never grows a "fault" key.
+func TestFaultWireRoundTrip(t *testing.T) {
+	for _, name := range []string{"jobspec_fault.json", "jobspec_fault_control.json"} {
+		sp := loadSpec(t, name)
+		out, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var top map[string]json.RawMessage
+		if err := json.Unmarshal(out, &top); err != nil {
+			t.Fatal(err)
+		}
+		for _, leak := range []string{"model", "stuck", "width", "lines"} {
+			if _, ok := top[leak]; ok {
+				t.Errorf("%s round-trip leaked fault key %q to the top level: %s", name, leak, out)
+			}
+		}
+		if _, ok := top["fault"]; !ok {
+			t.Errorf("%s round-trip dropped the fault group: %s", name, out)
+		}
+		var backSpec service.JobSpec
+		if err := json.Unmarshal(out, &backSpec); err != nil {
+			t.Fatal(err)
+		}
+		bp, err := backSpec.Point()
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := sp.Point()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bp, op) {
+			t.Errorf("%s round-trip changed the point:\nbefore %+v\nafter  %+v", name, op, bp)
+		}
+	}
+
+	// Absent group: the legacy transient default is encoded as absence, so
+	// pre-fault clients see byte-identical specs.
+	plain := loadSpec(t, "jobspec_nested.json")
+	out, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(out, &top); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := top["fault"]; ok {
+		t.Errorf("spec without a fault group grew one on encode: %s", out)
+	}
+}
+
+// TestSubmitFaultValidation pins the HTTP 400s of malformed fault groups:
+// unknown models and fields, parameter violations, and model/structure
+// mispairing — including a control structure submitted with no fault group,
+// which must fail at submission rather than when the job starts.
+func TestSubmitFaultValidation(t *testing.T) {
+	_, srv := newTestServer(t, service.Config{Source: fakeSource(0)})
+
+	post := func(body string) int {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	bad := []string{
+		// Unknown model / unknown field inside the group.
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"fault":{"model":"cosmic"}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"fault":{"bogus":1}}`,
+		// Parameter violations.
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"fault":{"model":"stuck"}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"fault":{"model":"stuck","stuck":2}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"fault":{"stuck":1}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"fault":{"model":"mbu","width":64}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"fault":{"model":"mbu","lines":9}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"fault":{"model":"stuck","stuck":0,"width":2}}`,
+		// Model/structure mispairing, both directions.
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"structure":"RF","fault":{"model":"control"}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"structure":"SCHED"}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"structure":"SCHED","fault":{"model":"stuck","stuck":1}}`,
+		// Fault models are a micro-layer concept.
+		`{"layer":"soft","app":"fake","kernel":"K1","runs":10,"fault":{"model":"stuck","stuck":0}}`,
+	}
+	for _, body := range bad {
+		if code := post(body); code != http.StatusBadRequest {
+			t.Errorf("POST %s -> %d, want 400", body, code)
+		}
+	}
+
+	good := []string{
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"fault":{"model":"stuck","stuck":0}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"structure":"SCHED","fault":{"model":"control"}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"structure":"BARRIER","fault":{"model":"control","stuck":1}}`,
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"fault":{"model":"mbu","width":2,"lines":2}}`,
+		// An explicitly-default group is as valid as absence.
+		`{"layer":"micro","app":"fake","kernel":"K1","runs":10,"seed":1,"fault":{"model":"transient"}}`,
+	}
+	for _, body := range good {
+		if code := post(body); code != http.StatusAccepted {
+			t.Errorf("POST %s -> %d, want 202", body, code)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Fuzz coverage for the v1 job-spec decoder, centred on the nested
+// fault{...} group: no input may panic the decoder, and every spec that
+// decodes and validates must survive an encode/decode round trip with its
+// campaign point — and its fault model — intact.
+package service_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"gpurel/internal/service"
+)
+
+func FuzzJobSpecDecode(f *testing.F) {
+	seeds := []string{
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"seed":1}`,
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"fault":{"model":"stuck","stuck":0}}`,
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"fault":{"model":"mbu","width":2,"lines":2}}`,
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"structure":"SCHED","fault":{"model":"control"}}`,
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"structure":"BARRIER","fault":{"model":"control","stuck":1}}`,
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"fault":{"model":"transient","width":3}}`,
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"fault":{"model":"cosmic"}}`,
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"fault":{"stuck":2}}`,
+		`{"layer":"soft","app":"VA","kernel":"K1","runs":10,"fault":{"model":"stuck","stuck":0}}`,
+		`{"layer":"micro","app":"VA","kernel":"K1","runs":10,"margin99":0.05,"sampling":{"margin99":0.05}}`,
+		`{"fault":{"model":"","width":-1,"lines":99}}`,
+		`{"fault":null}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sp service.JobSpec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := sp.Validate(); err != nil {
+			return // rejected specs need no further guarantees
+		}
+		// A validated spec must build its campaign point (Validate ran
+		// Point) and round-trip through the wire without drifting.
+		p, err := sp.Point()
+		if err != nil {
+			t.Fatalf("Validate passed but Point failed: %v (spec %+v)", err, sp)
+		}
+		if p.Fault != nil {
+			if _, err := p.Fault.Build(); err != nil {
+				t.Fatalf("validated fault spec does not build: %v (%+v)", err, *p.Fault)
+			}
+		}
+		out, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("validated spec does not encode: %v (%+v)", err, sp)
+		}
+		var back service.JobSpec
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-decode failed: %v (%s)", err, out)
+		}
+		bp, err := back.Point()
+		if err != nil {
+			t.Fatalf("re-decoded spec lost validity: %v (%s)", err, out)
+		}
+		if !reflect.DeepEqual(bp, p) {
+			t.Fatalf("round trip changed the point:\nbefore %+v\nafter  %+v\nwire %s", p, bp, out)
+		}
+	})
+}

@@ -22,10 +22,18 @@ import (
 	"gpurel"
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
+	"gpurel/internal/faultmodel"
 	"gpurel/internal/gpu"
 	"gpurel/internal/microfi"
 	"gpurel/internal/softfi"
 )
+
+// FaultSpec is the nested "fault" group of the v1 job spec: the fault model
+// a micro-layer point injects (absent = the legacy transient single-bit
+// flip). Unlike the sampling and checkpoint groups it changes what the
+// point measures, so it participates in point identity (seeds) — see
+// gpurel.PointSeed. It is exactly the injection layer's serializable spec.
+type FaultSpec = faultmodel.Spec
 
 // SamplingSpec is the adaptive-sampling group of the v1 job spec: knobs that
 // tune how many runs a campaign point executes, never what each run measures.
@@ -79,7 +87,7 @@ type JobSpec struct {
 	Layer     string  `json:"layer"`               // "micro" | "soft"
 	App       string  `json:"app"`                 // benchmark name, e.g. "VA"
 	Kernel    string  `json:"kernel"`              // kernel name, e.g. "K1"
-	Structure string  `json:"structure,omitempty"` // micro: RF | SMEM | L1D | L1T | L2 (default RF)
+	Structure string  `json:"structure,omitempty"` // micro: RF | SMEM | L1D | L1T | L2 | SCHED | STACK | BARRIER (default RF)
 	Mode      string  `json:"mode,omitempty"`      // soft: SVF | SVF-LD | SVF-USE (default SVF)
 	Hardened  bool    `json:"hardened,omitempty"`  // inject into the TMR-hardened variant
 	Runs      int     `json:"runs"`                // injections (paper: 3000 per point)
@@ -91,6 +99,10 @@ type JobSpec struct {
 	Sampling *SamplingSpec `json:"sampling,omitempty"`
 	// Checkpoint is the fork-and-join snapshot group (nil = brute force).
 	Checkpoint *SnapshotSpec `json:"checkpoint,omitempty"`
+	// Fault is the fault-model group (nil = transient single-bit flip).
+	// Micro layer only; control structures (SCHED/STACK/BARRIER) require
+	// fault.model "control".
+	Fault *FaultSpec `json:"fault,omitempty"`
 
 	// legacyFlat records that the spec was decoded from the deprecated flat
 	// fields; Submit surfaces a deprecation note in the response.
@@ -112,6 +124,7 @@ type jobSpecWire struct {
 
 	Sampling   *SamplingSpec `json:"sampling"`
 	Checkpoint *SnapshotSpec `json:"checkpoint"`
+	Fault      *FaultSpec    `json:"fault"`
 
 	// Deprecated flat spellings (pre-v1 bolt-ons). Pointers distinguish
 	// "absent" from zero so mixing flat and nested forms of the same group
@@ -138,7 +151,7 @@ func (sp *JobSpec) UnmarshalJSON(data []byte) error {
 		Layer: w.Layer, App: w.App, Kernel: w.Kernel,
 		Structure: w.Structure, Mode: w.Mode, Hardened: w.Hardened,
 		Runs: w.Runs, Seed: w.Seed, Deadline: w.Deadline,
-		Sampling: w.Sampling, Checkpoint: w.Checkpoint,
+		Sampling: w.Sampling, Checkpoint: w.Checkpoint, Fault: w.Fault,
 	}
 	flatSampling := w.Margin99 != nil || w.Batch != nil || w.Prune != nil
 	flatSnapshot := w.SnapStride != nil || w.SnapMB != nil || w.Converge != nil
@@ -237,8 +250,25 @@ func (sp JobSpec) Point() (gpurel.PointSpec, error) {
 			return p, err
 		}
 		p.Structure = st
+		// Validate the model/structure pairing with the effective spec even
+		// when the group is absent: a control structure with no fault group
+		// would otherwise surface only when the job starts.
+		f := faultmodel.Spec{}
+		if sp.Fault != nil {
+			f = *sp.Fault
+		}
+		if err := f.ValidateFor(st); err != nil {
+			return p, fmt.Errorf("fault: %w", err)
+		}
+		if sp.Fault != nil {
+			fc := *sp.Fault
+			p.Fault = &fc
+		}
 	case string(gpurel.LayerSoft):
 		p.Layer = gpurel.LayerSoft
+		if sp.Fault != nil && !sp.Fault.IsDefault() {
+			return p, fmt.Errorf("fault: models apply to the micro layer only")
+		}
 		m, err := ParseMode(sp.Mode)
 		if err != nil {
 			return p, err
@@ -285,7 +315,8 @@ func (sp JobSpec) Validate() error {
 	return err
 }
 
-// ParseStructure maps the wire name of a hardware structure ("" = RF).
+// ParseStructure maps the wire name of a hardware structure ("" = RF),
+// accepting the storage arrays and the control-state sites.
 func ParseStructure(name string) (gpu.Structure, error) {
 	if name == "" {
 		return gpu.RF, nil
@@ -295,7 +326,12 @@ func ParseStructure(name string) (gpu.Structure, error) {
 			return st, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown structure %q (want RF|SMEM|L1D|L1T|L2)", name)
+	for _, st := range gpu.ControlStructures {
+		if st.String() == name {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown structure %q (want RF|SMEM|L1D|L1T|L2|SCHED|STACK|BARRIER)", name)
 }
 
 // ParseMode maps the wire name of a software injection mode ("" = SVF).

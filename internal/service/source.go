@@ -45,5 +45,9 @@ func SpecForPoint(p gpurel.PointSpec, opts campaign.Options) JobSpec {
 	if ck := p.Checkpoint; ck != nil {
 		sp.Checkpoint = &SnapshotSpec{Stride: ck.Stride, BudgetMB: int(ck.BudgetBytes >> 20), Converge: ck.Converge}
 	}
+	if f := p.Fault; f != nil && !f.IsDefault() {
+		fc := *f
+		sp.Fault = &fc
+	}
 	return sp
 }

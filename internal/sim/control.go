@@ -1,0 +1,174 @@
+// Control-state injection sites: the machine state held in flip-flops
+// rather than SRAM data arrays — warp-scheduler entries (ready timestamps
+// and done flags), the SIMT divergence stack (active mask / PC / RPC per
+// entry), and CTA barrier arrival state. The storage-array injectors reach
+// RF/SMEM/caches through the Machine's exported arrays; control state lives
+// in unexported scheduler structs, so this file exposes it behind a narrow
+// mutation API that keeps every fault architecturally expressible without
+// ever corrupting the simulator's own invariants (no out-of-range lane
+// activations, no dangling slice indices).
+//
+// Sites are addressed physically — (SM, warp slot, field) — not by CTA
+// pointer: a persistent fault is a property of the hardware slot, so after
+// the resident CTA retires and another takes the slot, the defect applies
+// to the new occupant. Slot enumeration is CTA-major in residence order,
+// matching the issue round-robin in cycleSM, so slot k here is the k-th
+// slot the scheduler scans.
+package sim
+
+// Scheduler-entry geometry: each warp slot carries a 17-bit injectable
+// scheduler entry — bits 0..15 are the low bits of the ready-at cycle
+// timestamp (a flipped timestamp bit delays or accelerates issue), bit 16
+// is the done latch (spurious done parks a live warp forever; a cleared
+// done re-issues an exited warp).
+const (
+	SchedEntryBits = 17
+	schedDoneBit   = 16
+)
+
+// StackEntryWords is the number of injectable 32-bit words per divergence
+// stack entry: word 0 = active mask, word 1 = PC, word 2 = reconvergence PC.
+const StackEntryWords = 3
+
+// WarpCtl is a resolved view of one warp slot's control state, valid only
+// within the cycle it was resolved in (CTA retirement invalidates it).
+type WarpCtl struct {
+	cta *ctaRT
+	w   int
+}
+
+// NumWarpSlots returns the number of resident warp slots on the SM this
+// cycle, in the scheduler's scan order.
+func (s *SM) NumWarpSlots() int {
+	n := 0
+	for _, c := range s.ctas {
+		n += len(c.warps)
+	}
+	return n
+}
+
+// WarpSlot resolves physical slot i to its current occupant. ok is false
+// when the slot is unoccupied this cycle (fewer resident warps than i);
+// persistent appliers treat that as the defect touching idle hardware.
+func (s *SM) WarpSlot(i int) (WarpCtl, bool) {
+	if i < 0 {
+		return WarpCtl{}, false
+	}
+	for _, c := range s.ctas {
+		if i < len(c.warps) {
+			return WarpCtl{cta: c, w: i}, true
+		}
+		i -= len(c.warps)
+	}
+	return WarpCtl{}, false
+}
+
+// FlipSchedBit flips one bit of the slot's scheduler entry.
+func (wc WarpCtl) FlipSchedBit(bit uint) {
+	m := &wc.cta.meta[wc.w]
+	if bit == schedDoneBit {
+		wasDone := m.done
+		m.done = !m.done
+		wc.adjustLive(wasDone, m.done)
+		return
+	}
+	m.ready ^= int64(1) << (bit % schedDoneBit)
+}
+
+// ForceSchedBit forces one bit of the slot's scheduler entry to v
+// (idempotent; persistent stuck-at application).
+func (wc WarpCtl) ForceSchedBit(bit uint, v bool) {
+	m := &wc.cta.meta[wc.w]
+	if bit == schedDoneBit {
+		wasDone := m.done
+		m.done = v
+		wc.adjustLive(wasDone, m.done)
+		return
+	}
+	mask := int64(1) << (bit % schedDoneBit)
+	if v {
+		m.ready |= mask
+	} else {
+		m.ready &^= mask
+	}
+}
+
+// adjustLive keeps the CTA's live-warp count consistent with a mutated done
+// latch, so a faulted done bit reads as "this warp (dis)appeared from the
+// scheduler" rather than desynchronising retirement accounting into a
+// negative count. The resulting behaviour (premature retirement, or a CTA
+// that can never finish) is the architectural effect of the fault.
+func (wc WarpCtl) adjustLive(was, now bool) {
+	switch {
+	case !was && now:
+		wc.cta.live--
+	case was && !now:
+		wc.cta.live++
+	}
+}
+
+// StackDepth returns the current divergence-stack depth of the slot's warp.
+func (wc WarpCtl) StackDepth() int { return len(wc.cta.warps[wc.w].Stack) }
+
+// FlipStackBit flips bit `bit` of word `word` in stack entry `entry`
+// (0 = bottom). It reports false when the entry no longer exists — the
+// stack pops as control flow reconverges, and a fault aimed at a popped
+// entry hits unoccupied storage. Mask mutations are clamped to the warp's
+// existing lanes: bits for lanes beyond FullMask have no physical threads
+// behind them.
+func (wc WarpCtl) FlipStackBit(entry, word int, bit uint) bool {
+	w := wc.cta.warps[wc.w]
+	if entry < 0 || entry >= len(w.Stack) {
+		return false
+	}
+	e := &w.Stack[entry]
+	b := uint32(1) << (bit % 32)
+	switch word % StackEntryWords {
+	case 0:
+		e.Mask = (e.Mask ^ b) & w.FullMask
+	case 1:
+		e.PC = int32(uint32(e.PC) ^ b)
+	case 2:
+		e.RPC = int32(uint32(e.RPC) ^ b)
+	}
+	return true
+}
+
+// ForceStackBit forces the addressed stack bit to v (idempotent), with the
+// same existence and mask-clamp rules as FlipStackBit.
+func (wc WarpCtl) ForceStackBit(entry, word int, bit uint, v bool) bool {
+	w := wc.cta.warps[wc.w]
+	if entry < 0 || entry >= len(w.Stack) {
+		return false
+	}
+	e := &w.Stack[entry]
+	b := uint32(1) << (bit % 32)
+	set := func(x uint32) uint32 {
+		if v {
+			return x | b
+		}
+		return x &^ b
+	}
+	switch word % StackEntryWords {
+	case 0:
+		e.Mask = set(e.Mask) & w.FullMask
+	case 1:
+		e.PC = int32(set(uint32(e.PC)))
+	case 2:
+		e.RPC = int32(set(uint32(e.RPC)))
+	}
+	return true
+}
+
+// FlipBarrier flips the slot's barrier-arrival latch. A spurious arrival
+// makes the CTA's barrier release while this warp is mid-execution (its PC
+// then skips an instruction on release); a cleared arrival re-executes the
+// barrier or deadlocks the CTA into a timeout.
+func (wc WarpCtl) FlipBarrier() {
+	wc.cta.meta[wc.w].atBar = !wc.cta.meta[wc.w].atBar
+}
+
+// ForceBarrier forces the barrier-arrival latch to v (idempotent).
+func (wc WarpCtl) ForceBarrier(v bool) {
+	wc.cta.meta[wc.w].atBar = v
+}

@@ -274,6 +274,13 @@ type Options struct {
 	// cycle counter reaches AtCycle (must be > 0 to arm).
 	AtCycle int64
 	OnCycle func(*Machine)
+	// EachCycle, when set, fires at the top of every cycle once the AtCycle
+	// hook has fired — on the injection cycle itself immediately after
+	// OnCycle, then every cycle until the run ends. Persistent fault models
+	// (stuck-at cells, latched control state) use it to re-assert the
+	// defective bit so that intervening writes cannot heal it. Callbacks
+	// must be idempotent within a cycle and cheap; they run on the hot loop.
+	EachCycle func(*Machine)
 	// RFTrace, when set, receives register-file liveness events (used by
 	// the ACE analyzer).
 	RFTrace RFTracer
@@ -327,8 +334,9 @@ type runner struct {
 
 	dramRead, dramWrite int64
 
-	res *Result
-	env simEnv
+	res  *Result
+	env  simEnv
+	mach *Machine // memoized machine view handed to the cycle hooks
 }
 
 // launchState is the progress of one in-flight kernel launch.
@@ -408,7 +416,12 @@ func resetSM(sm *SM, cfg gpu.Config) {
 }
 
 func (r *runner) machine() *Machine {
-	return &Machine{Cfg: r.cfg, SMs: r.sms, L2: r.l2, Mem: r.mem, stop: &r.stopped}
+	// Memoized: EachCycle hooks call this every cycle, and the referenced
+	// state (SM slice, caches, memory image) is fixed for the runner's life.
+	if r.mach == nil {
+		r.mach = &Machine{Cfg: r.cfg, SMs: r.sms, L2: r.l2, Mem: r.mem, stop: &r.stopped}
+	}
+	return r.mach
 }
 
 func (r *runner) kernelStats(name string) *KernelStats {
@@ -576,6 +589,12 @@ func (r *runner) runLaunch() error {
 			if r.opts.OnCycle != nil {
 				r.opts.OnCycle(r.machine())
 			}
+			if r.stopped {
+				return errSimAborted
+			}
+		}
+		if r.fired && r.opts.EachCycle != nil {
+			r.opts.EachCycle(r.machine())
 			if r.stopped {
 				return errSimAborted
 			}

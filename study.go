@@ -21,6 +21,7 @@ import (
 	"gpurel/internal/adaptive"
 	"gpurel/internal/campaign"
 	"gpurel/internal/device"
+	"gpurel/internal/faultmodel"
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
 	"gpurel/internal/harden"
@@ -122,6 +123,7 @@ type microKey struct {
 	app, kernel string
 	structure   gpu.Structure
 	hardened    bool
+	fault       string // faultmodel.Spec.Canonical(); "" = transient single-bit
 }
 
 type softKey struct {
@@ -187,6 +189,19 @@ type PointSpec struct {
 	// changing what it measures. Golden runs are built once per app, so the
 	// spec in effect at the first evaluation of an app wins.
 	Checkpoint *microfi.CheckpointSpec
+	// Fault selects the fault model of a LayerMicro point (nil = the legacy
+	// transient single-bit flip). Unlike Sampling and Checkpoint it changes
+	// WHAT the point measures, so every non-default spec feeds PointSeed;
+	// the default contributes nothing, keeping historical seeds intact.
+	Fault *faultmodel.Spec
+}
+
+// faultSpec returns the point's fault spec with nil meaning the default.
+func (p PointSpec) faultSpec() faultmodel.Spec {
+	if p.Fault == nil {
+		return faultmodel.Spec{}
+	}
+	return *p.Fault
 }
 
 // PointSeed derives the campaign seed of a point from a base seed, exactly
@@ -198,7 +213,15 @@ func PointSeed(base int64, spec PointSpec) int64 {
 	case LayerSoft:
 		return base + int64(hashKey(fmt.Sprintf("soft|%s|%s|%d|%v", spec.App, spec.Kernel, spec.Mode, spec.Hardened)))
 	default:
-		return base + int64(hashKey(fmt.Sprintf("micro|%s|%s|%d|%v", spec.App, spec.Kernel, spec.Structure, spec.Hardened)))
+		id := fmt.Sprintf("micro|%s|%s|%d|%v", spec.App, spec.Kernel, spec.Structure, spec.Hardened)
+		// The fault model is part of the point's identity — it changes what
+		// is measured — but the default (transient single-bit) is appended as
+		// nothing at all, so seeds of every pre-fault-model campaign are
+		// unchanged and historical tallies remain reproducible.
+		if c := spec.faultSpec().Canonical(); c != "" {
+			id += "|fault=" + c
+		}
+		return base + int64(hashKey(id))
 	}
 }
 
@@ -217,6 +240,14 @@ func (s *Study) PointExperiment(spec PointSpec) (campaign.Experiment, error) {
 	}
 	switch spec.Layer {
 	case LayerMicro:
+		fspec := spec.faultSpec()
+		if err := fspec.ValidateFor(spec.Structure); err != nil {
+			return nil, err
+		}
+		mdl, err := fspec.Build()
+		if err != nil {
+			return nil, err
+		}
 		job, g := e.Job, e.MicroG
 		if spec.Hardened {
 			job, g = e.JobTMR, e.MicroGTMR
@@ -228,13 +259,16 @@ func (s *Study) PointExperiment(spec PointSpec) (campaign.Experiment, error) {
 				return nil, fmt.Errorf("%s: %w", spec.App, err)
 			}
 			return s.Counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
-				return microfi.InjectPruned(job, g, lv, t, rng)
+				return microfi.InjectPrunedModel(job, g, lv, t, mdl, rng)
 			}), nil
 		}
 		return s.Counters.Count(func(run int, rng *rand.Rand) faults.Result {
-			return microfi.Inject(job, g, t, rng)
+			return microfi.InjectModel(job, g, t, mdl, rng)
 		}), nil
 	case LayerSoft:
+		if !spec.faultSpec().IsDefault() {
+			return nil, fmt.Errorf("fault models apply to the micro layer only")
+		}
 		job, g := e.Job, e.SoftG
 		if spec.Hardened {
 			job, g = e.JobTMR, e.SoftGTMR
@@ -352,7 +386,7 @@ func (s *Study) MicroTally(appName, kernel string, st gpu.Structure, hardened bo
 		g = e.MicroGTMR
 	}
 	t := microfi.Target{Structure: st, Kernel: kernel, IncludeVote: hardened}
-	key := microKey{appName, kernel, st, hardened}
+	key := microKey{app: appName, kernel: kernel, structure: st, hardened: hardened}
 
 	s.mu.Lock()
 	tl, ok := s.micro[key]
@@ -459,7 +493,7 @@ func (s *Study) KernelAVFStratified(appName, kernel string, hardened bool, pol a
 	s.mu.Lock()
 	for i, st := range gpu.Structures {
 		tl := results[i].Tally
-		s.micro[microKey{appName, kernel, st, hardened}] = tl
+		s.micro[microKey{app: appName, kernel: kernel, structure: st, hardened: hardened}] = tl
 		t := microfi.Target{Structure: st, Kernel: kernel, IncludeVote: hardened}
 		structs = append(structs, metrics.NewStructAVF(st, tl, t.DF(g)))
 		if s.Counters != nil {
