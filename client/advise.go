@@ -1,0 +1,126 @@
+// Selective-hardening advisor client: the /v1/advise half of the v1 API.
+// The method set mirrors the campaign-job methods (Submit/Get/List/Cancel/
+// Watch/Wait) so callers drive both job types the same way.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// SubmitAdvise enqueues a selective-hardening advise job.
+func (c *Client) SubmitAdvise(ctx context.Context, spec AdviseSpec) (AdviseStatus, error) {
+	var st AdviseStatus
+	_, err := c.do(ctx, http.MethodPost, "/v1/advise", spec, &st)
+	return st, err
+}
+
+// GetAdvise fetches an advise job's status (phase, progress, and — once
+// reached — the plan and its verification).
+func (c *Client) GetAdvise(ctx context.Context, id string) (AdviseStatus, error) {
+	var st AdviseStatus
+	_, err := c.do(ctx, http.MethodGet, "/v1/advise/"+id, nil, &st)
+	return st, err
+}
+
+// ListAdvises fetches all advise jobs.
+func (c *Client) ListAdvises(ctx context.Context) ([]AdviseStatus, error) {
+	var out []AdviseStatus
+	_, err := c.do(ctx, http.MethodGet, "/v1/advise", nil, &out)
+	return out, err
+}
+
+// CancelAdvise asks the daemon to stop an advise job at its next unit of
+// work.
+func (c *Client) CancelAdvise(ctx context.Context, id string) (AdviseStatus, error) {
+	var st AdviseStatus
+	_, err := c.do(ctx, http.MethodDelete, "/v1/advise/"+id, nil, &st)
+	return st, err
+}
+
+// WatchAdviseEvents consumes an advise job's NDJSON event stream, invoking
+// fn per event until the job reaches a terminal state, fn returns an error,
+// or ctx ends.
+func (c *Client) WatchAdviseEvents(ctx context.Context, id string, fn func(AdviseEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/advise/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("advise events %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev AdviseEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("advise events %s: bad line: %w", id, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Job.State.Terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("advise events %s: stream ended before advise finished", id)
+}
+
+// WaitAdvise blocks until the advise job is terminal, preferring the event
+// stream and falling back to polling if streaming fails (e.g. across a
+// daemon restart — journaled advises resume on the new process).
+func (c *Client) WaitAdvise(ctx context.Context, id string) (AdviseStatus, error) {
+	poll := c.PollInterval
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		var last AdviseStatus
+		err := c.WatchAdviseEvents(ctx, id, func(ev AdviseEvent) error {
+			last = ev.Job
+			return nil
+		})
+		if err == nil && last.State.Terminal() {
+			return last, nil
+		}
+		if ctx.Err() != nil {
+			return last, ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return last, ctx.Err()
+		case <-time.After(poll):
+		}
+		st, gerr := c.GetAdvise(ctx, id)
+		if gerr == nil && st.State.Terminal() {
+			return st, nil
+		}
+	}
+}
+
+// RunAdvise submits an advise spec and waits for its plan and verification —
+// the one-call remote analogue of advisor.Runner.Run.
+func (c *Client) RunAdvise(ctx context.Context, spec AdviseSpec) (AdviseStatus, error) {
+	st, err := c.SubmitAdvise(ctx, spec)
+	if err != nil {
+		return st, err
+	}
+	return c.WaitAdvise(ctx, st.ID)
+}

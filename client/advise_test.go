@@ -1,0 +1,117 @@
+// End-to-end: the advise client methods against a live daemon handler
+// wired exactly like cmd/gpureld — real study backend, small campaigns.
+package client_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpurel"
+	"gpurel/client"
+	"gpurel/internal/service"
+)
+
+func newTestDaemon(t *testing.T) *client.Client {
+	t.Helper()
+	study := gpurel.NewStudy(0, 1)
+	sched, err := service.NewScheduler(service.Config{Source: service.NewStudySource(study)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sched.Close() })
+	adv, err := service.NewAdvisor(service.AdvisorConfig{
+		Backend: service.NewStudyAdviseBackend(),
+		Metrics: sched.Metrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { adv.Close() })
+	srv := httptest.NewServer(service.NewServer(sched).Handler(adv.Mount))
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL)
+}
+
+func TestAdviseClientEndToEnd(t *testing.T) {
+	c := newTestDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A loose budget on a small app: the plan verifies quickly and the
+	// client sees the full lifecycle through its own wire types.
+	spec := client.AdviseSpec{
+		Advise: client.AdviseGroup{App: "VA", Budget: 0.5},
+		Runs:   10,
+		Seed:   3,
+	}
+	st, err := c.SubmitAdvise(ctx, spec)
+	if err != nil {
+		t.Fatalf("SubmitAdvise: %v", err)
+	}
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("submit status: %+v", st)
+	}
+
+	var events []string
+	if err := c.WatchAdviseEvents(ctx, st.ID, func(ev client.AdviseEvent) error {
+		events = append(events, ev.Type)
+		return nil
+	}); err != nil {
+		t.Fatalf("WatchAdviseEvents: %v", err)
+	}
+	if len(events) == 0 || events[0] != "status" || events[len(events)-1] != "done" {
+		t.Fatalf("event stream %v, want status ... done", events)
+	}
+
+	final, err := c.WaitAdvise(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("WaitAdvise: %v", err)
+	}
+	if final.State != client.StateDone {
+		t.Fatalf("final state %s (%s)", final.State, final.Error)
+	}
+	if final.Plan == nil || final.Verification == nil {
+		t.Fatalf("done advise missing plan/verification: %+v", final)
+	}
+	if !final.Verification.Pass || final.Verification.SDC > spec.Advise.Budget {
+		t.Fatalf("verification %+v, want pass within budget %g", final.Verification, spec.Advise.Budget)
+	}
+
+	got, err := c.GetAdvise(ctx, st.ID)
+	if err != nil || got.ID != st.ID {
+		t.Fatalf("GetAdvise: %v (%+v)", err, got)
+	}
+	list, err := c.ListAdvises(ctx)
+	if err != nil || len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("ListAdvises: %v (%+v)", err, list)
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		`gpureld_advises_total{event="submitted"} 1`,
+		`gpureld_advises_total{event="done"} 1`,
+		`gpureld_advise_plans_total{result="verified"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestAdviseClientValidationError(t *testing.T) {
+	c := newTestDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := c.SubmitAdvise(ctx, client.AdviseSpec{
+		Advise: client.AdviseGroup{App: "", Budget: 0.5}, Runs: 10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "advise.app is required") {
+		t.Fatalf("want validation error surfaced through the client, got %v", err)
+	}
+}

@@ -23,6 +23,10 @@
 //	GET    /v1/jobs/{id}        status + partial tally + live ErrMargin99
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	DELETE /v1/jobs/{id}        cancel
+//	POST   /v1/advise           {"advise":{"app":"SRADv1","budget":0.005},"runs":3000,"seed":1}
+//	                            selective-hardening advisor: measure, search,
+//	                            verify; status carries the plan + verification
+//	GET    /v1/advise/{id}/events NDJSON advisor progress stream
 //	POST   /v1/leases           worker lease grant (coordinator)
 //	GET    /metrics             Prometheus text format (incl. per-worker fleet counters)
 //
@@ -74,6 +78,7 @@ func main() {
 		noLocal    = flag.Bool("no-local", false, "coordinator only: disable in-process execution, jobs progress solely through worker leases")
 		leaseRuns  = flag.Int("lease-runs", 500, "max runs granted per worker lease")
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "lease heartbeat deadline; expired leases are requeued")
+		adviseCkpt = flag.String("advise-checkpoint", "gpureld.advise.json", "selective-hardening advise journal path ('' disables persistence)")
 	)
 	flag.Parse()
 
@@ -117,7 +122,18 @@ func main() {
 	})
 	sched.Metrics().AddCollector(coord.WriteMetrics)
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler(coord.Mount)}
+	// The advise subsystem runs each advise job on its own study sized by
+	// the spec's runs/seed, so plans are reproducible across daemons.
+	adv, err := service.NewAdvisor(service.AdvisorConfig{
+		Backend:     service.NewStudyAdviseBackend(),
+		JournalPath: *adviseCkpt,
+		Metrics:     sched.Metrics(),
+	})
+	if err != nil {
+		log.Fatalf("gpureld: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler(coord.Mount, adv.Mount)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -136,6 +152,7 @@ func main() {
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
+			adv.Close()
 			coord.Close()
 			sched.Close()
 			log.Fatalf("gpureld: %v", err)
@@ -144,10 +161,12 @@ func main() {
 		log.Printf("gpureld: signal received, draining (in-flight chunks finish, then checkpoint flush)")
 	}
 
-	// Drain order: stop granting leases and requeue outstanding ones, drain
-	// the scheduler (finishes in-flight chunks, parks the rest, flushes the
-	// checkpoint, unblocks open event streams), then shut the listener down
-	// gracefully.
+	// Drain order: stop granting leases and requeue outstanding ones, park
+	// in-flight advise jobs (journaled non-terminal, so the next process
+	// resumes them), drain the scheduler (finishes in-flight chunks, parks
+	// the rest, flushes the checkpoint, unblocks open event streams), then
+	// shut the listener down gracefully.
+	adv.Close()
 	coord.Close()
 	closeErr := sched.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -47,8 +47,10 @@ import (
 // be a pure function of (job, seed) — plus the layers above it whose output
 // must replay bit-identically (static dataflow analysis, the job service,
 // which journals and resumes campaigns; its clock is injected via
-// Config.Now).
-const defaultPkgs = "internal/sim,internal/exec,internal/microfi,internal/faultmodel,internal/adaptive,internal/campaign,internal/flow,internal/service"
+// Config.Now; the harden transforms, whose output participates in point
+// identity; and the advisor, whose journaled search must resume to a
+// bit-identical plan).
+const defaultPkgs = "internal/sim,internal/exec,internal/microfi,internal/faultmodel,internal/adaptive,internal/campaign,internal/flow,internal/service,internal/harden,internal/advisor"
 
 func main() {
 	pkgsFlag := flag.String("pkgs", defaultPkgs,

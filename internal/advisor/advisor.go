@@ -1,0 +1,151 @@
+// Package advisor plans selective hardening: given a per-kernel
+// vulnerability/cost measurement backend and an SDC budget, it searches for
+// the cheapest protection set whose predicted SDC meets the budget and then
+// verifies the plan with a real campaign on the selectively hardened job.
+//
+// The advisor closes the loop over the rest of the repo: the measurement
+// backend is the study stack (adaptive Wilson-CI campaigns per kernel,
+// golden-run cycle counts of hardened variants, flow-derived static hints
+// ordering the search), the transform is harden.Selective, and the
+// verification is an ordinary app-AVF campaign on the planned job — so all
+// fault models and the fleet distribution path apply unchanged.
+//
+// Everything is deterministic and journaled: the runner emits its full
+// State after every completed unit of work, and Resume skips units already
+// present in a recovered State, so a killed search resumes to a
+// bit-identical plan.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KernelMeasure is the measurement phase's verdict on one kernel: how much
+// it matters (Weight, SDC) and what protecting it buys (SDCHardened) and
+// costs (HardMult). Hint is a static flow-analysis score used only to order
+// the search among otherwise-equal candidates.
+type KernelMeasure struct {
+	Kernel string `json:"kernel"`
+	// Weight is the kernel's share basis: its golden-run cycle count on the
+	// unhardened job.
+	Weight float64 `json:"weight"`
+	// HardMult is the kernel's cycle multiplier under TMR (hardened cycles /
+	// plain cycles), used to re-weight protected kernels in predictions.
+	HardMult float64 `json:"hard_mult"`
+	// SDC and SDCHardened are the kernel's measured chip-level SDC AVF on
+	// the plain and full-TMR variants of the app.
+	SDC         float64 `json:"sdc"`
+	SDCHardened float64 `json:"sdc_hardened"`
+	// Hint is a static prioritization score (higher = try protecting
+	// earlier); ties in the greedy ratio are broken by Hint, then name.
+	Hint float64 `json:"hint"`
+}
+
+// SearchStep records one greedy round: the kernel added and the predicted
+// position after adding it.
+type SearchStep struct {
+	Add               string  `json:"add"`
+	PredictedSDC      float64 `json:"predicted_sdc"`
+	PredictedOverhead float64 `json:"predicted_overhead"`
+	// Gain is the predicted SDC reduction of this round, Cost the overhead
+	// increment, Ratio their quotient (the greedy objective).
+	Gain  float64 `json:"gain"`
+	Cost  float64 `json:"cost"`
+	Ratio float64 `json:"ratio"`
+}
+
+// Plan is the search result: the protection set and its predicted position,
+// plus the full step-by-step lattice walk for auditability.
+type Plan struct {
+	App    string  `json:"app"`
+	Budget float64 `json:"budget"`
+	// Protect is the chosen protection set, sorted.
+	Protect           []string     `json:"protect"`
+	PredictedSDC      float64      `json:"predicted_sdc"`
+	PredictedOverhead float64      `json:"predicted_overhead"`
+	FullOverhead      float64      `json:"full_overhead"`
+	Steps             []SearchStep `json:"steps,omitempty"`
+}
+
+// Verification is the measured truth about a plan: a full campaign on the
+// selectively hardened job.
+type Verification struct {
+	// SDC is the measured chip-level SDC AVF of the planned job.
+	SDC float64 `json:"sdc"`
+	// Overhead is the measured golden-run cycle overhead of the planned job
+	// vs the unhardened job; FullOverhead the same for full TMR.
+	Overhead     float64 `json:"overhead"`
+	FullOverhead float64 `json:"full_overhead"`
+	// PerKernel is the per-kernel SDC breakdown of the verified job.
+	PerKernel map[string]float64 `json:"per_kernel,omitempty"`
+	// TotalRuns counts injection runs spent in verification.
+	TotalRuns int `json:"total_runs"`
+	// Pass reports whether the measured SDC met the budget.
+	Pass bool `json:"pass"`
+}
+
+// Phases of an advise run, in order.
+const (
+	PhaseMeasure = "measure"
+	PhaseSearch  = "search"
+	PhaseVerify  = "verify"
+	PhaseDone    = "done"
+)
+
+// State is the journaled progress of one advise run. It is emitted whole
+// after every completed unit of work; a run resumed from a State skips the
+// units it already contains and reproduces the remainder bit-identically.
+type State struct {
+	Version int     `json:"version"`
+	App     string  `json:"app"`
+	Budget  float64 `json:"budget"`
+	Phase   string  `json:"phase"`
+	// Measures and Costs accumulate during PhaseMeasure, keyed by kernel.
+	Measures map[string]KernelMeasure `json:"measures,omitempty"`
+	Costs    map[string]float64       `json:"costs,omitempty"`
+	// FullOverhead is the measured full-TMR cycle overhead (set at the end
+	// of the measurement phase).
+	FullOverhead *float64      `json:"full_overhead,omitempty"`
+	Plan         *Plan         `json:"plan,omitempty"`
+	Verification *Verification `json:"verification,omitempty"`
+}
+
+// StateVersion is the journal schema version written into State.Version.
+const StateVersion = 1
+
+// ErrBudgetUnattainable is returned (wrapped) when even protecting every
+// kernel is predicted to miss the budget: the plan is refused before any
+// verification runs are spent.
+type ErrBudgetUnattainable struct {
+	Budget  float64
+	BestSDC float64
+}
+
+func (e *ErrBudgetUnattainable) Error() string {
+	return fmt.Sprintf("advisor: budget %.6g unattainable: full protection still predicts SDC %.6g", e.Budget, e.BestSDC)
+}
+
+// ErrPlanRefused is returned when the verification campaign measures an SDC
+// above the budget: the advisor refuses to bless the plan.
+type ErrPlanRefused struct {
+	Budget      float64
+	MeasuredSDC float64
+	Plan        *Plan
+}
+
+func (e *ErrPlanRefused) Error() string {
+	return fmt.Sprintf("advisor: plan refused: measured SDC %.6g exceeds budget %.6g", e.MeasuredSDC, e.Budget)
+}
+
+// sortedKernels returns the measurement map's keys in sorted order —
+// the single iteration order every phase uses, keeping runs deterministic
+// and relint's map-order rule happy.
+func sortedKernels(m map[string]KernelMeasure) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //relint:allow map-order: sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,321 @@
+package advisor
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fakeBackend is a synthetic measurement table. Verify models the measured
+// SDC as the weighted prediction over the table (plus an optional skew), so
+// plans verify exactly unless a test wants them refused.
+type fakeBackend struct {
+	kernels  []string
+	measures map[string]KernelMeasure
+	costs    map[string]float64
+	full     float64
+	skew     float64 // added to verified SDC
+	calls    map[string]int
+}
+
+func (f *fakeBackend) count(unit string) {
+	if f.calls == nil {
+		f.calls = map[string]int{}
+	}
+	f.calls[unit]++
+}
+
+func (f *fakeBackend) Kernels(ctx context.Context, app string) ([]string, error) {
+	return append([]string(nil), f.kernels...), nil
+}
+
+func (f *fakeBackend) Measure(ctx context.Context, app, kernel string) (KernelMeasure, error) {
+	f.count("measure:" + kernel)
+	m, ok := f.measures[kernel]
+	if !ok {
+		return KernelMeasure{}, errors.New("unknown kernel " + kernel)
+	}
+	return m, nil
+}
+
+func (f *fakeBackend) Cost(ctx context.Context, app, kernel string) (float64, error) {
+	f.count("cost:" + kernel)
+	return f.costs[kernel], nil
+}
+
+func (f *fakeBackend) FullOverhead(ctx context.Context, app string) (float64, error) {
+	f.count("full")
+	return f.full, nil
+}
+
+func (f *fakeBackend) Verify(ctx context.Context, app string, protect []string) (Verification, error) {
+	f.count("verify")
+	set := map[string]bool{}
+	for _, k := range protect {
+		set[k] = true
+	}
+	sdc := predictedSDC(f.measures, set) + f.skew
+	return Verification{SDC: sdc, Overhead: predictedOverhead(f.costs, set), TotalRuns: 100 * len(protect)}, nil
+}
+
+// threeKernelBackend: K2 dominates the SDC, K1 is cheap insurance, K3 is
+// expensive and nearly invulnerable.
+func threeKernelBackend() *fakeBackend {
+	return &fakeBackend{
+		kernels: []string{"K1", "K2", "K3"},
+		measures: map[string]KernelMeasure{
+			"K1": {Kernel: "K1", Weight: 100, HardMult: 3, SDC: 0.02, SDCHardened: 0.001, Hint: 2},
+			"K2": {Kernel: "K2", Weight: 300, HardMult: 3, SDC: 0.08, SDCHardened: 0.002, Hint: 5},
+			"K3": {Kernel: "K3", Weight: 50, HardMult: 3.2, SDC: 0.005, SDCHardened: 0.001, Hint: 1},
+		},
+		costs: map[string]float64{"K1": 1.2, "K2": 1.4, "K3": 0.5},
+		full:  3.05,
+	}
+}
+
+func TestSearchGreedyPicksDominantKernel(t *testing.T) {
+	b := threeKernelBackend()
+	// Budget reachable by protecting K2 alone.
+	one := map[string]bool{"K2": true}
+	budget := predictedSDC(b.measures, one) + 1e-9
+	plan, err := Search("app", budget, b.measures, b.costs, b.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Protect, []string{"K2"}) {
+		t.Fatalf("protect = %v, want [K2]", plan.Protect)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Add != "K2" {
+		t.Fatalf("steps = %+v, want single K2 round", plan.Steps)
+	}
+	if plan.PredictedOverhead >= b.full {
+		t.Fatalf("predicted overhead %.3f not below full %.3f", plan.PredictedOverhead, b.full)
+	}
+}
+
+func TestSearchEmptySetWhenBudgetAlreadyMet(t *testing.T) {
+	b := threeKernelBackend()
+	plan, err := Search("app", 1.0, b.measures, b.costs, b.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Protect) != 0 || len(plan.Steps) != 0 {
+		t.Fatalf("plan = %+v, want empty protection", plan)
+	}
+	if plan.PredictedOverhead != 1.0 {
+		t.Fatalf("overhead = %v, want 1", plan.PredictedOverhead)
+	}
+}
+
+func TestSearchRefusesUnattainableBudget(t *testing.T) {
+	b := threeKernelBackend()
+	_, err := Search("app", 1e-6, b.measures, b.costs, b.full)
+	var unattainable *ErrBudgetUnattainable
+	if !errors.As(err, &unattainable) {
+		t.Fatalf("err = %v, want ErrBudgetUnattainable", err)
+	}
+	if unattainable.BestSDC <= 1e-6 {
+		t.Fatalf("BestSDC = %v, want above budget", unattainable.BestSDC)
+	}
+}
+
+func TestSearchTieBreaksByHintThenName(t *testing.T) {
+	// Two kernels with identical gain and cost; B has the higher hint and
+	// must win the round despite A sorting first.
+	measures := map[string]KernelMeasure{
+		"A": {Kernel: "A", Weight: 100, HardMult: 1, SDC: 0.1, SDCHardened: 0, Hint: 1},
+		"B": {Kernel: "B", Weight: 100, HardMult: 1, SDC: 0.1, SDCHardened: 0, Hint: 9},
+	}
+	costs := map[string]float64{"A": 0.5, "B": 0.5}
+	plan, err := Search("app", 0.051, measures, costs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Protect, []string{"B"}) {
+		t.Fatalf("protect = %v, want hint-preferred [B]", plan.Protect)
+	}
+
+	// Equal hints: lexical order decides.
+	m2 := map[string]KernelMeasure{}
+	for k, m := range measures {
+		m.Hint = 1
+		m2[k] = m
+	}
+	plan2, err := Search("app", 0.051, m2, costs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan2.Protect, []string{"A"}) {
+		t.Fatalf("protect = %v, want lexically-first [A]", plan2.Protect)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	b := threeKernelBackend()
+	p1, err := Search("app", 0.01, b.measures, b.costs, b.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Search("app", 0.01, b.measures, b.costs, b.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("plans differ:\n%+v\n%+v", p1, p2)
+	}
+}
+
+func TestRunnerPhasesAndJournal(t *testing.T) {
+	b := threeKernelBackend()
+	var states []State
+	r := &Runner{
+		Backend: b,
+		App:     "app",
+		Budget:  0.02,
+		OnState: func(s *State) {
+			cp := *s
+			states = append(states, cp)
+		},
+	}
+	st, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != PhaseDone {
+		t.Fatalf("phase = %s, want done", st.Phase)
+	}
+	if st.Plan == nil || st.Verification == nil {
+		t.Fatalf("missing plan or verification: %+v", st)
+	}
+	if !st.Verification.Pass || st.Verification.SDC > 0.02 {
+		t.Fatalf("verification = %+v, want pass within budget", st.Verification)
+	}
+	if st.Verification.FullOverhead != b.full {
+		t.Fatalf("full overhead = %v, want %v", st.Verification.FullOverhead, b.full)
+	}
+	// One state per measured kernel, per cost, one for full overhead, one
+	// for the plan, one for verification, one for done.
+	want := 2*len(b.kernels) + 4
+	if len(states) != want {
+		t.Fatalf("journaled %d states, want %d", len(states), want)
+	}
+	// State round-trips through JSON (the journal format).
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, st) {
+		t.Fatalf("state JSON round-trip mismatch:\n%+v\n%+v", back, st)
+	}
+}
+
+func TestRunnerResumeSkipsCompletedUnits(t *testing.T) {
+	budget := 0.02
+	full := &Runner{Backend: threeKernelBackend(), App: "app", Budget: budget}
+	want, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-run from every journaled prefix: each resume must reproduce the
+	// identical final state without re-running completed units.
+	var journal []State
+	rec := &Runner{Backend: threeKernelBackend(), App: "app", Budget: budget,
+		OnState: func(s *State) {
+			raw, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cp State
+			if err := json.Unmarshal(raw, &cp); err != nil {
+				t.Fatal(err)
+			}
+			journal = append(journal, cp)
+		}}
+	if _, err := rec.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range journal {
+		resumed := journal[i]
+		// Snapshot what the resume state already contains before Run mutates
+		// the state's maps in place.
+		done := sortedKernels(resumed.Measures)
+		hadFull := resumed.FullOverhead != nil
+		hadVerification := resumed.Verification != nil
+		b := threeKernelBackend()
+		r := &Runner{Backend: b, App: "app", Budget: budget, Resume: &resumed}
+		got, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatalf("resume from state %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.Plan, want.Plan) {
+			t.Fatalf("resume from state %d: plan mismatch:\n%+v\n%+v", i, got.Plan, want.Plan)
+		}
+		if !reflect.DeepEqual(got.Verification, want.Verification) {
+			t.Fatalf("resume from state %d: verification mismatch", i)
+		}
+		// Units present in the resume state must not have been re-run.
+		for _, k := range done {
+			if b.calls["measure:"+k] != 0 {
+				t.Fatalf("resume from state %d re-measured %s", i, k)
+			}
+		}
+		if hadFull && b.calls["full"] != 0 {
+			t.Fatalf("resume from state %d re-ran full overhead", i)
+		}
+		if hadVerification && b.calls["verify"] != 0 {
+			t.Fatalf("resume from state %d re-verified", i)
+		}
+	}
+}
+
+func TestRunnerRefusesFailingPlan(t *testing.T) {
+	b := threeKernelBackend()
+	b.skew = 1.0 // verification always measures way above budget
+	r := &Runner{Backend: b, App: "app", Budget: 0.02}
+	st, err := r.Run(context.Background())
+	var refused *ErrPlanRefused
+	if !errors.As(err, &refused) {
+		t.Fatalf("err = %v, want ErrPlanRefused", err)
+	}
+	if st.Verification == nil || st.Verification.Pass {
+		t.Fatalf("verification = %+v, want recorded failure", st.Verification)
+	}
+	if refused.Plan == nil || refused.MeasuredSDC <= 0.02 {
+		t.Fatalf("refusal detail = %+v", refused)
+	}
+}
+
+func TestRunnerResumeRejectsMismatchedState(t *testing.T) {
+	r := &Runner{Backend: threeKernelBackend(), App: "app", Budget: 0.02,
+		Resume: &State{Version: StateVersion, App: "other", Budget: 0.02}}
+	if _, err := r.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "resume state") {
+		t.Fatalf("err = %v, want resume mismatch", err)
+	}
+}
+
+func TestRunnerContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Backend: threeKernelBackend(), App: "app", Budget: 0.02}
+	if _, err := r.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSortedKernelsSorted(t *testing.T) {
+	m := map[string]KernelMeasure{"z": {}, "a": {}, "m": {}}
+	got := sortedKernels(m)
+	if !sort.StringsAreSorted(got) || len(got) != 3 {
+		t.Fatalf("sortedKernels = %v", got)
+	}
+}

@@ -1,0 +1,131 @@
+package advisor
+
+import "sort"
+
+// predictedSDC estimates the app SDC AVF under a protection set from the
+// per-kernel measurements: each kernel contributes its plain or hardened
+// per-kernel SDC, weighted by its cycle share — with protected kernels
+// re-weighted by their TMR cycle multiplier, mirroring how the study
+// weights per-kernel AVFs by the golden run the variant actually executes.
+func predictedSDC(measures map[string]KernelMeasure, protect map[string]bool) float64 {
+	var num, den float64
+	for _, k := range sortedKernels(measures) {
+		m := measures[k]
+		w, sdc := m.Weight, m.SDC
+		if protect[k] {
+			mult := m.HardMult
+			if mult <= 0 {
+				mult = 1
+			}
+			w *= mult
+			sdc = m.SDCHardened
+		}
+		num += w * sdc
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// predictedOverhead estimates the cycle overhead of a protection set as
+// 1 + the sum of the members' marginal costs. Costs are measured per
+// singleton set (replicated kernel cycles + final vote), so the sum
+// slightly over-counts the shared vote for multi-kernel sets — a
+// conservative estimate; verification measures the real overhead.
+func predictedOverhead(costs map[string]float64, protect map[string]bool) float64 {
+	keys := make([]string, 0, len(protect))
+	for k := range protect { //relint:allow map-order: sorted immediately below
+		if protect[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	o := 1.0
+	for _, k := range keys {
+		o += costs[k]
+	}
+	return o
+}
+
+// Search runs the deterministic greedy lattice walk: starting from the
+// empty set, it repeatedly protects the kernel with the best predicted
+// SDC-reduction-per-cost ratio until the predicted SDC meets the budget.
+// Ties break by static Hint (descending), then kernel name (ascending), so
+// the walk — and hence the plan — is a pure function of its inputs. If
+// even the full set misses the budget the search refuses with
+// ErrBudgetUnattainable.
+func Search(app string, budget float64, measures map[string]KernelMeasure, costs map[string]float64, fullOverhead float64) (*Plan, error) {
+	kernels := sortedKernels(measures)
+	all := make(map[string]bool, len(kernels))
+	for _, k := range kernels {
+		all[k] = true
+	}
+	if best := predictedSDC(measures, all); best > budget {
+		return nil, &ErrBudgetUnattainable{Budget: budget, BestSDC: best}
+	}
+
+	protect := make(map[string]bool)
+	plan := &Plan{App: app, Budget: budget, FullOverhead: fullOverhead}
+	cur := predictedSDC(measures, protect)
+	for cur > budget {
+		bestK := ""
+		var bestRatio, bestGain, bestCost, bestSDC float64
+		for _, k := range kernels {
+			if protect[k] {
+				continue
+			}
+			protect[k] = true
+			sdc := predictedSDC(measures, protect)
+			cost := costs[k]
+			protect[k] = false
+			gain := cur - sdc
+			// Floor the cost so a zero-cost measurement cannot produce an
+			// infinite ratio and mask real gains.
+			ratio := gain / maxf(cost, 1e-9)
+			if bestK == "" || better(ratio, measures[k].Hint, k, bestRatio, measures[bestK].Hint, bestK) {
+				bestK, bestRatio, bestGain, bestCost, bestSDC = k, ratio, gain, cost, sdc
+			}
+		}
+		protect[bestK] = true
+		cur = bestSDC
+		plan.Steps = append(plan.Steps, SearchStep{
+			Add:               bestK,
+			PredictedSDC:      bestSDC,
+			PredictedOverhead: predictedOverhead(costs, protect),
+			Gain:              bestGain,
+			Cost:              bestCost,
+			Ratio:             bestRatio,
+		})
+	}
+
+	for _, k := range kernels {
+		if protect[k] {
+			plan.Protect = append(plan.Protect, k)
+		}
+	}
+	plan.PredictedSDC = cur
+	plan.PredictedOverhead = predictedOverhead(costs, protect)
+	return plan, nil
+}
+
+// better reports whether candidate (ratio a, hint ha, name ka) beats the
+// incumbent (b, hb, kb): higher ratio wins, ties fall to higher static
+// hint, then to the lexically smaller kernel name.
+func better(a, ha float64, ka string, b, hb float64, kb string) bool {
+	if a != b {
+		return a > b
+	}
+	if ha != hb {
+		return ha > hb
+	}
+	return ka < kb
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

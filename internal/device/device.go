@@ -32,6 +32,11 @@ type Memory struct {
 	data   []byte
 	next   uint32
 	allocs []Alloc
+	// dirty tracks whether any (potentially) mutating access happened since
+	// the last ResetDirty. The timing simulator brackets host steps with it
+	// to decide whether GPU caches must be invalidated afterward: read-only
+	// host access (D2H) leaves them warm.
+	dirty bool
 }
 
 // NewMemory creates a device memory of the given capacity in bytes.
@@ -194,14 +199,26 @@ func (m *Memory) Store4(addr uint32, v uint32) error {
 	if !m.Valid(addr, 4) {
 		return &AccessError{Addr: addr, Write: true}
 	}
+	m.dirty = true
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
 	return nil
 }
 
 // Raw exposes the backing bytes. The cache model uses it for line fills and
 // writebacks; host steps use it for direct access. Callers must stay in
-// bounds.
-func (m *Memory) Raw() []byte { return m.data }
+// bounds. The returned slice is mutable, so taking it counts as a write for
+// dirty tracking.
+func (m *Memory) Raw() []byte {
+	m.dirty = true
+	return m.data
+}
+
+// ResetDirty clears the write-tracking flag; Dirty reports whether any
+// possibly-mutating access happened since.
+func (m *Memory) ResetDirty() { m.dirty = false }
+
+// Dirty reports whether the memory may have been written since ResetDirty.
+func (m *Memory) Dirty() bool { return m.dirty }
 
 // PeekU32 reads a word without validity checking (host-side access).
 func (m *Memory) PeekU32(addr uint32) uint32 {
@@ -210,6 +227,7 @@ func (m *Memory) PeekU32(addr uint32) uint32 {
 
 // PokeU32 writes a word without validity checking (host-side access).
 func (m *Memory) PokeU32(addr uint32, v uint32) {
+	m.dirty = true
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
 }
 

@@ -1,0 +1,277 @@
+// Selective hardening: thread-level TMR applied to a chosen subset of an
+// application's kernels, the transform behind the selective-hardening
+// advisor (internal/advisor). Where TMR triplicates every launch, Selective
+// triplicates only the launches of kernels in a protection set and runs the
+// rest unreplicated on copy 0, keeping the three copies consistent at the
+// region boundaries:
+//
+//   - entering a protected region with stale shadow copies broadcasts
+//     copy 0 over copies 1 and 2 (host-side, cudaMemcpy analogue);
+//   - leaving a protected region with diverged copies majority-votes every
+//     word of the image into copy 0 (host-side, raising the DUE flag on
+//     three-way disagreement) and marks the shadows stale;
+//   - a schedule that ends inside a protected region votes the output
+//     buffers with the same generated GPU kernel full TMR uses, so the
+//     tail region's protection — including vulnerability of the vote
+//     itself — is measured exactly like TMR's.
+//
+// Host steps with data-dependent schedules (BFS-style loops) may jump to
+// any step, so region transitions cannot be placed statically. Instead the
+// transform tracks the replica state (stale / diverged) in a dedicated
+// device word and guards every original launch with a host step that
+// performs the transition exactly when needed. Guards are host steps: they
+// cost no simulated cycles and are never injection targets, so the cycle
+// overhead of a selective job is the replicated execution of the protected
+// kernels plus the final GPU vote — the quantity the advisor's cost model
+// prices.
+//
+// Two boundary cases anchor the semantics: the empty set returns the
+// original job unchanged, and a set covering every kernel delegates to TMR
+// itself, so full-set selective jobs are bit-identical to harden.TMR — the
+// property the advisor's campaigns (and the study's memo/seed sharing)
+// rely on.
+package harden
+
+import (
+	"sort"
+	"strings"
+
+	"gpurel/internal/device"
+)
+
+// Set is an immutable protection set: the kernel names whose launches get
+// TMR. Construct with NewSet; the zero value is the empty set.
+type Set struct {
+	names []string // sorted, unique
+}
+
+// NewSet builds a protection set from kernel names (duplicates collapse,
+// order is irrelevant).
+func NewSet(names ...string) Set {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for i, n := range sorted {
+		if n == "" || (i > 0 && n == sorted[i-1]) {
+			continue
+		}
+		uniq = append(uniq, n)
+	}
+	return Set{names: append([]string(nil), uniq...)}
+}
+
+// Has reports whether the kernel is protected.
+func (s Set) Has(name string) bool {
+	i := sort.SearchStrings(s.names, name)
+	return i < len(s.names) && s.names[i] == name
+}
+
+// Names returns the protected kernel names in sorted order.
+func (s Set) Names() []string { return append([]string(nil), s.names...) }
+
+// Size returns the number of protected kernels.
+func (s Set) Size() int { return len(s.names) }
+
+// Empty reports whether no kernel is protected.
+func (s Set) Empty() bool { return len(s.names) == 0 }
+
+// Canonical renders the set's identity string ("K1+K3"; "" for the empty
+// set) — the spelling that feeds point seeds and memo keys upstream.
+func (s Set) Canonical() string { return strings.Join(s.names, "+") }
+
+// Covers reports whether every kernel launched by the job is protected.
+func (s Set) Covers(job *device.Job) bool {
+	for _, k := range job.KernelNames() {
+		if !s.Has(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Replica-state bits of the selective guard word.
+const (
+	selStale    = 1 << 0 // copies 1 and 2 are behind copy 0
+	selDiverged = 1 << 1 // a protected launch ran since the last merge
+)
+
+// Selective transforms a job so that exactly the launches of kernels in the
+// protection set run thread-triplicated. The empty set returns the original
+// job; a set covering every kernel returns harden.TMR(job) so full-set
+// selective hardening is bit-identical to full TMR.
+func Selective(job *device.Job, set Set) *device.Job {
+	if set.Empty() {
+		return job
+	}
+	if set.Covers(job) {
+		return TMR(job)
+	}
+
+	for _, st := range job.Steps {
+		if st.Launch != nil && st.Launch.Replicas > 1 {
+			panic("harden: job is already replicated")
+		}
+	}
+
+	origUsed := job.Mem.Used()
+	mem, stride := job.Mem.Replicate(3, 4096)
+	flag := mem.Alloc("tmr_due_flag", 4)
+	state := mem.Alloc("sel_state", 4)
+
+	rebase := func(params []uint32, isPtr []bool, off uint32) []uint32 {
+		out := append([]uint32(nil), params...)
+		for i := range out {
+			if i < len(isPtr) && isPtr[i] {
+				out[i] += off
+			}
+		}
+		return out
+	}
+
+	// broadcast refreshes the shadow copies from copy 0.
+	broadcast := func(m *device.Memory) {
+		raw := m.Raw()
+		copy(raw[stride:stride+origUsed], raw[:origUsed])
+		copy(raw[2*stride:2*stride+origUsed], raw[:origUsed])
+	}
+	// merge majority-votes every word of the image into copy 0 and raises
+	// the DUE flag on three-way disagreement — the host-side region-exit
+	// analogue of the GPU voter.
+	merge := func(m *device.Memory) {
+		for a := uint32(device.NullGuard); a+4 <= origUsed; a += 4 {
+			x := m.PeekU32(a)
+			y := m.PeekU32(a + stride)
+			z := m.PeekU32(a + 2*stride)
+			if x == y && y == z {
+				continue
+			}
+			m.PokeU32(a, (x&y)|(x&z)|(y&z))
+			if x != y && y != z && x != z {
+				m.PokeU32(flag, 1)
+			}
+		}
+	}
+
+	// Pass 1: layout. Every original launch becomes [guard, launch]; host
+	// steps stay single. newIdx maps original step indices (and the
+	// one-past-the-end index) to the new schedule, so host-step jump
+	// targets land on the guard of the step they name.
+	newIdx := make([]int, len(job.Steps)+1)
+	n := 0
+	for i, st := range job.Steps {
+		newIdx[i] = n
+		if st.Launch != nil {
+			n += 2
+		} else {
+			n++
+		}
+	}
+	newIdx[len(job.Steps)] = n // jump-to-end lands on the final guard
+
+	h := &device.Job{
+		Name:    job.Name + "+SEL(" + set.Canonical() + ")",
+		Mem:     mem,
+		Outputs: job.Outputs, // results land in copy 0
+		DUEFlag: flag,
+		// Guards double the per-iteration step count of host-driven loops;
+		// scale the schedule budget accordingly so fault-free loop bounds
+		// carry over.
+		MaxSteps: 2*job.MaxScheduleSteps() + len(job.Outputs) + 2,
+	}
+
+	for _, st := range job.Steps {
+		switch {
+		case st.Launch != nil && set.Has(st.Launch.Name()):
+			// Region entry: refresh stale shadows, note the divergence the
+			// replicated launch is about to introduce.
+			h.Steps = append(h.Steps, device.Step{Host: func(m *device.Memory, off uint32) int {
+				// Writes are skipped when the state is already current so
+				// back-to-back protected launches keep the guard read-only
+				// (and the GPU caches warm).
+				s := m.PeekU32(state + off)
+				if s&selStale != 0 {
+					broadcast(m)
+				}
+				if s != selDiverged {
+					m.PokeU32(state+off, selDiverged)
+				}
+				return -1
+			}})
+			l := *st.Launch
+			l.Replicas = 3
+			l.ReplicaParams = [][]uint32{
+				rebase(l.Params, l.ParamIsPtr, 0),
+				rebase(l.Params, l.ParamIsPtr, stride),
+				rebase(l.Params, l.ParamIsPtr, 2*stride),
+			}
+			h.Steps = append(h.Steps, device.Step{Launch: &l})
+
+		case st.Launch != nil:
+			// Region exit: fold diverged replicas into copy 0 before the
+			// unprotected launch advances it alone; shadows go stale either
+			// way.
+			h.Steps = append(h.Steps, device.Step{Host: func(m *device.Memory, off uint32) int {
+				s := m.PeekU32(state + off)
+				if s&selDiverged != 0 {
+					merge(m)
+				}
+				if s != selStale {
+					m.PokeU32(state+off, selStale)
+				}
+				return -1
+			}})
+			l := *st.Launch
+			h.Steps = append(h.Steps, device.Step{Launch: &l})
+
+		case st.Host != nil:
+			orig := st.Host
+			h.Steps = append(h.Steps, device.Step{Host: func(m *device.Memory, off uint32) int {
+				// Inside a protected region the host step runs once per
+				// copy, TMR-style; while the shadows are stale only copy 0
+				// is live, so running it there alone keeps data-dependent
+				// loop decisions consistent. Jump targets are remapped into
+				// the guarded schedule.
+				next := -1
+				copies := uint32(3)
+				if m.PeekU32(state+off)&selStale != 0 {
+					copies = 1
+				}
+				for c := uint32(0); c < copies; c++ {
+					if r := orig(m, off+c*stride); r >= 0 {
+						next = r
+					}
+				}
+				if next >= 0 {
+					return newIdx[next]
+				}
+				return -1
+			}})
+		}
+	}
+
+	// Final guard: a schedule ending inside a protected region votes its
+	// output buffers on the GPU, exactly like TMR post-processing; a
+	// schedule ending in an unprotected region already has its results in
+	// copy 0 and skips the votes.
+	endVotes := len(h.Steps) + 1
+	h.Steps = append(h.Steps, device.Step{Host: func(m *device.Memory, off uint32) int {
+		if m.PeekU32(state+off)&selDiverged == 0 {
+			return endVotes + len(job.Outputs) // past the end: done
+		}
+		m.PokeU32(state+off, 0)
+		return -1 // fall into the vote launches
+	}})
+	prog := voteKernel()
+	for _, o := range job.Outputs {
+		words := int(o.Size / 4)
+		grid := (words + voteBlock - 1) / voteBlock
+		h.Steps = append(h.Steps, device.Step{Launch: &device.Launch{
+			Kernel:     prog,
+			KernelName: VoteKernelName,
+			GridX:      grid, GridY: 1, BlockX: voteBlock, BlockY: 1,
+			Params:     []uint32{o.Addr, o.Addr + stride, o.Addr + 2*stride, flag, uint32(words)},
+			ParamIsPtr: []bool{true, true, true, true, false},
+		}})
+	}
+	return h
+}

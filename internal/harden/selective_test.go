@@ -1,0 +1,328 @@
+package harden
+
+import (
+	"bytes"
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/funcsim"
+	"gpurel/internal/gpu"
+	"gpurel/internal/isa"
+	"gpurel/internal/kasm"
+	"gpurel/internal/sim"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet("K3", "K1", "K3", "", "K1")
+	if got := s.Canonical(); got != "K1+K3" {
+		t.Errorf("Canonical() = %q, want K1+K3", got)
+	}
+	if s.Size() != 2 || !s.Has("K1") || !s.Has("K3") || s.Has("K2") {
+		t.Errorf("membership broken: %+v", s.Names())
+	}
+	if !NewSet().Empty() || s.Empty() {
+		t.Error("Empty() broken")
+	}
+	if (Set{}).Canonical() != "" {
+		t.Error("zero set must have empty canonical form")
+	}
+}
+
+// twoKernelJob builds K1: out[i] = 2*in[i]; K2: out2[i] = out[i] + 5, the
+// minimal pipeline where a proper subset of kernels can be protected.
+func twoKernelJob(n int) *device.Job {
+	b := kasm.New("sel_k1")
+	i := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	p := b.P()
+	b.ISetpI(p, isa.CmpLT, i, int32(n))
+	b.If(p, false, func() {
+		v := b.Ldg(b.IScAdd(i, b.Param(0), 2), 0)
+		b.Stg(b.IScAdd(i, b.Param(1), 2), 0, b.IAdd(v, v))
+	})
+	b.FreeP(p)
+	k1 := b.MustBuild()
+
+	b2 := kasm.New("sel_k2")
+	i2 := b2.IMad(b2.S2R(isa.SRCtaIDX), b2.S2R(isa.SRNTidX), b2.S2R(isa.SRTidX))
+	p2 := b2.P()
+	b2.ISetpI(p2, isa.CmpLT, i2, int32(n))
+	b2.If(p2, false, func() {
+		v := b2.Ldg(b2.IScAdd(i2, b2.Param(0), 2), 0)
+		b2.Stg(b2.IScAdd(i2, b2.Param(1), 2), 0, b2.IAddI(v, 5))
+	})
+	b2.FreeP(p2)
+	k2 := b2.MustBuild()
+
+	m := device.NewMemory(1 << 18)
+	in := m.Alloc("in", 4*n)
+	out := m.Alloc("out", 4*n)
+	out2 := m.Alloc("out2", 4*n)
+	vals := make([]uint32, n)
+	for k := range vals {
+		vals[k] = uint32(k + 1)
+	}
+	m.WriteU32s(in, vals)
+	return &device.Job{
+		Name: "twok", Mem: m,
+		Steps: []device.Step{
+			{Launch: &device.Launch{
+				Kernel: k1, KernelName: "K1", GridX: 2, GridY: 1, BlockX: n / 2, BlockY: 1,
+				Params: []uint32{in, out}, ParamIsPtr: []bool{true, true},
+			}},
+			{Launch: &device.Launch{
+				Kernel: k2, KernelName: "K2", GridX: 2, GridY: 1, BlockX: n / 2, BlockY: 1,
+				Params: []uint32{out, out2}, ParamIsPtr: []bool{true, true},
+			}},
+		},
+		Outputs: []device.Output{{Name: "out2", Addr: out2, Size: uint32(4 * n)}},
+	}
+}
+
+func TestSelectiveEmptySetIsOriginal(t *testing.T) {
+	job := twoKernelJob(64)
+	if got := Selective(job, NewSet()); got != job {
+		t.Error("empty protection set must return the original job unchanged")
+	}
+}
+
+func TestSelectiveFullSetIsTMR(t *testing.T) {
+	job := twoKernelJob(64)
+	h := Selective(job, NewSet("K1", "K2"))
+	want := TMR(job)
+	if h.Name != want.Name {
+		t.Errorf("full-set Selective must delegate to TMR: name %q != %q", h.Name, want.Name)
+	}
+	if len(h.Steps) != len(want.Steps) || h.DUEFlag != want.DUEFlag || h.MaxSteps != want.MaxSteps {
+		t.Error("full-set Selective job differs structurally from TMR")
+	}
+	a := funcsim.Run(h, funcsim.Options{})
+	b := funcsim.Run(want, funcsim.Options{})
+	if a.Err != nil || b.Err != nil || !bytes.Equal(a.Output, b.Output) {
+		t.Errorf("full-set Selective output differs from TMR: %v %v", a.Err, b.Err)
+	}
+}
+
+// TestSelectivePreservesOutput: protecting either proper subset must leave
+// the fault-free output bit-identical to the plain job, on both simulators.
+func TestSelectivePreservesOutput(t *testing.T) {
+	job := twoKernelJob(64)
+	plain := funcsim.Run(job, funcsim.Options{})
+	if plain.Err != nil {
+		t.Fatal(plain.Err)
+	}
+	for _, set := range []Set{NewSet("K1"), NewSet("K2")} {
+		h := Selective(job, set)
+		if h == job {
+			t.Fatalf("proper subset %q must transform the job", set.Canonical())
+		}
+		r := funcsim.Run(h, funcsim.Options{})
+		if r.Err != nil {
+			t.Fatalf("%s: %v", set.Canonical(), r.Err)
+		}
+		if r.DUEFlag {
+			t.Errorf("%s: fault-free selective run raised the DUE flag", set.Canonical())
+		}
+		if !bytes.Equal(r.Output, plain.Output) {
+			t.Errorf("%s: selective hardening changed fault-free output", set.Canonical())
+		}
+		rs := sim.Run(h, gpu.Volta(), sim.Options{})
+		if rs.Err != nil || !bytes.Equal(rs.Output, plain.Output) {
+			t.Errorf("%s: output differs on the cycle simulator: %v", set.Canonical(), rs.Err)
+		}
+	}
+}
+
+// selStride infers the replication stride from the first triplicated launch.
+func selStride(t *testing.T, h *device.Job) uint32 {
+	t.Helper()
+	for _, st := range h.Steps {
+		if st.Launch != nil && st.Launch.Replicas == 3 {
+			return st.Launch.ReplicaParams[1][0] - st.Launch.ReplicaParams[0][0]
+		}
+	}
+	t.Fatal("no triplicated launch found")
+	return 0
+}
+
+// wrapHost prefixes the host step at index i with a corruption callback,
+// without shifting step indices (the transform's jump targets are absolute).
+func wrapHost(t *testing.T, h *device.Job, i int, pre func(*device.Memory)) {
+	t.Helper()
+	if i >= len(h.Steps) || h.Steps[i].Host == nil {
+		t.Fatalf("step %d is not a host step", i)
+	}
+	orig := h.Steps[i].Host
+	h.Steps[i].Host = func(m *device.Memory, off uint32) int {
+		pre(m)
+		return orig(m, off)
+	}
+}
+
+// TestSelectiveMergeCorrectsSingleCopy: with K1 protected, corrupting one
+// replica of K1's result before the region-exit merge must be outvoted.
+func TestSelectiveMergeCorrectsSingleCopy(t *testing.T) {
+	job := twoKernelJob(64)
+	plain := funcsim.Run(job, funcsim.Options{})
+	h := Selective(job, NewSet("K1"))
+	stride := selStride(t, h)
+	out := job.Steps[1].Launch.Params[0] // K1's output buffer = K2's input
+	// Schedule: [entry guard, K1×3, exit guard, K2, final guard, vote].
+	// Corrupt copy 1's intermediate inside the exit guard, pre-merge.
+	wrapHost(t, h, 2, func(m *device.Memory) {
+		m.PokeU32(out+stride, 0xDEAD)
+	})
+	r := funcsim.Run(h, funcsim.Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.DUEFlag {
+		t.Error("single-replica corruption must be outvoted, not flagged")
+	}
+	if !bytes.Equal(r.Output, plain.Output) {
+		t.Error("region-exit merge failed to correct a single corrupted replica")
+	}
+}
+
+// TestSelectiveMergeFlagsThreeWayDisagreement: all three replicas differing
+// at the region exit must raise the DUE flag.
+func TestSelectiveMergeFlagsThreeWayDisagreement(t *testing.T) {
+	job := twoKernelJob(64)
+	h := Selective(job, NewSet("K1"))
+	stride := selStride(t, h)
+	out := job.Steps[1].Launch.Params[0]
+	wrapHost(t, h, 2, func(m *device.Memory) {
+		m.PokeU32(out, 0x1111)
+		m.PokeU32(out+stride, 0x2222)
+	})
+	r := funcsim.Run(h, funcsim.Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !r.DUEFlag {
+		t.Error("three-way disagreement at the region exit must raise the DUE flag")
+	}
+}
+
+// TestSelectiveTailRegionVotesOnGPU: with the tail kernel protected, the
+// schedule ends diverged and the GPU voter must both correct a single
+// corrupted copy and flag a three-way disagreement — TMR post-processing
+// semantics for the final region.
+func TestSelectiveTailRegionVotesOnGPU(t *testing.T) {
+	job := twoKernelJob(64)
+	plain := funcsim.Run(job, funcsim.Options{})
+	build := func(pre func(m *device.Memory, stride uint32)) *funcsim.Result {
+		h := Selective(job, NewSet("K2"))
+		stride := selStride(t, h)
+		// Schedule: [exit guard, K1, entry guard, K2×3, final guard, vote].
+		wrapHost(t, h, 4, func(m *device.Memory) { pre(m, stride) })
+		return funcsim.Run(h, funcsim.Options{})
+	}
+	out2 := job.Outputs[0].Addr
+
+	r := build(func(m *device.Memory, stride uint32) { m.PokeU32(out2+2*stride, 0xBEEF) })
+	if r.Err != nil || r.DUEFlag || !bytes.Equal(r.Output, plain.Output) {
+		t.Errorf("GPU vote failed to correct a single corrupted tail replica: err=%v due=%v", r.Err, r.DUEFlag)
+	}
+
+	r = build(func(m *device.Memory, stride uint32) {
+		m.PokeU32(out2, 0x1111)
+		m.PokeU32(out2+stride, 0x2222)
+	})
+	if r.Err != nil || !r.DUEFlag {
+		t.Errorf("GPU vote must flag a three-way tail disagreement: err=%v due=%v", r.Err, r.DUEFlag)
+	}
+}
+
+// TestSelectiveUnprotectedStaysVulnerable: corrupting the result of the
+// UNprotected kernel must remain a silent corruption — selective hardening
+// must not accidentally mask faults outside the protection set.
+func TestSelectiveUnprotectedStaysVulnerable(t *testing.T) {
+	job := twoKernelJob(64)
+	plain := funcsim.Run(job, funcsim.Options{})
+	h := Selective(job, NewSet("K1"))
+	out2 := job.Outputs[0].Addr
+	// Corrupt copy 0's final output inside the final guard: K2 is
+	// unprotected, so nothing may vote this away.
+	wrapHost(t, h, 4, func(m *device.Memory) {
+		m.PokeU32(out2, 0xBAD)
+	})
+	r := funcsim.Run(h, funcsim.Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.DUEFlag {
+		t.Error("unprotected-kernel corruption must not be detected")
+	}
+	if bytes.Equal(r.Output, plain.Output) {
+		t.Error("unprotected-kernel corruption must reach the output (SDC)")
+	}
+}
+
+// TestSelectiveHostLoop: a data-dependent host loop jumping back across a
+// protected region must converge with remapped jump targets.
+func TestSelectiveHostLoop(t *testing.T) {
+	m := device.NewMemory(1 << 16)
+	cnt := m.Alloc("cnt", 4)
+	res := m.Alloc("res", 4)
+	b := kasm.New("sel_inc")
+	p := b.P()
+	b.ISetpI(p, isa.CmpEQ, b.S2R(isa.SRTidX), 0)
+	b.If(p, false, func() {
+		a := b.Param(0)
+		b.Stg(a, 0, b.IAddI(b.Ldg(a, 0), 1))
+	})
+	b.FreeP(p)
+	inc := b.MustBuild()
+
+	b2 := kasm.New("sel_copy")
+	p2 := b2.P()
+	b2.ISetpI(p2, isa.CmpEQ, b2.S2R(isa.SRTidX), 0)
+	b2.If(p2, false, func() {
+		b2.Stg(b2.Param(1), 0, b2.IAddI(b2.Ldg(b2.Param(0), 0), 10))
+	})
+	b2.FreeP(p2)
+	cp := b2.MustBuild()
+
+	job := &device.Job{
+		Name: "selloop", Mem: m,
+		Steps: []device.Step{
+			{Launch: &device.Launch{Kernel: inc, KernelName: "K1",
+				GridX: 1, GridY: 1, BlockX: 32, BlockY: 1,
+				Params: []uint32{cnt}, ParamIsPtr: []bool{true}}},
+			{Host: func(mm *device.Memory, off uint32) int {
+				if mm.PeekU32(cnt+off) < 3 {
+					return 0
+				}
+				return -1
+			}},
+			{Launch: &device.Launch{Kernel: cp, KernelName: "K2",
+				GridX: 1, GridY: 1, BlockX: 32, BlockY: 1,
+				Params: []uint32{cnt, res}, ParamIsPtr: []bool{true, true}}},
+		},
+		Outputs: []device.Output{{Name: "res", Addr: res, Size: 4}},
+	}
+	for _, set := range []Set{NewSet("K1"), NewSet("K2")} {
+		h := Selective(job, set)
+		r := funcsim.Run(h, funcsim.Options{})
+		if r.Err != nil || r.TimedOut {
+			t.Fatalf("%s: selective loop failed: %v timeout=%v", set.Canonical(), r.Err, r.TimedOut)
+		}
+		if r.DUEFlag {
+			t.Errorf("%s: fault-free selective loop must not flag", set.Canonical())
+		}
+		if r.Output[0] != 13 {
+			t.Errorf("%s: loop result = %d, want 13", set.Canonical(), r.Output[0])
+		}
+	}
+}
+
+func TestSelectiveRejectsReplicatedJob(t *testing.T) {
+	job := twoKernelJob(64)
+	h := Selective(job, NewSet("K1"))
+	defer func() {
+		if recover() == nil {
+			t.Error("selective hardening of a replicated job must panic")
+		}
+	}()
+	Selective(h, NewSet("K2"))
+}

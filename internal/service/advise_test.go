@@ -1,0 +1,523 @@
+// Tests of the /v1/advise subsystem on a synthetic measurement backend:
+// HTTP lifecycle with NDJSON progress, validation, metrics, and — the
+// acceptance property — kill-and-resume mid-run reproducing the
+// bit-identical final plan. The selective "harden" job-spec wire field is
+// covered here too.
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpurel/internal/advisor"
+	"gpurel/internal/campaign"
+	"gpurel/internal/service"
+)
+
+// TestHardenWireSpec: the selective "harden" field decodes from the golden
+// fixture, survives the point round trip, and its misuse is rejected.
+func TestHardenWireSpec(t *testing.T) {
+	sp := loadSpec(t, "jobspec_harden.json")
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("harden fixture invalid: %v", err)
+	}
+	p, err := sp.Point()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Harden) != 2 || p.Harden[0] != "K5" || p.Harden[1] != "K2" {
+		t.Fatalf("point lost the protection set: %+v", p.Harden)
+	}
+
+	// SpecForPoint is the inverse used by the client-side study hook.
+	back := service.SpecForPoint(p, campaign.Options{Runs: sp.Runs, Seed: sp.Seed})
+	bp, err := back.Point()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(bp.Harden) != fmt.Sprint(p.Harden) {
+		t.Errorf("SpecForPoint round trip changed the set: %v != %v", bp.Harden, p.Harden)
+	}
+
+	for name, bad := range map[string]string{
+		"mixed with hardened": `{"layer":"micro","app":"VA","kernel":"K1","runs":10,"hardened":true,"harden":["K1"]}`,
+		"soft layer":          `{"layer":"soft","app":"VA","kernel":"K1","runs":10,"harden":["K1"]}`,
+	} {
+		var sp service.JobSpec
+		if err := json.Unmarshal([]byte(bad), &sp); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: validated, want rejection", name)
+		}
+	}
+}
+
+// synthAdviseBackend is a deterministic in-memory measurement table. With
+// the default numbers the greedy search protects exactly {K4} at budget
+// 0.04. blockAtCost, when set, makes the first Cost call for that kernel
+// signal `reached` and block until `release` closes — the hook the
+// kill-and-resume test uses to stop the daemon mid-run.
+type synthAdviseBackend struct {
+	verifySkew float64 // added to the verified SDC (to force refusal)
+
+	blockAtCost string
+	reached     chan struct{}
+	release     chan struct{}
+
+	mu       sync.Mutex
+	measured []string
+	costed   []string
+	verifies int
+	blocked  bool
+}
+
+var synthKernels = []string{"K1", "K2", "K3", "K4"}
+
+var synthTable = map[string]advisor.KernelMeasure{
+	"K1": {Kernel: "K1", Weight: 100, HardMult: 1.5, SDC: 0.02, SDCHardened: 0.002, Hint: 1},
+	"K2": {Kernel: "K2", Weight: 300, HardMult: 1.5, SDC: 0.08, SDCHardened: 0.002, Hint: 2},
+	"K3": {Kernel: "K3", Weight: 200, HardMult: 1.5, SDC: 0.05, SDCHardened: 0.002, Hint: 3},
+	"K4": {Kernel: "K4", Weight: 400, HardMult: 1.5, SDC: 0.10, SDCHardened: 0.002, Hint: 4},
+}
+
+var synthCosts = map[string]float64{"K1": 0.05, "K2": 0.15, "K3": 0.10, "K4": 0.20}
+
+func (b *synthAdviseBackend) Kernels(ctx context.Context, app string) ([]string, error) {
+	if app != "synth" {
+		return nil, fmt.Errorf("unknown app %q", app)
+	}
+	return append([]string(nil), synthKernels...), nil
+}
+
+func (b *synthAdviseBackend) Measure(ctx context.Context, app, kernel string) (advisor.KernelMeasure, error) {
+	b.mu.Lock()
+	b.measured = append(b.measured, kernel)
+	b.mu.Unlock()
+	return synthTable[kernel], nil
+}
+
+func (b *synthAdviseBackend) Cost(ctx context.Context, app, kernel string) (float64, error) {
+	b.mu.Lock()
+	block := kernel == b.blockAtCost && !b.blocked
+	b.blocked = b.blocked || block
+	b.costed = append(b.costed, kernel)
+	b.mu.Unlock()
+	if block {
+		close(b.reached)
+		select {
+		case <-b.release:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	return synthCosts[kernel], nil
+}
+
+func (b *synthAdviseBackend) FullOverhead(ctx context.Context, app string) (float64, error) {
+	return 1.5, nil
+}
+
+// Verify reports the same weighted SDC the search predicts (plus skew), so
+// verification passes exactly when the prediction was honest.
+func (b *synthAdviseBackend) Verify(ctx context.Context, app string, protect []string) (advisor.Verification, error) {
+	b.mu.Lock()
+	b.verifies++
+	b.mu.Unlock()
+	prot := map[string]bool{}
+	for _, k := range protect {
+		prot[k] = true
+	}
+	var num, den, cost float64
+	v := advisor.Verification{PerKernel: map[string]float64{}}
+	for _, k := range synthKernels {
+		m := synthTable[k]
+		w, sdc := m.Weight, m.SDC
+		if prot[k] {
+			w, sdc = w*m.HardMult, m.SDCHardened
+			cost += synthCosts[k]
+		}
+		num += w * sdc
+		den += w
+		v.PerKernel[k] = sdc
+		v.TotalRuns += 100
+	}
+	v.SDC = num/den + b.verifySkew
+	v.Overhead = 1 + cost
+	return v, nil
+}
+
+func synthFactory(b *synthAdviseBackend) service.AdviseBackendFactory {
+	return func(spec service.AdviseSpec) (advisor.Backend, error) { return b, nil }
+}
+
+// newAdviseServer stands up a scheduler + advisor pair sharing one mux.
+func newAdviseServer(t *testing.T, cfg service.AdvisorConfig) (*service.Advisor, *httptest.Server) {
+	t.Helper()
+	sched, err := service.NewScheduler(service.Config{Source: fakeSource(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sched.Close() })
+	if cfg.Metrics == nil {
+		cfg.Metrics = sched.Metrics()
+	}
+	adv, err := service.NewAdvisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { adv.Close() })
+	srv := httptest.NewServer(service.NewServer(sched).Handler(adv.Mount))
+	t.Cleanup(srv.Close)
+	return adv, srv
+}
+
+func postAdvise(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/advise", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+// TestAdviseServiceEndToEnd drives one advise job through the full HTTP
+// lifecycle: submit, NDJSON events to completion, status with plan and
+// verification, list, and the /metrics counters.
+func TestAdviseServiceEndToEnd(t *testing.T) {
+	b := &synthAdviseBackend{}
+	_, srv := newAdviseServer(t, service.AdvisorConfig{Backend: synthFactory(b)})
+
+	resp, data := postAdvise(t, srv.URL, `{"advise":{"app":"synth","budget":0.04},"runs":100,"seed":7}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st service.AdviseStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Spec.Advise.App != "synth" {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	// Stream events until terminal.
+	evResp, err := http.Get(srv.URL + "/v1/advise/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	var last service.AdviseEvent
+	sc := bufio.NewScanner(evResp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		switch last.Type {
+		case "status", "progress", "done":
+		default:
+			t.Fatalf("unexpected event type %q", last.Type)
+		}
+	}
+	if last.Type != "done" || last.Job.State != service.StateDone {
+		t.Fatalf("final event = %+v", last)
+	}
+
+	fin := last.Job
+	if fin.Phase != advisor.PhaseDone || fin.Plan == nil || fin.Verification == nil {
+		t.Fatalf("done status incomplete: %+v", fin)
+	}
+	if got := fmt.Sprint(fin.Plan.Protect); got != "[K4]" {
+		t.Errorf("plan protects %s, want [K4]", got)
+	}
+	if !fin.Verification.Pass || fin.Verification.SDC > 0.04 {
+		t.Errorf("verification failed the budget: %+v", fin.Verification)
+	}
+	if fin.Verification.Overhead >= fin.Verification.FullOverhead {
+		t.Errorf("overhead %.3f not below full TMR %.3f", fin.Verification.Overhead, fin.Verification.FullOverhead)
+	}
+	if fin.Measured != len(synthKernels) || fin.Costed != len(synthKernels) {
+		t.Errorf("progress counters = %d/%d, want %d", fin.Measured, fin.Costed, len(synthKernels))
+	}
+
+	// GET by ID agrees with the terminal event; the list contains the job.
+	getResp, err := http.Get(srv.URL + "/v1/advise/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got service.AdviseStatus
+	json.NewDecoder(getResp.Body).Decode(&got)
+	getResp.Body.Close()
+	if got.State != service.StateDone || got.Plan == nil {
+		t.Errorf("GET status = %+v", got)
+	}
+	listResp, err := http.Get(srv.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []service.AdviseStatus
+	json.NewDecoder(listResp.Body).Decode(&list)
+	listResp.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Errorf("list = %+v", list)
+	}
+
+	// Metrics carry the advise section.
+	mResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mData, _ := io.ReadAll(mResp.Body)
+	mResp.Body.Close()
+	for _, want := range []string{
+		`gpureld_advises_total{event="submitted"} 1`,
+		`gpureld_advises_total{event="done"} 1`,
+		`gpureld_advise_plans_total{result="verified"} 1`,
+		`gpureld_advise_plans_total{result="refused"} 0`,
+	} {
+		if !bytes.Contains(mData, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestAdviseValidation: malformed submissions are 400s with a JSON error.
+func TestAdviseValidation(t *testing.T) {
+	b := &synthAdviseBackend{}
+	_, srv := newAdviseServer(t, service.AdvisorConfig{Backend: synthFactory(b)})
+	for name, body := range map[string]string{
+		"missing app":    `{"advise":{"budget":0.04},"runs":100}`,
+		"budget too big": `{"advise":{"app":"synth","budget":1.5},"runs":100}`,
+		"negative":       `{"advise":{"app":"synth","budget":-0.1},"runs":100}`,
+		"no runs":        `{"advise":{"app":"synth","budget":0.04}}`,
+		"unknown field":  `{"advise":{"app":"synth","budget":0.04},"runs":100,"bogus":1}`,
+		"flat spelling":  `{"app":"synth","budget":0.04,"runs":100}`,
+	} {
+		resp, data := postAdvise(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, data)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q", name, data)
+		}
+	}
+	if resp, data := postAdvise(t, srv.URL, `{"advise":{"app":"nosuch","budget":0.04},"runs":100}`); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("unknown app rejected at submit: %d %s", resp.StatusCode, data)
+	} // …but fails asynchronously — covered by the refusal test's pattern.
+}
+
+// TestAdviseRefusedPlan: a verification that misses the budget ends the job
+// failed with the refusal recorded, and bumps the refused counter.
+func TestAdviseRefusedPlan(t *testing.T) {
+	b := &synthAdviseBackend{verifySkew: 1}
+	adv, srv := newAdviseServer(t, service.AdvisorConfig{Backend: synthFactory(b)})
+
+	resp, data := postAdvise(t, srv.URL, `{"advise":{"app":"synth","budget":0.04},"runs":100,"seed":7}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st service.AdviseStatus
+	json.Unmarshal(data, &st)
+	fin := waitAdvise(t, adv, st.ID)
+	if fin.State != service.StateFailed || !strings.Contains(fin.Error, "plan refused") {
+		t.Fatalf("refused advise = %+v", fin)
+	}
+	if fin.Verification == nil || fin.Verification.Pass {
+		t.Errorf("refusal did not record the failing verification: %+v", fin.Verification)
+	}
+
+	mResp, _ := http.Get(srv.URL + "/metrics")
+	mData, _ := io.ReadAll(mResp.Body)
+	mResp.Body.Close()
+	if !bytes.Contains(mData, []byte(`gpureld_advise_plans_total{result="refused"} 1`)) {
+		t.Errorf("refused counter missing:\n%s", grepMetrics(mData, "advise"))
+	}
+}
+
+// TestAdviseCancel: DELETE lands the job in a terminal canceled state that a
+// restart does not resurrect.
+func TestAdviseCancel(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "advise.json")
+	b := &synthAdviseBackend{blockAtCost: "K2", reached: make(chan struct{}), release: make(chan struct{})}
+	adv, err := service.NewAdvisor(service.AdvisorConfig{Backend: synthFactory(b), JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := adv.Submit(service.AdviseSpec{Advise: service.AdviseGroup{App: "synth", Budget: 0.04}, Runs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b.reached
+	// Cancel aborts the blocked unit through its context; release stays
+	// open so the only way out is the cancellation.
+	if _, ok := adv.Cancel(st.ID); !ok {
+		t.Fatal("cancel: no such job")
+	}
+	fin := waitAdvise(t, adv, st.ID)
+	if fin.State != service.StateCanceled {
+		t.Fatalf("state after cancel = %q", fin.State)
+	}
+	adv.Close()
+
+	b2 := &synthAdviseBackend{}
+	adv2, err := service.NewAdvisor(service.AdvisorConfig{Backend: synthFactory(b2), JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adv2.Close()
+	got, ok := adv2.Get(st.ID)
+	if !ok || got.State != service.StateCanceled {
+		t.Fatalf("restart changed canceled job: %+v", got)
+	}
+	b2.mu.Lock()
+	ran := len(b2.measured) + len(b2.costed)
+	b2.mu.Unlock()
+	if ran != 0 {
+		t.Errorf("restart re-ran %d units of a canceled job", ran)
+	}
+}
+
+// TestAdviseKillResumeBitIdentical is the acceptance property: stop the
+// daemon mid-run (blocked inside a cost measurement), restart on the same
+// journal, and the resumed advise completes without re-running journaled
+// units — to the bit-identical plan and verification an uninterrupted run
+// produces.
+func TestAdviseKillResumeBitIdentical(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "advise.json")
+	b1 := &synthAdviseBackend{blockAtCost: "K3", reached: make(chan struct{}), release: make(chan struct{})}
+	adv1, err := service.NewAdvisor(service.AdvisorConfig{Backend: synthFactory(b1), JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := adv1.Submit(service.AdviseSpec{Advise: service.AdviseGroup{App: "synth", Budget: 0.04}, Runs: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b1.reached
+	// "Kill" the daemon while the K3 cost unit is in flight: Close cancels
+	// the job context, which aborts the blocked unit before it journals.
+	adv1.Close()
+
+	interrupted, ok := adv1.Get(st.ID)
+	if !ok || interrupted.State.Terminal() {
+		t.Fatalf("shutdown made the job terminal: %+v", interrupted)
+	}
+	if interrupted.Measured != len(synthKernels) {
+		t.Fatalf("journal lost measures: %+v", interrupted)
+	}
+
+	// Restart on the same journal with a fresh backend: the job resumes by
+	// itself and completes.
+	b2 := &synthAdviseBackend{}
+	adv2, err := service.NewAdvisor(service.AdvisorConfig{Backend: synthFactory(b2), JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adv2.Close()
+	fin := waitAdvise(t, adv2, st.ID)
+	if fin.State != service.StateDone {
+		t.Fatalf("resumed advise = %+v", fin)
+	}
+
+	// No journaled unit re-ran: every measure was recovered, only the
+	// never-journaled cost units (and the phases after them) executed.
+	b2.mu.Lock()
+	measured, costed := append([]string(nil), b2.measured...), append([]string(nil), b2.costed...)
+	b2.mu.Unlock()
+	if len(measured) != 0 {
+		t.Errorf("resume re-measured %v", measured)
+	}
+	// K1 and K2 were journaled; K3 was killed in flight, so K3 and K4 are
+	// the only legitimate re-runs.
+	if fmt.Sprint(costed) != "[K3 K4]" {
+		t.Errorf("resume priced %v, want [K3 K4]", costed)
+	}
+
+	// The final plan and verification are bit-identical to an uninterrupted
+	// run's.
+	b3 := &synthAdviseBackend{}
+	adv3, err := service.NewAdvisor(service.AdvisorConfig{Backend: synthFactory(b3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adv3.Close()
+	ref, err := adv3.Submit(service.AdviseSpec{Advise: service.AdviseGroup{App: "synth", Budget: 0.04}, Runs: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitAdvise(t, adv3, ref.ID)
+	for name, pair := range map[string][2]any{
+		"plan":         {fin.Plan, want.Plan},
+		"verification": {fin.Verification, want.Verification},
+	} {
+		a, _ := json.Marshal(pair[0])
+		b, _ := json.Marshal(pair[1])
+		if !bytes.Equal(a, b) {
+			t.Errorf("resumed %s differs from uninterrupted run:\n%s\n%s", name, a, b)
+		}
+	}
+}
+
+// TestAdviseStudyFactory: the daemon's production wiring (NewStudyAdviseBackend)
+// resolves real apps — exercised end to end in the root package's advisor
+// tests, so here it only has to reject nothing and build.
+func TestAdviseStudyFactory(t *testing.T) {
+	f := service.NewStudyAdviseBackend()
+	b, err := f(service.AdviseSpec{Advise: service.AdviseGroup{App: "VA", Budget: 0.1}, Runs: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := b.Kernels(context.Background(), "VA")
+	if err != nil || len(ks) == 0 {
+		t.Fatalf("study backend kernels: %v %v", ks, err)
+	}
+	if _, err := b.Kernels(context.Background(), "no-such-app"); err == nil {
+		t.Error("unknown app not rejected")
+	}
+}
+
+// waitAdvise polls for a terminal state (the resume path starts jobs from
+// the constructor, before a subscriber can attach).
+func waitAdvise(t *testing.T, adv *service.Advisor, id string) service.AdviseStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := adv.Get(id)
+		if !ok {
+			t.Fatalf("advise job %s disappeared", id)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("advise job %s not terminal: %+v", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// grepMetrics filters an exposition page for a substring (test diagnostics).
+func grepMetrics(data []byte, substr string) string {
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -42,6 +42,12 @@ func saveCheckpoint(path string, jobs []jobCheckpoint, savedUnix int64) error {
 	if err != nil {
 		return err
 	}
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic writes data via a temp file + rename in the target's
+// directory, so a crash mid-write never corrupts the previous contents.
+func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".gpureld-ckpt-*")
 	if err != nil {
@@ -62,14 +68,20 @@ func saveCheckpoint(path string, jobs []jobCheckpoint, savedUnix int64) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// loadCheckpoint reads a journal; a missing file is an empty journal, not
-// an error.
-func loadCheckpoint(path string) ([]jobCheckpoint, error) {
+// readFileMissingOK reads a file, mapping "does not exist" to (nil, nil).
+func readFileMissingOK(path string) ([]byte, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
-	if err != nil {
+	return data, err
+}
+
+// loadCheckpoint reads a journal; a missing file is an empty journal, not
+// an error.
+func loadCheckpoint(path string) ([]jobCheckpoint, error) {
+	data, err := readFileMissingOK(path)
+	if data == nil || err != nil {
 		return nil, err
 	}
 	var cf checkpointFile

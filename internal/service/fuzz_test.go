@@ -66,3 +66,42 @@ func FuzzJobSpecDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAdviseSpecDecode: the /v1/advise decoder never panics, and every spec
+// that decodes and validates survives an encode/decode round trip intact.
+func FuzzAdviseSpecDecode(f *testing.F) {
+	seeds := []string{
+		`{"advise":{"app":"SRADv1","budget":0.005},"runs":3000,"seed":42}`,
+		`{"advise":{"app":"VA","budget":0},"runs":1}`,
+		`{"advise":{"app":"","budget":0.5},"runs":10}`,
+		`{"advise":{"app":"NW","budget":1.5},"runs":10}`,
+		`{"advise":{"app":"NW","budget":-1},"runs":10}`,
+		`{"advise":{"app":"NW","budget":0.1}}`,
+		`{"app":"NW","budget":0.1,"runs":10}`,
+		`{"advise":null,"runs":10}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sp service.AdviseSpec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := sp.Validate(); err != nil {
+			return
+		}
+		out, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("validated advise spec does not encode: %v (%+v)", err, sp)
+		}
+		var back service.AdviseSpec
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-decode failed: %v (%s)", err, out)
+		}
+		if !reflect.DeepEqual(back, sp) {
+			t.Fatalf("round trip changed the advise spec:\nbefore %+v\nafter  %+v\nwire %s", sp, back, out)
+		}
+	})
+}

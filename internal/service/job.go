@@ -84,15 +84,19 @@ type SnapshotSpec struct {
 // are still accepted on decode — see UnmarshalJSON — but are deprecated and
 // never emitted.
 type JobSpec struct {
-	Layer     string  `json:"layer"`               // "micro" | "soft"
-	App       string  `json:"app"`                 // benchmark name, e.g. "VA"
-	Kernel    string  `json:"kernel"`              // kernel name, e.g. "K1"
-	Structure string  `json:"structure,omitempty"` // micro: RF | SMEM | L1D | L1T | L2 | SCHED | STACK | BARRIER (default RF)
-	Mode      string  `json:"mode,omitempty"`      // soft: SVF | SVF-LD | SVF-USE (default SVF)
-	Hardened  bool    `json:"hardened,omitempty"`  // inject into the TMR-hardened variant
-	Runs      int     `json:"runs"`                // injections (paper: 3000 per point)
-	Seed      int64   `json:"seed"`                // campaign seed; run i uses Seed+i
-	Deadline  float64 `json:"deadline_sec,omitempty"`
+	Layer     string `json:"layer"`               // "micro" | "soft"
+	App       string `json:"app"`                 // benchmark name, e.g. "VA"
+	Kernel    string `json:"kernel"`              // kernel name, e.g. "K1"
+	Structure string `json:"structure,omitempty"` // micro: RF | SMEM | L1D | L1T | L2 | SCHED | STACK | BARRIER (default RF)
+	Mode      string `json:"mode,omitempty"`      // soft: SVF | SVF-LD | SVF-USE (default SVF)
+	Hardened  bool   `json:"hardened,omitempty"`  // inject into the TMR-hardened variant
+	// Harden selects the selectively hardened variant: the kernels whose
+	// launches run TMR (micro layer only, mutually exclusive with
+	// "hardened"). The advisor's verification campaigns submit these.
+	Harden   []string `json:"harden,omitempty"`
+	Runs     int      `json:"runs"` // injections (paper: 3000 per point)
+	Seed     int64    `json:"seed"` // campaign seed; run i uses Seed+i
+	Deadline float64  `json:"deadline_sec,omitempty"`
 
 	// Sampling is the adaptive-sampling group (nil = the paper's fixed-n
 	// methodology).
@@ -112,15 +116,16 @@ type JobSpec struct {
 // jobSpecWire is the superset decode target: the v1 nested groups plus every
 // deprecated flat spelling.
 type jobSpecWire struct {
-	Layer     string  `json:"layer"`
-	App       string  `json:"app"`
-	Kernel    string  `json:"kernel"`
-	Structure string  `json:"structure"`
-	Mode      string  `json:"mode"`
-	Hardened  bool    `json:"hardened"`
-	Runs      int     `json:"runs"`
-	Seed      int64   `json:"seed"`
-	Deadline  float64 `json:"deadline_sec"`
+	Layer     string   `json:"layer"`
+	App       string   `json:"app"`
+	Kernel    string   `json:"kernel"`
+	Structure string   `json:"structure"`
+	Mode      string   `json:"mode"`
+	Hardened  bool     `json:"hardened"`
+	Harden    []string `json:"harden"`
+	Runs      int      `json:"runs"`
+	Seed      int64    `json:"seed"`
+	Deadline  float64  `json:"deadline_sec"`
 
 	Sampling   *SamplingSpec `json:"sampling"`
 	Checkpoint *SnapshotSpec `json:"checkpoint"`
@@ -149,7 +154,7 @@ func (sp *JobSpec) UnmarshalJSON(data []byte) error {
 	}
 	*sp = JobSpec{
 		Layer: w.Layer, App: w.App, Kernel: w.Kernel,
-		Structure: w.Structure, Mode: w.Mode, Hardened: w.Hardened,
+		Structure: w.Structure, Mode: w.Mode, Hardened: w.Hardened, Harden: w.Harden,
 		Runs: w.Runs, Seed: w.Seed, Deadline: w.Deadline,
 		Sampling: w.Sampling, Checkpoint: w.Checkpoint, Fault: w.Fault,
 	}
@@ -245,6 +250,12 @@ func (sp JobSpec) Point() (gpurel.PointSpec, error) {
 	switch sp.Layer {
 	case string(gpurel.LayerMicro):
 		p.Layer = gpurel.LayerMicro
+		if len(sp.Harden) > 0 {
+			if sp.Hardened {
+				return p, fmt.Errorf("harden: mutually exclusive with hardened")
+			}
+			p.Harden = append([]string(nil), sp.Harden...)
+		}
 		st, err := ParseStructure(sp.Structure)
 		if err != nil {
 			return p, err
@@ -268,6 +279,9 @@ func (sp JobSpec) Point() (gpurel.PointSpec, error) {
 		p.Layer = gpurel.LayerSoft
 		if sp.Fault != nil && !sp.Fault.IsDefault() {
 			return p, fmt.Errorf("fault: models apply to the micro layer only")
+		}
+		if len(sp.Harden) > 0 {
+			return p, fmt.Errorf("harden: selective hardening applies to the micro layer only")
 		}
 		m, err := ParseMode(sp.Mode)
 		if err != nil {

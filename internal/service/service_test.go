@@ -17,11 +17,11 @@ import (
 	"time"
 
 	"gpurel"
+	"gpurel/client"
 	"gpurel/internal/campaign"
 	"gpurel/internal/faults"
 	"gpurel/internal/gpu"
 	"gpurel/internal/service"
-	"gpurel/client"
 )
 
 // outcome is the synthetic experiment's deterministic classification — the

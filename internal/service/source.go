@@ -2,6 +2,7 @@ package service
 
 import (
 	"gpurel"
+	"gpurel/internal/advisor"
 	"gpurel/internal/campaign"
 )
 
@@ -21,6 +22,15 @@ func NewStudySource(st *gpurel.Study) SourceFunc {
 	}
 }
 
+// NewStudyAdviseBackend returns the daemon's production advise wiring: each
+// advise job runs on its own gpurel.Study configured with the spec's runs
+// and seed, so equal specs produce bit-identical plans across processes.
+func NewStudyAdviseBackend() AdviseBackendFactory {
+	return func(spec AdviseSpec) (advisor.Backend, error) {
+		return &gpurel.StudyBackend{Study: gpurel.NewStudy(spec.Runs, spec.Seed)}, nil
+	}
+}
+
 // SpecForPoint renders a study-level campaign point as a wire spec with the
 // fully derived campaign seed — the inverse of JobSpec.Point, used by the
 // client-side Study.RunPoint hook.
@@ -36,6 +46,9 @@ func SpecForPoint(p gpurel.PointSpec, opts campaign.Options) JobSpec {
 	switch p.Layer {
 	case gpurel.LayerMicro:
 		sp.Structure = p.Structure.String()
+		if len(p.Harden) > 0 {
+			sp.Harden = append([]string(nil), p.Harden...)
+		}
 	case gpurel.LayerSoft:
 		sp.Mode = p.Mode.String()
 	}

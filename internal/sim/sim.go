@@ -454,9 +454,16 @@ func (r *runner) run() *Result {
 			st := &r.job.Steps[r.si]
 			if st.Host != nil {
 				// Host access goes through cudaMemcpy, which is coherent with
-				// L2: flush and invalidate before the host touches memory.
-				r.flushCaches(true)
+				// L2: write dirty lines back so the host reads the kernels'
+				// stores, then invalidate the GPU caches only if the host
+				// actually wrote — read-only host steps (D2H checks, no-op
+				// hardening guards) leave the caches warm.
+				r.flushCaches(false)
+				r.mem.ResetDirty()
 				next := st.Host(r.mem, 0)
+				if r.mem.Dirty() {
+					r.flushCaches(true)
+				}
 				if next >= 0 {
 					r.si = next
 				} else {

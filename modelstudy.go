@@ -45,10 +45,21 @@ func ControlFaultSpecs() []faultmodel.Spec {
 // one (app, kernel, structure) point under an explicit fault model. With the
 // default spec it shares its memo entry — and its seed — with MicroTally.
 func (s *Study) MicroTallyModel(appName, kernel string, st gpu.Structure, fault faultmodel.Spec) (campaign.Tally, error) {
+	return s.microTallyModel(appName, kernel, st, fault, false)
+}
+
+// MicroTallyModelHardened is MicroTallyModel on the TMR-hardened variant of
+// the application — the protection-effectiveness side of the cross-model
+// table.
+func (s *Study) MicroTallyModelHardened(appName, kernel string, st gpu.Structure, fault faultmodel.Spec) (campaign.Tally, error) {
+	return s.microTallyModel(appName, kernel, st, fault, true)
+}
+
+func (s *Study) microTallyModel(appName, kernel string, st gpu.Structure, fault faultmodel.Spec, hardened bool) (campaign.Tally, error) {
 	if _, err := s.Eval(appName); err != nil {
 		return campaign.Tally{}, err
 	}
-	key := microKey{app: appName, kernel: kernel, structure: st, fault: fault.Canonical()}
+	key := microKey{app: appName, kernel: kernel, structure: st, hardened: hardened, fault: fault.Canonical()}
 
 	s.mu.Lock()
 	tl, ok := s.micro[key]
@@ -56,7 +67,7 @@ func (s *Study) MicroTallyModel(appName, kernel string, st gpu.Structure, fault 
 	if !ok {
 		f := fault
 		var err error
-		tl, err = s.runPoint(PointSpec{Layer: LayerMicro, App: appName, Kernel: kernel, Structure: st, Fault: &f})
+		tl, err = s.runPoint(PointSpec{Layer: LayerMicro, App: appName, Kernel: kernel, Structure: st, Hardened: hardened, Fault: &f})
 		if err != nil {
 			return campaign.Tally{}, err
 		}
@@ -68,15 +79,22 @@ func (s *Study) MicroTallyModel(appName, kernel string, st gpu.Structure, fault 
 }
 
 // ModelOutcomeRow is one (structure, model) cell of the cross-model table:
-// the outcome distribution pooled over the selected applications' kernels.
+// the outcome distributions pooled over the selected applications' kernels,
+// on the unhardened (Tally) and TMR-hardened (Hardened) variants side by
+// side, so cross-model results show protection effectiveness rather than
+// raw outcome rates alone.
 type ModelOutcomeRow struct {
 	Structure string         `json:"structure"`
 	Model     string         `json:"model"`
 	Tally     campaign.Tally `json:"tally"`
+	Hardened  campaign.Tally `json:"hardened"`
 }
 
-// FR returns the pooled failure rate of the row.
+// FR returns the pooled failure rate of the row's unhardened campaigns.
 func (r ModelOutcomeRow) FR() float64 { return r.Tally.FR() }
+
+// FRHardened returns the pooled failure rate under TMR.
+func (r ModelOutcomeRow) FRHardened() float64 { return r.Hardened.FR() }
 
 // FaultModelTable measures the cross-model outcome table over the named
 // applications (nil = all 11 benchmarks): every storage structure under
@@ -90,7 +108,7 @@ func (s *Study) FaultModelTable(appNames []string) ([]ModelOutcomeRow, error) {
 	}
 	var rows []ModelOutcomeRow
 	pool := func(st gpu.Structure, fault faultmodel.Spec) error {
-		var pooled campaign.Tally
+		var pooled, hardened campaign.Tally
 		for _, app := range appNames {
 			e, err := s.Eval(app)
 			if err != nil {
@@ -102,9 +120,14 @@ func (s *Study) FaultModelTable(appNames []string) ([]ModelOutcomeRow, error) {
 					return fmt.Errorf("%s/%s %v %s: %w", app, k, st, fault.Label(), err)
 				}
 				pooled.Merge(tl)
+				th, err := s.MicroTallyModelHardened(app, k, st, fault)
+				if err != nil {
+					return fmt.Errorf("%s/%s %v %s (TMR): %w", app, k, st, fault.Label(), err)
+				}
+				hardened.Merge(th)
 			}
 		}
-		rows = append(rows, ModelOutcomeRow{Structure: st.String(), Model: fault.Label(), Tally: pooled})
+		rows = append(rows, ModelOutcomeRow{Structure: st.String(), Model: fault.Label(), Tally: pooled, Hardened: hardened})
 		return nil
 	}
 	for _, st := range gpu.Structures {
@@ -133,13 +156,14 @@ func (s *Study) FaultModelFigure(appNames []string) ([]ModelOutcomeRow, string, 
 	}
 	tbl := report.Table{
 		Title:  "Cross-model outcome distributions (micro layer, pooled over apps)",
-		Header: []string{"Structure", "Model", "n", "Masked", "SDC", "Timeout", "DUE", "FR"},
+		Header: []string{"Structure", "Model", "n", "Masked", "SDC", "Timeout", "DUE", "FR", "TMR SDC", "TMR FR"},
 	}
 	for _, r := range rows {
 		tbl.AddRow(r.Structure, r.Model, fmt.Sprintf("%d", r.Tally.N),
 			report.Pct(r.Tally.Pct(faults.Masked)), report.Pct(r.Tally.Pct(faults.SDC)),
 			report.Pct(r.Tally.Pct(faults.Timeout)), report.Pct(r.Tally.Pct(faults.DUE)),
-			report.Pct(r.Tally.FR()))
+			report.Pct(r.Tally.FR()),
+			report.Pct(r.Hardened.Pct(faults.SDC)), report.Pct(r.Hardened.FR()))
 	}
 	return rows, tbl.String(), nil
 }

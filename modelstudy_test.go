@@ -110,8 +110,14 @@ func TestFaultModelTableArtifact(t *testing.T) {
 		if r.Tally.N == 0 {
 			t.Errorf("row (%s, %s) tallied no runs", r.Structure, r.Model)
 		}
+		if r.Hardened.N == 0 {
+			t.Errorf("row (%s, %s) tallied no hardened runs", r.Structure, r.Model)
+		}
 		if fr := r.FR(); fr < 0 || fr > 1 {
 			t.Errorf("row (%s, %s) failure rate %v out of range", r.Structure, r.Model, fr)
+		}
+		if fr := r.FRHardened(); fr < 0 || fr > 1 {
+			t.Errorf("row (%s, %s) hardened failure rate %v out of range", r.Structure, r.Model, fr)
 		}
 	}
 	for _, st := range gpu.Structures {

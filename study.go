@@ -104,6 +104,56 @@ type AppEval struct {
 	liveOnce [2]sync.Once // [plain, hardened]
 	live     [2]*ace.Liveness
 	liveErr  [2]error
+
+	selMu sync.Mutex
+	sel   map[string]*selEval // selective variants, keyed by Set.Canonical()
+}
+
+// selEval is one cached selectively-hardened variant of an application:
+// the harden.Selective job, its micro golden run, and (on first pruned
+// campaign) its RF liveness map. Proper subsets only — the empty and full
+// protection sets normalize to the plain and TMR states of AppEval.
+type selEval struct {
+	once sync.Once
+	Job  *device.Job
+	G    *microfi.GoldenRun
+	err  error
+
+	liveOnce sync.Once
+	live     *ace.Liveness
+	liveErr  error
+}
+
+// selective returns (building and caching on first use) the selectively
+// hardened variant of the application for a canonical protection set.
+func (e *AppEval) selective(cfg gpu.Config, ck microfi.CheckpointSpec, set harden.Set) (*selEval, error) {
+	key := set.Canonical()
+	e.selMu.Lock()
+	if e.sel == nil {
+		e.sel = map[string]*selEval{}
+	}
+	se, ok := e.sel[key]
+	if !ok {
+		se = &selEval{}
+		e.sel[key] = se
+	}
+	e.selMu.Unlock()
+	se.once.Do(func() {
+		se.Job = harden.Selective(e.Job, set)
+		se.G, se.err = microfi.GoldenCheckpointed(se.Job, cfg, ck)
+	})
+	if se.err != nil {
+		return nil, fmt.Errorf("%s+SEL(%s): %w", e.App.Name, key, se.err)
+	}
+	return se, nil
+}
+
+// liveness traces (once) the RF liveness map of the selective golden run.
+func (se *selEval) liveness(cfg gpu.Config) (*ace.Liveness, error) {
+	se.liveOnce.Do(func() {
+		se.live, se.liveErr = ace.TraceRF(se.Job, cfg)
+	})
+	return se.live, se.liveErr
 }
 
 // liveness returns (tracing on first use) the RF liveness map of the plain or
@@ -124,6 +174,7 @@ type microKey struct {
 	structure   gpu.Structure
 	hardened    bool
 	fault       string // faultmodel.Spec.Canonical(); "" = transient single-bit
+	harden      string // harden.Set.Canonical(); "" = no selective protection
 }
 
 type softKey struct {
@@ -194,7 +245,19 @@ type PointSpec struct {
 	// WHAT the point measures, so every non-default spec feeds PointSeed;
 	// the default contributes nothing, keeping historical seeds intact.
 	Fault *faultmodel.Spec
+	// Harden names the protected kernel subset of a selective-hardening
+	// point (LayerMicro): the campaign injects into harden.Selective(job,
+	// set) instead of the plain or fully-TMR'd job. Mutually exclusive with
+	// Hardened. Like Fault it changes what the point measures, so a
+	// non-empty set feeds PointSeed; study entry points normalize the empty
+	// set to the plain job and a set covering every kernel to Hardened=true,
+	// so those boundary points share seeds and memo entries with the legacy
+	// campaigns (the harden.Selective bit-identity property).
+	Harden []string
 }
+
+// hardenSet returns the point's protection set in canonical form.
+func (p PointSpec) hardenSet() harden.Set { return harden.NewSet(p.Harden...) }
 
 // faultSpec returns the point's fault spec with nil meaning the default.
 func (p PointSpec) faultSpec() faultmodel.Spec {
@@ -220,6 +283,12 @@ func PointSeed(base int64, spec PointSpec) int64 {
 		// unchanged and historical tallies remain reproducible.
 		if c := spec.faultSpec().Canonical(); c != "" {
 			id += "|fault=" + c
+		}
+		// Likewise for selective hardening: a proper protection subset is a
+		// new point identity, while the boundary sets are normalized away
+		// before seeding and so contribute nothing here.
+		if c := spec.hardenSet().Canonical(); c != "" {
+			id += "|harden=" + c
 		}
 		return base + int64(hashKey(id))
 	}
@@ -249,12 +318,35 @@ func (s *Study) PointExperiment(spec PointSpec) (campaign.Experiment, error) {
 			return nil, err
 		}
 		job, g := e.Job, e.MicroG
-		if spec.Hardened {
+		includeVote := spec.Hardened
+		liveness := func() (*ace.Liveness, error) { return e.liveness(s.Cfg, spec.Hardened) }
+		switch {
+		case len(spec.Harden) > 0:
+			if spec.Hardened {
+				return nil, fmt.Errorf("point mixes hardened with a selective protection set")
+			}
+			set := spec.hardenSet()
+			if set.Covers(e.Job) {
+				// Full-set selective = TMR, bit for bit; share its golden.
+				job, g, includeVote = e.JobTMR, e.MicroGTMR, true
+				liveness = func() (*ace.Liveness, error) { return e.liveness(s.Cfg, true) }
+				break
+			}
+			se, err := e.selective(s.Cfg, ck, set)
+			if err != nil {
+				return nil, err
+			}
+			// The vote belongs to the protected kernels' workflow: its
+			// windows count toward a kernel exactly when that kernel is in
+			// the protection set.
+			job, g, includeVote = se.Job, se.G, set.Has(spec.Kernel)
+			liveness = func() (*ace.Liveness, error) { return se.liveness(s.Cfg) }
+		case spec.Hardened:
 			job, g = e.JobTMR, e.MicroGTMR
 		}
-		t := microfi.Target{Structure: spec.Structure, Kernel: spec.Kernel, IncludeVote: spec.Hardened}
+		t := microfi.Target{Structure: spec.Structure, Kernel: spec.Kernel, IncludeVote: includeVote}
 		if spec.Sampling != nil && spec.Sampling.Prune && spec.Structure == gpu.RF {
-			lv, err := e.liveness(s.Cfg, spec.Hardened)
+			lv, err := liveness()
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", spec.App, err)
 			}
@@ -268,6 +360,9 @@ func (s *Study) PointExperiment(spec PointSpec) (campaign.Experiment, error) {
 	case LayerSoft:
 		if !spec.faultSpec().IsDefault() {
 			return nil, fmt.Errorf("fault models apply to the micro layer only")
+		}
+		if len(spec.Harden) > 0 {
+			return nil, fmt.Errorf("selective hardening applies to the micro layer only")
 		}
 		job, g := e.Job, e.SoftG
 		if spec.Hardened {
