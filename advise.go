@@ -40,6 +40,28 @@ func (b *StudyBackend) Kernels(ctx context.Context, app string) ([]string, error
 	return append([]string(nil), e.App.Kernels...), nil
 }
 
+// PreRank implements advisor.PreRanker: the flow interval engine's static
+// RF AVF bracket per kernel, from one fault-free traced run of the plain
+// job (cached on the AppEval) — no injection campaigns. The runner uses it
+// to measure the statically most-exposed kernels first; it cannot change
+// the plan, which is a pure function of the complete measurement maps.
+func (b *StudyBackend) PreRank(ctx context.Context, app string) ([]advisor.StaticRank, error) {
+	e, err := b.Study.Eval(app)
+	if err != nil {
+		return nil, err
+	}
+	si, err := e.staticIntervals(b.Study.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]advisor.StaticRank, 0, len(e.App.Kernels))
+	for _, k := range e.App.Kernels {
+		bd := si.Bounds(gpu.RF, k)
+		ranks = append(ranks, advisor.StaticRank{Kernel: k, Lower: bd.Lower, Upper: bd.Upper})
+	}
+	return ranks, nil
+}
+
 // Measure runs the plain and hardened campaigns for one kernel and derives
 // its weight and TMR cycle multiplier from the golden runs. The static hint
 // is the kernel's mean live-register pressure from flow liveness: kernels

@@ -5,10 +5,12 @@
 package gpurel
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
 
+	"gpurel/internal/advisor"
 	"gpurel/internal/faultmodel"
 	"gpurel/internal/gpu"
 	"gpurel/internal/harden"
@@ -249,5 +251,71 @@ func TestAdvisorPlansArtifact(t *testing.T) {
 	}
 	if err := os.WriteFile(os.Getenv("GPUREL_ADVISOR_JSON"), append(raw, '\n'), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// noPreRank hides the StudyBackend's PreRanker capability: the embedded
+// interface value forwards every Backend method but the wrapper type itself
+// has no PreRank method, so the runner's capability check fails.
+type noPreRank struct{ advisor.Backend }
+
+// TestAdvisorPreRankPlanUnchangedOnStudy pins the tentpole consumer
+// contract on the real measurement stack: the static pre-ranking stage
+// reorders measurement and journals the bounds, but the plan and
+// verification are bit-identical to the seed behaviour (same backend with
+// the capability hidden).
+func TestAdvisorPreRankPlanUnchangedOnStudy(t *testing.T) {
+	tc := advisorE2ECases[0]
+	budget := func(s *Study) float64 {
+		plain, err := s.AppAVF(tc.app, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hard, err := s.AppAVF(tc.app, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hard.SDC + tc.frac*(plain.SDC-hard.SDC)
+	}
+
+	s1 := NewStudy(tc.runs, tc.seed)
+	ranked, err := s1.Advise(tc.app, budget(s1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked.PreRank) == 0 {
+		t.Fatal("study advise recorded no static pre-ranks")
+	}
+	someExposure := false
+	for _, r := range ranked.PreRank {
+		if !(0 <= r.Lower && r.Lower <= r.Upper && r.Upper <= 1) {
+			t.Fatalf("pre-rank %+v not a sane [0,1] bracket", r)
+		}
+		if r.Upper > 0 {
+			someExposure = true
+		}
+	}
+	if !someExposure {
+		t.Fatal("every kernel statically dead — bounds implausible")
+	}
+
+	s2 := NewStudy(tc.runs, tc.seed)
+	r := &advisor.Runner{Backend: noPreRank{&StudyBackend{Study: s2}}, App: tc.app, Budget: budget(s2)}
+	seedSt, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seedSt.PreRank != nil {
+		t.Fatal("hidden capability still produced pre-ranks")
+	}
+	p1, _ := json.Marshal(ranked.Plan)
+	p2, _ := json.Marshal(seedSt.Plan)
+	if string(p1) != string(p2) {
+		t.Errorf("pre-ranking changed the plan:\n%s\n%s", p1, p2)
+	}
+	v1, _ := json.Marshal(ranked.Verification)
+	v2, _ := json.Marshal(seedSt.Verification)
+	if string(v1) != string(v2) {
+		t.Errorf("pre-ranking changed the verification:\n%s\n%s", v1, v2)
 	}
 }

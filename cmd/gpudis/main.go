@@ -12,9 +12,19 @@
 //	gpudis -app LUD -kernel K2 -dot    # CFG in Graphviz dot syntax
 //	gpudis -app BFS -lint              # lint every kernel of the app
 //	gpudis -app LUD -sites             # injectable control-state sites per kernel
+//	gpudis -app VA -avf-bounds         # static AVF bounds per kernel and structure
 //
 // -lint exits 2 when any kernel has error-severity findings, 1 when only
-// warnings, 0 when clean.
+// warnings, 0 when clean. The lint pass includes the shared-memory sync
+// checker: smem-sync (cross-thread shared-memory dependence with no barrier
+// between store and load) is an error; bar-redundant (a barrier no shared
+// memory access needs) is a warning.
+//
+// -avf-bounds traces the job fault-free with the flow interval engine and
+// prints, per kernel, the static AVF bracket [lower, upper] for each
+// hardware structure: RF and SMEM come from the dead/live intervals, while
+// caches and control state are outside the engine's reach and report the
+// trivial unsupported [0, 1].
 package main
 
 import (
@@ -25,8 +35,10 @@ import (
 
 	"gpurel/internal/device"
 	"gpurel/internal/flow"
+	"gpurel/internal/gpu"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
+	"gpurel/internal/microfi"
 	"gpurel/internal/reuse"
 	"gpurel/internal/sim"
 )
@@ -41,6 +53,7 @@ func main() {
 		cfg     = flag.Bool("cfg", false, "print the basic-block CFG with dominators")
 		dot     = flag.Bool("dot", false, "print the CFG in Graphviz dot syntax")
 		sites   = flag.Bool("sites", false, "list injectable control-state sites (SCHED/STACK/BARRIER) per kernel launch")
+		bounds  = flag.Bool("avf-bounds", false, "print static AVF lower/upper bounds per kernel and structure from the interval engine")
 		list    = flag.Bool("list", false, "list benchmarks")
 	)
 	flag.Parse()
@@ -101,6 +114,16 @@ func main() {
 
 	if *sites {
 		printSites(app.Name, job, progs, *kernel)
+		return
+	}
+
+	if *bounds {
+		if *kernel != "" {
+			if _, ok := progs[*kernel]; !ok {
+				fatal(fmt.Errorf("%s has no kernel %q", app.Name, *kernel))
+			}
+		}
+		printBounds(app.Name, job, order, *kernel)
 		return
 	}
 
@@ -216,6 +239,34 @@ func printSites(appName string, job *device.Job, progs map[string]*isa.Program, 
 	}
 	if only != "" && !found {
 		fatal(fmt.Errorf("%s has no kernel %q", appName, only))
+	}
+}
+
+// printBounds traces the job fault-free with the flow interval recorder and
+// prints each kernel's static AVF bracket per hardware structure. The upper
+// bound is the expected live fraction of allocated state over the kernel's
+// injection windows; the lower bound is 0 (the engine proves deadness, not
+// ACE-ness). Unsupported structures report the trivial [0, 1] bracket.
+func printBounds(appName string, job *device.Job, order []string, only string) {
+	si, err := microfi.TraceStatic(job, gpu.Volta())
+	if err != nil {
+		fatal(err)
+	}
+	names := order
+	if only != "" {
+		names = []string{only}
+	}
+	fmt.Printf("%s: static AVF bounds (%d traced cycles)\n", appName, si.Cycles)
+	for _, name := range names {
+		fmt.Printf("  %s:\n", name)
+		for _, st := range gpu.Structures {
+			b := si.Bounds(st, name)
+			note := ""
+			if !b.Supported {
+				note = "  (unsupported: trivial bracket)"
+			}
+			fmt.Printf("    %-5s [%6.4f, %6.4f]%s\n", st, b.Lower, b.Upper, note)
+		}
 	}
 }
 

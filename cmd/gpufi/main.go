@@ -65,7 +65,7 @@ func main() {
 		adaptiveOn  = flag.Bool("adaptive", false, "stop each campaign early once the Wilson-score 99% CI half-width reaches the target margin")
 		margin      = flag.Float64("margin", 0, "target 99% CI half-width for -adaptive (0 = the paper's ±2.35%); implies -adaptive")
 		prune       = flag.Bool("prune", false, "classify provably-dead RF injection sites as Masked from the golden run's liveness map, without simulating")
-		staticPrune = flag.Bool("static-prune", false, "classify statically-dead RF injection sites as Masked via dataflow analysis (no liveness trace needed); ignored when -prune is set")
+		staticPrune = flag.Bool("static-prune", false, "classify RF/SMEM injections landing in statically-dead cycle intervals as Masked (no liveness trace needed); ignored when -prune is set")
 		ckStride    = flag.Int64("snap-stride", 0, "golden-run snapshot stride in cycles for fork-and-join injection (0 = off, -1 = auto)")
 		ckMB        = flag.Int64("snap-mb", 0, "snapshot memory budget in MiB (0 = default 256, negative = unlimited)")
 		converge    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -snap-stride -1 if unset")
@@ -113,9 +113,11 @@ func main() {
 			fatal(err)
 		}
 	}
-	var dead microfi.StaticDead
+	var static *microfi.StaticIntervals
 	if *staticPrune && lv == nil {
-		dead = microfi.StaticDeadRegs(job)
+		if static, err = microfi.TraceStatic(job, cfg); err != nil {
+			fatal(err)
+		}
 	}
 
 	var structures []gpu.Structure
@@ -177,9 +179,9 @@ func main() {
 			exp = counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
 				return microfi.InjectPrunedModel(job, g, lv, tgt, mdl, rng)
 			})
-		} else if dead != nil && st == gpu.RF {
+		} else if static != nil && (st == gpu.RF || st == gpu.SMEM) {
 			exp = counters.Instrument(func(run int, rng *rand.Rand) (faults.Result, bool) {
-				return microfi.InjectStaticModel(job, g, dead, tgt, mdl, rng)
+				return microfi.InjectStaticModel(job, g, static, tgt, mdl, rng)
 			})
 		} else {
 			exp = counters.Count(func(run int, rng *rand.Rand) faults.Result {
@@ -210,9 +212,9 @@ func main() {
 		tbl.AddFooter("full-chip AVF (size-weighted): %s  [SDC %s, Timeout %s, DUE %s]",
 			report.Pct(chip.Total()), report.Pct(chip.SDC), report.Pct(chip.Timeout), report.Pct(chip.DUE))
 	}
-	if target > 0 || *prune || dead != nil {
+	if target > 0 || *prune || static != nil {
 		how := "liveness"
-		if dead != nil {
+		if static != nil {
 			how = "static"
 		}
 		tbl.AddFooter("adaptive sampling: %d simulated, %d pruned (%s), %d saved (early stop, target ±%.2f%%)",

@@ -42,6 +42,18 @@ type KernelMeasure struct {
 	Hint float64 `json:"hint"`
 }
 
+// StaticRank is the zero-cost static pre-ranking of one kernel: the flow
+// interval engine's static AVF bracket for the kernel's launch windows.
+// Pre-ranks only reorder the measurement phase (most-exposed kernels first,
+// so an interrupted run has journaled the kernels most likely to matter);
+// they never change which kernels are measured or what the search decides —
+// the plan is a pure function of the complete measurement maps.
+type StaticRank struct {
+	Kernel string  `json:"kernel"`
+	Lower  float64 `json:"lower"`
+	Upper  float64 `json:"upper"`
+}
+
 // SearchStep records one greedy round: the kernel added and the predicted
 // position after adding it.
 type SearchStep struct {
@@ -101,6 +113,10 @@ type State struct {
 	App     string  `json:"app"`
 	Budget  float64 `json:"budget"`
 	Phase   string  `json:"phase"`
+	// PreRank is the static pre-ranking recorded when the backend offers one
+	// (the PreRanker capability); absent otherwise, so seed-era journals
+	// round-trip unchanged.
+	PreRank []StaticRank `json:"pre_rank,omitempty"`
 	// Measures and Costs accumulate during PhaseMeasure, keyed by kernel.
 	Measures map[string]KernelMeasure `json:"measures,omitempty"`
 	Costs    map[string]float64       `json:"costs,omitempty"`

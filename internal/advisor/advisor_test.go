@@ -319,3 +319,100 @@ func TestSortedKernelsSorted(t *testing.T) {
 		t.Fatalf("sortedKernels = %v", got)
 	}
 }
+
+// preRankedBackend decorates fakeBackend with the PreRanker capability and
+// records the order kernels are measured in.
+type preRankedBackend struct {
+	*fakeBackend
+	ranks    []StaticRank
+	prCalls  int
+	measured []string
+}
+
+func (p *preRankedBackend) PreRank(ctx context.Context, app string) ([]StaticRank, error) {
+	p.prCalls++
+	return append([]StaticRank(nil), p.ranks...), nil
+}
+
+func (p *preRankedBackend) Measure(ctx context.Context, app, kernel string) (KernelMeasure, error) {
+	p.measured = append(p.measured, kernel)
+	return p.fakeBackend.Measure(ctx, app, kernel)
+}
+
+// TestRunnerPreRankPlanUnchanged pins the pre-rank contract: a backend
+// offering static pre-ranks gets its measurement phase reordered (descending
+// static upper bound) and the ranks journaled, but the resulting plan and
+// verification are identical to the same backend without the capability —
+// the search is a pure function of the complete measurement maps.
+func TestRunnerPreRankPlanUnchanged(t *testing.T) {
+	budget := 0.02
+	plain := &Runner{Backend: threeKernelBackend(), App: "app", Budget: budget}
+	want, err := plain.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pb := &preRankedBackend{
+		fakeBackend: threeKernelBackend(),
+		ranks: []StaticRank{
+			{Kernel: "K1", Lower: 0, Upper: 0.2},
+			{Kernel: "K2", Lower: 0, Upper: 0.9},
+			{Kernel: "K3", Lower: 0, Upper: 0.5},
+		},
+	}
+	ranked := &Runner{Backend: pb, App: "app", Budget: budget}
+	got, err := ranked.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Plan, want.Plan) {
+		t.Fatalf("pre-ranking changed the plan:\n%+v\n%+v", got.Plan, want.Plan)
+	}
+	if !reflect.DeepEqual(got.Verification, want.Verification) {
+		t.Fatalf("pre-ranking changed the verification")
+	}
+	if !reflect.DeepEqual(pb.measured, []string{"K2", "K3", "K1"}) {
+		t.Fatalf("measurement order = %v, want descending upper [K2 K3 K1]", pb.measured)
+	}
+	if !reflect.DeepEqual(got.PreRank, pb.ranks) {
+		t.Fatalf("state.PreRank = %+v, want journaled ranks", got.PreRank)
+	}
+	if want.PreRank != nil {
+		t.Fatalf("plain backend recorded PreRank %+v", want.PreRank)
+	}
+
+	// A resume whose state already holds the ranks must not re-rank, and
+	// must land on the same plan.
+	pb2 := &preRankedBackend{fakeBackend: threeKernelBackend(), ranks: pb.ranks}
+	raw, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resume State
+	if err := json.Unmarshal(raw, &resume); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := (&Runner{Backend: pb2, App: "app", Budget: budget, Resume: &resume}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb2.prCalls != 0 {
+		t.Fatalf("resume re-ran PreRank %d times", pb2.prCalls)
+	}
+	if !reflect.DeepEqual(resumed.Plan, want.Plan) {
+		t.Fatalf("resumed plan mismatch")
+	}
+}
+
+// TestPreRankOrderStable pins the tie/missing-kernel behaviour: equal or
+// absent upper bounds keep schedule order.
+func TestPreRankOrderStable(t *testing.T) {
+	ks := []string{"A", "B", "C", "D"}
+	got := preRankOrder(ks, []StaticRank{{Kernel: "C", Upper: 0.5}, {Kernel: "B", Upper: 0.5}})
+	if !reflect.DeepEqual(got, []string{"B", "C", "A", "D"}) {
+		t.Fatalf("order = %v", got)
+	}
+	if !reflect.DeepEqual(preRankOrder(ks, nil), ks) {
+		t.Fatalf("nil ranks must be identity")
+	}
+}

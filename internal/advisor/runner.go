@@ -3,6 +3,7 @@ package advisor
 import (
 	"context"
 	"fmt"
+	"sort"
 )
 
 // Backend is the measurement surface the runner drives. The production
@@ -26,6 +27,34 @@ type Backend interface {
 	// in by the runner. A blocked backend should honor ctx so cancellation
 	// and daemon shutdown interrupt in-flight units promptly.
 	Verify(ctx context.Context, app string, protect []string) (Verification, error)
+}
+
+// PreRanker is an optional Backend capability: a zero-cost static
+// pre-ranking of the app's kernels (the flow interval engine's static AVF
+// bounds — no campaign runs). When present, the runner records the ranks in
+// the state and measures kernels in descending static-upper-bound order, so
+// an interrupted run has journaled the most-exposed kernels first. Plans are
+// unaffected: the search consumes the complete measurement maps, which are
+// order-independent.
+type PreRanker interface {
+	PreRank(ctx context.Context, app string) ([]StaticRank, error)
+}
+
+// preRankOrder reorders kernels by descending static upper bound; ties and
+// kernels missing from the ranking keep schedule order (stable sort).
+func preRankOrder(kernels []string, ranks []StaticRank) []string {
+	if len(ranks) == 0 {
+		return kernels
+	}
+	upper := make(map[string]float64, len(ranks))
+	for _, r := range ranks {
+		upper[r.Kernel] = r.Upper
+	}
+	ordered := append([]string(nil), kernels...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return upper[ordered[i]] > upper[ordered[j]]
+	})
+	return ordered
 }
 
 // Runner executes one advise run: measure every kernel, search for the
@@ -77,6 +106,18 @@ func (r *Runner) Run(ctx context.Context) (*State, error) {
 	if err != nil {
 		return st, err
 	}
+	if pr, ok := r.Backend.(PreRanker); ok && st.PreRank == nil {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		ranks, err := pr.PreRank(ctx, r.App)
+		if err != nil {
+			return st, fmt.Errorf("pre-rank %s: %w", r.App, err)
+		}
+		st.PreRank = ranks
+		emit()
+	}
+	kernels = preRankOrder(kernels, st.PreRank)
 	for _, k := range kernels {
 		if err := ctx.Err(); err != nil {
 			return st, err

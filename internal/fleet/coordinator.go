@@ -124,9 +124,16 @@ func (c *Coordinator) Close() {
 	c.closed.Do(func() {
 		close(c.done)
 		c.mu.Lock()
-		ls := make([]*lease, 0, len(c.leases))
-		for _, l := range c.leases {
-			ls = append(ls, l)
+		// Requeue in sorted lease-ID order so the backlog sees a
+		// deterministic return sequence.
+		ids := make([]string, 0, len(c.leases))
+		for id := range c.leases { //relint:allow map-order: sorted immediately below
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		ls := make([]*lease, 0, len(ids))
+		for _, id := range ids {
+			ls = append(ls, c.leases[id])
 		}
 		c.leases = map[string]*lease{}
 		c.stats.Returned += int64(len(ls))
@@ -166,9 +173,16 @@ func (c *Coordinator) sweepLoop() {
 func (c *Coordinator) Sweep() {
 	now := c.cfg.Now()
 	c.mu.Lock()
+	// Expire in sorted lease-ID order so requeues hit the backlog in a
+	// deterministic sequence.
+	ids := make([]string, 0, len(c.leases))
+	for id := range c.leases { //relint:allow map-order: sorted immediately below
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var expired []*lease
-	for id, l := range c.leases {
-		if now.After(l.deadline) {
+	for _, id := range ids {
+		if l := c.leases[id]; now.After(l.deadline) {
 			delete(c.leases, id)
 			expired = append(expired, l)
 		}
@@ -335,7 +349,7 @@ func (c *Coordinator) WriteMetrics(w io.Writer) {
 	st := c.stats
 	open := len(c.leases)
 	workers := make([]string, 0, len(c.workerRuns))
-	for name := range c.workerRuns {
+	for name := range c.workerRuns { //relint:allow map-order: sorted immediately below
 		workers = append(workers, name)
 	}
 	sort.Strings(workers)

@@ -1,0 +1,93 @@
+package flow_test
+
+import (
+	"testing"
+
+	"gpurel/internal/ace"
+	"gpurel/internal/device"
+	"gpurel/internal/flow"
+	"gpurel/internal/gpu"
+	"gpurel/internal/isa"
+	"gpurel/internal/sim"
+)
+
+// FuzzIntervals throws arbitrary valid programs at the interval builder:
+// whatever the fuzzer constructs, the recorded interval map must satisfy
+// its structural invariants (well-formed, sorted, non-overlapping
+// intervals inside the traced run) and the soundness property — any site
+// the dynamic ace tracer saw live is live statically, i.e. statically-dead
+// ⊆ dynamically-not-live. Faulting or timing-out programs still must
+// produce well-formed (if truncated) intervals.
+func FuzzIntervals(f *testing.F) {
+	seed := func(p *isa.Program) { f.Add(p.Marshal()) }
+	seed(&isa.Program{Name: "seed", NumRegs: 4, Code: []isa.Instr{
+		{Op: isa.OpMOVI, Dst: 1, Imm: 42},
+		{Op: isa.OpIADD, Dst: 2, SrcA: 1, SrcB: 1},
+		{Op: isa.OpSTG, SrcA: 1, SrcB: 2},
+		{Op: isa.OpEXIT},
+	}})
+	seed(&isa.Program{Name: "smem", NumRegs: 5, Code: []isa.Instr{
+		{Op: isa.OpS2R, Dst: 1, Special: isa.SRTidX},
+		{Op: isa.OpSHL, Dst: 2, SrcA: 1, BImm: true, Imm: 2},
+		{Op: isa.OpMOVI, Dst: 3, Imm: 7},
+		{Op: isa.OpSTS, SrcA: 2, SrcB: 3},
+		{Op: isa.OpBAR},
+		{Op: isa.OpLDS, Dst: 4, SrcA: 2},
+		{Op: isa.OpSTG, SrcA: 2, SrcB: 4},
+		{Op: isa.OpEXIT},
+	}})
+	seed(&isa.Program{Name: "diverge", NumRegs: 4, Code: []isa.Instr{
+		{Op: isa.OpS2R, Dst: 1, Special: isa.SRLaneID},
+		{Op: isa.OpISETP, PDst: isa.P0, Cmp: isa.CmpLT, SrcA: 1, BImm: true, Imm: 16},
+		{Op: isa.OpBRA, Pred: isa.P0, PredNeg: true, Target: 4, Reconv: 5},
+		{Op: isa.OpMOVI, Dst: 2, Imm: 1},
+		{Op: isa.OpMOVI, Dst: 3, Imm: 2},
+		{Op: isa.OpSTG, SrcA: 2, SrcB: 3},
+		{Op: isa.OpEXIT},
+	}})
+
+	cfg := gpu.Volta()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := isa.UnmarshalProgram(data)
+		if err != nil || p.Validate() != nil {
+			return
+		}
+		// The interval engine's alloc-kill is only sound for programs that
+		// never read uninitialized state; Lint's error rules enforce exactly
+		// the validity contract shipped kernels satisfy.
+		if flow.HasErrors(flow.Lint(p)) {
+			return
+		}
+		mem := device.NewMemory(1 << 16)
+		buf := mem.Alloc("scratch", 4096)
+		params := make([]uint32, 8)
+		for i := range params {
+			params[i] = buf
+		}
+		job := &device.Job{Name: "fuzz", Mem: mem, Steps: []device.Step{{
+			Launch: &device.Launch{Kernel: p, KernelName: "K1",
+				GridX: 2, GridY: 1, BlockX: 33, BlockY: 1,
+				SmemBytes: 256, Params: params},
+		}}}
+		rec := flow.NewRecorder()
+		lv := ace.NewLiveness(cfg)
+		res := sim.Run(job, cfg, sim.Options{MaxCycles: 20000, SchedTrace: rec, RFTrace: lv})
+		iv := rec.Finalize(res.Cycles)
+		if err := iv.Check(); err != nil {
+			t.Fatalf("interval invariants violated: %v\nprogram:\n%v", err, p.Code)
+		}
+		lv.Cycles = res.Cycles
+		for c := int64(1); c <= res.Cycles; c += 1 + res.Cycles/64 {
+			for sm := 0; sm < cfg.NumSMs; sm++ {
+				for _, blk := range lv.RFBlocksAt(sm, c, nil) {
+					for k := 0; k < blk.Size; k++ {
+						if lv.Live(sm, blk.Base+k, c) && !iv.LiveRF(sm, blk.Base+k, c) {
+							t.Fatalf("unsound: sm %d phys %d cycle %d dynamically live, statically dead\nprogram:\n%v",
+								sm, blk.Base+k, c, p.Code)
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,583 @@
+package flow
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"gpurel/internal/isa"
+)
+
+// This file is the cycle-interval ACE engine: it turns the deterministic
+// scheduler's execution order into per-physical-register and per-shared-
+// memory-word dead/live intervals, and derives static AVF bounds from them.
+//
+// The Recorder implements sim.SchedTracer structurally (the signatures use
+// only basic types and *isa.Program), so flow stays decoupled from sim. Per
+// issued instruction it applies the instruction's *static* effects — source
+// registers read, destination killed, shared-memory words read or
+// overwritten — to the lanes of the post-predication active mask, which
+// makes the intervals reconvergence- and predication-aware: a lane outside
+// the mask executed nothing and gets no events.
+//
+// Interval semantics match ace.Liveness (and the injector's hook position):
+// a value's live interval (Lo, Hi] marks injection cycles c with
+// Lo < c <= Hi as observable; everything outside every live interval of an
+// allocated site is provably dead — the corrupted value is overwritten or
+// deallocated before anything reads it. Like the ace tracer, allocation
+// kills leftover values of the previous occupant, which is sound for
+// kernels that never consume uninitialized state (flow.Lint's uninit-read
+// rule enforces this for registers; shipped kernels write shared memory
+// before reading it).
+//
+// Shared memory is tracked at two granularities per allocated block:
+// LDS/STS addresses are register-held in general, so an LDS with an unknown
+// address conservatively reads the whole block, while RZ-based addresses
+// (addr = Imm) read or overwrite exactly one word. An unknown-address STS
+// kills nothing (the overwritten word is unknown).
+
+// Recorder accumulates scheduled-trace events. Create with NewRecorder,
+// pass as sim.Options.SchedTrace on a fault-free run, then call Finalize.
+type Recorder struct {
+	effects map[*isa.Program]*progEffects
+	ctas    map[int]*ctaRec
+	sms     []*smRecord
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		effects: map[*isa.Program]*progEffects{},
+		ctas:    map[int]*ctaRec{},
+	}
+}
+
+// Iv is a live interval: injections at cycles c with Lo < c <= Hi can reach
+// a future read of the stored value.
+type Iv struct{ Lo, Hi int64 }
+
+// Blk is a contiguous allocated region of a storage array (registers or
+// shared-memory bytes), mirroring sim.RFBlock.
+type Blk struct{ Base, Size int }
+
+// track is one site's recording state: the cycle of the most recent event
+// and the merged live intervals so far.
+type track struct {
+	last int64
+	ivs  []Iv
+}
+
+// read exposes the stored value: any injection after the previous event and
+// at or before this read would have been consumed.
+func (t *track) read(cycle int64) {
+	if cycle > t.last {
+		if n := len(t.ivs); n > 0 && t.ivs[n-1].Hi == t.last {
+			t.ivs[n-1].Hi = cycle
+		} else {
+			t.ivs = append(t.ivs, Iv{Lo: t.last, Hi: cycle})
+		}
+		t.last = cycle
+	}
+}
+
+// live reports whether an injection at cycle lands inside a live interval.
+func (t *track) live(cycle int64) bool {
+	i := sort.Search(len(t.ivs), func(i int) bool { return t.ivs[i].Hi >= cycle })
+	return i < len(t.ivs) && t.ivs[i].Lo < cycle
+}
+
+// span is one CTA's allocated region with its visibility window
+// (release = -1 while open).
+type span struct {
+	base, size     int
+	alloc, release int64
+}
+
+// smemSpan is one CTA's shared-memory block: the span, a block-level track
+// fed by unknown-address reads, and (lazily) per-word tracks fed by
+// known-address accesses.
+type smemSpan struct {
+	span
+	block track
+	words []track // nil until the first known-address access
+}
+
+func (s *smemSpan) ensureWords() {
+	if s.words == nil {
+		s.words = make([]track, s.size/4)
+		for i := range s.words {
+			s.words[i].last = s.alloc
+		}
+	}
+}
+
+// smRecord is the per-SM recording state.
+type smRecord struct {
+	regs    []track // per physical register
+	rfSpans []span  // CTA placement order
+	rfOpen  map[int]int
+	smSpans []*smemSpan // CTA placement order
+}
+
+// ctaRec is one resident CTA's placement, keyed by the tracer's CTA id.
+type ctaRec struct {
+	sm, rfBase, smBase, threads int
+	eff                         *progEffects
+	rfSpan                      int       // index into sms[sm].rfSpans, -1 if rfSize == 0
+	smem                        *smemSpan // nil if smSize == 0
+}
+
+// pcEffect is the static effect of one instruction: registers read,
+// register killed, and shared-memory access shape.
+type pcEffect struct {
+	reads     []isa.Reg
+	kill      isa.Reg
+	hasKill   bool
+	smemRead  bool
+	smemWrite bool
+	addrKnown bool // SrcA == RZ: every lane accesses word addrImm
+	addrImm   int32
+}
+
+type progEffects struct {
+	numRegs int
+	pcs     []pcEffect
+}
+
+func (r *Recorder) effectsOf(p *isa.Program) *progEffects {
+	if e, ok := r.effects[p]; ok {
+		return e
+	}
+	e := &progEffects{numRegs: p.NumRegs, pcs: make([]pcEffect, len(p.Code))}
+	var srcs []isa.Reg
+	for pc := range p.Code {
+		ins := &p.Code[pc]
+		pe := &e.pcs[pc]
+		srcs = ins.SrcRegs(srcs[:0])
+		for _, s := range srcs {
+			if s != isa.RZ && int(s) < p.NumRegs {
+				pe.reads = append(pe.reads, s)
+			}
+		}
+		if ins.Writing() && int(ins.Dst) < p.NumRegs {
+			pe.kill, pe.hasKill = ins.Dst, true
+		}
+		switch ins.Op {
+		case isa.OpLDS:
+			pe.smemRead = true
+		case isa.OpSTS:
+			pe.smemWrite = true
+		}
+		if (pe.smemRead || pe.smemWrite) && ins.SrcA == isa.RZ {
+			pe.addrKnown, pe.addrImm = true, ins.Imm
+		}
+	}
+	r.effects[p] = e
+	return e
+}
+
+func (r *Recorder) sm(id int) *smRecord {
+	for len(r.sms) <= id {
+		r.sms = append(r.sms, &smRecord{rfOpen: map[int]int{}})
+	}
+	return r.sms[id]
+}
+
+// OnCTAPlace implements the sim.SchedTracer shape.
+func (r *Recorder) OnCTAPlace(cta, sm, rfBase, rfSize, smBase, smSize, threads int, prog *isa.Program, cycle int64) {
+	s := r.sm(sm)
+	rec := &ctaRec{sm: sm, rfBase: rfBase, smBase: smBase, threads: threads, eff: r.effectsOf(prog), rfSpan: -1}
+	if rfSize > 0 {
+		for len(s.regs) < rfBase+rfSize {
+			s.regs = append(s.regs, track{})
+		}
+		rec.rfSpan = len(s.rfSpans)
+		s.rfOpen[rfBase] = rec.rfSpan
+		s.rfSpans = append(s.rfSpans, span{base: rfBase, size: rfSize, alloc: cycle, release: -1})
+		// Allocation kills leftover values of the previous occupant.
+		for i := rfBase; i < rfBase+rfSize; i++ {
+			s.regs[i].last = cycle
+		}
+	}
+	if smSize > 0 {
+		rec.smem = &smemSpan{span: span{base: smBase, size: smSize, alloc: cycle, release: -1}}
+		rec.smem.block.last = cycle
+		s.smSpans = append(s.smSpans, rec.smem)
+	}
+	r.ctas[cta] = rec
+}
+
+// OnIssue implements the sim.SchedTracer shape: it applies pc's static
+// effects to every lane of the active mask.
+func (r *Recorder) OnIssue(cta, warp, pc int, mask uint32, cycle int64) {
+	rec := r.ctas[cta]
+	if rec == nil || pc < 0 || pc >= len(rec.eff.pcs) {
+		return
+	}
+	pe := &rec.eff.pcs[pc]
+	if len(pe.reads) > 0 || pe.hasKill {
+		s := r.sms[rec.sm]
+		numRegs := rec.eff.numRegs
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			base := rec.rfBase + (warp*32+lane)*numRegs
+			for _, reg := range pe.reads {
+				s.regs[base+int(reg)].read(cycle)
+			}
+			if pe.hasKill {
+				s.regs[base+int(pe.kill)].last = cycle
+			}
+		}
+	}
+	if (pe.smemRead || pe.smemWrite) && mask != 0 && rec.smem != nil {
+		sp := rec.smem
+		w := int(pe.addrImm) / 4
+		switch {
+		case pe.smemRead && pe.addrKnown && w >= 0 && w < sp.size/4:
+			sp.ensureWords()
+			sp.words[w].read(cycle)
+		case pe.smemRead:
+			// Unknown address: conservatively the whole block is read.
+			sp.block.read(cycle)
+		case pe.smemWrite && pe.addrKnown && w >= 0 && w < sp.size/4:
+			// Every active lane overwrites word w: the previous value dies.
+			sp.ensureWords()
+			sp.words[w].last = cycle
+		}
+		// Unknown-address STS: the overwritten word is unknown, kill nothing.
+	}
+}
+
+// OnCTARetire implements the sim.SchedTracer shape: values die with the
+// CTA's allocations.
+func (r *Recorder) OnCTARetire(cta int, cycle int64) {
+	rec := r.ctas[cta]
+	if rec == nil {
+		return
+	}
+	s := r.sms[rec.sm]
+	if rec.rfSpan >= 0 {
+		sp := &s.rfSpans[rec.rfSpan]
+		sp.release = cycle
+		delete(s.rfOpen, sp.base)
+		for i := sp.base; i < sp.base+sp.size; i++ {
+			s.regs[i].last = cycle
+		}
+	}
+	if rec.smem != nil {
+		rec.smem.release = cycle
+	}
+	delete(r.ctas, cta)
+}
+
+// Intervals is the finalized interval map of one traced run.
+type Intervals struct {
+	sms    []*smRecord
+	Cycles int64 // traced run length
+}
+
+// Finalize freezes the recording into a queryable interval map. cycles is
+// the traced run's total cycle count.
+func (r *Recorder) Finalize(cycles int64) *Intervals {
+	return &Intervals{sms: r.sms, Cycles: cycles}
+}
+
+// NumSMs returns the number of SMs the trace touched.
+func (iv *Intervals) NumSMs() int { return len(iv.sms) }
+
+// LiveRF reports whether an injection into physical register (sm, phys) at
+// the cycle can reach a future read — false means provably dead.
+func (iv *Intervals) LiveRF(sm, phys int, cycle int64) bool {
+	if sm >= len(iv.sms) || phys >= len(iv.sms[sm].regs) {
+		return false
+	}
+	return iv.sms[sm].regs[phys].live(cycle)
+}
+
+// LiveSmem reports whether an injection into shared-memory byte (sm, idx)
+// at the cycle can reach a future read. A byte is live when its allocated
+// block was conservatively read (unknown-address LDS) or its word's
+// known-address interval covers the cycle.
+func (iv *Intervals) LiveSmem(sm, idx int, cycle int64) bool {
+	if sm >= len(iv.sms) {
+		return false
+	}
+	for _, sp := range iv.sms[sm].smSpans {
+		if idx < sp.base || idx >= sp.base+sp.size {
+			continue
+		}
+		if !(sp.alloc < cycle && (sp.release < 0 || cycle <= sp.release)) {
+			continue
+		}
+		if sp.block.live(cycle) {
+			return true
+		}
+		if w := (idx - sp.base) / 4; sp.words != nil && w < len(sp.words) {
+			return sp.words[w].live(cycle)
+		}
+		return false
+	}
+	return false
+}
+
+// RFBlocksAt appends the register blocks an injection at cycle would find
+// allocated on the SM, in CTA placement order — bit-compatible with the
+// simulator's AllocatedRF enumeration and ace.Liveness.RFBlocksAt.
+func (iv *Intervals) RFBlocksAt(sm int, cycle int64, dst []Blk) []Blk {
+	if sm >= len(iv.sms) {
+		return dst
+	}
+	for _, sp := range iv.sms[sm].rfSpans {
+		if sp.alloc < cycle && (sp.release < 0 || cycle <= sp.release) {
+			dst = append(dst, Blk{Base: sp.base, Size: sp.size})
+		}
+	}
+	return dst
+}
+
+// SmemBlocksAt is RFBlocksAt for the shared-memory allocation timeline
+// (sizes in bytes), bit-compatible with AllocatedSmem.
+func (iv *Intervals) SmemBlocksAt(sm int, cycle int64, dst []Blk) []Blk {
+	if sm >= len(iv.sms) {
+		return dst
+	}
+	for _, sp := range iv.sms[sm].smSpans {
+		if sp.alloc < cycle && (sp.release < 0 || cycle <= sp.release) {
+			dst = append(dst, Blk{Base: sp.base, Size: sp.size})
+		}
+	}
+	return dst
+}
+
+// Check validates the structural invariants of the interval map: every
+// interval is non-empty (Lo < Hi) and within the traced run, intervals of
+// one site are sorted and non-overlapping, and allocation spans are in
+// chronological placement order with sane visibility windows. It returns
+// the first violation found, or nil. Fuzzing and property tests call this;
+// a violation means the Recorder itself is broken, not the traced program.
+func (iv *Intervals) Check() error {
+	checkTrack := func(sm int, what string, idx int, t *track) error {
+		for i, v := range t.ivs {
+			if v.Lo >= v.Hi {
+				return fmt.Errorf("sm%d %s %d: interval %d is empty or inverted: (%d, %d]", sm, what, idx, i, v.Lo, v.Hi)
+			}
+			if v.Lo < 0 || (iv.Cycles > 0 && v.Hi > iv.Cycles) {
+				return fmt.Errorf("sm%d %s %d: interval %d (%d, %d] escapes the traced run of %d cycles", sm, what, idx, i, v.Lo, v.Hi, iv.Cycles)
+			}
+			if i > 0 && v.Lo < t.ivs[i-1].Hi {
+				return fmt.Errorf("sm%d %s %d: intervals %d and %d overlap: (%d, %d] then (%d, %d]",
+					sm, what, idx, i-1, i, t.ivs[i-1].Lo, t.ivs[i-1].Hi, v.Lo, v.Hi)
+			}
+		}
+		return nil
+	}
+	checkSpan := func(sm int, what string, i int, sp span, prevAlloc int64) error {
+		if sp.size <= 0 || sp.base < 0 {
+			return fmt.Errorf("sm%d %s span %d: bad extent base=%d size=%d", sm, what, i, sp.base, sp.size)
+		}
+		if sp.release >= 0 && sp.release < sp.alloc {
+			return fmt.Errorf("sm%d %s span %d: released at %d before allocation at %d", sm, what, i, sp.release, sp.alloc)
+		}
+		if sp.alloc < prevAlloc {
+			return fmt.Errorf("sm%d %s span %d: allocation at %d precedes span %d's at %d", sm, what, i, sp.alloc, i-1, prevAlloc)
+		}
+		return nil
+	}
+	for smID, s := range iv.sms {
+		for i := range s.regs {
+			if err := checkTrack(smID, "reg", i, &s.regs[i]); err != nil {
+				return err
+			}
+		}
+		prev := int64(-1)
+		for i, sp := range s.rfSpans {
+			if err := checkSpan(smID, "rf", i, sp, prev); err != nil {
+				return err
+			}
+			prev = sp.alloc
+		}
+		prev = -1
+		for i, sp := range s.smSpans {
+			if err := checkSpan(smID, "smem", i, sp.span, prev); err != nil {
+				return err
+			}
+			prev = sp.alloc
+			if err := checkTrack(smID, "smem-block", i, &sp.block); err != nil {
+				return err
+			}
+			for w := range sp.words {
+				if err := checkTrack(smID, "smem-word", sp.base/4+w, &sp.words[w]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Window is a half-open injection-cycle range: cycles c with
+// Start < c <= End (the sim.LaunchSpan convention).
+type Window struct{ Start, End int64 }
+
+// Bounds is a static AVF bracket for one structure. Lower <= AVF <= Upper
+// for the AVF measured by uniform injection over the same windows.
+// Supported is false for structures the interval engine cannot analyze
+// (caches, control state), where the trivial [0, 1] bracket is returned.
+type Bounds struct {
+	Supported bool
+	Lower     float64
+	Upper     float64
+}
+
+// delta is one step of a piecewise-constant function: at cycle c the
+// allocated mass (alloc=true) or live mass (alloc=false) changes by v.
+type delta struct {
+	c     int64
+	v     int64
+	alloc bool
+}
+
+// RFBounds derives the static AVF bracket for the register file over the
+// windows: Upper is the expected live fraction of allocated registers at a
+// uniform injection cycle — every dead draw is provably Masked, so measured
+// AVF cannot exceed it. The engine proves deadness, not ACE-ness (a live
+// value may still be logically masked downstream), so Lower is 0.
+func (iv *Intervals) RFBounds(ws []Window) Bounds {
+	var ds []delta
+	for _, s := range iv.sms {
+		for _, sp := range s.rfSpans {
+			ds = appendSpanDeltas(ds, sp)
+		}
+		for i := range s.regs {
+			for _, v := range s.regs[i].ivs {
+				ds = append(ds, delta{v.Lo + 1, 1, false}, delta{v.Hi + 1, -1, false})
+			}
+		}
+	}
+	return sweepBounds(ds, ws)
+}
+
+// SmemBounds is RFBounds for shared memory, in bytes. Per allocated block
+// the live mass at a cycle is the whole block when an unknown-address read
+// covers it, else 4 bytes per live known-address word.
+func (iv *Intervals) SmemBounds(ws []Window) Bounds {
+	var ds []delta
+	for _, s := range iv.sms {
+		for _, sp := range s.smSpans {
+			ds = appendSpanDeltas(ds, sp.span)
+			ds = appendSmemLiveDeltas(ds, sp)
+		}
+	}
+	return sweepBounds(ds, ws)
+}
+
+// appendSpanDeltas emits the allocation-mass steps of one span: +size for
+// cycles > alloc, -size after release (visible through release inclusive).
+func appendSpanDeltas(ds []delta, sp span) []delta {
+	ds = append(ds, delta{sp.alloc + 1, int64(sp.size), true})
+	if sp.release >= 0 {
+		ds = append(ds, delta{sp.release + 1, -int64(sp.size), true})
+	}
+	return ds
+}
+
+// smemEvent is a local event of one shared-memory span's segment walk.
+type smemEvent struct {
+	c     int64
+	v     int64
+	block bool
+}
+
+// appendSmemLiveDeltas emits the live-byte steps of one shared-memory span:
+// the pointwise maximum of the block-level track (whole block live) and the
+// per-word tracks (4 bytes per live word), computed by a local segment walk.
+func appendSmemLiveDeltas(ds []delta, sp *smemSpan) []delta {
+	var local []smemEvent
+	for _, v := range sp.block.ivs {
+		local = append(local, smemEvent{v.Lo + 1, 1, true}, smemEvent{v.Hi + 1, -1, true})
+	}
+	for i := range sp.words {
+		for _, v := range sp.words[i].ivs {
+			local = append(local, smemEvent{v.Lo + 1, 4, false}, smemEvent{v.Hi + 1, -4, false})
+		}
+	}
+	if len(local) == 0 {
+		return ds
+	}
+	sort.Slice(local, func(i, j int) bool { return local[i].c < local[j].c })
+	var blockDepth, wordMass, prev int64
+	for i := 0; i < len(local); {
+		c := local[i].c
+		for i < len(local) && local[i].c == c {
+			if local[i].block {
+				blockDepth += local[i].v
+			} else {
+				wordMass += local[i].v
+			}
+			i++
+		}
+		cur := wordMass
+		if blockDepth > 0 {
+			cur = int64(sp.size)
+		}
+		if cur != prev {
+			ds = append(ds, delta{c, cur - prev, false})
+			prev = cur
+		}
+	}
+	return ds
+}
+
+// sweepBounds walks the merged event streams and integrates the live
+// fraction of the allocated mass over the windows.
+func sweepBounds(ds []delta, ws []Window) Bounds {
+	var total int64
+	for _, w := range ws {
+		total += w.End - w.Start
+	}
+	if total <= 0 || len(ds) == 0 {
+		return Bounds{Supported: true, Lower: 0, Upper: 0}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].c < ds[j].c })
+	var sum float64 // Σ over window cycles of live/alloc
+	var alloc, live int64
+	prev := ds[0].c
+	add := func(from, to int64) { // cycles [from, to)
+		if to <= from || alloc <= 0 || live <= 0 {
+			return
+		}
+		var overlap int64
+		for _, w := range ws {
+			lo, hi := from, to
+			if lo < w.Start+1 {
+				lo = w.Start + 1
+			}
+			if hi > w.End+1 {
+				hi = w.End + 1
+			}
+			if hi > lo {
+				overlap += hi - lo
+			}
+		}
+		frac := float64(live) / float64(alloc)
+		if frac > 1 {
+			frac = 1
+		}
+		sum += float64(overlap) * frac
+	}
+	for i := 0; i < len(ds); {
+		c := ds[i].c
+		add(prev, c)
+		prev = c
+		for i < len(ds) && ds[i].c == c {
+			if ds[i].alloc {
+				alloc += ds[i].v
+			} else {
+				live += ds[i].v
+			}
+			i++
+		}
+	}
+	// After the last event live mass is zero by construction; nothing to add.
+	return Bounds{Supported: true, Lower: 0, Upper: sum / float64(total)}
+}

@@ -1,0 +1,186 @@
+package flow_test
+
+import (
+	"testing"
+
+	"gpurel/internal/ace"
+	"gpurel/internal/flow"
+	"gpurel/internal/gpu"
+	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
+)
+
+// traceIntervals runs the job fault-free with a Recorder attached and
+// returns the finalized interval map plus the run's launch spans.
+func traceIntervals(t *testing.T, app kernels.App, cfg gpu.Config) (*flow.Intervals, []sim.LaunchSpan) {
+	t.Helper()
+	job := app.Build()
+	rec := flow.NewRecorder()
+	res := sim.Run(job, cfg, sim.Options{SchedTrace: rec})
+	if res.Err != nil || res.TimedOut {
+		t.Fatalf("%s: golden trace failed: err=%v timedOut=%v", app.Name, res.Err, res.TimedOut)
+	}
+	iv := rec.Finalize(res.Cycles)
+	if err := iv.Check(); err != nil {
+		t.Fatalf("%s: interval invariants violated: %v", app.Name, err)
+	}
+	return iv, res.Spans
+}
+
+// TestIntervalsSoundVsDynamic proves the soundness direction on every app:
+// any site the dynamic ace tracer saw as live must be live in the static
+// interval map (the Recorder applies *static* instruction effects, e.g. SEL
+// reads both sources, so it can only over-approximate liveness — never
+// under). It also pins the allocation timelines bit-compatible: the blocks
+// the injector would enumerate agree exactly between the two tracers.
+func TestIntervalsSoundVsDynamic(t *testing.T) {
+	cfg := gpu.Volta()
+	for _, app := range kernels.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			iv, spans := traceIntervals(t, app, cfg)
+			lv, err := ace.TraceRF(app.Build(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iv.NumSMs() > cfg.NumSMs || lv.NumSMs() > cfg.NumSMs {
+				t.Fatalf("tracer touched %d/%d SMs, config has %d", iv.NumSMs(), lv.NumSMs(), cfg.NumSMs)
+			}
+			liveDyn, liveStatic, checked := 0, 0, 0
+			for _, span := range spans {
+				for s := 0; s < 16; s++ {
+					cycle := span.Start + 1 + (span.End-span.Start-1)*int64(s)/16
+					for sm := 0; sm < cfg.NumSMs; sm++ {
+						want := lv.RFBlocksAt(sm, cycle, nil)
+						got := iv.RFBlocksAt(sm, cycle, nil)
+						if len(want) != len(got) {
+							t.Fatalf("cycle %d sm %d: allocation timeline diverged: %v vs %v", cycle, sm, got, want)
+						}
+						for i := range want {
+							if got[i].Base != want[i].Base || got[i].Size != want[i].Size {
+								t.Fatalf("cycle %d sm %d: block %d mismatch: %+v vs %+v", cycle, sm, i, got[i], want[i])
+							}
+							for k := 0; k < want[i].Size; k++ {
+								phys := want[i].Base + k
+								checked++
+								dyn := lv.Live(sm, phys, cycle)
+								st := iv.LiveRF(sm, phys, cycle)
+								if dyn {
+									liveDyn++
+								}
+								if st {
+									liveStatic++
+								}
+								if dyn && !st {
+									t.Fatalf("unsound: sm %d phys %d cycle %d dynamically live but statically dead", sm, phys, cycle)
+								}
+							}
+						}
+					}
+				}
+			}
+			if liveDyn == 0 || checked == 0 {
+				t.Fatalf("degenerate sample: %d sites, %d dynamically live", checked, liveDyn)
+			}
+			t.Logf("%s: %d sites, %d dyn-live <= %d static-live", app.Name, checked, liveDyn, liveStatic)
+		})
+	}
+}
+
+// TestIntervalsRFBoundsSane checks the static AVF bracket over the full run
+// of every app: well-formed (0 <= lower <= upper <= 1), supported for RF
+// and SMEM, and nontrivial (some register is live at some cycle, so the RF
+// upper bound cannot be zero).
+func TestIntervalsRFBoundsSane(t *testing.T) {
+	cfg := gpu.Volta()
+	for _, app := range kernels.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			iv, spans := traceIntervals(t, app, cfg)
+			var ws []flow.Window
+			for _, s := range spans {
+				ws = append(ws, flow.Window{Start: s.Start, End: s.End})
+			}
+			rf := iv.RFBounds(ws)
+			if !rf.Supported || rf.Lower < 0 || rf.Upper > 1 || rf.Lower > rf.Upper {
+				t.Fatalf("malformed RF bounds %+v", rf)
+			}
+			if rf.Upper == 0 {
+				t.Fatalf("RF upper bound is zero on a run with register traffic")
+			}
+			sm := iv.SmemBounds(ws)
+			if !sm.Supported || sm.Lower < 0 || sm.Upper > 1 || sm.Lower > sm.Upper {
+				t.Fatalf("malformed SMEM bounds %+v", sm)
+			}
+			t.Logf("%s: RF upper %.4f, SMEM upper %.4f", app.Name, rf.Upper, sm.Upper)
+		})
+	}
+}
+
+// TestIntervalsSmemTracked proves shared-memory liveness is actually
+// recorded for a smem-using app: some byte of some allocated block must be
+// live at some sampled cycle, and the SMEM upper bound must be positive.
+func TestIntervalsSmemTracked(t *testing.T) {
+	cfg := gpu.Volta()
+	for _, name := range []string{"SRADv1", "PathFinder", "BackProp"} {
+		var app kernels.App
+		for _, a := range kernels.All() {
+			if a.Name == name {
+				app = a
+			}
+		}
+		t.Run(name, func(t *testing.T) {
+			iv, spans := traceIntervals(t, app, cfg)
+			var ws []flow.Window
+			for _, s := range spans {
+				ws = append(ws, flow.Window{Start: s.Start, End: s.End})
+			}
+			if b := iv.SmemBounds(ws); b.Upper <= 0 {
+				t.Fatalf("%s uses shared memory but SMEM upper bound is %v", name, b)
+			}
+			foundLive := false
+			for _, s := range spans {
+				for c := s.Start + 1; c <= s.End && !foundLive; c += 1 + (s.End-s.Start)/64 {
+					for sm := 0; sm < cfg.NumSMs && !foundLive; sm++ {
+						for _, blk := range iv.SmemBlocksAt(sm, c, nil) {
+							for b := 0; b < blk.Size; b += 4 {
+								if iv.LiveSmem(sm, blk.Base+b, c) {
+									foundLive = true
+									break
+								}
+							}
+						}
+					}
+				}
+			}
+			if !foundLive {
+				t.Fatalf("no live shared-memory byte found in any sampled cycle")
+			}
+		})
+	}
+}
+
+// TestIntervalsDeadWindowIsDead spot-checks the meaning of an interval gap:
+// pick a register with at least one live interval that ends before the run
+// does; the cycle right after Hi must be dead until the next interval.
+// Exercised indirectly through LiveRF on synthetic queries.
+func TestIntervalsQueryEdges(t *testing.T) {
+	cfg := gpu.Volta()
+	iv, spans := traceIntervals(t, kernels.All()[0], cfg)
+	if len(spans) == 0 {
+		t.Fatal("no launch spans")
+	}
+	// Out-of-range queries must be dead, not panic.
+	if iv.LiveRF(99, 0, 1) || iv.LiveRF(0, 1<<30, 1) || iv.LiveSmem(99, 0, 1) {
+		t.Fatal("out-of-range site reported live")
+	}
+	if got := iv.RFBlocksAt(99, 1, nil); len(got) != 0 {
+		t.Fatal("out-of-range SM has blocks")
+	}
+	// Cycle 0 precedes every allocation (alloc < c required).
+	for sm := 0; sm < cfg.NumSMs; sm++ {
+		if got := iv.RFBlocksAt(sm, 0, nil); len(got) != 0 {
+			t.Fatalf("blocks allocated at cycle 0: %v", got)
+		}
+	}
+}

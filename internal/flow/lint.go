@@ -58,6 +58,10 @@ const (
 	RuleUninitRead  = "uninit-read"
 	RuleDeadWrite   = "dead-write"
 	RuleBarDiverge  = "bar-divergence"
+
+	// CheckSync rules (sync.go).
+	RuleSmemSync     = "smem-sync"
+	RuleBarRedundant = "bar-redundant"
 )
 
 // Lint statically checks a kernel program and returns its findings sorted by
@@ -199,6 +203,11 @@ func Lint(p *isa.Program) []Diag {
 				pc, guardName(&p.Code[pc]))
 		}
 	}
+
+	// Shared-memory synchronization rules (sync.go): provable cross-thread
+	// read/write pairs with no intervening BAR, and barriers that cannot
+	// order any shared-memory traffic.
+	diags = append(diags, checkSync(g, du)...)
 
 	sortDiags(diags)
 	return diags

@@ -1,0 +1,447 @@
+package flow
+
+import (
+	"fmt"
+
+	"gpurel/internal/isa"
+)
+
+// CheckSync is the shared-memory synchronization checker. Two rules:
+//
+//   - smem-sync (error): a shared-memory load can observe a store issued by
+//     a *different* thread with no BAR on some path in between. The rule is
+//     an under-approximating prover: it flags only pairs whose addresses it
+//     can resolve to affine functions of the thread id with identical
+//     strides and symbolic parts and a nonzero stride-divisible constant
+//     offset of at most maxSyncDist threads — a provable neighbor-class
+//     collision (e.g. a stencil reading smem[tid-1] that a barrier should
+//     order against the smem[tid] store). Pairs it cannot prove — loop-
+//     carried offsets, multiple reaching definitions, differing symbolic
+//     bases, or offsets beyond the neighbor distance (indistinguishable
+//     from multi-array carve-outs like base+4*blockDim without value-range
+//     information) — stay silent, so barrier-correct kernels with same-
+//     thread smem reuse or packed multi-array layouts never false-positive.
+//   - bar-redundant (warning): a BAR that cannot order any shared-memory
+//     traffic — no LDS/STS on any path since the previous barrier (or
+//     entry), or none until the next barrier (or exit). The classic double
+//     barrier trips the first half.
+//
+// CheckSync runs as part of Lint (so kasm.Build and gpudis -lint inherit
+// it); the standalone entry point lints one rule family in isolation.
+func CheckSync(p *isa.Program) []Diag {
+	g := Build(p)
+	diags := checkSync(g, g.DefUse())
+	sortDiags(diags)
+	return diags
+}
+
+func checkSync(g *Graph, du *DefUse) []Diag {
+	var diags []Diag
+	diags = append(diags, checkSmemRaces(g, du)...)
+	diags = append(diags, checkRedundantBars(g)...)
+	return diags
+}
+
+// checkSmemRaces runs the unsynced-store dataflow: forward over the CFG,
+// each block's in-set is the union (any-path) of store PCs that can reach
+// it without crossing a BAR; a BAR kills everything, an STS adds itself,
+// and an LDS is checked against every reaching store.
+func checkSmemRaces(g *Graph, du *DefUse) []Diag {
+	n := len(g.Prog.Code)
+	nb := len(g.Blocks)
+	if nb == 0 {
+		return nil
+	}
+	newSet := func() []bool { return make([]bool, n) }
+	blockIn := make([][]bool, nb)
+	for i := range blockIn {
+		blockIn[i] = newSet()
+	}
+	transfer := func(b *Block, set []bool) {
+		for pc := b.Start; pc < b.End; pc++ {
+			switch g.Prog.Code[pc].Op {
+			case isa.OpBAR:
+				for i := range set {
+					set[i] = false
+				}
+			case isa.OpSTS:
+				if !neverExec(&g.Prog.Code[pc]) {
+					set[pc] = true
+				}
+			}
+		}
+	}
+	scratch := newSet()
+	for changed := true; changed; {
+		changed = false
+		for i := range g.Blocks {
+			b := &g.Blocks[i]
+			copy(scratch, blockIn[i])
+			transfer(b, scratch)
+			for _, s := range b.Succs {
+				for pc, v := range scratch {
+					if v && !blockIn[s][pc] {
+						blockIn[s][pc] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Final pass: at each LDS, test every reaching unsynced STS.
+	var diags []Diag
+	cur := newSet()
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		copy(cur, blockIn[i])
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := &g.Prog.Code[pc]
+			switch ins.Op {
+			case isa.OpBAR:
+				for j := range cur {
+					cur[j] = false
+				}
+			case isa.OpSTS:
+				if !neverExec(ins) {
+					cur[pc] = true
+				}
+			case isa.OpLDS:
+				if neverExec(ins) {
+					continue
+				}
+				for sts := 0; sts < n; sts++ {
+					if !cur[sts] || sts == pc {
+						continue
+					}
+					if off, ok := crossThreadCollision(g, du, sts, pc); ok {
+						diags = append(diags, Diag{PC: pc, Rule: RuleSmemSync, Sev: Error,
+							Msg: fmt.Sprintf("shared-memory read may observe the store at #%d from another thread (tid-strided addresses %+d bytes apart) with no intervening BAR", sts, off)})
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// maxSyncDist is the largest cross-thread distance (in threads) the
+// smem-sync rule reports. Neighbor/halo exchanges — the canonical
+// missing-barrier bug — sit 1-2 threads apart; constant offsets much
+// larger than that are how kernels pack several logical arrays into one
+// shared allocation (base + 4*blockDim), which affine forms alone cannot
+// tell apart from a genuine far collision.
+const maxSyncDist = 2
+
+// crossThreadCollision proves (or fails to prove) that the store at stsPC
+// and the load at ldsPC touch the same shared word from different nearby
+// threads. Both addresses must resolve to affine forms c_x·tid.x +
+// c_y·tid.y + syms + const with equal strides and equal symbolic parts; a
+// nonzero stride-divisible constant difference of at most maxSyncDist
+// threads then pins a neighbor collision. off is the byte offset (load
+// minus store).
+func crossThreadCollision(g *Graph, du *DefUse, stsPC, ldsPC int) (off int64, ok bool) {
+	w := addrAffine(g, du, stsPC)
+	r := addrAffine(g, du, ldsPC)
+	if !w.ok || !r.ok || !sameShape(w, r) {
+		return 0, false
+	}
+	d := r.c - w.c
+	if d == 0 {
+		// Same address per thread: same-thread reuse, not provably racy.
+		return 0, false
+	}
+	stride := w.cx
+	if stride == 0 {
+		stride = w.cy
+	}
+	if stride == 0 || d%stride != 0 {
+		return 0, false
+	}
+	if dist := d / stride; dist > maxSyncDist || dist < -maxSyncDist {
+		return 0, false
+	}
+	return d, true // threads t and t + d/stride collide on one word
+}
+
+// lin is an affine form over the thread id: cx·tid.x + cy·tid.y + Σ syms +
+// c. Symbolic terms are launch-uniform values (block/grid dimensions, CTA
+// ids, kernel parameters) identified by their source.
+type lin struct {
+	cx, cy, c int64
+	syms      map[symKey]int64
+	ok        bool
+}
+
+// symKey identifies one launch-uniform symbolic term.
+type symKey struct {
+	s2r  isa.SReg // uniform special register, or
+	ldc  int32    // parameter word index
+	kind uint8    // 0 = s2r, 1 = ldc
+}
+
+func (l lin) addSym(k symKey, coeff int64) lin {
+	if l.syms == nil {
+		l.syms = map[symKey]int64{}
+	}
+	l.syms[k] += coeff
+	if l.syms[k] == 0 {
+		delete(l.syms, k)
+	}
+	return l
+}
+
+func linFail() lin { return lin{} }
+
+func linConst(c int64) lin { return lin{c: c, ok: true} }
+
+// isConst reports whether the form is a plain constant.
+func (l lin) isConst() bool { return l.ok && l.cx == 0 && l.cy == 0 && len(l.syms) == 0 }
+
+func linAdd(a, b lin, sign int64) lin {
+	if !a.ok || !b.ok {
+		return linFail()
+	}
+	out := lin{cx: a.cx + sign*b.cx, cy: a.cy + sign*b.cy, c: a.c + sign*b.c, ok: true}
+	for k, v := range a.syms { //relint:allow map-order: commutative accumulation
+		out = out.addSym(k, v)
+	}
+	for k, v := range b.syms { //relint:allow map-order: commutative accumulation
+		out = out.addSym(k, sign*v)
+	}
+	return out
+}
+
+func linScale(a lin, m int64) lin {
+	if !a.ok {
+		return linFail()
+	}
+	out := lin{cx: a.cx * m, cy: a.cy * m, c: a.c * m, ok: true}
+	for k, v := range a.syms { //relint:allow map-order: independent per-key scaling
+		out = out.addSym(k, v*m)
+	}
+	return out
+}
+
+// sameShape reports whether two forms have identical strides and symbolic
+// parts (so their difference is the constant offset alone).
+func sameShape(a, b lin) bool {
+	if a.cx != b.cx || a.cy != b.cy || len(a.syms) != len(b.syms) {
+		return false
+	}
+	for k, v := range a.syms { //relint:allow map-order: pure membership comparison
+		if b.syms[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// addrAffine resolves the address expression of the LDS/STS at pc:
+// R[SrcA] + Imm.
+func addrAffine(g *Graph, du *DefUse, pc int) lin {
+	ins := &g.Prog.Code[pc]
+	base := regAffine(g, du, pc, ins.SrcA, 0)
+	return linAdd(base, linConst(int64(ins.Imm)), 1)
+}
+
+// regAffine chases the single reaching definition of r at usePC through the
+// affine-friendly opcode subset. Anything it cannot prove — multiple or
+// guarded reaching definitions, variant specials, non-constant multipliers
+// — fails, keeping the checker silent rather than wrong.
+func regAffine(g *Graph, du *DefUse, usePC int, r isa.Reg, depth int) lin {
+	if r == isa.RZ {
+		return linConst(0)
+	}
+	if depth > 32 {
+		return linFail()
+	}
+	defs := du.Defs(usePC, r)
+	if len(defs) != 1 {
+		return linFail()
+	}
+	d := &g.Prog.Code[defs[0]]
+	if !alwaysExec(d) {
+		return linFail()
+	}
+	dp := defs[0]
+	operand := func(reg isa.Reg) lin { return regAffine(g, du, dp, reg, depth+1) }
+	srcB := func() lin {
+		if d.BImm {
+			return linConst(int64(d.Imm))
+		}
+		return operand(d.SrcB)
+	}
+	switch d.Op {
+	case isa.OpMOVI:
+		return linConst(int64(d.Imm))
+	case isa.OpMOV:
+		return operand(d.SrcA)
+	case isa.OpLDC:
+		return linConst(0).addSym(symKey{kind: 1, ldc: d.Imm}, 1)
+	case isa.OpS2R:
+		switch d.Special {
+		case isa.SRTidX:
+			return lin{cx: 1, ok: true}
+		case isa.SRTidY:
+			return lin{cy: 1, ok: true}
+		case isa.SRCtaIDX, isa.SRCtaIDY, isa.SRNTidX, isa.SRNTidY, isa.SRNCtaX, isa.SRNCtaY:
+			return linConst(0).addSym(symKey{kind: 0, s2r: d.Special}, 1)
+		}
+		return linFail() // lane id and anything else: not affine in tid
+	case isa.OpIADD:
+		return linAdd(operand(d.SrcA), srcB(), 1)
+	case isa.OpISUB:
+		return linAdd(operand(d.SrcA), srcB(), -1)
+	case isa.OpSHL:
+		b := srcB()
+		if !b.isConst() || b.c < 0 || b.c > 30 {
+			return linFail()
+		}
+		return linScale(operand(d.SrcA), 1<<uint(b.c))
+	case isa.OpIMUL:
+		a, b := operand(d.SrcA), srcB()
+		if a.isConst() {
+			return linScale(b, a.c)
+		}
+		if b.isConst() {
+			return linScale(a, b.c)
+		}
+		return linFail()
+	case isa.OpISCADD:
+		return linAdd(linScale(operand(d.SrcA), 1<<uint(d.Imm2)), operand(d.SrcB), 1)
+	case isa.OpIMAD:
+		a, b := operand(d.SrcA), srcB()
+		var prod lin
+		switch {
+		case a.isConst():
+			prod = linScale(b, a.c)
+		case b.isConst():
+			prod = linScale(a, b.c)
+		default:
+			return linFail()
+		}
+		return linAdd(prod, operand(d.SrcC), 1)
+	}
+	return linFail()
+}
+
+// checkRedundantBars flags barriers that cannot order any shared-memory
+// traffic: no LDS/STS on any path from the previous barrier (or entry), or
+// none on any path to the next barrier (or exit).
+func checkRedundantBars(g *Graph) []Diag {
+	nb := len(g.Blocks)
+	if nb == 0 {
+		return nil
+	}
+	isSmem := func(pc int) bool {
+		op := g.Prog.Code[pc].Op
+		return (op == isa.OpLDS || op == isa.OpSTS) && !neverExec(&g.Prog.Code[pc])
+	}
+	isBar := func(pc int) bool { return g.Prog.Code[pc].Op == isa.OpBAR }
+
+	// Forward: fwd[b] = some path into block b carries a smem access since
+	// the last BAR. Any-path (OR) merge.
+	fwd := make([]bool, nb)
+	for changed := true; changed; {
+		changed = false
+		for i := range g.Blocks {
+			b := &g.Blocks[i]
+			flag := fwd[i]
+			for pc := b.Start; pc < b.End; pc++ {
+				if isBar(pc) {
+					flag = false
+				} else if isSmem(pc) {
+					flag = true
+				}
+			}
+			for _, s := range b.Succs {
+				if flag && !fwd[s] {
+					fwd[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Backward: bwd[b] = some path out of block b reaches a smem access
+	// before the next BAR.
+	bwd := make([]bool, nb)
+	for changed := true; changed; {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			b := &g.Blocks[i]
+			flag := false
+			for _, s := range b.Succs {
+				if bwd[s] {
+					flag = true
+				}
+			}
+			for pc := b.End - 1; pc >= b.Start; pc-- {
+				if isBar(pc) {
+					flag = false
+				} else if isSmem(pc) {
+					flag = true
+				}
+			}
+			if flag && !bwd[i] {
+				bwd[i] = true
+				changed = true
+			}
+		}
+	}
+
+	var diags []Diag
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		before := fwd[i]
+		for pc := b.Start; pc < b.End; pc++ {
+			if isSmem(pc) {
+				before = true
+				continue
+			}
+			if !isBar(pc) {
+				continue
+			}
+			// after: smem reachable from the successor position of this BAR
+			// before the next BAR.
+			after := false
+			for p2 := pc + 1; p2 < b.End && !after; p2++ {
+				if isBar(p2) {
+					break
+				}
+				if isSmem(p2) {
+					after = true
+				}
+			}
+			if !after && !barBlocksAfter(g, b, pc) {
+				for _, s := range b.Succs {
+					if bwd[s] {
+						after = true
+						break
+					}
+				}
+			}
+			switch {
+			case !before:
+				diags = append(diags, Diag{PC: pc, Rule: RuleBarRedundant, Sev: Warn,
+					Msg: "BAR orders nothing: no shared-memory access on any path since the previous barrier"})
+			case !after:
+				diags = append(diags, Diag{PC: pc, Rule: RuleBarRedundant, Sev: Warn,
+					Msg: "BAR orders nothing: no shared-memory access on any path before the next barrier"})
+			}
+			before = false
+		}
+	}
+	return diags
+}
+
+// barBlocksAfter reports whether another BAR follows pc inside its block —
+// in that case the successor blocks' backward flags do not apply to pc.
+func barBlocksAfter(g *Graph, b *Block, pc int) bool {
+	for p := pc + 1; p < b.End; p++ {
+		if g.Prog.Code[p].Op == isa.OpBAR {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,281 @@
+package flow_test
+
+import (
+	"testing"
+
+	"gpurel/internal/flow"
+	"gpurel/internal/isa"
+)
+
+func s2r(dst isa.Reg, sr isa.SReg) isa.Instr {
+	return isa.Instr{Op: isa.OpS2R, Dst: dst, Special: sr}
+}
+
+func shli(dst, a isa.Reg, sh int32) isa.Instr {
+	return isa.Instr{Op: isa.OpSHL, Dst: dst, SrcA: a, BImm: true, Imm: sh}
+}
+
+func sts(addr isa.Reg, off int32, val isa.Reg) isa.Instr {
+	return isa.Instr{Op: isa.OpSTS, SrcA: addr, SrcB: val, Imm: off}
+}
+
+func lds(dst, addr isa.Reg, off int32) isa.Instr {
+	return isa.Instr{Op: isa.OpLDS, Dst: dst, SrcA: addr, Imm: off}
+}
+
+func stg(addr, val isa.Reg) isa.Instr {
+	return isa.Instr{Op: isa.OpSTG, SrcA: addr, SrcB: val}
+}
+
+func bar() isa.Instr { return isa.Instr{Op: isa.OpBAR} }
+
+// neighborRace stores at smem[tid*4] and reads smem[tid*4 + 4·dist] with no
+// barrier between — the canonical stencil missing-BAR bug when dist != 0.
+func neighborRace(dist int32) *isa.Program {
+	return prog(5,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		movi(3, 7),
+		sts(2, 0, 3),
+		lds(4, 2, 4*dist),
+		stg(2, 4),
+		exit(),
+	)
+}
+
+func rulesOf(diags []flow.Diag) map[string]int {
+	m := map[string]int{}
+	for _, d := range diags {
+		m[d.Rule]++
+	}
+	return m
+}
+
+func TestSyncNeighborRaceFires(t *testing.T) {
+	diags := flow.CheckSync(neighborRace(1))
+	if len(diags) != 1 || diags[0].Rule != flow.RuleSmemSync || diags[0].Sev != flow.Error || diags[0].PC != 4 {
+		t.Fatalf("want one smem-sync error at #4, got %v", diags)
+	}
+	// The negative-offset neighbor (read smem[tid-2]) is the same bug.
+	diags = flow.CheckSync(neighborRace(-2))
+	if len(diags) != 1 || diags[0].Rule != flow.RuleSmemSync {
+		t.Fatalf("want one smem-sync error for dist=-2, got %v", diags)
+	}
+}
+
+func TestSyncLintIntegration(t *testing.T) {
+	diags := flow.Lint(neighborRace(1))
+	if rulesOf(diags)[flow.RuleSmemSync] != 1 {
+		t.Fatalf("Lint must include the smem-sync finding, got %v", diags)
+	}
+	if !flow.HasErrors(diags) {
+		t.Fatal("smem-sync must be error-severity")
+	}
+}
+
+func TestSyncBarrierSilencesRace(t *testing.T) {
+	// Same pattern with a BAR between store and load: properly synchronized.
+	p := prog(5,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		movi(3, 7),
+		sts(2, 0, 3),
+		bar(),
+		lds(4, 2, 4),
+		stg(2, 4),
+		exit(),
+	)
+	if diags := flow.CheckSync(p); len(diags) != 0 {
+		t.Fatalf("barrier-ordered neighbor exchange must be clean, got %v", diags)
+	}
+}
+
+func TestSyncSameThreadReuseSilent(t *testing.T) {
+	// Δ = 0: each thread reads back its own store; no barrier required.
+	if diags := flow.CheckSync(neighborRace(0)); len(diags) != 0 {
+		t.Fatalf("same-thread smem reuse must be clean, got %v", diags)
+	}
+}
+
+func TestSyncFarOffsetSilent(t *testing.T) {
+	// Δ = 256 threads: indistinguishable from a second array packed at
+	// base + 4*blockDim; the prover must stay silent past maxSyncDist.
+	if diags := flow.CheckSync(neighborRace(256)); len(diags) != 0 {
+		t.Fatalf("multi-array carve-out offset must be clean, got %v", diags)
+	}
+}
+
+func TestSyncStrideMismatchSilent(t *testing.T) {
+	// Store at tid*4, load at tid*8+4: different strides, nothing provable.
+	p := prog(6,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		shli(5, 1, 3),
+		movi(3, 7),
+		sts(2, 0, 3),
+		lds(4, 5, 4),
+		stg(2, 4),
+		exit(),
+	)
+	if diags := flow.CheckSync(p); len(diags) != 0 {
+		t.Fatalf("stride mismatch must be clean, got %v", diags)
+	}
+}
+
+func TestSyncSymbolicBaseMismatchSilent(t *testing.T) {
+	// Store at tid*4, load at tid*4 + blockDim.x + 4: the symbolic parts
+	// differ, so the constant offset proves nothing.
+	p := prog(7,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		s2r(5, isa.SRNTidX),
+		iadd(6, 2, 5),
+		movi(3, 7),
+		sts(2, 0, 3),
+		lds(4, 6, 4),
+		stg(2, 4),
+		exit(),
+	)
+	if diags := flow.CheckSync(p); len(diags) != 0 {
+		t.Fatalf("symbolic base mismatch must be clean, got %v", diags)
+	}
+}
+
+func TestSyncDoubleBarrierWarns(t *testing.T) {
+	p := prog(5,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		movi(3, 1),
+		sts(2, 0, 3),
+		bar(),
+		bar(), // nothing between the two barriers
+		lds(4, 2, 0),
+		stg(2, 4),
+		exit(),
+	)
+	diags := flow.CheckSync(p)
+	if got := rulesOf(diags)[flow.RuleBarRedundant]; got != 2 {
+		t.Fatalf("double barrier must flag both BARs (one per direction), got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Sev != flow.Warn {
+			t.Fatalf("bar-redundant must be warning-severity, got %v", d)
+		}
+		if d.PC != 4 && d.PC != 5 {
+			t.Fatalf("finding anchored off the barriers: %v", d)
+		}
+	}
+}
+
+func TestSyncTrailingBarrierWarns(t *testing.T) {
+	// A BAR with no shared-memory access anywhere after it orders nothing.
+	p := prog(5,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		movi(3, 1),
+		sts(2, 0, 3),
+		bar(),
+		exit(),
+	)
+	diags := flow.CheckSync(p)
+	if got := rulesOf(diags)[flow.RuleBarRedundant]; got != 1 {
+		t.Fatalf("trailing barrier must warn, got %v", diags)
+	}
+}
+
+func TestSyncUsefulBarrierSilent(t *testing.T) {
+	// STS → BAR → LDS: the barrier orders real traffic on both sides.
+	p := prog(5,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		movi(3, 1),
+		sts(2, 0, 3),
+		bar(),
+		lds(4, 2, 0),
+		stg(2, 4),
+		exit(),
+	)
+	if diags := flow.CheckSync(p); len(diags) != 0 {
+		t.Fatalf("useful barrier must be clean, got %v", diags)
+	}
+}
+
+func TestSyncLoopBarrierSilent(t *testing.T) {
+	// A barrier inside a smem-using loop: the back edge carries accesses to
+	// both sides of the BAR, so neither redundancy direction fires; the LDS
+	// at tid*4 reads the same thread's slot, so no race fires either.
+	//
+	//	#0 S2R R1, tid
+	//	#1 SHL R2 = R1 << 2
+	//	#2 MOVI R3, 4        ; loop counter
+	//	#3 MOVI R4, 1
+	//	#4 STS [R2], R4      ; loop head
+	//	#5 BAR
+	//	#6 LDS R4, [R2]
+	//	#7 ISETP P0 = R3 > 0
+	//	#8 ISUB R3 = R3 - 1
+	//	#9 @P0 BRA #4 (reconv #10)
+	//	#10 STG [R2], R4
+	//	#11 EXIT
+	p := prog(6,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		movi(3, 4),
+		movi(4, 1),
+		sts(2, 0, 4),
+		bar(),
+		lds(4, 2, 0),
+		isa.Instr{Op: isa.OpISETP, PDst: isa.P0, Cmp: isa.CmpGT, SrcA: 3, BImm: true},
+		isa.Instr{Op: isa.OpISUB, Dst: 3, SrcA: 3, BImm: true, Imm: 1},
+		bra(4, 10, isa.P0, false),
+		stg(2, 4),
+		exit(),
+	)
+	diags := flow.CheckSync(p)
+	for _, d := range diags {
+		if d.Rule == flow.RuleBarRedundant {
+			t.Fatalf("loop barrier must not be flagged redundant, got %v", diags)
+		}
+		if d.Rule == flow.RuleSmemSync {
+			t.Fatalf("same-slot loop reuse must not race, got %v", diags)
+		}
+	}
+}
+
+func TestSyncLoopCarriedOffsetSilent(t *testing.T) {
+	// The reduction shape: LDS [(tid+s)*4] where s is a loop variable with
+	// two reaching definitions — the prover must give up, not guess.
+	//
+	//	#0 S2R R1, tid
+	//	#1 SHL R2 = R1 << 2
+	//	#2 MOVI R3, 8        ; s
+	//	#3 MOVI R4, 1
+	//	#4 STS [R2], R4
+	//	#5 IADD R5 = R1 + R3 ; loop head
+	//	#6 SHL R5 = R5 << 2
+	//	#7 LDS R4, [R5]      ; reads (tid+s)*4 — s not single-def
+	//	#8 ISETP P0 = R3 > 1
+	//	#9 SHR R3 = R3 >> 1
+	//	#10 @P0 BRA #5 (reconv #11)
+	//	#11 STG [R2], R4
+	//	#12 EXIT
+	p := prog(6,
+		s2r(1, isa.SRTidX),
+		shli(2, 1, 2),
+		movi(3, 8),
+		movi(4, 1),
+		sts(2, 0, 4),
+		iadd(5, 1, 3),
+		shli(5, 5, 2),
+		lds(4, 5, 0),
+		isa.Instr{Op: isa.OpISETP, PDst: isa.P0, Cmp: isa.CmpGT, SrcA: 3, BImm: true, Imm: 1},
+		isa.Instr{Op: isa.OpSHR, Dst: 3, SrcA: 3, BImm: true, Imm: 1},
+		bra(5, 11, isa.P0, false),
+		stg(2, 4),
+		exit(),
+	)
+	diags := flow.CheckSync(p)
+	if got := rulesOf(diags)[flow.RuleSmemSync]; got != 0 {
+		t.Fatalf("loop-carried offset must stay silent, got %v", diags)
+	}
+}

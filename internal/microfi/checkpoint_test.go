@@ -130,7 +130,10 @@ func TestCheckpointStaticEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	job := app.Build()
-	dead := StaticDeadRegs(job)
+	static, err := TraceStatic(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	brute, err := Golden(job, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -141,8 +144,8 @@ func TestCheckpointStaticEquivalence(t *testing.T) {
 	}
 	tgt := Target{Structure: gpu.RF}
 	for seed := int64(0); seed < 40; seed++ {
-		want, wantPruned := InjectStatic(job, brute, dead, tgt, rand.New(rand.NewSource(seed)))
-		got, gotPruned := InjectStatic(job, ck, dead, tgt, rand.New(rand.NewSource(seed)))
+		want, wantPruned := InjectStatic(job, brute, static, tgt, rand.New(rand.NewSource(seed)))
+		got, gotPruned := InjectStatic(job, ck, static, tgt, rand.New(rand.NewSource(seed)))
 		if got != want || gotPruned != wantPruned {
 			t.Fatalf("seed %d: %+v/%v != %+v/%v", seed, got, gotPruned, want, wantPruned)
 		}

@@ -368,13 +368,13 @@ func InjectPrunedModel(job *device.Job, g *GoldenRun, lv *ace.Liveness, t Target
 }
 
 // InjectStaticModel is InjectStatic generalized over fault models, with the
-// same restriction as InjectPrunedModel: static dead-register pruning is
-// only sound for one-shot single-register faults, so non-transient models
-// run unpruned.
-func InjectStaticModel(job *device.Job, g *GoldenRun, dead StaticDead, t Target, mdl faultmodel.Model, rng *rand.Rand) (faults.Result, bool) {
+// same restriction as InjectPrunedModel: static dead-interval pruning is
+// only sound for one-shot single-site faults, so non-transient models run
+// unpruned.
+func InjectStaticModel(job *device.Job, g *GoldenRun, si *StaticIntervals, t Target, mdl faultmodel.Model, rng *rand.Rand) (faults.Result, bool) {
 	if tr, ok := mdl.(faultmodel.Transient); ok {
 		t.Burst = tr.Width
-		return InjectStatic(job, g, dead, t, rng)
+		return InjectStatic(job, g, si, t, rng)
 	}
 	return InjectModel(job, g, t, mdl, rng), false
 }

@@ -222,7 +222,10 @@ func TestModelAgnosticCampaignAlgebra(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dead := StaticDeadRegs(job)
+	static, err := TraceStatic(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tgt := Target{Structure: gpu.RF}
 
 	for name, mdl := range storageModels() {
@@ -277,7 +280,7 @@ func TestModelAgnosticCampaignAlgebra(t *testing.T) {
 				t.Fatalf("%s seed %d: liveness pruner altered the experiment: %+v/%v != %+v",
 					name, seed, got, pruned, want)
 			}
-			got, pruned = InjectStaticModel(job, g, dead, tgt, mdl, rand.New(rand.NewSource(seed)))
+			got, pruned = InjectStaticModel(job, g, static, tgt, mdl, rand.New(rand.NewSource(seed)))
 			if pruned || got != want {
 				t.Fatalf("%s seed %d: static pruner altered the experiment: %+v/%v != %+v",
 					name, seed, got, pruned, want)

@@ -7,8 +7,11 @@ import (
 	"gpurel/internal/ace"
 	"gpurel/internal/device"
 	"gpurel/internal/faults"
+	"gpurel/internal/flow"
 	"gpurel/internal/gpu"
+	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
 )
 
 // overAllocJob is saxpy with four padding registers per thread: allocated in
@@ -45,10 +48,10 @@ func TestStaticDeadRegs(t *testing.T) {
 	}
 }
 
-// TestInjectStaticEquivalence is the central property behind static pruning:
-// for every seed, InjectStatic classifies bit-identically to the brute-force
-// Inject, with provably-dead hits short-circuited.
-func TestInjectStaticEquivalence(t *testing.T) {
+// TestInjectStaticDeadEquivalence is the property behind boolean static
+// pruning: for every seed, InjectStaticDead classifies bit-identically to
+// the brute-force Inject, with provably-dead hits short-circuited.
+func TestInjectStaticDeadEquivalence(t *testing.T) {
 	job := overAllocJob(256)
 	cfg := gpu.Volta()
 	g, err := Golden(job, cfg)
@@ -61,7 +64,7 @@ func TestInjectStaticEquivalence(t *testing.T) {
 		pruned, simulated := 0, 0
 		for seed := int64(0); seed < 120; seed++ {
 			want := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
-			got, wasPruned := InjectStatic(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
+			got, wasPruned := InjectStaticDead(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
 			if got != want {
 				t.Fatalf("burst %d seed %d: static %+v != brute-force %+v (pruned=%v)",
 					burst, seed, got, want, wasPruned)
@@ -85,10 +88,10 @@ func TestInjectStaticEquivalence(t *testing.T) {
 	}
 }
 
-// TestInjectStaticCampaignTally: aggregated campaign tallies are bit-identical
-// between brute force and static pruning (same seeds → same per-run results →
-// same counts).
-func TestInjectStaticCampaignTally(t *testing.T) {
+// TestInjectStaticDeadCampaignTally: aggregated campaign tallies are
+// bit-identical between brute force and boolean static pruning (same seeds
+// → same per-run results → same counts).
+func TestInjectStaticDeadCampaignTally(t *testing.T) {
 	job := overAllocJob(128)
 	cfg := gpu.Volta()
 	g, err := Golden(job, cfg)
@@ -100,7 +103,7 @@ func TestInjectStaticCampaignTally(t *testing.T) {
 	var brute, static [faults.NumOutcomes]int
 	for seed := int64(0); seed < 80; seed++ {
 		brute[Inject(job, g, tgt, rand.New(rand.NewSource(seed))).Outcome]++
-		r, _ := InjectStatic(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
+		r, _ := InjectStaticDead(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
 		static[r.Outcome]++
 	}
 	if brute != static {
@@ -108,9 +111,9 @@ func TestInjectStaticCampaignTally(t *testing.T) {
 	}
 }
 
-// TestInjectStaticNonRF: other structures and a nil dead set fall through to
-// Inject verbatim.
-func TestInjectStaticNonRF(t *testing.T) {
+// TestInjectStaticDeadNonRF: other structures and a nil dead set fall
+// through to Inject verbatim.
+func TestInjectStaticDeadNonRF(t *testing.T) {
 	job := overAllocJob(128)
 	cfg := gpu.Volta()
 	g, _ := Golden(job, cfg)
@@ -119,7 +122,7 @@ func TestInjectStaticNonRF(t *testing.T) {
 		tgt := Target{Structure: st, Kernel: "K1"}
 		for seed := int64(0); seed < 15; seed++ {
 			want := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
-			got, wasPruned := InjectStatic(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
+			got, wasPruned := InjectStaticDead(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
 			if wasPruned {
 				t.Fatalf("%s: non-RF run must never be statically pruned", st)
 			}
@@ -129,7 +132,7 @@ func TestInjectStaticNonRF(t *testing.T) {
 		}
 	}
 	want := Inject(job, g, Target{Structure: gpu.RF, Kernel: "K1"}, rand.New(rand.NewSource(7)))
-	got, wasPruned := InjectStatic(job, g, nil, Target{Structure: gpu.RF, Kernel: "K1"}, rand.New(rand.NewSource(7)))
+	got, wasPruned := InjectStaticDead(job, g, nil, Target{Structure: gpu.RF, Kernel: "K1"}, rand.New(rand.NewSource(7)))
 	if wasPruned || got != want {
 		t.Errorf("nil dead set must behave as Inject: %+v vs %+v", got, want)
 	}
@@ -196,4 +199,217 @@ func TestStaticSubsetOfDynamic(t *testing.T) {
 type deadProg struct {
 	numRegs int
 	dead    []bool
+}
+
+// progAt maps an injection cycle back to the program of the kernel whose
+// launch span covers it (launches are sequential).
+func progAt(job *device.Job, spans []sim.LaunchSpan, cycle int64) *isa.Program {
+	for _, s := range spans {
+		if s.Start < cycle && cycle <= s.End {
+			for i := range job.Steps {
+				if l := job.Steps[i].Launch; l != nil && l.Name() == s.Kernel {
+					return l.Kernel
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// drawStatic replays the transient injector's RNG draw sequence against the
+// static allocation timeline without simulating anything, returning the
+// drawn site. ok is false when the run never draws one (empty window, ECC
+// screen, or nothing allocated at the cycle).
+func drawStatic(g *GoldenRun, si *StaticIntervals, t Target, rng *rand.Rand) (sm, idx int, cycle int64, ok bool) {
+	cycle, _, _, done := t.preflight(g, rng)
+	if done {
+		return 0, 0, 0, false
+	}
+	blocksAt, bits := si.IV.RFBlocksAt, 32
+	if t.Structure == gpu.SMEM {
+		blocksAt, bits = si.IV.SmemBlocksAt, 8
+	}
+	var blocks []flow.Blk
+	var smOf []int
+	total := 0
+	for s := 0; s < si.IV.NumSMs(); s++ {
+		n := len(blocks)
+		blocks = blocksAt(s, cycle, blocks)
+		for range blocks[n:] {
+			smOf = append(smOf, s)
+		}
+	}
+	for _, b := range blocks {
+		total += b.Size
+	}
+	if total == 0 {
+		return 0, 0, 0, false
+	}
+	k := rng.Intn(total)
+	_ = rng.Intn(bits) // bit draw, irrelevant to deadness
+	for i, b := range blocks {
+		if k < b.Size {
+			return smOf[i], b.Base + k, cycle, true
+		}
+		k -= b.Size
+	}
+	panic("drawStatic: overran the allocation timeline")
+}
+
+// TestStaticIntervalPruneProperty is the property-test satellite: on every
+// shipped app × seed, the interval-based InjectStatic classifies
+// bit-identically to brute-force Inject (RF and SMEM), and its prune set is
+// a superset of the boolean AlwaysDead prune — any run InjectStaticDead
+// short-circuits, InjectStatic must short-circuit too.
+func TestStaticIntervalPruneProperty(t *testing.T) {
+	cfg := gpu.Volta()
+	for _, app := range kernels.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			job := app.Build()
+			si, err := TraceStatic(job, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dead := StaticDeadRegs(job)
+			g, err := Golden(job, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range []gpu.Structure{gpu.RF, gpu.SMEM} {
+				tgt := Target{Structure: st}
+				var brute, static [faults.NumOutcomes]int
+				intervalPruned, deadPruned := 0, 0
+				seeds := int64(10)
+				if st == gpu.SMEM {
+					seeds = 6
+				}
+				for seed := int64(0); seed < seeds; seed++ {
+					want := Inject(job, g, tgt, rand.New(rand.NewSource(seed)))
+					got, pruned := InjectStatic(job, g, si, tgt, rand.New(rand.NewSource(seed)))
+					if got != want {
+						t.Fatalf("%s seed %d: interval prune altered the outcome: %+v (pruned=%v) != %+v",
+							st, seed, got, pruned, want)
+					}
+					brute[want.Outcome]++
+					static[got.Outcome]++
+					if pruned {
+						intervalPruned++
+					}
+					if st == gpu.RF {
+						_, dp := InjectStaticDead(job, g, dead, tgt, rand.New(rand.NewSource(seed)))
+						if dp {
+							deadPruned++
+							if !pruned {
+								t.Fatalf("seed %d: AlwaysDead pruned but the interval prune did not — superset violated", seed)
+							}
+						}
+					}
+				}
+				if brute != static {
+					t.Fatalf("%s: campaign tallies differ: brute=%v static=%v", st, brute, static)
+				}
+				t.Logf("%s: interval pruned %d/%d (always-dead %d)", st, intervalPruned, seeds, deadPruned)
+			}
+		})
+	}
+}
+
+// BenchmarkStaticPrune measures the static pre-classification and asserts
+// the acceptance criterion: interval pruning pre-classifies a strictly
+// larger run fraction than the AlwaysDead prune on at least 8 of the 11
+// apps (it can only tie where a kernel leaves nothing dead to harvest), the
+// interval prune set is a per-draw superset of the AlwaysDead set, and a
+// simulated campaign's final tallies are bit-identical to brute force.
+func BenchmarkStaticPrune(b *testing.B) {
+	cfg := gpu.Volta()
+	type appState struct {
+		app  kernels.App
+		job  *device.Job
+		g    *GoldenRun
+		si   *StaticIntervals
+		dead StaticDead
+	}
+	var apps []appState
+	for _, app := range kernels.All() {
+		job := app.Build()
+		g, err := Golden(job, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		si, err := TraceStatic(job, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		apps = append(apps, appState{app, job, g, si, StaticDeadRegs(job)})
+	}
+	const drawSeeds = 400
+	tgt := Target{Structure: gpu.RF}
+	intervalHits := make([]int, len(apps))
+	deadHits := make([]int, len(apps))
+	draws := make([]int, len(apps))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ai := range apps {
+			a := &apps[ai]
+			intervalHits[ai], deadHits[ai], draws[ai] = 0, 0, 0
+			for seed := int64(0); seed < drawSeeds; seed++ {
+				sm, idx, cycle, ok := drawStatic(a.g, a.si, tgt, rand.New(rand.NewSource(seed)))
+				if !ok {
+					continue
+				}
+				draws[ai]++
+				ivDead := !a.si.IV.LiveRF(sm, idx, cycle)
+				adDead := false
+				if p := progAt(a.job, a.si.Spans, cycle); p != nil {
+					if d := a.dead[p]; d != nil {
+						adDead = d[idx%p.NumRegs]
+					}
+				}
+				if adDead && !ivDead {
+					b.Fatalf("%s seed %d: AlwaysDead site not interval-dead (sm=%d idx=%d cycle=%d)",
+						a.app.Name, seed, sm, idx, cycle)
+				}
+				if ivDead {
+					intervalHits[ai]++
+				}
+				if adDead {
+					deadHits[ai]++
+				}
+			}
+		}
+	}
+	b.StopTimer()
+
+	strictlyLarger := 0
+	var sumIv, sumDead float64
+	for ai := range apps {
+		ivFrac := float64(intervalHits[ai]) / float64(drawSeeds)
+		dFrac := float64(deadHits[ai]) / float64(drawSeeds)
+		sumIv += ivFrac
+		sumDead += dFrac
+		if intervalHits[ai] > deadHits[ai] {
+			strictlyLarger++
+		}
+		b.Logf("%-10s interval prune %5.1f%%  always-dead %5.1f%%  (%d draws)",
+			apps[ai].app.Name, 100*ivFrac, 100*dFrac, draws[ai])
+	}
+	if strictlyLarger < 8 {
+		b.Fatalf("interval pruning beats AlwaysDead on only %d of %d apps, want >= 8", strictlyLarger, len(apps))
+	}
+	b.ReportMetric(100*sumIv/float64(len(apps)), "%interval-pruned")
+	b.ReportMetric(100*sumDead/float64(len(apps)), "%alwaysdead-pruned")
+
+	// Bit-identity of the end-to-end campaign, small seed set per app.
+	for _, a := range apps {
+		var brute, static [faults.NumOutcomes]int
+		for seed := int64(0); seed < 5; seed++ {
+			brute[Inject(a.job, a.g, tgt, rand.New(rand.NewSource(seed))).Outcome]++
+			r, _ := InjectStatic(a.job, a.g, a.si, tgt, rand.New(rand.NewSource(seed)))
+			static[r.Outcome]++
+		}
+		if brute != static {
+			b.Fatalf("%s: tallies differ: brute=%v static=%v", a.app.Name, brute, static)
+		}
+	}
 }

@@ -266,6 +266,26 @@ type RFTracer interface {
 	OnRegRelease(sm, base, size int, cycle int64)
 }
 
+// SchedTracer observes the deterministic schedule of a run: every CTA
+// placement and retirement with its physical register-file and shared-memory
+// allocation, and every warp instruction issue with its post-predication
+// active lane mask. CTAs are identified by a dense id assigned in placement
+// order (unique across the whole run). Signatures use only basic types and
+// *isa.Program so analysis packages can implement the interface structurally
+// without importing sim. Implementations must be fast; OnIssue runs once per
+// issued instruction on the hot loop.
+type SchedTracer interface {
+	// OnCTAPlace fires when a CTA lands on an SM: phys allocations are
+	// [rfBase, rfBase+rfSize) registers and [smBase, smBase+smSize) bytes.
+	OnCTAPlace(cta, sm, rfBase, rfSize, smBase, smSize, threads int, prog *isa.Program, cycle int64)
+	// OnIssue fires after one warp instruction executes: pc is the executed
+	// instruction's index and mask the lanes that actually ran it (guard
+	// predicates already applied — a lane outside the mask touched nothing).
+	OnIssue(cta, warp, pc int, mask uint32, cycle int64)
+	// OnCTARetire fires when the CTA's allocations are released.
+	OnCTARetire(cta int, cycle int64)
+}
+
 // Options configures a run.
 type Options struct {
 	// MaxCycles is the timeout budget (0 = none).
@@ -284,6 +304,11 @@ type Options struct {
 	// RFTrace, when set, receives register-file liveness events (used by
 	// the ACE analyzer).
 	RFTrace RFTracer
+	// SchedTrace, when set, receives the scheduled execution order (used by
+	// the static interval engine in internal/flow). Tracing assumes a plain
+	// full run: combining it with Resume is unsupported (CTA ids would
+	// restart from zero).
+	SchedTrace SchedTracer
 
 	// Checkpoint, when set, captures a machine snapshot into the set at
 	// every cycle divisible by its stride (reference/golden runs).
@@ -333,6 +358,13 @@ type runner struct {
 	cur   *launchState
 
 	dramRead, dramWrite int64
+
+	// Scheduled-trace bookkeeping (only populated when opts.SchedTrace is
+	// set): dense CTA ids in placement order, looked up by runtime identity
+	// so ctaRT itself — and the snapshot code that copies it field by field
+	// — stays untouched.
+	schedIDs  map[*ctaRT]int
+	schedNext int
 
 	res  *Result
 	env  simEnv
@@ -726,6 +758,15 @@ func (r *runner) tryPlace(sm *SM, l *device.Launch, prog *isa.Program, p *pendin
 	if tr := r.opts.RFTrace; tr != nil {
 		tr.OnRegAlloc(sm.ID, cta.rfBase, cta.rfSize, r.cycle)
 	}
+	if tr := r.opts.SchedTrace; tr != nil {
+		if r.schedIDs == nil {
+			r.schedIDs = map[*ctaRT]int{}
+		}
+		id := r.schedNext
+		r.schedNext++
+		r.schedIDs[cta] = id
+		tr.OnCTAPlace(id, sm.ID, cta.rfBase, cta.rfSize, cta.smBase, cta.smSize, cta.threads, prog, r.cycle)
+	}
 	return true
 }
 
@@ -766,6 +807,9 @@ func (r *runner) cycleSM(sm *SM, ks *KernelStats) (int, error) {
 		e.lines = e.lines[:0]
 
 		info := exec.Step(cta.warps[w], cta.prog, e)
+		if tr := r.opts.SchedTrace; tr != nil && info.Kind != exec.StepFault && info.Instr != nil {
+			tr.OnIssue(r.schedIDs[cta], w, int(info.PC), info.ActiveMask, r.cycle)
+		}
 		switch info.Kind {
 		case exec.StepFault:
 			return finished, info.Fault
@@ -845,6 +889,10 @@ func (r *runner) releaseBarrierIfReady(cta *ctaRT) {
 func (r *runner) retireCTA(sm *SM, cta *ctaRT) {
 	if tr := r.opts.RFTrace; tr != nil {
 		tr.OnRegRelease(sm.ID, cta.rfBase, cta.rfSize, r.cycle)
+	}
+	if tr := r.opts.SchedTrace; tr != nil {
+		tr.OnCTARetire(r.schedIDs[cta], r.cycle)
+		delete(r.schedIDs, cta)
 	}
 	sm.rfAlloc.release(cta.rfBase, cta.rfSize)
 	sm.smAlloc.release(cta.smBase, cta.smSize)

@@ -105,6 +105,10 @@ type AppEval struct {
 	live     [2]*ace.Liveness
 	liveErr  [2]error
 
+	staticOnce sync.Once
+	static     *microfi.StaticIntervals
+	staticErr  error
+
 	selMu sync.Mutex
 	sel   map[string]*selEval // selective variants, keyed by Set.Canonical()
 }
@@ -167,6 +171,16 @@ func (e *AppEval) liveness(cfg gpu.Config, hardened bool) (*ace.Liveness, error)
 		e.live[i], e.liveErr[i] = ace.TraceRF(job, cfg)
 	})
 	return e.live[i], e.liveErr[i]
+}
+
+// staticIntervals traces (once) the static ACE-interval map of the plain
+// job — one fault-free run, no injections; the advisor's zero-cost
+// pre-ranking stage reads its static AVF bounds.
+func (e *AppEval) staticIntervals(cfg gpu.Config) (*microfi.StaticIntervals, error) {
+	e.staticOnce.Do(func() {
+		e.static, e.staticErr = microfi.TraceStatic(e.Job, cfg)
+	})
+	return e.static, e.staticErr
 }
 
 type microKey struct {
