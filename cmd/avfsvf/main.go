@@ -72,10 +72,17 @@ func main() {
 		fmodels = flag.Bool("faultmodels", false, "emit the cross-model outcome table: transient vs stuck-at vs MBU per storage structure, flip vs forced latch per control-state site (heavy: ~29 campaign sets; pair with a small -n)")
 		fmApps  = flag.String("faultmodels-apps", "", "comma-separated app subset for -faultmodels (empty = all 11 benchmarks)")
 	)
+	prof := cliutil.Profiling(flag.CommandLine)
 	cliutil.Alias(flag.CommandLine, "snap-stride", "checkpoint")
 	cliutil.Alias(flag.CommandLine, "snap-mb", "checkpoint-mb")
 	cliutil.HideDeprecated(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfsvf:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	s := gpurel.NewStudy(*n, *seed)
 	if *daemon != "" {

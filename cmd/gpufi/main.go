@@ -71,10 +71,16 @@ func main() {
 		converge    = flag.Bool("converge", false, "join faulty runs back to golden at the first matching checkpoint; implies -snap-stride -1 if unset")
 		list        = flag.Bool("list", false, "list benchmarks and kernels")
 	)
+	prof := cliutil.Profiling(flag.CommandLine)
 	cliutil.Alias(flag.CommandLine, "snap-stride", "checkpoint")
 	cliutil.Alias(flag.CommandLine, "snap-mb", "checkpoint-mb")
 	cliutil.HideDeprecated(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, a := range kernels.All() {

@@ -52,6 +52,7 @@ import (
 	"gpurel"
 	"gpurel/client"
 	"gpurel/internal/adaptive"
+	"gpurel/internal/cliutil"
 	"gpurel/internal/fleet"
 	"gpurel/internal/microfi"
 	"gpurel/internal/service"
@@ -80,7 +81,13 @@ func main() {
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "lease heartbeat deadline; expired leases are requeued")
 		adviseCkpt = flag.String("advise-checkpoint", "gpureld.advise.json", "selective-hardening advise journal path ('' disables persistence)")
 	)
+	prof := cliutil.Profiling(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatalf("gpureld: %v", err)
+	}
+	defer stopProf()
 
 	// The daemon's study exists for its golden-run memoisation; campaign
 	// sizing and seeds come from each job spec. The adaptive counters are

@@ -53,7 +53,7 @@ import (
 // CLI plumbing and the wire client ride along: their outputs feed the same
 // deterministic pipelines, so wallclock or map-order dependence there is
 // just as much a replay hazard.
-const defaultPkgs = "internal/sim,internal/exec,internal/microfi,internal/faultmodel,internal/adaptive,internal/campaign,internal/flow,internal/service,internal/harden,internal/advisor,internal/fleet,internal/ace,internal/cliutil,client"
+const defaultPkgs = "internal/sim,internal/exec,internal/microfi,internal/faultmodel,internal/adaptive,internal/campaign,internal/flow,internal/service,internal/harden,internal/advisor,internal/fleet,internal/ace,internal/cliutil,internal/uop,client"
 
 func main() {
 	pkgsFlag := flag.String("pkgs", defaultPkgs,

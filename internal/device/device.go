@@ -25,6 +25,11 @@ type Alloc struct {
 	Size uint32
 }
 
+// pageBytes is the copy-on-write snapshot page size. Device memory dwarfs
+// every other array in a machine snapshot, so the checkpoint engine tracks
+// writes per page and shares untouched pages between consecutive snapshots.
+const pageBytes = 4096
+
 // Memory is the device global memory image plus its allocation table.
 // Accesses outside an allocation (or misaligned) produce errors that the
 // simulators classify as DUEs.
@@ -37,11 +42,58 @@ type Memory struct {
 	// to decide whether GPU caches must be invalidated afterward: read-only
 	// host access (D2H) leaves them warm.
 	dirty bool
+	// lastHit memoizes the alloc index of the last successful Valid check:
+	// warp accesses are heavily clustered within one buffer, so this turns
+	// the per-lane validity scan into a single range test. Pure cache —
+	// never part of snapshotted or compared state.
+	lastHit int
+	// pdirty is the per-page write bitset backing copy-on-write snapshots:
+	// bit p set means page p may have diverged from the provenance snapshot
+	// the checkpoint engine last synced against. Every mutating accessor
+	// marks the pages it touches; Raw marks all of them (the caller can
+	// write anywhere).
+	pdirty []uint64
 }
 
 // NewMemory creates a device memory of the given capacity in bytes.
 func NewMemory(capacity int) *Memory {
-	return &Memory{data: make([]byte, capacity), next: NullGuard}
+	m := &Memory{data: make([]byte, capacity), next: NullGuard}
+	m.pdirty = make([]uint64, (m.numPages()+63)/64)
+	m.markAllPages()
+	return m
+}
+
+func (m *Memory) numPages() int { return (len(m.data) + pageBytes - 1) / pageBytes }
+
+func (m *Memory) pageDirty(p int) bool { return m.pdirty[p>>6]&(1<<(p&63)) != 0 }
+
+func (m *Memory) markAllPages() {
+	for i := range m.pdirty {
+		m.pdirty[i] = ^uint64(0)
+	}
+}
+
+// markPages marks the write-tracking state for [addr, addr+n): the host
+// dirty flag and the snapshot page bits.
+func (m *Memory) markPages(addr, n uint32) {
+	m.dirty = true
+	if n == 0 || int(addr) >= len(m.data) {
+		return
+	}
+	lo := int(addr) / pageBytes
+	hi := int(addr+n-1) / pageBytes
+	if last := m.numPages() - 1; hi > last {
+		hi = last
+	}
+	for p := lo; p <= hi; p++ {
+		m.pdirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// ClearPageDirty clears the per-page snapshot bits (not the host dirty
+// flag). Only the checkpoint engine calls it, at provenance sync points.
+func (m *Memory) ClearPageDirty() {
+	clear(m.pdirty)
 }
 
 // Alloc reserves size bytes (zeroed) and returns the device address.
@@ -71,6 +123,8 @@ func (m *Memory) Clone() *Memory {
 	c := &Memory{data: make([]byte, len(m.data)), next: m.next}
 	copy(c.data, m.data)
 	c.allocs = append([]Alloc(nil), m.allocs...)
+	c.pdirty = make([]uint64, (c.numPages()+63)/64)
+	c.markAllPages()
 	return c
 }
 
@@ -85,6 +139,7 @@ func (m *Memory) CloneInto(dst *Memory) *Memory {
 	copy(dst.data, m.data)
 	dst.next = m.next
 	dst.allocs = append(dst.allocs[:0], m.allocs...)
+	dst.markAllPages()
 	return dst
 }
 
@@ -114,6 +169,97 @@ func (m *Memory) LoadState(st *MemState) {
 	copy(m.data, st.data)
 	m.next = st.next
 	m.allocs = append(m.allocs[:0], st.allocs...)
+	m.markAllPages()
+}
+
+// PagedState is a structurally shared snapshot of a Memory: pages untouched
+// since the previous snapshot alias the previous snapshot's page slices
+// instead of being copied. Immutable once saved.
+type PagedState struct {
+	pages  [][]byte
+	next   uint32
+	allocs []Alloc
+}
+
+// Pages exposes the page slices for retained-byte accounting (a shared page
+// appears in multiple PagedStates with the same backing array). Callers
+// must treat the pages as read-only.
+func (st *PagedState) Pages() [][]byte { return st.pages }
+
+// StateBytes returns the standalone (sharing-ignored) size of the state.
+func (st *PagedState) StateBytes() int64 {
+	var n int64
+	for _, pg := range st.pages {
+		n += int64(len(pg))
+	}
+	return n + int64(len(st.allocs))*24
+}
+
+func samePage(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// SavePaged snapshots the memory into st. Pages whose dirty bit is clear are
+// shared with prev — the caller guarantees prev is the provenance base the
+// dirty bits are relative to (every clean page is bit-identical to prev's).
+// prev nil forces a full copy. Dirty bits are left untouched; the caller
+// clears them when it re-bases its provenance on the new snapshot.
+func (m *Memory) SavePaged(st, prev *PagedState) {
+	np := m.numPages()
+	st.pages = make([][]byte, np)
+	for p := 0; p < np; p++ {
+		if prev != nil && !m.pageDirty(p) {
+			st.pages[p] = prev.pages[p]
+			continue
+		}
+		lo := p * pageBytes
+		hi := min(lo+pageBytes, len(m.data))
+		st.pages[p] = append([]byte(nil), m.data[lo:hi]...)
+	}
+	st.next = m.next
+	st.allocs = append([]Alloc(nil), m.allocs...)
+}
+
+// LoadPaged restores st into the memory. base is the provenance snapshot the
+// memory's dirty bits are relative to: a page that is clean and shares its
+// backing array between st and base is already bit-identical and is skipped.
+// base nil forces a full copy. The caller re-bases provenance afterwards.
+func (m *Memory) LoadPaged(st, base *PagedState) {
+	np := m.numPages()
+	if len(st.pages) != np {
+		panic(fmt.Sprintf("device: LoadPaged page-count mismatch: %d pages, snapshot has %d", np, len(st.pages)))
+	}
+	for p := 0; p < np; p++ {
+		if base != nil && !m.pageDirty(p) && samePage(st.pages[p], base.pages[p]) {
+			continue
+		}
+		copy(m.data[p*pageBytes:], st.pages[p])
+	}
+	m.next = st.next
+	m.allocs = append(m.allocs[:0], st.allocs...)
+}
+
+// PagedEqual reports whether the memory's current state equals st, using the
+// same clean-and-shared fast path as LoadPaged.
+func (m *Memory) PagedEqual(st, base *PagedState) bool {
+	if m.next != st.next || len(m.allocs) != len(st.allocs) || len(st.pages) != m.numPages() {
+		return false
+	}
+	for i := range m.allocs {
+		if m.allocs[i] != st.allocs[i] {
+			return false
+		}
+	}
+	for p := range st.pages {
+		if base != nil && !m.pageDirty(p) && samePage(st.pages[p], base.pages[p]) {
+			continue
+		}
+		lo := p * pageBytes
+		if !bytes.Equal(m.data[lo:lo+len(st.pages[p])], st.pages[p]) {
+			return false
+		}
+	}
+	return true
 }
 
 // StateEqual reports whether the memory's current state is identical to st.
@@ -144,6 +290,8 @@ func (m *Memory) Replicate(copies, extra int) (*Memory, uint32) {
 	stride := (m.next + align - 1) &^ uint32(align-1)
 	capacity := int(stride)*copies + extra
 	n := &Memory{data: make([]byte, capacity), next: stride*uint32(copies-1) + m.next}
+	n.pdirty = make([]uint64, (n.numPages()+63)/64)
+	n.markAllPages()
 	for c := 0; c < copies; c++ {
 		off := uint32(c) * stride
 		copy(n.data[off:], m.data[:m.next])
@@ -178,8 +326,29 @@ func (m *Memory) Valid(addr uint32, n uint32) bool {
 	if addr%n != 0 {
 		return false
 	}
-	for _, a := range m.allocs {
-		if addr >= a.Addr && addr+n <= a.Addr+a.Size {
+	if i := m.lastHit; i < len(m.allocs) {
+		if a := &m.allocs[i]; addr >= a.Addr && addr+n <= a.Addr+a.Size {
+			return true
+		}
+	}
+	for i := range m.allocs {
+		if a := &m.allocs[i]; addr >= a.Addr && addr+n <= a.Addr+a.Size {
+			m.lastHit = i
+			return true
+		}
+	}
+	return false
+}
+
+// ValidUncached is Valid without the last-hit memo: a plain scan over the
+// allocation table. The simulator's reference (legacy) core uses it so its
+// per-access cost matches the pre-memoization baseline.
+func (m *Memory) ValidUncached(addr uint32, n uint32) bool {
+	if addr%n != 0 {
+		return false
+	}
+	for i := range m.allocs {
+		if a := &m.allocs[i]; addr >= a.Addr && addr+n <= a.Addr+a.Size {
 			return true
 		}
 	}
@@ -199,18 +368,34 @@ func (m *Memory) Store4(addr uint32, v uint32) error {
 	if !m.Valid(addr, 4) {
 		return &AccessError{Addr: addr, Write: true}
 	}
-	m.dirty = true
+	m.markPages(addr, 4)
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
 	return nil
 }
 
-// Raw exposes the backing bytes. The cache model uses it for line fills and
-// writebacks; host steps use it for direct access. Callers must stay in
-// bounds. The returned slice is mutable, so taking it counts as a write for
-// dirty tracking.
+// Raw exposes the backing bytes for direct host-step access. Callers must
+// stay in bounds. The returned slice is mutable, so taking it counts as a
+// write to every page for dirty tracking; code on the simulator's hot path
+// (cache fills and writebacks) uses PeekBytes/WriteAt instead, which track
+// precisely.
 func (m *Memory) Raw() []byte {
 	m.dirty = true
+	m.markAllPages()
 	return m.data
+}
+
+// PeekBytes returns a read-only view of [addr, addr+n) without touching the
+// write-tracking state. Mutating the returned slice corrupts snapshot
+// provenance; writers must use WriteAt or Raw.
+func (m *Memory) PeekBytes(addr, n uint32) []byte {
+	return m.data[addr : addr+n]
+}
+
+// WriteAt copies b into the memory at addr with precise write tracking (the
+// cache model's line-writeback path).
+func (m *Memory) WriteAt(addr uint32, b []byte) {
+	m.markPages(addr, uint32(len(b)))
+	copy(m.data[addr:], b)
 }
 
 // ResetDirty clears the write-tracking flag; Dirty reports whether any
@@ -227,7 +412,7 @@ func (m *Memory) PeekU32(addr uint32) uint32 {
 
 // PokeU32 writes a word without validity checking (host-side access).
 func (m *Memory) PokeU32(addr uint32, v uint32) {
-	m.dirty = true
+	m.markPages(addr, 4)
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
 }
 
@@ -418,7 +603,7 @@ func (j *Job) ReadOutputs(m *Memory) []byte {
 	}
 	out := make([]byte, 0, total)
 	for _, o := range j.Outputs {
-		out = append(out, m.Raw()[o.Addr:o.Addr+o.Size]...)
+		out = append(out, m.PeekBytes(o.Addr, o.Size)...)
 	}
 	return out
 }

@@ -67,6 +67,11 @@ func (w *Warp) Reset() {
 // Done reports whether all lanes have exited.
 func (w *Warp) Done() bool { return w.Exited == w.FullMask }
 
+// Normalize pops entries that have reached their reconvergence point or
+// whose lanes have all exited. Exported for the pre-decoded µop executor in
+// internal/sim, which mirrors Step's control flow on compiled programs.
+func (w *Warp) Normalize() { w.normalize() }
+
 // normalize pops entries that have reached their reconvergence point or
 // whose lanes have all exited.
 func (w *Warp) normalize() {
@@ -259,10 +264,11 @@ func writeReg[E Env](env E, lane int, r isa.Reg, v uint32) {
 	env.WriteReg(lane, r, v)
 }
 
-// f32i converts a float32 to int32 with saturation, matching hardware F2I
+// F32I converts a float32 to int32 with saturation, matching hardware F2I
 // semantics (Go's conversion is undefined for out-of-range values, and
-// fault-injected runs hit those).
-func f32i(f float32) int32 {
+// fault-injected runs hit those). Exported so the µop executor shares the
+// exact conversion.
+func F32I(f float32) int32 {
 	switch {
 	case f != f: // NaN
 		return 0
@@ -369,18 +375,18 @@ func execLane[E Env](env E, lane int, ins *isa.Instr) error {
 	case isa.OpI2F:
 		fw(float32(int32(readReg(env, lane, ins.SrcA))))
 	case isa.OpF2I:
-		writeReg(env, lane, ins.Dst, uint32(f32i(fa())))
+		writeReg(env, lane, ins.Dst, uint32(F32I(fa())))
 
 	case isa.OpISETP:
 		a, b := int32(readReg(env, lane, ins.SrcA)), int32(rb())
-		r := icmp(ins.Cmp, a, b)
+		r := ICmp(ins.Cmp, a, b)
 		c := readPred(env, lane, ins.CPred)
 		if ins.CPredNeg {
 			c = !c
 		}
 		writePred(env, lane, ins.PDst, r && c)
 	case isa.OpFSETP:
-		r := fcmp(ins.Cmp, fa(), fb())
+		r := FCmp(ins.Cmp, fa(), fb())
 		c := readPred(env, lane, ins.CPred)
 		if ins.CPredNeg {
 			c = !c
@@ -427,7 +433,8 @@ func execLane[E Env](env E, lane int, ins *isa.Instr) error {
 	return nil
 }
 
-func icmp(c isa.CmpOp, a, b int32) bool {
+// ICmp evaluates an integer comparison. Shared with the µop executor.
+func ICmp(c isa.CmpOp, a, b int32) bool {
 	switch c {
 	case isa.CmpLT:
 		return a < b
@@ -445,7 +452,8 @@ func icmp(c isa.CmpOp, a, b int32) bool {
 	return false
 }
 
-func fcmp(c isa.CmpOp, a, b float32) bool {
+// FCmp evaluates a float comparison (CmpNE is true for NaN, per IEEE).
+func FCmp(c isa.CmpOp, a, b float32) bool {
 	switch c {
 	case isa.CmpLT:
 		return a < b

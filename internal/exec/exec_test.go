@@ -153,13 +153,13 @@ func TestF2ISaturation(t *testing.T) {
 		{-3e9, math.MinInt32},
 	}
 	for _, c := range cases {
-		if got := f32i(c.in); got != c.want {
-			t.Errorf("f32i(%v) = %d, want %d", c.in, got, c.want)
+		if got := F32I(c.in); got != c.want {
+			t.Errorf("F32I(%v) = %d, want %d", c.in, got, c.want)
 		}
 	}
-	// property: f32i never panics and stays in int32 range for any input
+	// property: F32I never panics and stays in int32 range for any input
 	if err := quick.Check(func(b uint32) bool {
-		_ = f32i(math.Float32frombits(b))
+		_ = F32I(math.Float32frombits(b))
 		return true
 	}, nil); err != nil {
 		t.Error(err)
@@ -203,10 +203,10 @@ func TestPredicatesAndSel(t *testing.T) {
 
 func TestFCmpNaN(t *testing.T) {
 	nan := float32(math.NaN())
-	if fcmp(isa.CmpLT, nan, 1) || fcmp(isa.CmpEQ, nan, nan) || fcmp(isa.CmpGE, nan, 0) {
+	if FCmp(isa.CmpLT, nan, 1) || FCmp(isa.CmpEQ, nan, nan) || FCmp(isa.CmpGE, nan, 0) {
 		t.Error("ordered comparisons with NaN must be false")
 	}
-	if !fcmp(isa.CmpNE, nan, nan) {
+	if !FCmp(isa.CmpNE, nan, nan) {
 		t.Error("NE with NaN must be true")
 	}
 }

@@ -217,12 +217,14 @@ func (st storageSite) flip(width, lines int) {
 			for w := 0; w < width; w++ {
 				st.sm.RF[st.idx+l] ^= 1 << ((st.bit + uint(w)) % 32)
 			}
+			st.sm.MarkRF(st.idx + l)
 		}
 	case gpu.SMEM:
 		for l := 0; l < lines && st.idx+l < len(st.sm.Smem); l++ {
 			for w := 0; w < width; w++ {
 				st.sm.Smem[st.idx+l] ^= 1 << ((st.bit + uint(w)) % 8)
 			}
+			st.sm.MarkSmem(st.idx + l)
 		}
 	default:
 		for l := 0; l < lines && st.line+l < st.cache.NumLines(); l++ {
@@ -243,6 +245,7 @@ func (st storageSite) force(v bool) {
 		} else {
 			st.sm.RF[st.idx] &^= mask
 		}
+		st.sm.MarkRF(st.idx)
 	case gpu.SMEM:
 		mask := byte(1) << (st.bit % 8)
 		if v {
@@ -250,6 +253,7 @@ func (st storageSite) force(v bool) {
 		} else {
 			st.sm.Smem[st.idx] &^= mask
 		}
+		st.sm.MarkSmem(st.idx)
 	default:
 		st.cache.SetBit(st.line, st.off, uint8(st.bit), v)
 	}

@@ -49,6 +49,15 @@ type Cache struct {
 	fills    []inflight
 	lruTick  int64
 
+	// MemoLookup enables a memoized last-hit way in lookup. Coalesced warp
+	// accesses hit the same line 32 times in a row, so remembering the last
+	// matching way skips the set scan on all but the first. The memo is a
+	// pure cache (re-validated against tag and valid bit on every use) and
+	// is never saved, restored or compared. Off by default so the
+	// simulator's legacy core keeps the baseline per-access cost.
+	MemoLookup bool
+	lastWay    int
+
 	Stats Stats
 }
 
@@ -106,12 +115,21 @@ func (c *Cache) setOf(lineAddr uint32) int {
 	return int(lineAddr/c.lineSize) % c.sets
 }
 
-// lookup returns the way holding lineAddr, or nil.
+// lookup returns the way holding lineAddr, or nil. At most one way can
+// hold a given line address, so serving from the memoized last hit is
+// identical to the set scan.
 func (c *Cache) lookup(lineAddr uint32) *Line {
+	if c.MemoLookup {
+		if ln := &c.lines[c.lastWay]; ln.Valid && ln.Addr == lineAddr {
+			return ln
+		}
+	}
 	set := c.setOf(lineAddr)
 	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[set*c.ways+w]
+		i := set*c.ways + w
+		ln := &c.lines[i]
 		if ln.Valid && ln.Addr == lineAddr {
+			c.lastWay = i
 			return ln
 		}
 	}
@@ -305,7 +323,7 @@ func (c *Cache) FlushTo(dram *device.Memory) {
 	for i := range c.lines {
 		ln := &c.lines[i]
 		if ln.Valid && ln.Dirty {
-			copy(dram.Raw()[ln.Addr:], ln.Data)
+			dram.WriteAt(ln.Addr, ln.Data)
 			ln.Dirty = false
 		}
 	}
@@ -336,10 +354,10 @@ func (h *Hierarchy) readLineL2(dram *device.Memory, lineAddr uint32, now int64) 
 	lat, _ := h.L2.trackFill(lineAddr, now, h.DRAMLat)
 	v := h.L2.victim(lineAddr)
 	if v.Valid && v.Dirty {
-		copy(dram.Raw()[v.Addr:], v.Data)
+		dram.WriteAt(v.Addr, v.Data)
 		*h.DRAMWrite += int64(h.L2.lineSize)
 	}
-	copy(v.Data, dram.Raw()[lineAddr:lineAddr+h.L2.lineSize])
+	copy(v.Data, dram.PeekBytes(lineAddr, h.L2.lineSize))
 	*h.DRAMRead += int64(h.L2.lineSize)
 	v.Addr, v.Valid, v.Dirty = lineAddr, true, false
 	h.L2.touch(v)

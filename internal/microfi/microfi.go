@@ -31,6 +31,12 @@ type GoldenRun struct {
 	Snaps *sim.SnapshotSet
 	Ckpt  CheckpointSpec
 
+	// Legacy forces every faulty run spawned from this golden run onto the
+	// reference interpreter with full-copy snapshot restores. Differential
+	// tests and benchmarks flip it to compare the fast core against the
+	// reference implementation; must be set before injections start.
+	Legacy bool
+
 	pool *sim.RunPool
 
 	// Fork/converge tallies, updated atomically by concurrent injections.
@@ -209,6 +215,7 @@ func injectRunModel(job *device.Job, g *GoldenRun, t Target, cycle int64, mdl fa
 	opts := sim.Options{
 		MaxCycles: g.Res.Cycles * int64(g.Cfg.TimeoutFactor),
 		AtCycle:   cycle,
+		Legacy:    g.Legacy,
 		OnCycle: func(m *sim.Machine) {
 			applier, hit = mdl.Arm(m, t.Structure, rng)
 		},
@@ -238,6 +245,7 @@ func injectRun(job *device.Job, g *GoldenRun, cycle int64, corrupt func(*sim.Mac
 	opts := sim.Options{
 		MaxCycles: g.Res.Cycles * int64(g.Cfg.TimeoutFactor),
 		AtCycle:   cycle,
+		Legacy:    g.Legacy,
 		OnCycle: func(m *sim.Machine) {
 			hit = corrupt(m)
 		},
@@ -311,6 +319,7 @@ func InjectPruned(job *device.Job, g *GoldenRun, lv *ace.Liveness, t Target, rng
 				for w := 0; w < width; w++ {
 					m.SMs[sm].RF[phys] ^= 1 << ((bit + uint(w)) % 32)
 				}
+				m.SMs[sm].MarkRF(phys)
 				return true
 			}), false
 		}

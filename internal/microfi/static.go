@@ -158,6 +158,11 @@ func InjectStatic(job *device.Job, g *GoldenRun, si *StaticIntervals, t Target, 
 						m.SMs[sm].RF[idx] ^= 1 << ((bit + uint(w)) % 32)
 					}
 				}
+				if t.Structure == gpu.SMEM {
+					m.SMs[sm].MarkSmem(idx)
+				} else {
+					m.SMs[sm].MarkRF(idx)
+				}
 				return true
 			}), false
 		}
@@ -206,6 +211,7 @@ func InjectStaticDead(job *device.Job, g *GoldenRun, dead StaticDead, t Target, 
 	opts := sim.Options{
 		MaxCycles: g.Res.Cycles * int64(g.Cfg.TimeoutFactor),
 		AtCycle:   cycle,
+		Legacy:    g.Legacy,
 		OnCycle: func(m *sim.Machine) {
 			// Replay the transient model's site selection exactly: SMs in
 			// index order, blocks in CTA placement order, then (entry, bit)
@@ -234,6 +240,7 @@ func InjectStaticDead(job *device.Job, g *GoldenRun, dead StaticDead, t Target, 
 					for w := 0; w < width; w++ {
 						cb.sm.RF[cb.blk.Base+k] ^= 1 << ((bit + uint(w)) % 32)
 					}
+					cb.sm.MarkRF(cb.blk.Base + k)
 					hit = true
 					return
 				}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"gpurel/internal/gpu"
+	"gpurel/internal/kernels"
+)
+
+// TestLegacyParityAllApps is the core bit-identity property of the hot-loop
+// overhaul: for every shipped application, the pre-decoded µop core and the
+// reference decode-and-switch interpreter (Options.Legacy) must produce the
+// same Result in full — outputs, cycle count, launch spans, and per-kernel
+// statistics. Every downstream equivalence (checkpoint forks, convergence
+// joins, campaign tallies) leans on this property.
+func TestLegacyParityAllApps(t *testing.T) {
+	cfg := gpu.Volta()
+	for _, app := range kernels.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			fast := Run(app.Build(), cfg, Options{})
+			slow := Run(app.Build(), cfg, Options{Legacy: true})
+			if (fast.Err == nil) != (slow.Err == nil) || fast.TimedOut != slow.TimedOut || fast.DUEFlag != slow.DUEFlag {
+				t.Fatalf("status diverges: fast err=%v timeout=%v due=%v, legacy err=%v timeout=%v due=%v",
+					fast.Err, fast.TimedOut, fast.DUEFlag, slow.Err, slow.TimedOut, slow.DUEFlag)
+			}
+			if fast.Cycles != slow.Cycles {
+				t.Errorf("cycles: fast %d, legacy %d", fast.Cycles, slow.Cycles)
+			}
+			if !bytes.Equal(fast.Output, slow.Output) {
+				t.Error("outputs differ")
+			}
+			if len(fast.Spans) != len(slow.Spans) {
+				t.Fatalf("spans: fast %d, legacy %d", len(fast.Spans), len(slow.Spans))
+			}
+			for i := range fast.Spans {
+				if fast.Spans[i] != slow.Spans[i] {
+					t.Errorf("span %d: fast %+v, legacy %+v", i, fast.Spans[i], slow.Spans[i])
+				}
+			}
+			if len(fast.PerKernel) != len(slow.PerKernel) {
+				t.Fatalf("kernel stats: fast %d, legacy %d", len(fast.PerKernel), len(slow.PerKernel))
+			}
+			for name, ks := range fast.PerKernel {
+				ref := slow.PerKernel[name]
+				if ref == nil || *ks != *ref {
+					t.Errorf("kernel %s stats diverge:\nfast   %+v\nlegacy %+v", name, ks, ref)
+				}
+			}
+		})
+	}
+}

@@ -13,12 +13,14 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gpurel/internal/device"
 	"gpurel/internal/exec"
 	"gpurel/internal/gpu"
 	"gpurel/internal/isa"
 	"gpurel/internal/mem"
+	"gpurel/internal/uop"
 )
 
 // block is a contiguous allocation in a physical storage array.
@@ -80,6 +82,15 @@ func (a *allocator) release(base, size int) {
 	a.free = merged
 }
 
+// Copy-on-write snapshot page geometry. RF pages are counted in registers
+// (uint32 words), SMEM pages in bytes. Small pages maximize structural
+// sharing between consecutive snapshots; the dirty bitsets stay tiny (one
+// uint64 covers 64 pages).
+const (
+	rfPageWords = 512
+	smPageBytes = 512
+)
+
 // SM is one streaming multiprocessor: its physical register file and shared
 // memory arrays (injection targets), caches, and resident CTAs.
 type SM struct {
@@ -95,6 +106,104 @@ type SM struct {
 	ctas        []*ctaRT
 	threadsUsed int
 	issuePtr    int
+
+	// Per-page dirty bits for copy-on-write snapshots: bit p set means RF
+	// (resp. SMEM) page p may have diverged from the runner's base snapshot.
+	// The simulator does not mark individual architectural writes — instead
+	// every page overlapping a resident CTA's allocation is marked at each
+	// snapshot sync point, which covers all interpreter writes at zero
+	// hot-path cost. Code that mutates RF/Smem directly from outside the
+	// interpreter (fault injectors, tests poking arrays through Machine)
+	// must call MarkRF/MarkSmem, because such writes can land outside any
+	// resident allocation (bursts spilling past a block, stuck-at cells
+	// persisting after the CTA retires).
+	rfDirty []uint64
+	smDirty []uint64
+
+	// slots flattens resident warps for round-robin issue: one entry per
+	// (cta, warp) in CTA placement order. Rebuilt whenever residency
+	// changes so the issue scan is a single index.
+	slots []warpSlot
+
+	// nextReady is a conservative lower bound on the next cycle any resident
+	// warp can issue, letting cycleSM skip the slot scan entirely while every
+	// warp is stalled on a latency (the common state under memory-bound
+	// kernels). 0 forces a scan; any event that can change issue eligibility
+	// outside the scan itself (placement, retirement, restore, reset) resets
+	// it. Derived state: never snapshotted or compared.
+	nextReady int64
+}
+
+type warpSlot struct {
+	cta *ctaRT
+	w   int
+	m   *warpMeta // &cta.meta[w], so the issue scan skips a double deref
+}
+
+// rebuildSlots refreshes the flattened issue order after a residency change.
+func (s *SM) rebuildSlots() {
+	s.slots = s.slots[:0]
+	for _, c := range s.ctas {
+		for w := range c.warps {
+			s.slots = append(s.slots, warpSlot{c, w, &c.meta[w]})
+		}
+	}
+}
+
+// MarkRF records a direct mutation of RF[idx] for copy-on-write snapshot
+// tracking. Out-of-range indices are ignored.
+func (s *SM) MarkRF(idx int) {
+	if idx >= 0 && idx < len(s.RF) {
+		markPage(s.rfDirty, idx/rfPageWords)
+	}
+}
+
+// MarkRFRange records direct mutations of RF[base:base+n].
+func (s *SM) MarkRFRange(base, n int) {
+	markPages(s.rfDirty, base, n, len(s.RF), rfPageWords)
+}
+
+// MarkSmem records a direct mutation of Smem[idx].
+func (s *SM) MarkSmem(idx int) {
+	if idx >= 0 && idx < len(s.Smem) {
+		markPage(s.smDirty, idx/smPageBytes)
+	}
+}
+
+// MarkSmemRange records direct mutations of Smem[base:base+n].
+func (s *SM) MarkSmemRange(base, n int) {
+	markPages(s.smDirty, base, n, len(s.Smem), smPageBytes)
+}
+
+func markPage(bits []uint64, p int) {
+	bits[p>>6] |= 1 << (p & 63)
+}
+
+func markPages(bits []uint64, base, n, limit, pageSize int) {
+	if n <= 0 {
+		return
+	}
+	if base < 0 {
+		base = 0
+	}
+	end := base + n
+	if end > limit {
+		end = limit
+	}
+	if base >= end {
+		return
+	}
+	for p := base / pageSize; p <= (end-1)/pageSize; p++ {
+		markPage(bits, p)
+	}
+}
+
+func dirtyBit(bits []uint64, p int) bool {
+	return bits[p>>6]&(1<<(p&63)) != 0
+}
+
+func pageCount(n, pageSize int) int {
+	return (n + pageSize - 1) / pageSize
 }
 
 // AllocatedRF returns the allocated register blocks (base, size in
@@ -176,6 +285,7 @@ type warpMeta struct {
 type ctaRT struct {
 	launch *device.Launch
 	prog   *isa.Program
+	uprog  *uop.Program // pre-decoded form; nil = use the reference interpreter
 	params []uint32
 	cx, cy int
 
@@ -187,6 +297,11 @@ type ctaRT struct {
 	rfBase, rfSize int
 	smBase, smSize int
 	threads        int
+
+	// schedID is the dense CTA id in placement order, unique across the
+	// whole run. SchedTracer callbacks report it, and snapshots carry it so
+	// resumed runs keep issuing coherent ids.
+	schedID int
 }
 
 // KernelStats aggregates the fault-free profile of one kernel — the resource
@@ -305,10 +420,18 @@ type Options struct {
 	// the ACE analyzer).
 	RFTrace RFTracer
 	// SchedTrace, when set, receives the scheduled execution order (used by
-	// the static interval engine in internal/flow). Tracing assumes a plain
-	// full run: combining it with Resume is unsupported (CTA ids would
-	// restart from zero).
+	// the static interval engine in internal/flow). CTA ids are dense in
+	// placement order and survive Resume (the id counter is part of the
+	// snapshot), but a resumed run only reports events from the snapshot
+	// cycle on — OnCTAPlace for already-resident CTAs does not replay.
 	SchedTrace SchedTracer
+
+	// Legacy forces the reference decode-and-switch interpreter and
+	// full-copy snapshot restores, disabling the pre-decoded µop core and
+	// copy-on-write page sharing. It exists so differential tests and
+	// benchmarks can compare the fast core against the reference
+	// implementation inside one binary.
+	Legacy bool
 
 	// Checkpoint, when set, captures a machine snapshot into the set at
 	// every cycle divisible by its stride (reference/golden runs).
@@ -359,16 +482,44 @@ type runner struct {
 
 	dramRead, dramWrite int64
 
-	// Scheduled-trace bookkeeping (only populated when opts.SchedTrace is
-	// set): dense CTA ids in placement order, looked up by runtime identity
-	// so ctaRT itself — and the snapshot code that copies it field by field
-	// — stays untouched.
-	schedIDs  map[*ctaRT]int
+	// schedNext is the next dense CTA id in placement order (snapshotted so
+	// resumed runs continue the sequence).
 	schedNext int
+
+	// Per-kernel stats as dense parallel slices keyed by first-launch order;
+	// Result.PerKernel is materialized from them once, when the run ends.
+	// Hot-loop code holds *KernelStats pointers into kstats only within one
+	// launch (no appends happen mid-launch, so the pointers stay valid).
+	knames []string
+	kstats []KernelStats
+
+	// fast selects the pre-decoded µop core (no Legacy, no RFTrace).
+	fast bool
+
+	// baseSnap is the provenance base for copy-on-write pages: every RF,
+	// SMEM and device-memory page whose dirty bit is clear is bit-identical
+	// to (and for capture, shareable with) the corresponding page of this
+	// snapshot. nil means no provenance — captures copy and restores
+	// overwrite everything. It travels with the pooled machine, since the
+	// dirty bits live in the SM arrays it validates.
+	baseSnap *Snapshot
+
+	// lastDiff remembers the storage page where the previous snapshot
+	// compare failed, probed first on the next compare. Derived state:
+	// never snapshotted or compared.
+	lastDiff diffProbe
 
 	res  *Result
 	env  simEnv
 	mach *Machine // memoized machine view handed to the cycle hooks
+}
+
+// diffProbe locates the first differing storage page of a failed snapshot
+// compare: RF (or SMEM when smem is set) page `page` of SM `sm`.
+type diffProbe struct {
+	sm, page int
+	smem     bool
+	valid    bool
 }
 
 // launchState is the progress of one in-flight kernel launch.
@@ -386,7 +537,8 @@ func newRunner(job *device.Job, cfg gpu.Config, opts Options) *runner {
 		job:  job,
 		cfg:  cfg,
 		opts: opts,
-		res:  &Result{PerKernel: map[string]*KernelStats{}},
+		fast: !opts.Legacy && opts.RFTrace == nil,
+		res:  &Result{},
 	}
 	var pm *pooledMachine
 	if opts.Pool != nil {
@@ -404,6 +556,11 @@ func newRunner(job *device.Job, cfg gpu.Config, opts Options) *runner {
 			}
 			r.l2.Reset()
 			r.mem = job.Mem.CloneInto(r.mem)
+		} else {
+			// Resumed runs inherit the pooled machine's page provenance:
+			// its arrays were last synced against pm.baseSnap, so a restore
+			// only needs to overwrite pages that diverge from the target.
+			r.baseSnap = pm.baseSnap
 		}
 	} else {
 		r.mem = job.Mem.Clone()
@@ -418,12 +575,19 @@ func newRunner(job *device.Job, cfg gpu.Config, opts Options) *runner {
 				L1D:     mem.NewCache(fmt.Sprintf("L1D%d", i), cfg.L1DBytes, cfg.LineSize, cfg.L1Ways, cfg.L1MSHRs),
 				L1T:     mem.NewCache(fmt.Sprintf("L1T%d", i), cfg.L1TBytes, cfg.LineSize, cfg.L1Ways, cfg.L1MSHRs),
 			}
+			sm.rfDirty = make([]uint64, (pageCount(cfg.RFRegsPerSM, rfPageWords)+63)/64)
+			sm.smDirty = make([]uint64, (pageCount(cfg.SmemPerSM, smPageBytes)+63)/64)
 			r.sms = append(r.sms, sm)
 		}
 	}
 	// The hierarchy holds pointers to this runner's DRAM counters, so it is
-	// rewired even when the SM arrays come from the pool.
+	// rewired even when the SM arrays come from the pool. The lookup memo
+	// is re-gated per run: pooled caches may move between fast and legacy
+	// runners.
+	r.l2.MemoLookup = r.fast
 	for _, sm := range r.sms {
+		sm.L1D.MemoLookup = r.fast
+		sm.L1T.MemoLookup = r.fast
 		sm.hier = mem.Hierarchy{
 			L1D: sm.L1D, L1T: sm.L1T, L2: r.l2,
 			DRAMRead: &r.dramRead, DRAMWrite: &r.dramWrite,
@@ -443,6 +607,8 @@ func resetSM(sm *SM, cfg gpu.Config) {
 	sm.L1D.Reset()
 	sm.L1T.Reset()
 	sm.ctas = sm.ctas[:0]
+	sm.slots = sm.slots[:0]
+	sm.nextReady = 0
 	sm.threadsUsed = 0
 	sm.issuePtr = 0
 }
@@ -456,13 +622,29 @@ func (r *runner) machine() *Machine {
 	return r.mach
 }
 
+// kernelStats returns the stats slot for name, appending one on first use.
+// Kernels are few (a handful per job), so a linear scan over the dense slice
+// beats a map here and keeps snapshot compare/copy allocation-free. The
+// returned pointer is invalidated by the next append; hot-loop callers only
+// hold it within a single launch.
 func (r *runner) kernelStats(name string) *KernelStats {
-	ks := r.res.PerKernel[name]
-	if ks == nil {
-		ks = &KernelStats{}
-		r.res.PerKernel[name] = ks
+	for i, n := range r.knames {
+		if n == name {
+			return &r.kstats[i]
+		}
 	}
-	return ks
+	r.knames = append(r.knames, name)
+	r.kstats = append(r.kstats, KernelStats{})
+	return &r.kstats[len(r.kstats)-1]
+}
+
+// finalizeStats materializes the public PerKernel map from the dense slices
+// once the run is over.
+func (r *runner) finalizeStats() {
+	r.res.PerKernel = make(map[string]*KernelStats, len(r.knames))
+	for i, n := range r.knames {
+		r.res.PerKernel[n] = &r.kstats[i]
+	}
 }
 
 var (
@@ -472,6 +654,12 @@ var (
 )
 
 func (r *runner) run() *Result {
+	res := r.runSteps()
+	r.finalizeStats()
+	return res
+}
+
+func (r *runner) runSteps() *Result {
 	maxSteps := r.job.MaxScheduleSteps()
 	if r.opts.Resume != nil {
 		r.restore(r.opts.Resume)
@@ -627,6 +815,7 @@ func (r *runner) runLaunch() error {
 			r.fired = true
 			if r.opts.OnCycle != nil {
 				r.opts.OnCycle(r.machine())
+				r.wakeSMs()
 			}
 			if r.stopped {
 				return errSimAborted
@@ -634,6 +823,7 @@ func (r *runner) runLaunch() error {
 		}
 		if r.fired && r.opts.EachCycle != nil {
 			r.opts.EachCycle(r.machine())
+			r.wakeSMs()
 			if r.stopped {
 				return errSimAborted
 			}
@@ -647,7 +837,13 @@ func (r *runner) runLaunch() error {
 			if len(sm.ctas) == 0 {
 				continue
 			}
-			finished, err := r.cycleSM(sm, ks)
+			var finished int
+			var err error
+			if r.opts.Legacy {
+				finished, err = r.cycleSMLegacy(sm, ks)
+			} else {
+				finished, err = r.cycleSM(sm, ks)
+			}
 			if err != nil {
 				return err
 			}
@@ -673,6 +869,17 @@ func (r *runner) runLaunch() error {
 	r.accumulateStats(ks, cur.statsBase)
 	r.cur = nil
 	return nil
+}
+
+// wakeSMs discards every SM's cached idle-skip bound. Injection hooks can
+// mutate scheduler state behind the scan's back — a flipped ready-timestamp
+// bit or a cleared done/barrier latch makes a warp issueable earlier than
+// the cached floor — and the reference scheduler, which rescans every
+// cycle, would react immediately; the fast core must too.
+func (r *runner) wakeSMs() {
+	for _, sm := range r.sms {
+		sm.nextReady = 0
+	}
 }
 
 // statsSnapshot captures global counters so per-kernel deltas can be formed.
@@ -742,6 +949,11 @@ func (r *runner) tryPlace(sm *SM, l *device.Launch, prog *isa.Program, p *pendin
 		smBase:  smBase,
 		smSize:  l.SmemBytes,
 		threads: threads,
+		schedID: r.schedNext,
+	}
+	r.schedNext++
+	if r.fast {
+		cta.uprog = uop.Cached(prog)
 	}
 	nWarps := (threads + 31) / 32
 	for w := 0; w < nWarps; w++ {
@@ -754,18 +966,18 @@ func (r *runner) tryPlace(sm *SM, l *device.Launch, prog *isa.Program, p *pendin
 	cta.meta = make([]warpMeta, nWarps)
 	cta.live = nWarps
 	sm.ctas = append(sm.ctas, cta)
+	sm.rebuildSlots()
+	sm.nextReady = 0
 	sm.threadsUsed += threads
+	// Newly placed blocks diverge from the base snapshot (warp execution
+	// writes them); mark their pages once here instead of per access.
+	sm.MarkRFRange(cta.rfBase, cta.rfSize)
+	sm.MarkSmemRange(cta.smBase, cta.smSize)
 	if tr := r.opts.RFTrace; tr != nil {
 		tr.OnRegAlloc(sm.ID, cta.rfBase, cta.rfSize, r.cycle)
 	}
 	if tr := r.opts.SchedTrace; tr != nil {
-		if r.schedIDs == nil {
-			r.schedIDs = map[*ctaRT]int{}
-		}
-		id := r.schedNext
-		r.schedNext++
-		r.schedIDs[cta] = id
-		tr.OnCTAPlace(id, sm.ID, cta.rfBase, cta.rfSize, cta.smBase, cta.smSize, cta.threads, prog, r.cycle)
+		tr.OnCTAPlace(cta.schedID, sm.ID, cta.rfBase, cta.rfSize, cta.smBase, cta.smSize, cta.threads, prog, r.cycle)
 	}
 	return true
 }
@@ -773,6 +985,126 @@ func (r *runner) tryPlace(sm *SM, l *device.Launch, prog *isa.Program, p *pendin
 // cycleSM issues up to IssuePerCycle warp instructions on one SM and returns
 // the number of CTAs that completed this cycle.
 func (r *runner) cycleSM(sm *SM, ks *KernelStats) (int, error) {
+	// Flattened warp slots for round-robin issue, rebuilt only when CTA
+	// residency changes (placement, retirement, restore, reset).
+	slots := sm.slots
+	total := len(slots)
+	if total == 0 {
+		return 0, nil
+	}
+	if sm.nextReady > r.cycle {
+		return 0, nil
+	}
+	// issuePtr may be stale past the table after a retirement shrank it; the
+	// modulo is taken here (not written back) so snapshotted state matches
+	// the reference scheduler bit for bit. The pointer is re-read after each
+	// issue — the reference scan indexes off the *current* issuePtr, so a
+	// second issue in the same cycle skips the slot right after the first.
+	cur := sm.issuePtr % total
+	issued := 0
+	finished := 0
+	for scan := 0; scan < total && issued < r.cfg.IssuePerCycle; scan++ {
+		slot := cur + scan
+		if slot >= total {
+			slot -= total
+		}
+		sl := &slots[slot]
+		cta, w, m := sl.cta, sl.w, sl.m
+		if m.done || m.atBar || m.ready > r.cycle {
+			continue
+		}
+		issued++
+		sm.issuePtr = slot + 1
+		if sm.issuePtr == total {
+			sm.issuePtr = 0
+		}
+		cur = sm.issuePtr
+
+		e := &r.env
+		e.sm = sm
+		e.cta = cta
+		e.warpBase = w * 32
+		e.nregs = cta.prog.NumRegs
+		e.rbase = cta.rfBase + e.warpBase*e.nregs
+		e.lat = 0
+		e.lines = e.lines[:0]
+
+		var info exec.StepInfo
+		var u *uop.Op
+		if up := cta.uprog; up != nil {
+			info, u = r.stepFast(cta.warps[w], up, e)
+		} else {
+			info = exec.Step(cta.warps[w], cta.prog, e)
+		}
+		if tr := r.opts.SchedTrace; tr != nil && info.Kind != exec.StepFault && info.Instr != nil {
+			tr.OnIssue(cta.schedID, w, int(info.PC), info.ActiveMask, r.cycle)
+		}
+		switch info.Kind {
+		case exec.StepFault:
+			return finished, info.Fault
+		case exec.StepExit:
+			n := popcount(info.ActiveMask)
+			ks.DynInstrs += int64(n)
+			m.done = true
+			cta.live--
+			if cta.live == 0 {
+				r.retireCTA(sm, cta)
+				finished++
+				// slot indices shifted; restart issue scan next cycle
+				return finished, nil
+			}
+			r.releaseBarrierIfReady(cta)
+		case exec.StepBarrier:
+			n := popcount(info.ActiveMask)
+			ks.DynInstrs += int64(n)
+			m.ready = r.cycle + int64(r.cfg.ALULat)
+			m.atBar = true
+			r.releaseBarrierIfReady(cta)
+		default:
+			if u != nil {
+				// Fast path: class and counts come straight off the µop, no
+				// architectural-instruction dereference.
+				n := int64(popcount(info.ActiveMask))
+				ks.DynInstrs += n
+				switch u.Kind {
+				case uop.KLdg, uop.KLdt:
+					ks.LoadInstrs += n
+				case uop.KStg:
+					ks.StoreInstrs += n
+				case uop.KLds, uop.KSts:
+					ks.SmemInstrs += n
+				}
+				m.ready = r.cycle + r.uopLatency(u)
+			} else {
+				r.countInstr(ks, info)
+				m.ready = r.cycle + r.instrLatency(info)
+			}
+		}
+	}
+	if issued == 0 {
+		// Nothing could issue, so this scan changed no state; the earliest
+		// cycle anything can change is the minimum wake-up among stalled
+		// warps (barrier releases and retirements only happen on issue).
+		next := int64(1) << 62
+		for i := range slots {
+			m := slots[i].m
+			if m.done || m.atBar {
+				continue
+			}
+			if m.ready < next {
+				next = m.ready
+			}
+		}
+		sm.nextReady = next
+	}
+	return finished, nil
+}
+
+// cycleSMLegacy is the pre-µop scheduling loop, kept verbatim (modulo scan,
+// per-slot CTA walk, software popcount, no idle-skip) so Options.Legacy is
+// an honest reference baseline for differential tests and the throughput
+// benchmark. It always dispatches through the generic interpreter.
+func (r *runner) cycleSMLegacy(sm *SM, ks *KernelStats) (int, error) {
 	// Flatten warp slots for round-robin issue.
 	total := 0
 	for _, c := range sm.ctas {
@@ -803,18 +1135,20 @@ func (r *runner) cycleSM(sm *SM, ks *KernelStats) (int, error) {
 		e.sm = sm
 		e.cta = cta
 		e.warpBase = w * 32
+		e.nregs = cta.prog.NumRegs
+		e.rbase = cta.rfBase + e.warpBase*e.nregs
 		e.lat = 0
 		e.lines = e.lines[:0]
 
 		info := exec.Step(cta.warps[w], cta.prog, e)
 		if tr := r.opts.SchedTrace; tr != nil && info.Kind != exec.StepFault && info.Instr != nil {
-			tr.OnIssue(r.schedIDs[cta], w, int(info.PC), info.ActiveMask, r.cycle)
+			tr.OnIssue(cta.schedID, w, int(info.PC), info.ActiveMask, r.cycle)
 		}
 		switch info.Kind {
 		case exec.StepFault:
 			return finished, info.Fault
 		case exec.StepExit:
-			n := popcount(info.ActiveMask)
+			n := popcountLegacy(info.ActiveMask)
 			ks.DynInstrs += int64(n)
 			m.done = true
 			cta.live--
@@ -826,17 +1160,42 @@ func (r *runner) cycleSM(sm *SM, ks *KernelStats) (int, error) {
 			}
 			r.releaseBarrierIfReady(cta)
 		case exec.StepBarrier:
-			n := popcount(info.ActiveMask)
+			n := popcountLegacy(info.ActiveMask)
 			ks.DynInstrs += int64(n)
 			m.ready = r.cycle + int64(r.cfg.ALULat)
 			m.atBar = true
 			r.releaseBarrierIfReady(cta)
 		default:
-			r.countInstr(ks, info)
+			r.countInstrLegacy(ks, info)
 			m.ready = r.cycle + r.instrLatency(info)
 		}
 	}
 	return finished, nil
+}
+
+// countInstrLegacy is countInstr with the pre-overhaul software popcount,
+// so the Legacy baseline pays the same per-issue cost the reference core
+// did.
+func (r *runner) countInstrLegacy(ks *KernelStats, info exec.StepInfo) {
+	n := int64(popcountLegacy(info.ActiveMask))
+	ks.DynInstrs += n
+	switch info.Instr.Op {
+	case isa.OpLDG, isa.OpLDT:
+		ks.LoadInstrs += n
+	case isa.OpSTG:
+		ks.StoreInstrs += n
+	case isa.OpLDS, isa.OpSTS:
+		ks.SmemInstrs += n
+	}
+}
+
+func popcountLegacy(m uint32) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
 }
 
 func (r *runner) countInstr(ks *KernelStats, info exec.StepInfo) {
@@ -849,6 +1208,24 @@ func (r *runner) countInstr(ks *KernelStats, info exec.StepInfo) {
 		ks.StoreInstrs += n
 	case isa.OpLDS, isa.OpSTS:
 		ks.SmemInstrs += n
+	}
+}
+
+// uopLatency mirrors instrLatency keyed on the µop's pre-resolved class.
+func (r *runner) uopLatency(u *uop.Op) int64 {
+	switch u.Class {
+	case uop.ClassSFU:
+		return int64(r.cfg.SFULat)
+	case uop.ClassSMem:
+		return int64(r.cfg.SMemLat)
+	case uop.ClassGMem:
+		lat := r.env.lat
+		if lat < int64(r.cfg.ALULat) {
+			lat = int64(r.cfg.ALULat)
+		}
+		return lat
+	default:
+		return int64(r.cfg.ALULat)
 	}
 }
 
@@ -891,8 +1268,7 @@ func (r *runner) retireCTA(sm *SM, cta *ctaRT) {
 		tr.OnRegRelease(sm.ID, cta.rfBase, cta.rfSize, r.cycle)
 	}
 	if tr := r.opts.SchedTrace; tr != nil {
-		tr.OnCTARetire(r.schedIDs[cta], r.cycle)
-		delete(r.schedIDs, cta)
+		tr.OnCTARetire(cta.schedID, r.cycle)
 	}
 	sm.rfAlloc.release(cta.rfBase, cta.rfSize)
 	sm.smAlloc.release(cta.smBase, cta.smSize)
@@ -903,34 +1279,43 @@ func (r *runner) retireCTA(sm *SM, cta *ctaRT) {
 			break
 		}
 	}
+	sm.rebuildSlots()
+	sm.nextReady = 0
 	if len(sm.ctas) == 0 {
 		sm.issuePtr = 0
 	}
 }
 
-func popcount(m uint32) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
-}
+func popcount(m uint32) int { return bits.OnesCount32(m) }
 
-// simEnv implements exec.Env against the SM's physical storage.
+// simEnv implements exec.Env against the SM's physical storage. The µop
+// handler table in fastexec.go indexes the same state directly through the
+// precomputed per-warp register base.
 type simEnv struct {
 	r        *runner
 	sm       *SM
 	cta      *ctaRT
 	warpBase int
-	lat      int64
-	lines    []uint32
+	// rbase is the physical RF index of lane 0's register 0 for the issuing
+	// warp (cta.rfBase + warpBase*nregs); nregs is the per-thread register
+	// stride. Precomputed once per issue so register access needs one
+	// multiply-free add per lane instead of recomputing the full affine
+	// index per access.
+	rbase int
+	nregs int
+	lat   int64
+	lines []uint32
 }
 
 func (e *simEnv) thread(lane int) int { return e.warpBase + lane }
 
 func (e *simEnv) regIndex(lane int, reg isa.Reg) int {
-	return e.cta.rfBase + e.thread(lane)*e.cta.prog.NumRegs + int(reg)
+	if e.r.fast {
+		return e.rbase + lane*e.nregs + int(reg)
+	}
+	// Pre-overhaul address computation, kept for the legacy core so the
+	// reference interpreter's per-access cost stays an honest baseline.
+	return e.cta.rfBase + (e.warpBase+lane)*e.cta.prog.NumRegs + int(reg)
 }
 
 func (e *simEnv) ReadReg(lane int, reg isa.Reg) uint32 {
@@ -1006,7 +1391,7 @@ func (e *simEnv) firstLine(addr uint32) bool {
 }
 
 func (e *simEnv) LoadGlobal(lane int, addr uint32, tex bool) (uint32, error) {
-	if !e.r.mem.Valid(addr, 4) {
+	if !e.validGlobal(addr) {
 		return 0, &device.AccessError{Addr: addr}
 	}
 	v, lat := e.sm.hier.Load(e.r.mem, addr, tex, e.firstLine(addr), e.r.cycle)
@@ -1016,8 +1401,18 @@ func (e *simEnv) LoadGlobal(lane int, addr uint32, tex bool) (uint32, error) {
 	return v, nil
 }
 
+// validGlobal routes address validation: the fast core may use the
+// memoized allocation lookup; the legacy core keeps the pre-overhaul
+// linear scan so its per-access cost stays an honest baseline.
+func (e *simEnv) validGlobal(addr uint32) bool {
+	if e.r.fast {
+		return e.r.mem.Valid(addr, 4)
+	}
+	return e.r.mem.ValidUncached(addr, 4)
+}
+
 func (e *simEnv) StoreGlobal(lane int, addr uint32, v uint32) error {
-	if !e.r.mem.Valid(addr, 4) {
+	if !e.validGlobal(addr) {
 		return &device.AccessError{Addr: addr, Write: true}
 	}
 	lat := e.sm.hier.Store(e.r.mem, addr, v, e.firstLine(addr), e.r.cycle)
