@@ -74,10 +74,17 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		// The v1 error envelope: {"error":{"code","message"}}.
+		var env service.ErrorEnvelope
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			return resp.StatusCode, fmt.Errorf("%s %s: %s: %s (HTTP %d)",
+				method, path, env.Error.Code, env.Error.Message, resp.StatusCode)
+		}
+		// Pre-envelope daemons answered {"error":"..."}.
 		var ae struct {
 			Error string `json:"error"`
 		}
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
 			return resp.StatusCode, fmt.Errorf("%s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
 		}

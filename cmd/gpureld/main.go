@@ -27,8 +27,26 @@
 //	                            selective-hardening advisor: measure, search,
 //	                            verify; status carries the plan + verification
 //	GET    /v1/advise/{id}/events NDJSON advisor progress stream
-//	POST   /v1/leases           worker lease grant (coordinator)
+//	POST   /v1/leases           worker lease grant (coordinator); adaptively
+//	                            sized from the worker's measured runs/sec
+//	POST   /v1/workers          worker registration with capability report
+//	GET    /v1/workers          registry listing with derived health states
+//	DELETE /v1/workers/{name}   mark a worker draining (no further leases)
+//	GET    /v1/fleet            control-plane summary: workers, tenants, leases
+//	GET    /v1/fleet/events     NDJSON fleet-status stream
 //	GET    /metrics             Prometheus text format (incl. per-worker fleet counters)
+//
+// Errors on every /v1 route share one envelope: {"error":{"code","message"}}.
+//
+// Campaign jobs may carry "tenant" and "priority": the scheduler hands out
+// work (to local lanes and fleet leases alike) by deterministic weighted
+// fair-share across tenants, so no tenant starves and single-tenant
+// workloads schedule exactly as before.
+//
+// The coordinator journals its lease ledger and worker registry to
+// -fleet-checkpoint with the same atomic write-rename discipline as the job
+// checkpoint, so a killed coordinator resumes mid-campaign with
+// bit-identical final tallies.
 //
 // On SIGINT/SIGTERM a coordinator drains: in-flight run-range chunks
 // finish, incomplete jobs are parked and checkpointed, and the HTTP
@@ -77,8 +95,12 @@ func main() {
 		join       = flag.String("join", "", "coordinator base URL for -worker, e.g. http://coord:8080")
 		workerID   = flag.String("worker-id", "", "worker name in coordinator metrics (default random)")
 		noLocal    = flag.Bool("no-local", false, "coordinator only: disable in-process execution, jobs progress solely through worker leases")
-		leaseRuns  = flag.Int("lease-runs", 500, "max runs granted per worker lease")
+		leaseRuns  = flag.Int("lease-runs", 500, "max runs granted per worker lease (adaptive sizing never exceeds this)")
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "lease heartbeat deadline; expired leases are requeued")
+		leaseSec   = flag.Float64("lease-sec", 2, "adaptive lease horizon: seconds of work granted per lease to workers with a measured throughput")
+		fleetCkpt  = flag.String("fleet-checkpoint", "gpureld.fleet.json", "fleet journal path: leases + worker registry survive a coordinator restart ('' disables)")
+		calibrate  = flag.Int("calibrate-runs", -1, "worker calibration micro-burst size measuring runs/sec (0 disables, negative = default)")
+		snapBudget = flag.Int("worker-snap-mb", 0, "worker capability report: snapshot memory budget in MiB")
 		adviseCkpt = flag.String("advise-checkpoint", "gpureld.advise.json", "selective-hardening advise journal path ('' disables persistence)")
 	)
 	prof := cliutil.Profiling(flag.CommandLine)
@@ -105,7 +127,7 @@ func main() {
 	source := service.NewStudySource(study)
 
 	if *workerMode {
-		runWorker(source, *join, *workerID, *chunk, *workers, *leaseRuns)
+		runWorker(source, *join, *workerID, *chunk, *workers, *leaseRuns, *calibrate, *snapBudget)
 		return
 	}
 
@@ -123,10 +145,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("gpureld: %v", err)
 	}
-	coord := fleet.NewCoordinator(sched, fleet.CoordinatorConfig{
-		LeaseRuns: *leaseRuns,
-		LeaseTTL:  *leaseTTL,
+	coord, err := fleet.NewCoordinator(sched, fleet.CoordinatorConfig{
+		LeaseRuns:      *leaseRuns,
+		LeaseTTL:       *leaseTTL,
+		TargetLeaseSec: *leaseSec,
+		JournalPath:    *fleetCkpt,
 	})
+	if err != nil {
+		sched.Close()
+		log.Fatalf("gpureld: %v", err)
+	}
 	sched.Metrics().AddCollector(coord.WriteMetrics)
 
 	// The advise subsystem runs each advise job on its own study sized by
@@ -168,13 +196,16 @@ func main() {
 		log.Printf("gpureld: signal received, draining (in-flight chunks finish, then checkpoint flush)")
 	}
 
-	// Drain order: stop granting leases and requeue outstanding ones, park
+	// Drain order: stop granting leases (journaled coordinators flush the
+	// lease ledger for the next process; unjournaled ones requeue it), park
 	// in-flight advise jobs (journaled non-terminal, so the next process
 	// resumes them), drain the scheduler (finishes in-flight chunks, parks
 	// the rest, flushes the checkpoint, unblocks open event streams), then
 	// shut the listener down gracefully.
 	adv.Close()
-	coord.Close()
+	if err := coord.Close(); err != nil {
+		log.Printf("gpureld: fleet journal flush: %v", err)
+	}
 	closeErr := sched.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -191,17 +222,19 @@ func main() {
 // runWorker joins a coordinator and executes leases until SIGINT/SIGTERM;
 // the drain path returns the open lease's unexecuted remainder so the
 // coordinator requeues it without waiting out the TTL.
-func runWorker(source service.SourceFunc, join, id string, chunk, campaignWorkers, maxRuns int) {
+func runWorker(source service.SourceFunc, join, id string, chunk, campaignWorkers, maxRuns, calibrateRuns, snapMB int) {
 	if join == "" {
 		log.Fatal("gpureld: -worker requires -join <coordinator URL>")
 	}
 	w, err := fleet.NewWorker(fleet.WorkerConfig{
-		ID:      id,
-		Client:  client.New(join),
-		Source:  source,
-		Chunk:   chunk,
-		Workers: campaignWorkers,
-		MaxRuns: maxRuns,
+		ID:            id,
+		Client:        client.New(join),
+		Source:        source,
+		Chunk:         chunk,
+		Workers:       campaignWorkers,
+		MaxRuns:       maxRuns,
+		CalibrateRuns: calibrateRuns,
+		Caps:          service.WorkerCaps{SnapMB: snapMB},
 	})
 	if err != nil {
 		log.Fatalf("gpureld: %v", err)

@@ -99,9 +99,12 @@ func runFleet(b testing.TB, source service.SourceFunc, spec service.JobSpec, n i
 		b.Fatal(err)
 	}
 	defer sched.Close()
-	coord := fleet.NewCoordinator(sched, fleet.CoordinatorConfig{
+	coord, err := fleet.NewCoordinator(sched, fleet.CoordinatorConfig{
 		LeaseRuns: 15, LeaseTTL: 30 * time.Second,
 	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer coord.Close()
 	srv := httptest.NewServer(service.NewServer(sched).Handler(coord.Mount))
 	defer srv.Close()

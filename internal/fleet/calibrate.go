@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"math/rand"
+	"time"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+)
+
+// DefaultCalibrateRuns sizes the registration micro-burst: large enough to
+// amortize goroutine spin-up, small enough to finish in well under a second
+// on anything.
+const DefaultCalibrateRuns = 4096
+
+// Calibrate measures this process's campaign throughput (runs/sec) with a
+// synthetic arithmetic micro-burst through the same campaign.Run path real
+// injections use. The result scales lease sizing, never tallies: it is the
+// worker's initial capability report, refined by live per-chunk throughput
+// once real leases flow. workers = 0 uses GOMAXPROCS, like a campaign.
+func Calibrate(runs, workers int) float64 {
+	if runs <= 0 {
+		runs = DefaultCalibrateRuns
+	}
+	fn := func(run int, rng *rand.Rand) faults.Result {
+		// A fixed xorshift workload per run: enough arithmetic to resemble a
+		// (cheap) injection, deterministic so the burst itself is replayable.
+		x := uint64(run)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		for i := 0; i < 256; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		if x == 0 { // unreachable; keeps the loop from folding away
+			return faults.Result{Outcome: faults.SDC}
+		}
+		return faults.Result{Outcome: faults.Masked}
+	}
+	start := time.Now() //relint:allow wallclock: calibration measures real throughput, never feeds a tally
+	campaign.Run(campaign.Options{Runs: runs, Seed: 1, Workers: workers}, fn)
+	el := time.Since(start) //relint:allow wallclock: see above
+	if el <= 0 {
+		return 0
+	}
+	return float64(runs) / el.Seconds()
+}

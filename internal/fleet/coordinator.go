@@ -4,8 +4,14 @@
 // execute through the same deterministic campaign path, and report back
 // chunk by chunk. Because run i always draws from rand.NewSource(Seed+i)
 // and the scheduler's merge is idempotent by run-range, any interleaving of
-// local lanes, live workers, and re-runs of expired leases tallies
+// local lanes, live workers, re-runs of expired leases — and, with the
+// journal enabled, a coordinator crash and restart mid-campaign — tallies
 // bit-identically to one uninterrupted single-node campaign.
+//
+// Beyond leases the coordinator is the fleet control plane: a worker
+// registry with capability reports and derived health states
+// (available/busy/degraded/draining), capability-scored adaptive lease
+// sizing, and the GET /v1/fleet status surface.
 package fleet
 
 import (
@@ -17,9 +23,11 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpurel/internal/campaign"
+	"gpurel/internal/faultmodel"
 	"gpurel/internal/service"
 )
 
@@ -29,9 +37,15 @@ type Backlog interface {
 	ClaimWork(max int) (service.WorkAssignment, bool)
 	ReportWork(jobID string, from, to int, tl campaign.Tally) (service.JobStatus, bool, error)
 	ReturnWork(jobID string, from, to int)
+	// ReclaimWork re-pins a journaled lease's remainder as in-flight after a
+	// coordinator restart; false means the job is gone or terminal and the
+	// lease should be dropped.
+	ReclaimWork(jobID string, from, to int) bool
+	// Tenants is the scheduler's per-tenant accounting for GET /v1/fleet.
+	Tenants() []service.TenantStatus
 }
 
-// CoordinatorConfig sizes the lease protocol.
+// CoordinatorConfig sizes the lease protocol and the control plane.
 type CoordinatorConfig struct {
 	// LeaseRuns caps the runs granted per lease (default 500). Adaptive
 	// jobs are additionally clamped to batch boundaries by the ledger.
@@ -42,6 +56,24 @@ type CoordinatorConfig struct {
 	LeaseTTL time.Duration
 	// Sweep is the expiry-scan cadence (default LeaseTTL/4).
 	Sweep time.Duration
+	// TargetLeaseSec is the adaptive lease horizon: a worker that reported
+	// a measured throughput is granted about this many seconds of work per
+	// lease (default 2s), clamped to [MinLeaseRuns, LeaseRuns]. Workers
+	// with no capability report get the fixed LeaseRuns default.
+	TargetLeaseSec float64
+	// MinLeaseRuns floors adaptive grants (default 16) so a slow worker
+	// still amortizes the HTTP round-trip.
+	MinLeaseRuns int
+	// DegradedAfter is the heartbeat staleness (and recent-expiry window)
+	// past which a worker reads as degraded (default 2×LeaseTTL).
+	DegradedAfter time.Duration
+	// JournalPath, when set, makes the control plane crash-recoverable:
+	// leases, registry, and counters persist there (atomic write-rename,
+	// like the scheduler checkpoint) and are restored by the next
+	// NewCoordinator with the same path.
+	JournalPath string
+	// FlushInterval is the journal flush cadence (default 2s).
+	FlushInterval time.Duration
 	// Now is the lease clock (default time.Now); tests inject a fake to
 	// drive expiry deterministically.
 	Now func() time.Time
@@ -56,6 +88,18 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.Sweep <= 0 {
 		c.Sweep = c.LeaseTTL / 4
+	}
+	if c.TargetLeaseSec <= 0 {
+		c.TargetLeaseSec = 2
+	}
+	if c.MinLeaseRuns <= 0 {
+		c.MinLeaseRuns = 16
+	}
+	if c.DegradedAfter <= 0 {
+		c.DegradedAfter = 2 * c.LeaseTTL
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Second
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -73,56 +117,73 @@ type lease struct {
 	deadline time.Time
 }
 
-// Stats are the coordinator's lifetime lease counters.
-type Stats struct {
-	// Granted counts leases handed out; Reported counts accepted report
-	// sub-ranges; DupReports counts reports dropped as idempotent
-	// duplicates (late arrivals for work an expired lease already re-ran).
-	Granted    int64 `json:"granted"`
-	Reported   int64 `json:"reported"`
-	DupReports int64 `json:"dup_reports"`
-	// Expired counts leases whose heartbeat deadline passed — each one
-	// requeued its remainder exactly once. Returned counts leases handed
-	// back whole or partial by draining workers.
-	Expired  int64 `json:"expired"`
-	Returned int64 `json:"returned"`
-}
+// Stats are the coordinator's lifetime lease counters (journaled, so they
+// survive a restart when the journal is enabled).
+type Stats = service.LeaseStats
 
-// Coordinator tracks leases against a scheduler backlog and serves the
-// /v1/leases endpoints.
+// Coordinator tracks leases and the worker registry against a scheduler
+// backlog and serves the /v1/leases, /v1/workers, and /v1/fleet endpoints.
 type Coordinator struct {
 	cfg     CoordinatorConfig
 	backlog Backlog
 
-	mu     sync.Mutex
-	leases map[string]*lease
-	// workerRuns counts runs accepted per reporting worker, for /metrics.
-	workerRuns map[string]int64
-	stats      Stats
+	mu      sync.Mutex
+	leases  map[string]*lease
+	workers map[string]*workerEntry
+	stats   Stats
+	subs    map[int]chan struct{}
+	nextSub int
 
+	dirty  atomic.Bool
 	done   chan struct{}
+	wg     sync.WaitGroup
 	closed sync.Once
 }
 
 // NewCoordinator starts a coordinator (and its expiry sweeper) over a
-// backlog. Close it to stop the sweeper.
-func NewCoordinator(b Backlog, cfg CoordinatorConfig) *Coordinator {
+// backlog, restoring the lease ledger and worker registry from the journal
+// when CoordinatorConfig.JournalPath is set. Close it to stop the loops.
+func NewCoordinator(b Backlog, cfg CoordinatorConfig) (*Coordinator, error) {
 	c := &Coordinator{
-		cfg:        cfg.withDefaults(),
-		backlog:    b,
-		leases:     map[string]*lease{},
-		workerRuns: map[string]int64{},
-		done:       make(chan struct{}),
+		cfg:     cfg.withDefaults(),
+		backlog: b,
+		leases:  map[string]*lease{},
+		workers: map[string]*workerEntry{},
+		subs:    map[int]chan struct{}{},
+		done:    make(chan struct{}),
 	}
+	if c.cfg.JournalPath != "" {
+		jf, err := loadJournal(c.cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		if jf != nil {
+			c.restore(jf, c.cfg.Now())
+		}
+	}
+	c.wg.Add(1)
 	go c.sweepLoop()
-	return c
+	if c.cfg.JournalPath != "" {
+		c.wg.Add(1)
+		go c.flushLoop()
+	}
+	return c, nil
 }
 
-// Close stops the expiry sweeper and requeues every outstanding lease so a
-// coordinator shutting down strands no work.
-func (c *Coordinator) Close() {
+// Close stops the loops and settles outstanding leases. Without a journal
+// every open lease is requeued so a coordinator shutting down strands no
+// work; with one, leases stay in the journal instead — their workers may
+// outlive this process and resume reporting against the restarted
+// coordinator.
+func (c *Coordinator) Close() error {
+	var err error
 	c.closed.Do(func() {
 		close(c.done)
+		c.wg.Wait()
+		if c.cfg.JournalPath != "" {
+			err = c.Flush()
+			return
+		}
 		c.mu.Lock()
 		// Requeue in sorted lease-ID order so the backlog sees a
 		// deterministic return sequence.
@@ -142,6 +203,17 @@ func (c *Coordinator) Close() {
 			c.backlog.ReturnWork(l.jobID, l.from, l.to)
 		}
 	})
+	return err
+}
+
+// Kill stops the loops without flushing the journal or requeueing leases —
+// the crash path, separated from Close so restart tests exercise recovery
+// from the last periodic flush exactly as a SIGKILL would leave it.
+func (c *Coordinator) Kill() {
+	c.closed.Do(func() {
+		close(c.done)
+		c.wg.Wait()
+	})
 }
 
 // Stats returns the lifetime lease counters.
@@ -151,11 +223,23 @@ func (c *Coordinator) Stats() Stats {
 	return c.stats
 }
 
+// bump wakes the fleet-event subscribers (non-blocking: a subscriber that
+// already has a pending wakeup needs no second one).
+func (c *Coordinator) bumpLocked() {
+	for _, ch := range c.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // sweepLoop expires leases whose heartbeat deadline passed. Deleting the
 // lease before requeueing makes the requeue exactly-once: a second sweep —
 // or a late report from the presumed-dead worker — finds no lease, and the
 // ledger's idempotent merge absorbs any double execution.
 func (c *Coordinator) sweepLoop() {
+	defer c.wg.Done()
 	t := time.NewTicker(c.cfg.Sweep)
 	defer t.Stop()
 	for {
@@ -185,22 +269,38 @@ func (c *Coordinator) Sweep() {
 		if l := c.leases[id]; now.After(l.deadline) {
 			delete(c.leases, id)
 			expired = append(expired, l)
+			if e := c.workers[l.worker]; e != nil {
+				e.expired++
+				e.lastExpiry = now
+			}
 		}
 	}
 	c.stats.Expired += int64(len(expired))
+	if len(expired) > 0 {
+		c.bumpLocked()
+	}
 	c.mu.Unlock()
+	if len(expired) > 0 {
+		c.dirty.Store(true)
+	}
 	for _, l := range expired {
 		c.backlog.ReturnWork(l.jobID, l.from, l.to)
 	}
 }
 
-// Mount registers the lease endpoints on a v1 mux — passed to
+// Mount registers the fleet endpoints on a v1 mux — passed to
 // service.Server.Handler so the coordinator shares the daemon's listener.
 func (c *Coordinator) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/leases", c.handleLease)
 	mux.HandleFunc("POST /v1/leases/{id}/report", c.handleReport)
 	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("DELETE /v1/leases/{id}", c.handleReturn)
+	mux.HandleFunc("POST /v1/workers", c.handleRegisterWorker)
+	mux.HandleFunc("GET /v1/workers", c.handleListWorkers)
+	mux.HandleFunc("GET /v1/workers/{name}", c.handleGetWorker)
+	mux.HandleFunc("DELETE /v1/workers/{name}", c.handleDrainWorker)
+	mux.HandleFunc("GET /v1/fleet", c.handleFleet)
+	mux.HandleFunc("GET /v1/fleet/events", c.handleFleetEvents)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -209,43 +309,85 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// jobModel resolves a job spec's fault-model name (the registry's
+// capability vocabulary).
+func jobModel(spec service.JobSpec) string {
+	if spec.Fault == nil || spec.Fault.Model == "" {
+		return faultmodel.ModelTransient
+	}
+	return spec.Fault.Model
 }
 
 // handleLease: POST /v1/leases — claim a run-range for the requesting
-// worker; 204 when the backlog has nothing pending.
+// worker; 204 when the backlog has nothing pending (or the worker is
+// draining). The grant is capability-scored: workers that report a measured
+// throughput get TargetLeaseSec's worth of runs instead of the fixed
+// default.
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req service.LeaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad lease request: " + err.Error()})
+		service.WriteError(w, http.StatusBadRequest, service.ErrCodeBadRequest, "bad lease request: "+err.Error())
 		return
 	}
-	max := c.cfg.LeaseRuns
+	if err := req.Validate(); err != nil {
+		service.WriteError(w, http.StatusBadRequest, service.ErrCodeBadRequest, err.Error())
+		return
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	e := c.touchWorkerLocked(req.Worker, now)
+	if req.RunsPerSec > 0 {
+		e.spec.Caps.RunsPerSec = req.RunsPerSec
+	}
+	if e.draining {
+		c.mu.Unlock()
+		c.dirty.Store(true)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	max := c.leaseSizeLocked(e)
+	c.mu.Unlock()
+	c.dirty.Store(true)
 	if req.MaxRuns > 0 && req.MaxRuns < max {
 		max = req.MaxRuns
 	}
+
 	wa, ok := c.backlog.ClaimWork(max)
 	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c.mu.Lock()
+	if !supportsModel(c.workers[e.spec.Name], jobModel(wa.Spec)) {
+		// The worker's declared capability set excludes this job's fault
+		// model: hand the claim straight back and let a capable worker (or a
+		// local lane) take it.
+		c.mu.Unlock()
+		c.backlog.ReturnWork(wa.JobID, wa.From, wa.To)
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	l := &lease{
 		id:       newLeaseID(),
 		jobID:    wa.JobID,
-		worker:   req.Worker,
+		worker:   e.spec.Name,
 		from:     wa.From,
 		to:       wa.To,
-		deadline: c.cfg.Now().Add(c.cfg.LeaseTTL),
+		deadline: now.Add(c.cfg.LeaseTTL),
 	}
-	c.mu.Lock()
 	c.leases[l.id] = l
 	c.stats.Granted++
+	c.bumpLocked()
 	c.mu.Unlock()
-	writeJSON(w, http.StatusOK, service.Lease{
+	c.dirty.Store(true)
+	ls := service.Lease{
 		ID: l.id, JobID: wa.JobID, Spec: wa.Spec,
 		From: wa.From, To: wa.To, TTLSec: c.cfg.LeaseTTL.Seconds(),
-	})
+	}
+	if req.LegacyFlat() {
+		ls.Deprecation = service.LeaseDeprecationNote
+	}
+	writeJSON(w, http.StatusOK, ls)
 }
 
 // handleReport: POST /v1/leases/{id}/report — merge one completed
@@ -254,41 +396,47 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	var rep service.LeaseReport
 	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad lease report: " + err.Error()})
+		service.WriteError(w, http.StatusBadRequest, service.ErrCodeBadRequest, "bad lease report: "+err.Error())
 		return
 	}
 	id := r.PathValue("id")
+	now := c.cfg.Now()
 	c.mu.Lock()
 	l, ok := c.leases[id]
 	if !ok {
 		c.mu.Unlock()
-		writeJSON(w, http.StatusGone, apiError{Error: "no such lease (expired and requeued?)"})
+		service.WriteError(w, http.StatusGone, service.ErrCodeGone, "no such lease (expired and requeued?)")
 		return
 	}
 	if rep.From < l.from || rep.To > l.to || rep.To <= rep.From {
 		c.mu.Unlock()
-		writeJSON(w, http.StatusBadRequest, apiError{
-			Error: fmt.Sprintf("report [%d,%d) outside lease remainder [%d,%d)", rep.From, rep.To, l.from, l.to),
-		})
+		service.WriteError(w, http.StatusBadRequest, service.ErrCodeBadRequest,
+			fmt.Sprintf("report [%d,%d) outside lease remainder [%d,%d)", rep.From, rep.To, l.from, l.to))
 		return
 	}
 	jobID := l.jobID
+	c.touchWorkerLocked(rep.Worker, now)
 	c.mu.Unlock()
 
 	st, merged, err := c.backlog.ReportWork(jobID, rep.From, rep.To, rep.Tally)
 	if err != nil {
-		writeJSON(w, http.StatusGone, apiError{Error: err.Error()})
+		service.WriteError(w, http.StatusGone, service.ErrCodeGone, err.Error())
 		return
 	}
 
 	c.mu.Lock()
 	if merged {
 		c.stats.Reported++
-		c.workerRuns[rep.Worker] += int64(rep.To - rep.From)
+		if e := c.workers[rep.Worker]; e != nil {
+			e.runsDone += int64(rep.To - rep.From)
+		}
 	} else {
 		c.stats.DupReports++
 	}
 	ack := service.LeaseAck{Accepted: merged, TTLSec: c.cfg.LeaseTTL.Seconds()}
+	if rep.LegacyFlat() {
+		ack.Deprecation = service.LeaseDeprecationNote
+	}
 	if l, ok := c.leases[id]; ok {
 		if rep.To > l.from {
 			l.from = rep.To
@@ -303,23 +451,28 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		// abandon whatever is left of the lease.
 		ack.Canceled = true
 	}
+	c.bumpLocked()
 	c.mu.Unlock()
+	c.dirty.Store(true)
 	writeJSON(w, http.StatusOK, ack)
 }
 
 // handleHeartbeat: POST /v1/leases/{id}/heartbeat — extend the deadline.
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	now := c.cfg.Now()
 	c.mu.Lock()
 	l, ok := c.leases[id]
 	if ok {
-		l.deadline = c.cfg.Now().Add(c.cfg.LeaseTTL)
+		l.deadline = now.Add(c.cfg.LeaseTTL)
+		c.touchWorkerLocked(l.worker, now)
 	}
 	c.mu.Unlock()
 	if !ok {
-		writeJSON(w, http.StatusGone, apiError{Error: "no such lease"})
+		service.WriteError(w, http.StatusGone, service.ErrCodeGone, "no such lease")
 		return
 	}
+	c.dirty.Store(true)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -327,36 +480,187 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 // unexecuted remainder.
 func (c *Coordinator) handleReturn(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	now := c.cfg.Now()
 	c.mu.Lock()
 	l, ok := c.leases[id]
 	if ok {
 		delete(c.leases, id)
 		c.stats.Returned++
+		c.touchWorkerLocked(l.worker, now)
+		c.bumpLocked()
 	}
 	c.mu.Unlock()
 	if !ok {
-		writeJSON(w, http.StatusGone, apiError{Error: "no such lease"})
+		service.WriteError(w, http.StatusGone, service.ErrCodeGone, "no such lease")
 		return
 	}
+	c.dirty.Store(true)
 	c.backlog.ReturnWork(l.jobID, l.from, l.to)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRegisterWorker: POST /v1/workers — announce a worker and its
+// capability report. Re-registration updates the caps and clears draining,
+// so a restarted worker process under the same name rejoins cleanly.
+func (c *Coordinator) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var spec service.WorkerSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		service.WriteError(w, http.StatusBadRequest, service.ErrCodeBadRequest, "bad worker spec: "+err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		service.WriteError(w, http.StatusBadRequest, service.ErrCodeBadRequest, err.Error())
+		return
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	e := c.touchWorkerLocked(spec.Name, now)
+	e.registered = true
+	e.draining = false
+	if spec.Caps.RunsPerSec > 0 {
+		e.spec.Caps.RunsPerSec = spec.Caps.RunsPerSec
+	}
+	e.spec.Caps.SnapMB = spec.Caps.SnapMB
+	e.spec.Caps.FaultModels = append([]string(nil), spec.Caps.FaultModels...)
+	st := c.workerStatusLocked(e, now)
+	c.bumpLocked()
+	c.mu.Unlock()
+	c.dirty.Store(true)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleListWorkers: GET /v1/workers — the registry, sorted by name.
+func (c *Coordinator) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	out := c.workerStatusesLocked(now)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGetWorker: GET /v1/workers/{name}.
+func (c *Coordinator) handleGetWorker(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	now := c.cfg.Now()
+	c.mu.Lock()
+	e, ok := c.workers[name]
+	var st service.WorkerStatus
+	if ok {
+		st = c.workerStatusLocked(e, now)
+	}
+	c.mu.Unlock()
+	if !ok {
+		service.WriteError(w, http.StatusNotFound, service.ErrCodeNotFound, "no such worker")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleDrainWorker: DELETE /v1/workers/{name} — mark a worker draining: it
+// receives no further leases until it re-registers. Its open leases keep
+// running (the worker returns them itself, or they expire).
+func (c *Coordinator) handleDrainWorker(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	now := c.cfg.Now()
+	c.mu.Lock()
+	e, ok := c.workers[name]
+	var st service.WorkerStatus
+	if ok {
+		e.draining = true
+		st = c.workerStatusLocked(e, now)
+		c.bumpLocked()
+	}
+	c.mu.Unlock()
+	if !ok {
+		service.WriteError(w, http.StatusNotFound, service.ErrCodeNotFound, "no such worker")
+		return
+	}
+	c.dirty.Store(true)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// FleetStatus assembles the control-plane summary document.
+func (c *Coordinator) FleetStatus() service.FleetStatus {
+	tenants := c.backlog.Tenants()
+	now := c.cfg.Now()
+	c.mu.Lock()
+	fs := service.FleetStatus{
+		Workers:    c.workerStatusesLocked(now),
+		Tenants:    tenants,
+		OpenLeases: len(c.leases),
+		Leases:     c.stats,
+		Journaled:  c.cfg.JournalPath != "",
+	}
+	c.mu.Unlock()
+	return fs
+}
+
+// handleFleet: GET /v1/fleet.
+func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.FleetStatus())
+}
+
+// subscribe registers a fleet-event wakeup channel.
+func (c *Coordinator) subscribe() (<-chan struct{}, func()) {
+	c.mu.Lock()
+	id := c.nextSub
+	c.nextSub++
+	ch := make(chan struct{}, 1)
+	c.subs[id] = ch
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		delete(c.subs, id)
+		c.mu.Unlock()
+	}
+}
+
+// handleFleetEvents: GET /v1/fleet/events — NDJSON stream of FleetStatus
+// snapshots: one line now, then one per control-plane change (grants,
+// reports, registrations, expiries) until the client hangs up or the
+// coordinator stops.
+func (c *Coordinator) handleFleetEvents(w http.ResponseWriter, r *http.Request) {
+	ch, unsub := c.subscribe()
+	defer unsub()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	send := func() bool {
+		if err := enc.Encode(c.FleetStatus()); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !send() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-c.done:
+			return
+		case <-ch:
+			if !send() {
+				return
+			}
+		}
+	}
 }
 
 // WriteMetrics renders the coordinator's exposition section — registered
 // with service.Metrics.AddCollector so it rides the daemon's /metrics.
 func (c *Coordinator) WriteMetrics(w io.Writer) {
+	now := c.cfg.Now()
 	c.mu.Lock()
 	st := c.stats
 	open := len(c.leases)
-	workers := make([]string, 0, len(c.workerRuns))
-	for name := range c.workerRuns { //relint:allow map-order: sorted immediately below
-		workers = append(workers, name)
-	}
-	sort.Strings(workers)
-	runs := make([]int64, len(workers))
-	for i, name := range workers {
-		runs[i] = c.workerRuns[name]
-	}
+	byWorker := c.workerStatusesLocked(now) // sorted slice, stable output
 	c.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP gpureld_fleet_leases_total Lease lifecycle events.")
@@ -371,10 +675,26 @@ func (c *Coordinator) WriteMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE gpureld_fleet_leases_open gauge")
 	fmt.Fprintf(w, "gpureld_fleet_leases_open %d\n", open)
 
+	health := map[service.WorkerHealth]int{}
+	for _, ws := range byWorker {
+		health[ws.Health]++
+	}
+	fmt.Fprintln(w, "# HELP gpureld_fleet_workers Workers per derived health state.")
+	fmt.Fprintln(w, "# TYPE gpureld_fleet_workers gauge")
+	for _, h := range service.WorkerHealthStates {
+		fmt.Fprintf(w, "gpureld_fleet_workers{health=%q} %d\n", string(h), health[h])
+	}
+
 	fmt.Fprintln(w, "# HELP gpureld_fleet_worker_runs_total Runs accepted per reporting worker.")
 	fmt.Fprintln(w, "# TYPE gpureld_fleet_worker_runs_total counter")
-	for i, name := range workers {
-		fmt.Fprintf(w, "gpureld_fleet_worker_runs_total{worker=%q} %d\n", name, runs[i])
+	for _, ws := range byWorker {
+		fmt.Fprintf(w, "gpureld_fleet_worker_runs_total{worker=%q} %d\n", ws.Name, ws.RunsDone)
+	}
+
+	fmt.Fprintln(w, "# HELP gpureld_fleet_worker_lease_size Capability-scored adaptive lease size per worker.")
+	fmt.Fprintln(w, "# TYPE gpureld_fleet_worker_lease_size gauge")
+	for _, ws := range byWorker {
+		fmt.Fprintf(w, "gpureld_fleet_worker_lease_size{worker=%q} %d\n", ws.Name, ws.LeaseSize)
 	}
 }
 

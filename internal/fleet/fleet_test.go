@@ -64,12 +64,15 @@ func harness(t *testing.T, cfg service.Config, fcfg fleet.CoordinatorConfig) (*s
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord := fleet.NewCoordinator(sched, fcfg)
+	coord, err := fleet.NewCoordinator(sched, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sched.Metrics().AddCollector(coord.WriteMetrics)
 	srv := httptest.NewServer(service.NewServer(sched).Handler(coord.Mount))
 	t.Cleanup(func() { srv.Close() })
 	t.Cleanup(func() { sched.Close() })
-	t.Cleanup(coord.Close)
+	t.Cleanup(func() { coord.Close() })
 	return sched, coord, srv
 }
 

@@ -1,0 +1,117 @@
+// Stress test for the coordinator's delete-before-requeue invariant: with a
+// heartbeat TTL far below the workers' report latency, leases constantly
+// expire while their reports are in flight, ranges are re-issued and
+// re-executed, and duplicate merges race the sweeper. Run under -race in CI.
+// The ledger's idempotent range merge must keep the final tally bit-identical
+// to single-node execution — a stale lease entry surviving a requeue (or a
+// requeue happening before the delete) would double-advance or strand a
+// range and show up here as a hung job or a drifted tally.
+package fleet_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gpurel/client"
+	"gpurel/internal/campaign"
+	"gpurel/internal/faults"
+	"gpurel/internal/fleet"
+	"gpurel/internal/service"
+)
+
+func TestFleetReportExpiryRaceStress(t *testing.T) {
+	const (
+		runs       = 2400
+		seed       = int64(77)
+		numWorkers = 8
+	)
+	ttl := 15 * time.Millisecond
+
+	spec := service.JobSpec{Layer: "micro", App: "fake", Kernel: "K1", Structure: "RF", Runs: runs, Seed: seed}
+	sched, coord, srv := harness(t,
+		service.Config{Source: synthSource(0), DisableLocalExec: true},
+		fleet.CoordinatorConfig{LeaseRuns: 40, LeaseTTL: ttl, Sweep: 3 * time.Millisecond})
+	st, err := sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for wi := 0; wi < numWorkers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			c := client.New(srv.URL)
+			name := string(rune('a' + wi))
+			// Jitter RNG only — run outcomes stay a pure function of the
+			// campaign seed, so timing chaos cannot move the tally.
+			jitter := rand.New(rand.NewSource(int64(1000 + wi)))
+			for ctx.Err() == nil {
+				ls, ok, err := c.Lease(ctx, service.LeaseRequest{Worker: name})
+				if err != nil {
+					return // coordinator gone (test shutting down)
+				}
+				if !ok {
+					if js, live := sched.Get(st.ID); live && js.State.Terminal() {
+						return
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				exp, err := synthSource(0)(ls.Spec)
+				if err != nil {
+					t.Errorf("worker %s: source: %v", name, err)
+					return
+				}
+				opts := campaign.Options{Runs: ls.Spec.Runs, Seed: ls.Spec.Seed}
+				report := func(from, to int, done bool) bool {
+					tl := campaign.RunRange(opts, from, to, exp)
+					// Sleep 0–25ms against a 15ms TTL: a large fraction of
+					// reports land after the sweeper already expired and
+					// requeued the lease (410 Gone) or after another worker
+					// re-ran the range (duplicate merge).
+					time.Sleep(time.Duration(jitter.Intn(25)) * time.Millisecond)
+					_, err := c.ReportLease(ctx, ls.ID,
+						service.LeaseReport{Worker: name, From: from, To: to, Tally: tl, Done: done})
+					return err == nil
+				}
+				if mid := ls.From + (ls.To-ls.From)/2; jitter.Intn(2) == 0 && mid > ls.From {
+					// Two-part report: the partial advance races the expiry
+					// of the remainder.
+					if report(ls.From, mid, false) {
+						report(mid, ls.To, true)
+					}
+				} else {
+					report(ls.From, ls.To, true)
+				}
+			}
+		}(wi)
+	}
+
+	final := waitTerminal(t, sched, st.ID, 60*time.Second)
+	cancel()
+	wg.Wait()
+
+	if final.State != service.StateDone {
+		t.Fatalf("job ended %s: %+v", final.State, final)
+	}
+	want := campaign.Run(campaign.Options{Runs: runs, Seed: seed}, func(run int, rng *rand.Rand) faults.Result {
+		return outcome(rng)
+	})
+	if final.Tally != want {
+		t.Errorf("tally drifted under report/expiry races:\ngot  %+v\nwant %+v", final.Tally, want)
+	}
+	if final.Done != runs {
+		t.Errorf("done = %d, want %d", final.Done, runs)
+	}
+	stats := coord.Stats()
+	if stats.Expired == 0 {
+		t.Errorf("stats = %+v: no lease expired — the race this test exists for never happened", stats)
+	}
+	t.Logf("stress stats: %+v", stats)
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,14 @@ type WorkerConfig struct {
 	// Backoff schedules HTTP retries (zero value = client defaults:
 	// 5 tries, 100ms base, 5s cap, full jitter).
 	Backoff client.Backoff
+	// Caps is the worker's static capability report (snapshot budget,
+	// supported fault models). RunsPerSec is usually left zero and filled
+	// by the calibration micro-burst, then refined from live chunk timings.
+	Caps service.WorkerCaps
+	// CalibrateRuns sizes the startup calibration micro-burst measuring
+	// RunsPerSec (0 = skip; Caps.RunsPerSec, if set, is used as-is).
+	// Negative values use DefaultCalibrateRuns.
+	CalibrateRuns int
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -70,6 +79,10 @@ type Worker struct {
 
 	// runs counts runs this worker executed (reported or not).
 	runs atomic.Int64
+	// rps is the live throughput estimate in runs/sec (Float64bits),
+	// seeded by calibration and refined per chunk (EWMA). It rides every
+	// lease request so the coordinator's adaptive sizing tracks reality.
+	rps atomic.Uint64
 }
 
 // NewWorker validates the config.
@@ -89,10 +102,43 @@ func (w *Worker) ID() string { return w.cfg.ID }
 // Runs returns the number of runs executed so far.
 func (w *Worker) Runs() int64 { return w.runs.Load() }
 
+// RunsPerSec returns the current throughput estimate (0 = none yet).
+func (w *Worker) RunsPerSec() float64 { return math.Float64frombits(w.rps.Load()) }
+
+// observeThroughput folds one chunk's measured rate into the EWMA estimate.
+func (w *Worker) observeThroughput(runs int, elapsed time.Duration) {
+	if runs <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := float64(runs) / elapsed.Seconds()
+	for {
+		old := w.rps.Load()
+		cur := math.Float64frombits(old)
+		next := sample
+		if cur > 0 {
+			const alpha = 0.3
+			next = alpha*sample + (1-alpha)*cur
+		}
+		if w.rps.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
 // Run pulls and executes leases until ctx ends (the drain path: any open
-// lease's unexecuted remainder is returned to the coordinator) or the
-// coordinator stays unreachable past the retry budget.
+// lease's unexecuted remainder is returned to the coordinator and the
+// worker announces its departure) or the coordinator stays unreachable past
+// the retry budget. At startup the worker calibrates its throughput (when
+// configured) and registers its capability report — best-effort, so it
+// still interoperates with coordinators predating the registry.
 func (w *Worker) Run(ctx context.Context) error {
+	if w.cfg.Caps.RunsPerSec > 0 {
+		w.rps.Store(math.Float64bits(w.cfg.Caps.RunsPerSec))
+	} else if w.cfg.CalibrateRuns != 0 {
+		w.rps.Store(math.Float64bits(Calibrate(w.cfg.CalibrateRuns, w.cfg.Workers)))
+	}
+	w.register(ctx)
+	defer w.drainAnnounce()
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -101,7 +147,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		var granted bool
 		err := client.Retry(ctx, w.cfg.Backoff, func() error {
 			var lerr error
-			ls, granted, lerr = w.cfg.Client.Lease(ctx, service.LeaseRequest{Worker: w.cfg.ID, MaxRuns: w.cfg.MaxRuns})
+			ls, granted, lerr = w.cfg.Client.Lease(ctx, service.LeaseRequest{
+				Worker: w.cfg.ID, MaxRuns: w.cfg.MaxRuns, RunsPerSec: w.RunsPerSec(),
+			})
 			return lerr
 		})
 		if err != nil {
@@ -159,7 +207,9 @@ func (w *Worker) execute(ctx context.Context, ls service.Lease) {
 		if to > ls.To {
 			to = ls.To
 		}
+		start := time.Now() //relint:allow wallclock: throughput telemetry only, never feeds a tally
 		tl := campaign.RunRange(opts, from, to, fn)
+		w.observeThroughput(to-from, time.Since(start)) //relint:allow wallclock: see above
 		w.runs.Add(int64(to - from))
 
 		rep := service.LeaseReport{Worker: w.cfg.ID, From: from, To: to, Tally: tl, Done: to >= ls.To}
@@ -222,4 +272,22 @@ func (w *Worker) returnLease(id string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	w.cfg.Client.ReturnLease(ctx, id) //nolint:errcheck — best effort; expiry requeues anyway
+}
+
+// register announces the worker and its capability report. Best-effort: a
+// coordinator without the registry (pre-v1 fleet) answers 404, and the
+// worker proceeds on the lease protocol alone — lease traffic auto-registers
+// it as an anonymous entry anyway.
+func (w *Worker) register(ctx context.Context) {
+	spec := service.WorkerSpec{Name: w.cfg.ID, Caps: w.cfg.Caps}
+	spec.Caps.RunsPerSec = w.RunsPerSec()
+	w.cfg.Client.RegisterWorker(ctx, spec) //nolint:errcheck — advisory; older coordinators lack the route
+}
+
+// drainAnnounce marks the worker draining in the registry on shutdown, with
+// a short deadline of its own (the run ctx is already canceled).
+func (w *Worker) drainAnnounce() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	w.cfg.Client.DrainWorker(ctx, w.cfg.ID) //nolint:errcheck — best effort; heartbeat decay degrades it anyway
 }

@@ -448,16 +448,16 @@ func (a *Advisor) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad advise spec: " + err.Error()})
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad advise spec: "+err.Error())
 		return
 	}
 	st, err := a.Submit(spec)
 	if err != nil {
-		code := http.StatusBadRequest
+		status, code := http.StatusBadRequest, ErrCodeBadRequest
 		if a.closed.Load() {
-			code = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, ErrCodeUnavailable
 		}
-		writeJSON(w, code, apiError{Error: err.Error()})
+		WriteError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
@@ -470,7 +470,7 @@ func (a *Advisor) handleList(w http.ResponseWriter, r *http.Request) {
 func (a *Advisor) handleGet(w http.ResponseWriter, r *http.Request) {
 	st, ok := a.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such advise job"})
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound, "no such advise job")
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -479,7 +479,7 @@ func (a *Advisor) handleGet(w http.ResponseWriter, r *http.Request) {
 func (a *Advisor) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, ok := a.Cancel(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such advise job"})
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound, "no such advise job")
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -493,7 +493,7 @@ func (a *Advisor) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := a.jobs[r.PathValue("id")]
 	a.mu.Unlock()
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such advise job"})
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound, "no such advise job")
 		return
 	}
 	ch, unsub := j.subscribe()

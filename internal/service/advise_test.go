@@ -309,10 +309,8 @@ func TestAdviseValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, data)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		var e service.ErrorEnvelope
+		if err := json.Unmarshal(data, &e); err != nil || e.Error.Code != service.ErrCodeBadRequest || e.Error.Message == "" {
 			t.Errorf("%s: error body %q", name, data)
 		}
 	}

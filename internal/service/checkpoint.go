@@ -68,6 +68,15 @@ func writeFileAtomic(path string, data []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// WriteFileAtomic is the exported journal-write primitive: subsystems with
+// their own durable state (the fleet coordinator's lease journal) share the
+// scheduler checkpoint's crash-safety idiom.
+func WriteFileAtomic(path string, data []byte) error { return writeFileAtomic(path, data) }
+
+// ReadFileMissingOK is the matching read primitive: a missing journal is an
+// empty journal, not an error.
+func ReadFileMissingOK(path string) ([]byte, error) { return readFileMissingOK(path) }
+
 // readFileMissingOK reads a file, mapping "does not exist" to (nil, nil).
 func readFileMissingOK(path string) ([]byte, error) {
 	data, err := os.ReadFile(path)

@@ -1,0 +1,226 @@
+// Golden wire tests for the fleet control-plane schema: the deprecated bare
+// lease request and the nested v1 spelling in testdata/ decode to the same
+// request (only the bare one flagged deprecated), encoding always emits the
+// envelope, mixing the spellings is rejected, and the worker registration
+// envelope is mandatory.
+package service_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gpurel/internal/campaign"
+	"gpurel/internal/service"
+)
+
+func loadFixture(t *testing.T, name string, v any) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+}
+
+// TestLeaseRequestGoldenFixtures: both spellings decode to the same request;
+// only the bare legacy form is flagged deprecated; re-encoding emits the
+// envelope.
+func TestLeaseRequestGoldenFixtures(t *testing.T) {
+	var legacy, nested service.LeaseRequest
+	loadFixture(t, "leasespec_legacy.json", &legacy)
+	loadFixture(t, "leasespec_nested.json", &nested)
+
+	if !legacy.LegacyFlat() {
+		t.Error("legacy fixture not flagged as flat")
+	}
+	if nested.LegacyFlat() {
+		t.Error("nested fixture flagged as flat")
+	}
+	if legacy.Worker != nested.Worker || legacy.MaxRuns != nested.MaxRuns || legacy.RunsPerSec != nested.RunsPerSec {
+		t.Errorf("fixtures decode differently: legacy %+v, nested %+v", legacy, nested)
+	}
+	if legacy.Worker != "w1" || legacy.MaxRuns != 256 || legacy.RunsPerSec != 42.5 {
+		t.Errorf("decoded request %+v, want worker=w1 max_runs=256 runs_per_sec=42.5", legacy)
+	}
+	for name, req := range map[string]service.LeaseRequest{"legacy": legacy, "nested": nested} {
+		if err := req.Validate(); err != nil {
+			t.Errorf("%s fixture invalid: %v", name, err)
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(out), `"lease"`) {
+			t.Errorf("%s re-encode lost the envelope: %s", name, out)
+		}
+		var back service.LeaseRequest
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("%s re-decode: %v", name, err)
+		}
+		if back.LegacyFlat() {
+			t.Errorf("%s round trip re-flagged deprecated: %s", name, out)
+		}
+	}
+}
+
+// TestLeaseRequestMixedSpellingRejected: a request that nests a "lease"
+// envelope AND carries bare fields is ambiguous and rejected.
+func TestLeaseRequestMixedSpellingRejected(t *testing.T) {
+	var req service.LeaseRequest
+	err := json.Unmarshal([]byte(`{"lease":{"worker":"w1"},"worker":"w2"}`), &req)
+	if err == nil || !strings.Contains(err.Error(), "mixes") {
+		t.Fatalf("mixed spelling err = %v, want a mixing rejection", err)
+	}
+	if err := json.Unmarshal([]byte(`{"lease":{"worker":"w1"},"bogus":1}`), &req); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestLeaseReportBothSpellings: the report decoder accepts both forms,
+// rejects mixing, and always re-encodes the envelope.
+func TestLeaseReportBothSpellings(t *testing.T) {
+	tl := campaign.Tally{N: 100}
+	raw, _ := json.Marshal(tl)
+	legacyJSON := `{"worker":"w1","from":0,"to":100,"tally":` + string(raw) + `,"done":true}`
+	nestedJSON := `{"report":{"worker":"w1","from":0,"to":100,"tally":` + string(raw) + `,"done":true}}`
+
+	var legacy, nested service.LeaseReport
+	if err := json.Unmarshal([]byte(legacyJSON), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(nestedJSON), &nested); err != nil {
+		t.Fatal(err)
+	}
+	if !legacy.LegacyFlat() || nested.LegacyFlat() {
+		t.Errorf("deprecation flags wrong: legacy %v, nested %v", legacy.LegacyFlat(), nested.LegacyFlat())
+	}
+	if legacy.Worker != nested.Worker || legacy.From != nested.From || legacy.To != nested.To ||
+		legacy.Tally != nested.Tally || legacy.Done != nested.Done {
+		t.Errorf("spellings decode differently: %+v vs %+v", legacy, nested)
+	}
+	out, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"report"`) {
+		t.Errorf("re-encode lost the envelope: %s", out)
+	}
+	var mixed service.LeaseReport
+	if err := json.Unmarshal([]byte(`{"report":{"worker":"w1"},"done":true}`), &mixed); err == nil {
+		t.Error("mixed report spelling accepted")
+	}
+}
+
+// TestLeaseEnvelopeRoundTrip: Lease and LeaseAck emit the v1 envelope and
+// decode both the envelope and the bare legacy body.
+func TestLeaseEnvelopeRoundTrip(t *testing.T) {
+	ls := service.Lease{
+		ID: "l1", JobID: "j1",
+		Spec: service.JobSpec{Layer: "micro", App: "VA", Kernel: "K1", Runs: 100, Seed: 1},
+		From: 0, To: 100, TTLSec: 15,
+	}
+	out, err := json.Marshal(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(out), `{"lease":`) {
+		t.Fatalf("lease encode = %s, want enveloped", out)
+	}
+	var back service.Lease
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ls) {
+		t.Errorf("lease round trip drifted:\nbefore %+v\nafter  %+v", ls, back)
+	}
+	// The bare legacy body still decodes (old coordinators on the wire).
+	var bare service.Lease
+	if err := json.Unmarshal([]byte(`{"id":"l2","job_id":"j2","spec":{"layer":"micro","app":"VA","kernel":"K1","runs":5},"from":0,"to":5,"ttl_sec":10}`), &bare); err != nil {
+		t.Fatal(err)
+	}
+	if bare.ID != "l2" || bare.To != 5 {
+		t.Errorf("bare lease decode = %+v", bare)
+	}
+
+	ack := service.LeaseAck{Accepted: true, TTLSec: 15}
+	aout, err := json.Marshal(ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(aout), `{"ack":`) {
+		t.Fatalf("ack encode = %s, want enveloped", aout)
+	}
+	var aback service.LeaseAck
+	if err := json.Unmarshal(aout, &aback); err != nil {
+		t.Fatal(err)
+	}
+	if aback != ack {
+		t.Errorf("ack round trip drifted: %+v -> %+v", ack, aback)
+	}
+	var abare service.LeaseAck
+	if err := json.Unmarshal([]byte(`{"accepted":true,"ttl_sec":10}`), &abare); err != nil {
+		t.Fatal(err)
+	}
+	if !abare.Accepted || abare.TTLSec != 10 {
+		t.Errorf("bare ack decode = %+v", abare)
+	}
+}
+
+// TestWorkerSpecGoldenFixture: the registration envelope decodes, validates,
+// and round-trips; the envelope is mandatory (no legacy spelling for a new
+// endpoint).
+func TestWorkerSpecGoldenFixture(t *testing.T) {
+	var spec service.WorkerSpec
+	loadFixture(t, "workerspec.json", &spec)
+	if spec.Name != "w1" || spec.Caps.RunsPerSec != 42.5 || spec.Caps.SnapMB != 256 {
+		t.Errorf("decoded spec %+v", spec)
+	}
+	if !reflect.DeepEqual(spec.Caps.FaultModels, []string{"transient", "stuck"}) {
+		t.Errorf("fault models = %v", spec.Caps.FaultModels)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("fixture invalid: %v", err)
+	}
+	out, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back service.WorkerSpec
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Errorf("round trip drifted:\nbefore %+v\nafter  %+v", spec, back)
+	}
+
+	var bare service.WorkerSpec
+	if err := json.Unmarshal([]byte(`{"name":"w1"}`), &bare); err == nil {
+		t.Error("bare worker spec accepted; the envelope is mandatory")
+	}
+}
+
+// TestWorkerSpecValidation enumerates the rejection cases.
+func TestWorkerSpecValidation(t *testing.T) {
+	for name, spec := range map[string]service.WorkerSpec{
+		"missing name":  {Caps: service.WorkerCaps{RunsPerSec: 1}},
+		"negative rps":  {Name: "w", Caps: service.WorkerCaps{RunsPerSec: -1}},
+		"negative snap": {Name: "w", Caps: service.WorkerCaps{SnapMB: -1}},
+		"unknown model": {Name: "w", Caps: service.WorkerCaps{FaultModels: []string{"cosmic"}}},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	ok := service.WorkerSpec{Name: "w", Caps: service.WorkerCaps{
+		RunsPerSec: 10, SnapMB: 64, FaultModels: []string{"transient", "stuck", "mbu", "control"},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("full spec rejected: %v", err)
+	}
+}

@@ -67,6 +67,92 @@ func FuzzJobSpecDecode(f *testing.F) {
 	})
 }
 
+// FuzzLeaseSpecDecode: the /v1/leases request decoder never panics, and
+// every request that decodes and validates survives an encode/decode round
+// trip with the deprecation flag cleared (encoding always emits the v1
+// envelope).
+func FuzzLeaseSpecDecode(f *testing.F) {
+	seeds := []string{
+		`{"lease":{"worker":"w1","max_runs":256,"runs_per_sec":42.5}}`,
+		`{"lease":{"worker":"w1"}}`,
+		`{"worker":"w1","max_runs":256}`,
+		`{"worker":"w1"}`,
+		`{"lease":{"worker":"w1"},"worker":"w2"}`,
+		`{"lease":{"max_runs":-1}}`,
+		`{"lease":null}`,
+		`{"max_runs":0,"runs_per_sec":-3}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req service.LeaseRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := req.Validate(); err != nil {
+			return
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("validated lease request does not encode: %v (%+v)", err, req)
+		}
+		var back service.LeaseRequest
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-decode failed: %v (%s)", err, out)
+		}
+		if back.LegacyFlat() {
+			t.Fatalf("re-encode emitted the deprecated bare form: %s", out)
+		}
+		if back.Worker != req.Worker || back.MaxRuns != req.MaxRuns || back.RunsPerSec != req.RunsPerSec {
+			t.Fatalf("round trip changed the request:\nbefore %+v\nafter  %+v\nwire %s", req, back, out)
+		}
+	})
+}
+
+// FuzzWorkerSpecDecode: the /v1/workers registration decoder never panics,
+// and every spec that decodes and validates round-trips intact.
+func FuzzWorkerSpecDecode(f *testing.F) {
+	seeds := []string{
+		`{"worker":{"name":"w1","caps":{"runs_per_sec":42.5,"snap_mb":256,"fault_models":["transient"]}}}`,
+		`{"worker":{"name":"w1","caps":{}}}`,
+		`{"worker":{"name":"","caps":{"runs_per_sec":-1}}}`,
+		`{"worker":{"name":"w1","caps":{"fault_models":["cosmic"]}}}`,
+		`{"worker":null}`,
+		`{"name":"w1"}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec service.WorkerSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := spec.Validate(); err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("validated worker spec does not encode: %v (%+v)", err, spec)
+		}
+		var back service.WorkerSpec
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-decode failed: %v (%s)", err, out)
+		}
+		// An empty FaultModels list means "all models", same as absent; the
+		// omitempty encoding legitimately collapses [] to nil.
+		if len(spec.Caps.FaultModels) == 0 {
+			spec.Caps.FaultModels = nil
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Fatalf("round trip changed the worker spec:\nbefore %+v\nafter  %+v\nwire %s", spec, back, out)
+		}
+	})
+}
+
 // FuzzAdviseSpecDecode: the /v1/advise decoder never panics, and every spec
 // that decodes and validates survives an encode/decode round trip intact.
 func FuzzAdviseSpecDecode(f *testing.F) {

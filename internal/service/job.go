@@ -98,6 +98,14 @@ type JobSpec struct {
 	Seed     int64    `json:"seed"` // campaign seed; run i uses Seed+i
 	Deadline float64  `json:"deadline_sec,omitempty"`
 
+	// Tenant names the submitting tenant for weighted fair-share scheduling
+	// ("" = the default tenant). Priority is the job's fair-share weight
+	// within 1..100 (0 = default 1). Neither participates in point identity:
+	// they shape who gets served next, never what a run measures, so tallies
+	// stay bit-identical whatever the tenant mix.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+
 	// Sampling is the adaptive-sampling group (nil = the paper's fixed-n
 	// methodology).
 	Sampling *SamplingSpec `json:"sampling,omitempty"`
@@ -126,6 +134,8 @@ type jobSpecWire struct {
 	Runs      int      `json:"runs"`
 	Seed      int64    `json:"seed"`
 	Deadline  float64  `json:"deadline_sec"`
+	Tenant    string   `json:"tenant"`
+	Priority  int      `json:"priority"`
 
 	Sampling   *SamplingSpec `json:"sampling"`
 	Checkpoint *SnapshotSpec `json:"checkpoint"`
@@ -156,6 +166,7 @@ func (sp *JobSpec) UnmarshalJSON(data []byte) error {
 		Layer: w.Layer, App: w.App, Kernel: w.Kernel,
 		Structure: w.Structure, Mode: w.Mode, Hardened: w.Hardened, Harden: w.Harden,
 		Runs: w.Runs, Seed: w.Seed, Deadline: w.Deadline,
+		Tenant: w.Tenant, Priority: w.Priority,
 		Sampling: w.Sampling, Checkpoint: w.Checkpoint, Fault: w.Fault,
 	}
 	flatSampling := w.Margin99 != nil || w.Batch != nil || w.Prune != nil
@@ -243,6 +254,26 @@ func (sp JobSpec) batchSize() int {
 // adaptive reports whether the spec requests sequential early stopping.
 func (sp JobSpec) adaptive() bool { return sp.sampling().Margin99 > 0 }
 
+// DefaultTenant is the tenant name jobs with an empty "tenant" field are
+// accounted under.
+const DefaultTenant = "default"
+
+// tenantName resolves the spec's fair-share tenant.
+func (sp JobSpec) tenantName() string {
+	if sp.Tenant == "" {
+		return DefaultTenant
+	}
+	return sp.Tenant
+}
+
+// weight resolves the spec's fair-share weight (Priority, default 1).
+func (sp JobSpec) weight() int {
+	if sp.Priority <= 0 {
+		return 1
+	}
+	return sp.Priority
+}
+
 // Point resolves the spec to the study-level campaign point, validating the
 // enum fields.
 func (sp JobSpec) Point() (gpurel.PointSpec, error) {
@@ -319,6 +350,9 @@ func (sp JobSpec) Validate() error {
 	}
 	if sp.Deadline < 0 {
 		return fmt.Errorf("deadline_sec must be non-negative")
+	}
+	if sp.Priority < 0 || sp.Priority > 100 {
+		return fmt.Errorf("priority must be in 0..100 (0 = default weight 1), got %d", sp.Priority)
 	}
 	if s := sp.sampling(); s.Margin99 < 0 || s.Margin99 >= 1 {
 		return fmt.Errorf("sampling.margin99 must be in [0, 1), got %g", s.Margin99)

@@ -51,54 +51,8 @@ func (s *Scheduler) claimLocked(j *job, max int) (Range, bool) {
 	return claim, true
 }
 
-// ClaimWork hands out up to max runs from the oldest job with unclaimed
-// work, flipping queued jobs to running. ok is false when no job has
-// pending work — the caller (a fleet coordinator granting a lease) answers
-// 204 and the worker polls again.
-func (s *Scheduler) ClaimWork(max int) (WorkAssignment, bool) {
-	if s.closed.Load() {
-		return WorkAssignment{}, false
-	}
-	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	jobs := make([]*job, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
-	}
-	s.mu.Unlock()
-	for _, j := range jobs {
-		j.mu.Lock()
-		if j.state.Terminal() {
-			j.mu.Unlock()
-			continue
-		}
-		if j.canceled {
-			// A canceled job no longer hands out work; with local execution
-			// disabled no lane would otherwise retire it, so settle it here.
-			j.pending = nil
-			j.claimed = nil
-			s.finishLocked(j, StateCanceled, "")
-			j.mu.Unlock()
-			s.dirty.Store(true)
-			continue
-		}
-		r, ok := s.claimLocked(j, max)
-		if !ok {
-			j.mu.Unlock()
-			continue
-		}
-		if j.state == StateQueued {
-			j.state = StateRunning
-			j.started = s.cfg.Now()
-			j.publishLocked(string(StateRunning))
-		}
-		w := WorkAssignment{JobID: j.id, Spec: j.spec, From: r.From, To: r.To}
-		j.mu.Unlock()
-		s.dirty.Store(true)
-		return w, true
-	}
-	return WorkAssignment{}, false
-}
+// ClaimWork (fairshare.go) hands out runs from the weighted fair-share
+// winner; ReportWork below merges them back.
 
 // ReportWork merges one completed run-range into its job. The merge is
 // idempotent by range: duplicated execution (an expired lease re-run

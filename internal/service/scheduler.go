@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -90,6 +91,10 @@ func (c Config) withDefaults() Config {
 // outstanding.
 const starvedPoll = 25 * time.Millisecond
 
+// errQueueFull marks a submission rejected because the job's lane backlog is
+// at capacity; the API maps it to 429 + ErrCodeQueueFull.
+var errQueueFull = errors.New("job queue full")
+
 // Scheduler owns the job table, the work ledger, and the sharded lanes.
 type Scheduler struct {
 	cfg     Config
@@ -97,7 +102,10 @@ type Scheduler struct {
 
 	mu    sync.Mutex
 	jobs  map[string]*job
-	order []string // submission order, for listing and claim fairness
+	order []string // submission order, for listing and within-tenant fairness
+	// vtime is the weighted fair-share virtual time per active tenant — see
+	// fairshare.go.
+	vtime map[string]float64
 
 	queues []chan *job
 	ctx    context.Context
@@ -119,6 +127,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		cfg:     cfg,
 		metrics: newMetrics(cfg.Counters, cfg.Now, cfg.CheckpointStats),
 		jobs:    map[string]*job{},
+		vtime:   map[string]float64{},
 		queues:  make([]chan *job, cfg.Shards),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -162,6 +171,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		}
 	}
 
+	s.metrics.AddCollector(s.writeTenantMetrics)
 	for i := range s.queues {
 		s.wg.Add(1)
 		go s.shardLoop(s.queues[i])
@@ -211,7 +221,7 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 		delete(s.jobs, j.id)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
-		return JobStatus{}, fmt.Errorf("job queue full (depth %d)", s.cfg.QueueDepth)
+		return JobStatus{}, fmt.Errorf("%w (depth %d)", errQueueFull, s.cfg.QueueDepth)
 	}
 	s.metrics.jobsSubmitted.Add(1)
 	s.dirty.Store(true)

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 )
 
@@ -41,8 +42,33 @@ func (s *Server) Handler(mount ...func(*http.ServeMux)) http.Handler {
 	return mux
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// ErrorDetail is the body of the unified v1 error envelope. Code is a
+// stable machine-readable token (ErrCode* constants); Message is for humans.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the single JSON error shape every /v1/* handler — jobs,
+// advise, leases, workers, fleet — answers with:
+//
+//	{"error":{"code":"bad_request","message":"..."}}
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Stable error codes of the v1 envelope.
+const (
+	ErrCodeBadRequest  = "bad_request"  // malformed or invalid request body (400)
+	ErrCodeNotFound    = "not_found"    // no such job/advise/worker (404)
+	ErrCodeGone        = "gone"         // lease expired and requeued (410)
+	ErrCodeUnavailable = "unavailable"  // daemon draining (503)
+	ErrCodeQueueFull   = "queue_full"   // lane backlog full (429)
+)
+
+// WriteError answers with the unified v1 error envelope.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorDetail{Code: code, Message: msg}})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -56,16 +82,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job spec: " + err.Error()})
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad job spec: "+err.Error())
 		return
 	}
 	st, err := s.sched.Submit(spec)
 	if err != nil {
-		code := http.StatusBadRequest
+		status, code := http.StatusBadRequest, ErrCodeBadRequest
 		if s.sched.closed.Load() {
-			code = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, ErrCodeUnavailable
+		} else if errors.Is(err, errQueueFull) {
+			status, code = http.StatusTooManyRequests, ErrCodeQueueFull
 		}
-		writeJSON(w, code, apiError{Error: err.Error()})
+		WriteError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
@@ -78,7 +106,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -87,7 +115,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.sched.Cancel(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -100,7 +128,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, unsub, ok := s.sched.Subscribe(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound, "no such job")
 		return
 	}
 	defer unsub()
